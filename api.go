@@ -1,0 +1,169 @@
+package pathdump
+
+import (
+	"fmt"
+
+	"pathdump/internal/apps"
+	"pathdump/internal/query"
+)
+
+// This file exposes the paper's Table-1 interface verbatim.
+//
+// Host API — each host answers for its "local" flows (flows whose dstIP
+// is this host):
+//
+//	getFlows(linkID, timeRange)
+//	getPaths(flowID, linkID, timeRange)
+//	getCount(Flow, timeRange)
+//	getDuration(Flow, timeRange)
+//	getPoorTCPFlows(threshold)
+//	Alarm(flowID, reason, paths)
+//
+// Controller API:
+//
+//	execute(List⟨HostID⟩, Query)
+//	install(List⟨HostID⟩, Query, Period)
+//	uninstall(List⟨HostID⟩, Query)
+
+// GetFlows returns the flows (with their paths) that traversed linkID
+// during the time range, as recorded at the given host.
+func (c *Cluster) GetFlows(host HostID, link LinkID, tr TimeRange) []Flow {
+	a := c.Agents[host]
+	if a == nil {
+		return nil
+	}
+	return a.Execute(Query{Op: OpFlows, Link: link, Range: tr}).Flows
+}
+
+// GetPaths returns the paths flowID took through linkID during the range,
+// as recorded at the given host.
+func (c *Cluster) GetPaths(host HostID, f FlowID, link LinkID, tr TimeRange) []Path {
+	a := c.Agents[host]
+	if a == nil {
+		return nil
+	}
+	return a.Execute(Query{Op: OpPaths, Flow: f, Link: link, Range: tr}).Paths
+}
+
+// GetCount returns packet and byte counts of a ⟨flowID, path⟩ pair within
+// the range (nil path aggregates every path of the flow).
+func (c *Cluster) GetCount(host HostID, f Flow, tr TimeRange) (bytes, pkts uint64) {
+	a := c.Agents[host]
+	if a == nil {
+		return 0, 0
+	}
+	res := a.Execute(Query{Op: OpCount, Flow: f.ID, Path: f.Path, Range: tr})
+	return res.Bytes, res.Pkts
+}
+
+// GetDuration returns the active duration of a ⟨flowID, path⟩ pair within
+// the range.
+func (c *Cluster) GetDuration(host HostID, f Flow, tr TimeRange) Time {
+	a := c.Agents[host]
+	if a == nil {
+		return 0
+	}
+	return a.Execute(Query{Op: OpDuration, Flow: f.ID, Path: f.Path, Range: tr}).Duration
+}
+
+// GetPoorTCPFlows returns the host's TCP flows whose consecutive
+// retransmissions reached the threshold.
+func (c *Cluster) GetPoorTCPFlows(host HostID, threshold int) []FlowID {
+	a := c.Agents[host]
+	if a == nil {
+		return nil
+	}
+	return a.PoorTCPFlows(threshold)
+}
+
+// RaiseAlarm lets applications inject an alarm into the controller
+// (agents call this internally via their sink).
+func (c *Cluster) RaiseAlarm(a Alarm) { c.Ctrl.RaiseAlarm(a) }
+
+// Execute runs a query at each listed host as a direct query and merges
+// the results at the controller.
+func (c *Cluster) Execute(hosts []HostID, q Query) (Result, ExecStats, error) {
+	return c.Ctrl.Execute(hosts, q)
+}
+
+// ExecuteTree runs a query through a multi-level aggregation tree with
+// the given per-level fan-outs (§3.2; the paper uses [7,4,4] over 112
+// hosts).
+func (c *Cluster) ExecuteTree(hosts []HostID, q Query, fanouts []int) (Result, ExecStats, error) {
+	return c.Ctrl.ExecuteTree(hosts, q, fanouts)
+}
+
+// InstallQuery installs a query at each host for periodic execution
+// (period 0 = event-triggered). The returned handle uninstalls it.
+func (c *Cluster) InstallQuery(hosts []HostID, q Query, period Time) (map[HostID]int, error) {
+	return c.Ctrl.Install(hosts, q, period)
+}
+
+// UninstallQuery removes previously installed queries.
+func (c *Cluster) UninstallQuery(ids map[HostID]int) error { return c.Ctrl.Uninstall(ids) }
+
+// ---- Debugging-application wrappers (§4) ----
+
+// InstallTCPMonitor installs the active monitoring query at every host:
+// each period, flows with ≥ threshold consecutive retransmissions raise
+// POOR_PERF alarms (§3.2).
+func (c *Cluster) InstallTCPMonitor(threshold int, period Time) (map[HostID]int, error) {
+	return apps.InstallTCPMonitor(c.Ctrl, c.HostIDs(), threshold, period)
+}
+
+// InstallPathConformance installs the §2.3 conformance check at every
+// host: alarms on paths of maxLen+ switches, paths crossing `avoid`, or
+// paths missing `waypoints`.
+func (c *Cluster) InstallPathConformance(maxLen int, avoid, waypoints []SwitchID, period Time) (map[HostID]int, error) {
+	return apps.InstallPathConformance(c.Ctrl, c.HostIDs(), maxLen, avoid, waypoints, period)
+}
+
+// TopK returns the k biggest flows cluster-wide via the aggregation tree.
+func (c *Cluster) TopK(k int, tr TimeRange, fanouts []int) ([]query.FlowBytes, ExecStats, error) {
+	return apps.TopK(c.Ctrl, c.HostIDs(), k, tr, fanouts)
+}
+
+// FlowSizeDistribution runs the §2.3 load-imbalance query over the given
+// links.
+func (c *Cluster) FlowSizeDistribution(links []LinkID, tr TimeRange, binBytes uint64, fanouts []int) ([]query.LinkHist, ExecStats, error) {
+	return apps.FlowSizeDistribution(c.Ctrl, c.HostIDs(), links, tr, binBytes, fanouts)
+}
+
+// SubflowBytes reports a sprayed flow's per-path traffic split (§4.2).
+func (c *Cluster) SubflowBytes(f FlowID, tr TimeRange) ([]apps.PathBytes, error) {
+	return apps.SubflowBytes(c.Ctrl, f, tr)
+}
+
+// DiagnoseBlackhole compares a flow's observed paths against its
+// equal-cost set and joins the missing ones (§4.4).
+func (c *Cluster) DiagnoseBlackhole(f FlowID, tr TimeRange) (*apps.BlackholeDiagnosis, error) {
+	return apps.DiagnoseBlackhole(c.Ctrl, f, tr)
+}
+
+// DiagnoseOutcast analyses per-sender throughput at a receiver (§4.6).
+func (c *Cluster) DiagnoseOutcast(receiver IP, tr TimeRange) (*apps.OutcastDiagnosis, error) {
+	return apps.DiagnoseOutcast(c.Ctrl, receiver, tr)
+}
+
+// NewSilentDropDebugger attaches the §4.3 MAX-COVERAGE localiser to the
+// controller's alarm stream.
+func (c *Cluster) NewSilentDropDebugger() *apps.SilentDropDebugger {
+	return apps.NewSilentDropDebugger(c.Ctrl)
+}
+
+// TrafficMatrix aggregates ToR-to-ToR bytes across all hosts.
+func (c *Cluster) TrafficMatrix(tr TimeRange) ([]query.MatrixCell, error) {
+	return apps.TrafficMatrix(c.Ctrl, c.HostIDs(), tr)
+}
+
+// Validate cross-checks a trajectory against the ground-truth topology
+// (§2.4's defence against switches inserting wrong IDs).
+func (c *Cluster) Validate(src, dst IP, p Path) error {
+	return c.Topo.ValidTrajectory(src, dst, p)
+}
+
+// String describes the cluster.
+func (c *Cluster) String() string {
+	return fmt.Sprintf("pathdump cluster: %s, %d switches, %d hosts",
+		c.Topo.Kind, c.Topo.NumSwitches(), len(c.Agents))
+}

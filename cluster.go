@@ -1,0 +1,170 @@
+package pathdump
+
+import (
+	"fmt"
+	"sort"
+
+	"pathdump/internal/agent"
+	"pathdump/internal/cherrypick"
+	"pathdump/internal/controller"
+	"pathdump/internal/netsim"
+	"pathdump/internal/tcp"
+	"pathdump/internal/topology"
+	"pathdump/internal/types"
+)
+
+// Config bundles the knobs of every layer; the zero value selects
+// sensible defaults throughout (1 Gbps links, 5 µs propagation, NetFlow
+// 5 s record timeout, 200 ms TCP monitoring granularity).
+type Config struct {
+	Net   NetConfig
+	Agent AgentConfig
+	TCP   TCPConfig
+}
+
+// Cluster is one fully wired PathDump deployment over a simulated fabric:
+// topology, switches with CherryPick tag rules, per-host agents and TCP
+// stacks, and the controller.
+type Cluster struct {
+	Topo   *topology.Topology
+	Sim    *netsim.Sim
+	Ctrl   *controller.Controller
+	Agents map[HostID]*agent.Agent
+	Stacks map[HostID]*tcp.Stack
+
+	cfg      Config
+	nextPort uint16
+}
+
+// NewFatTree builds a cluster over a k-ary fat tree.
+func NewFatTree(k int, cfg Config) (*Cluster, error) {
+	topo, err := topology.FatTree(k)
+	if err != nil {
+		return nil, err
+	}
+	return newCluster(topo, cfg)
+}
+
+// NewVL2 builds a cluster over a VL2(dA, dI) topology with hostsPerToR
+// servers per rack.
+func NewVL2(dA, dI, hostsPerToR int, cfg Config) (*Cluster, error) {
+	topo, err := topology.VL2(dA, dI, hostsPerToR)
+	if err != nil {
+		return nil, err
+	}
+	return newCluster(topo, cfg)
+}
+
+func newCluster(topo *topology.Topology, cfg Config) (*Cluster, error) {
+	scheme, err := cherrypick.New(topo)
+	if err != nil {
+		return nil, err
+	}
+	sim := netsim.New(topo, scheme, cfg.Net)
+	c := &Cluster{
+		Topo:     topo,
+		Sim:      sim,
+		Agents:   make(map[HostID]*agent.Agent),
+		Stacks:   make(map[HostID]*tcp.Stack),
+		cfg:      cfg,
+		nextPort: 10000,
+	}
+	c.Ctrl = controller.New(topo, controller.Local{Agents: c.Agents}, sim)
+	for _, h := range topo.Hosts() {
+		st := tcp.NewStack(sim, h.ID, cfg.TCP)
+		c.Stacks[h.ID] = st
+		c.Agents[h.ID] = agent.New(sim, h, st, c.Ctrl, cfg.Agent)
+	}
+	return c, nil
+}
+
+// HostIDs returns every host ID in deterministic order.
+func (c *Cluster) HostIDs() []HostID {
+	out := make([]HostID, 0, len(c.Agents))
+	for _, h := range c.Topo.Hosts() {
+		out = append(out, h.ID)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HostIP returns a host's address.
+func (c *Cluster) HostIP(h HostID) IP {
+	if host := c.Topo.Host(h); host != nil {
+		return host.IP
+	}
+	return 0
+}
+
+// Now returns the cluster's virtual time.
+func (c *Cluster) Now() Time { return c.Sim.Now() }
+
+// Run advances virtual time to `until`.
+func (c *Cluster) Run(until Time) { c.Sim.Run(until) }
+
+// RunFor advances virtual time by d.
+func (c *Cluster) RunFor(d Time) { c.Sim.Run(c.Sim.Now() + d) }
+
+// RunAll drains every pending event (traffic, evictions, monitors).
+func (c *Cluster) RunAll() { c.Sim.RunAll() }
+
+// FlowBetween builds a TCP FlowID between two hosts with a fresh source
+// port.
+func (c *Cluster) FlowBetween(src, dst HostID, dstPort uint16) FlowID {
+	c.nextPort++
+	return FlowID{
+		SrcIP:   c.HostIP(src),
+		DstIP:   c.HostIP(dst),
+		SrcPort: c.nextPort,
+		DstPort: dstPort,
+		Proto:   types.ProtoTCP,
+	}
+}
+
+// StartFlow opens a TCP flow of `bytes` bytes from src to dst and returns
+// its FlowID. onDone, if non-nil, fires when the last byte is
+// acknowledged (virtual time).
+func (c *Cluster) StartFlow(src, dst HostID, dstPort uint16, bytes int64, onDone func()) (FlowID, error) {
+	st := c.Stacks[src]
+	if st == nil {
+		return FlowID{}, fmt.Errorf("pathdump: unknown source host %v", src)
+	}
+	if c.Stacks[dst] == nil {
+		return FlowID{}, fmt.Errorf("pathdump: unknown destination host %v", dst)
+	}
+	f := c.FlowBetween(src, dst, dstPort)
+	var cb func(*tcp.Sender)
+	if onDone != nil {
+		cb = func(*tcp.Sender) { onDone() }
+	}
+	st.StartFlow(f, bytes, bytes, cb)
+	return f, nil
+}
+
+// SendPacket injects one raw packet from a host (non-TCP traffic).
+func (c *Cluster) SendPacket(src HostID, pkt *Packet) error {
+	return c.Sim.Send(src, pkt)
+}
+
+// FailLink takes a switch-switch link administratively down.
+func (c *Cluster) FailLink(a, b SwitchID) { c.Sim.FailLink(a, b) }
+
+// RestoreLink brings a failed link back.
+func (c *Cluster) RestoreLink(a, b SwitchID) { c.Sim.RestoreLink(a, b) }
+
+// SetSilentDrop makes the directed a→b interface drop packets at random
+// with probability p, without updating any counter (§4.3).
+func (c *Cluster) SetSilentDrop(a, b SwitchID, p float64) { c.Sim.SetSilentDrop(a, b, p) }
+
+// SetBlackhole silently drops everything on the directed a→b interface
+// (§4.4).
+func (c *Cluster) SetBlackhole(a, b SwitchID, on bool) { c.Sim.SetBlackhole(a, b, on) }
+
+// OnAlarm registers a controller-side alarm handler.
+func (c *Cluster) OnAlarm(fn func(Alarm)) { c.Ctrl.OnAlarm(fn) }
+
+// OnLoop registers a routing-loop handler (§4.5).
+func (c *Cluster) OnLoop(fn func(LoopEvent)) { c.Ctrl.OnLoop(fn) }
+
+// Alarms returns the controller's alarm log.
+func (c *Cluster) Alarms() []Alarm { return c.Ctrl.Alarms() }

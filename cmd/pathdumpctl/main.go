@@ -1,0 +1,201 @@
+// Command pathdumpctl is the operator CLI of the PathDump controller: it
+// executes debugging queries against a set of pathdumpd agents over HTTP
+// (the paper's on-demand debugging path, Fig. 3).
+//
+//	# top-5 flows across three agents
+//	pathdumpctl -agents 0=http://h0:8400,1=http://h1:8401 topk -k 5
+//
+//	# flows crossing a link, paths of one flow, conformance sweep
+//	pathdumpctl -agents ... flows -link 8-16
+//	pathdumpctl -agents ... paths -flow 10.0.0.2:1234-10.2.0.2:80
+//	pathdumpctl -agents ... conformance -maxlen 6
+//	pathdumpctl -agents ... install -op poor_tcp -threshold 3 -period 200ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"pathdump"
+	"pathdump/internal/controller"
+	"pathdump/internal/query"
+	"pathdump/internal/rpc"
+	"pathdump/internal/topology"
+	"pathdump/internal/types"
+)
+
+func main() {
+	agents := flag.String("agents", "", "comma-separated hostID=URL pairs")
+	arity := flag.Int("k", 4, "fat-tree arity of the ground-truth topology")
+	flag.Parse()
+	args := flag.Args()
+	if *agents == "" || len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: pathdumpctl -agents id=url[,id=url...] {topk|flows|paths|count|conformance|matrix|poor|install|uninstall} [flags]")
+		os.Exit(2)
+	}
+	urls, hosts := parseAgents(*agents)
+	topo, err := topology.FatTree(*arity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctrl := controller.New(topo, &rpc.HTTPTransport{URLs: urls}, nil)
+
+	cmd, rest := args[0], args[1:]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	var (
+		k         = fs.Int("k", 10, "top-k size")
+		link      = fs.String("link", "*-*", "link filter a-b (wildcards: *)")
+		flowStr   = fs.String("flow", "", "flow srcIP:port-dstIP:port")
+		maxlen    = fs.Int("maxlen", 0, "conformance: max path length")
+		avoid     = fs.Int("avoid", -1, "conformance: switch to avoid")
+		op        = fs.String("op", "poor_tcp", "install: query op")
+		threshold = fs.Int("threshold", 3, "poor-TCP threshold")
+		period    = fs.Duration("period", 200*time.Millisecond, "install period")
+		id        = fs.Int("id", 0, "uninstall: installation id")
+	)
+	if err := fs.Parse(rest); err != nil {
+		log.Fatal(err)
+	}
+
+	switch cmd {
+	case "topk":
+		res, stats, err := ctrl.Execute(hosts, query.Query{Op: query.OpTopK, K: *k})
+		check(err)
+		for i, fb := range res.Top {
+			fmt.Printf("#%-3d %-44s %12d bytes\n", i+1, fb.Flow, fb.Bytes)
+		}
+		fmt.Printf("(%d hosts, modelled response %v)\n", stats.Hosts, stats.ResponseTime)
+	case "flows":
+		res, _, err := ctrl.Execute(hosts, query.Query{Op: query.OpFlows, Link: parseLink(*link)})
+		check(err)
+		for _, fl := range res.Flows {
+			fmt.Printf("%-44s via %v\n", fl.ID, fl.Path)
+		}
+	case "paths":
+		res, _, err := ctrl.Execute(hosts, query.Query{Op: query.OpPaths, Flow: parseFlow(*flowStr), Link: types.AnyLink})
+		check(err)
+		for _, p := range res.Paths {
+			fmt.Println(p)
+		}
+	case "count":
+		res, _, err := ctrl.Execute(hosts, query.Query{Op: query.OpCount, Flow: parseFlow(*flowStr)})
+		check(err)
+		fmt.Printf("%d bytes, %d packets\n", res.Bytes, res.Pkts)
+	case "conformance":
+		q := query.Query{Op: query.OpConformance, MaxPathLen: *maxlen}
+		if *avoid >= 0 {
+			q.Avoid = []types.SwitchID{types.SwitchID(*avoid)}
+		}
+		res, _, err := ctrl.Execute(hosts, q)
+		check(err)
+		for _, v := range res.Violations {
+			fmt.Printf("VIOLATION %-44s via %v\n", v.Flow, v.Path)
+		}
+		fmt.Printf("%d violations\n", len(res.Violations))
+	case "matrix":
+		res, _, err := ctrl.Execute(hosts, query.Query{Op: query.OpMatrix})
+		check(err)
+		for _, cell := range res.Matrix {
+			fmt.Printf("%v -> %v  %12d bytes\n", cell.SrcToR, cell.DstToR, cell.Bytes)
+		}
+	case "poor":
+		res, _, err := ctrl.Execute(hosts, query.Query{Op: query.OpPoorTCP, Threshold: *threshold})
+		check(err)
+		for _, f := range res.FlowIDs {
+			fmt.Println(f)
+		}
+		fmt.Printf("%d poor flows\n", len(res.FlowIDs))
+	case "install":
+		ids, err := ctrl.Install(hosts, query.Query{Op: query.Op(*op), Threshold: *threshold}, pathdump.Time(period.Nanoseconds()))
+		check(err)
+		for h, installID := range ids {
+			fmt.Printf("host %v: id %d\n", h, installID)
+		}
+	case "uninstall":
+		ids := make(map[types.HostID]int, len(hosts))
+		for _, h := range hosts {
+			ids[h] = *id
+		}
+		check(ctrl.Uninstall(ids))
+		fmt.Println("uninstalled")
+	default:
+		log.Fatalf("unknown command %q", cmd)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func parseAgents(s string) (map[types.HostID]string, []types.HostID) {
+	urls := make(map[types.HostID]string)
+	var hosts []types.HostID
+	for _, pair := range strings.Split(s, ",") {
+		id, url, ok := strings.Cut(pair, "=")
+		if !ok {
+			log.Fatalf("bad -agents entry %q", pair)
+		}
+		n, err := strconv.Atoi(id)
+		if err != nil {
+			log.Fatalf("bad host ID %q: %v", id, err)
+		}
+		h := types.HostID(n)
+		urls[h] = strings.TrimSuffix(url, "/")
+		hosts = append(hosts, h)
+	}
+	return urls, hosts
+}
+
+func parseLink(s string) types.LinkID {
+	a, b, ok := strings.Cut(s, "-")
+	if !ok {
+		log.Fatalf("bad link %q (want a-b)", s)
+	}
+	return types.LinkID{A: parseSwitch(a), B: parseSwitch(b)}
+}
+
+func parseSwitch(s string) types.SwitchID {
+	s = strings.TrimPrefix(strings.TrimSpace(s), "s")
+	if s == "*" || s == "?" {
+		return types.WildcardSwitch
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		log.Fatalf("bad switch %q: %v", s, err)
+	}
+	return types.SwitchID(n)
+}
+
+// parseFlow accepts "srcIP:port-dstIP:port" (TCP assumed).
+func parseFlow(s string) types.FlowID {
+	src, dst, ok := strings.Cut(s, "-")
+	if !ok {
+		log.Fatalf("bad flow %q (want srcIP:port-dstIP:port)", s)
+	}
+	sIP, sPort := parseEndpoint(src)
+	dIP, dPort := parseEndpoint(dst)
+	return types.FlowID{SrcIP: sIP, SrcPort: sPort, DstIP: dIP, DstPort: dPort, Proto: types.ProtoTCP}
+}
+
+func parseEndpoint(s string) (types.IP, uint16) {
+	host, port, ok := strings.Cut(s, ":")
+	if !ok {
+		log.Fatalf("bad endpoint %q", s)
+	}
+	var a, b, c, d uint32
+	if _, err := fmt.Sscanf(host, "%d.%d.%d.%d", &a, &b, &c, &d); err != nil {
+		log.Fatalf("bad IP %q: %v", host, err)
+	}
+	p, err := strconv.Atoi(port)
+	if err != nil {
+		log.Fatalf("bad port %q: %v", port, err)
+	}
+	return types.IP(a<<24 | b<<16 | c<<8 | d), uint16(p)
+}

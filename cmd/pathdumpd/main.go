@@ -1,0 +1,87 @@
+// Command pathdumpd runs one PathDump host agent as an HTTP daemon — the
+// real-deployment analogue of the paper's Flask server stack. It serves
+// the host API (query/install/uninstall) for one host's TIB, either
+// loaded from a snapshot or populated by an embedded demo workload.
+//
+//	# serve host 12 of a 4-ary fat-tree with demo traffic, on :8412
+//	pathdumpd -host 12 -listen :8412 -demo
+//
+//	# serve a TIB snapshot produced elsewhere
+//	pathdumpd -host 3 -listen :8403 -tib host3.gob
+//
+// Query it with pathdumpctl or plain curl:
+//
+//	curl -s localhost:8412/query -d '{"query":{"op":"topk","k":5}}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"pathdump"
+	"pathdump/internal/rpc"
+	"pathdump/internal/workload"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":8400", "HTTP listen address")
+		hostID   = flag.Uint("host", 0, "host ID within the topology")
+		arity    = flag.Int("k", 4, "fat-tree arity of the ground-truth topology")
+		tibPath  = flag.String("tib", "", "TIB snapshot to load (gob)")
+		demo     = flag.Bool("demo", false, "populate the TIB with a simulated demo workload")
+		alarmURL = flag.String("controller", "", "controller URL for alarms (optional)")
+	)
+	flag.Parse()
+
+	c, err := pathdump.NewFatTree(*arity, pathdump.Config{})
+	if err != nil {
+		log.Fatalf("pathdumpd: %v", err)
+	}
+	agent, ok := c.Agents[pathdump.HostID(*hostID)]
+	if !ok {
+		log.Fatalf("pathdumpd: host %d not in a %d-ary fat tree (%d hosts)",
+			*hostID, *arity, len(c.Agents))
+	}
+
+	switch {
+	case *tibPath != "":
+		f, err := os.Open(*tibPath)
+		if err != nil {
+			log.Fatalf("pathdumpd: %v", err)
+		}
+		if err := agent.Store.LoadSnapshot(f); err != nil {
+			log.Fatalf("pathdumpd: loading %s: %v", *tibPath, err)
+		}
+		f.Close()
+	case *demo:
+		hosts := c.HostIDs()
+		gen, err := workload.NewGenerator(c.Sim, c.Stacks, workload.GenConfig{
+			Sources: hosts, Dests: hosts,
+			Load: 0.3, LinkBps: 100e6,
+			Dist:  workload.WebSearch(),
+			Until: 20 * pathdump.Second,
+		})
+		if err != nil {
+			log.Fatalf("pathdumpd: %v", err)
+		}
+		gen.Start()
+		c.Run(30 * pathdump.Second)
+		log.Printf("pathdumpd: demo workload ran %d flows; TIB has %d records",
+			gen.Started, agent.Store.Len())
+	}
+
+	if *alarmURL != "" {
+		// Future alarms from installed monitors go to the controller.
+		_ = rpc.AlarmClient{URL: *alarmURL}
+	}
+
+	srv := &rpc.AgentServer{T: agent}
+	log.Printf("pathdumpd: host %v (%v) serving on %s, %d TIB records",
+		agent.Host.ID, agent.Host.IP, *listen, agent.Store.Len())
+	fmt.Println("endpoints: POST /query /install /uninstall, GET /stats")
+	log.Fatal(http.ListenAndServe(*listen, srv.Handler()))
+}

@@ -1,0 +1,55 @@
+// Blackhole diagnosis under packet spraying (§4.4): a faulty interface
+// silently swallows every packet of the subflows crossing it. The
+// destination TIB shows per-path records for the healthy subflows only;
+// comparing against the canonical equal-cost set reveals the missing
+// paths, and joining them shrinks the debugging search space from every
+// switch on every path to a handful of suspects.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pathdump"
+)
+
+func main() {
+	c, err := pathdump.NewFatTree(4, pathdump.Config{
+		Net: pathdump.NetConfig{Spray: true, Seed: 33},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	topo := c.Topo
+	hosts := c.HostIDs()
+	src, dst := hosts[0], hosts[8]
+
+	// Blackhole an aggregate→core interface in the source pod.
+	bad := pathdump.LinkID{A: topo.AggID(0, 0), B: topo.CoreID(0)}
+	c.SetBlackhole(bad.A, bad.B, true)
+	fmt.Printf("injected blackhole on %v (switches cannot see it)\n\n", bad)
+
+	// A 100 KB TCP flow sprayed across the four equal-cost paths; the
+	// subflow through the blackhole never arrives.
+	f, err := c.StartFlow(src, dst, 8080, 100_000, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.Run(10 * pathdump.Second)
+
+	d, err := c.DiagnoseBlackhole(f, pathdump.AllTime)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("expected equal-cost paths: %d\n", len(d.Expected))
+	for _, p := range d.Observed {
+		fmt.Printf("  observed  %v\n", p)
+	}
+	for _, p := range d.Missing {
+		fmt.Printf("  MISSING   %v\n", p)
+	}
+	fmt.Printf("\nsuspect switches after joining missing paths: %v\n", d.Suspects)
+	fmt.Printf("(search space reduced from %d switches on %d paths to %d —\n",
+		10, len(d.Expected), len(d.Suspects))
+	fmt.Println(" §4.4: core switch plus the two adjacent aggregates)")
+}

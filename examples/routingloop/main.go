@@ -1,0 +1,81 @@
+// Routing-loop debugging in real time (§4.5, Fig. 9): a misconfigured
+// switch bounces packets between pods. Each up-leg stamps another sampled
+// link ID; the third VLAN tag overflows what the switch ASIC can parse,
+// so the packet is punted to the controller, which decodes the sampled
+// links, spots the repeat (stripping tags and reinjecting once if
+// needed), and reports the loop — no probing, no per-switch state.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pathdump"
+	"pathdump/internal/netsim"
+	"pathdump/internal/types"
+)
+
+func main() {
+	c, err := pathdump.NewFatTree(4, pathdump.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	topo := c.Topo
+	hosts := c.HostIDs()
+	src, dst := hosts[0], hosts[8] // pod 0 → pod 2
+
+	var detected []pathdump.LoopEvent
+	c.OnLoop(func(ev pathdump.LoopEvent) { detected = append(detected, ev) })
+
+	// Probe the flow's canonical path, then misconfigure the
+	// destination-pod aggregation switch to send everything back up: the
+	// packet loops agg → core → agg' → core → agg ...
+	f, err := c.StartFlow(src, dst, 9000, 1000, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.RunAll()
+	path := c.GetPaths(dst, f, pathdump.AnyLink, pathdump.AllTime)[0]
+	fmt.Printf("canonical path: %v\n", path)
+
+	core, aggD := path[2], path[3]
+	group := topo.CoreGroup(topo.Switch(core).Index)
+	aggOther := topo.AggID(3, group)
+	loopFlow := c.FlowBetween(src, dst, 9001)
+	hook := func(next pathdump.SwitchID) func(*netsim.Packet, []types.SwitchID, netsim.NodeID) (types.SwitchID, bool) {
+		return func(pkt *netsim.Packet, _ []types.SwitchID, _ netsim.NodeID) (types.SwitchID, bool) {
+			if pkt.Flow == loopFlow {
+				return next, true
+			}
+			return 0, false
+		}
+	}
+	c.Sim.SetNextHopOverride(aggD, hook(core))
+	c.Sim.SetNextHopOverride(aggOther, hook(core))
+	c.Sim.SetNextHopOverride(core, func(pkt *netsim.Packet, _ []types.SwitchID, ingress netsim.NodeID) (types.SwitchID, bool) {
+		if pkt.Flow != loopFlow {
+			return 0, false
+		}
+		if ingress == netsim.SwitchNode(aggD) {
+			return aggOther, true
+		}
+		return aggD, true
+	})
+	fmt.Printf("injected 4-hop loop: %v → %v → %v → %v → %v\n", aggD, core, aggOther, core, aggD)
+
+	start := c.Now()
+	if err := c.SendPacket(src, &netsim.Packet{Flow: loopFlow, Size: 100}); err != nil {
+		log.Fatal(err)
+	}
+	c.RunAll()
+
+	if len(detected) == 0 {
+		log.Fatal("loop not detected")
+	}
+	ev := detected[0]
+	fmt.Printf("\nLOOP DETECTED in %v (paper: ~47 ms for a 4-hop loop)\n", ev.DetectedAt-start)
+	fmt.Printf("  flow       %v\n", ev.Flow)
+	fmt.Printf("  punted at  %v\n", ev.At)
+	fmt.Printf("  repeated   link %v\n", ev.Repeated)
+	fmt.Printf("  punt rounds %d (loops of any size need at most 2)\n", ev.Rounds)
+}

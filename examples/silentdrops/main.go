@@ -1,0 +1,66 @@
+// Silent random packet drop localisation (§4.3, Figs. 7–8): faulty
+// interfaces drop packets at random without updating counters. End-host
+// monitors raise POOR_PERF alarms; the controller collects the suffering
+// flows' paths from destination TIBs as failure signatures and runs
+// MAX-COVERAGE to localise the faulty links, printing recall/precision
+// against the injected ground truth as evidence accumulates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pathdump"
+	"pathdump/internal/workload"
+)
+
+func main() {
+	c, err := pathdump.NewFatTree(4, pathdump.Config{
+		Net: pathdump.NetConfig{BandwidthBps: 50e6, Seed: 11},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	topo := c.Topo
+
+	// Ground truth: two faulty interfaces dropping 1% of packets.
+	faulty := []pathdump.LinkID{
+		{A: topo.AggID(0, 0), B: topo.CoreID(0)},
+		{A: topo.AggID(2, 1), B: topo.CoreID(3)},
+	}
+	for _, l := range faulty {
+		c.SetSilentDrop(l.A, l.B, 0.01)
+	}
+
+	// The paper's monitoring query: every 200 ms, flows with ≥3
+	// consecutive retransmissions alarm.
+	dbg := c.NewSilentDropDebugger()
+	if _, err := c.InstallTCPMonitor(3, 200*pathdump.Millisecond); err != nil {
+		log.Fatal(err)
+	}
+
+	// Background web traffic at high load across the whole fabric.
+	hosts := c.HostIDs()
+	gen, err := workload.NewGenerator(c.Sim, c.Stacks, workload.GenConfig{
+		Sources: hosts, Dests: hosts,
+		Load: 0.7, LinkBps: 50e6, Dist: workload.WebSearch(),
+		Until: 150 * pathdump.Second, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen.Start()
+
+	fmt.Println("time   signatures  recall  precision  hypothesis")
+	for t := 10 * pathdump.Second; t <= 150*pathdump.Second; t += 10 * pathdump.Second {
+		c.Run(t)
+		recall, precision := dbg.Accuracy(faulty)
+		fmt.Printf("%4ds  %10d  %6.2f  %9.2f  %v\n",
+			t/pathdump.Second, dbg.Signatures(), recall, precision, dbg.Localize())
+		if recall == 1 && precision == 1 {
+			fmt.Printf("\nlocalised both faulty interfaces after %v\n", t)
+			return
+		}
+	}
+	fmt.Println("\nrun ended before full convergence — increase load or duration")
+}

@@ -1,0 +1,305 @@
+// Package agent implements the PathDump server stack (§3.2): the edge
+// datapath that extracts trajectory information from packet headers and
+// aggregates it in the trajectory memory, the trajectory-construction
+// module (with its LRU trajectory cache), the TIB export path, the query
+// executor backing the Table-1 host API, the active TCP performance
+// monitor, and installed (periodic or event-triggered) queries.
+package agent
+
+import (
+	"fmt"
+
+	"pathdump/internal/cherrypick"
+	"pathdump/internal/netsim"
+	"pathdump/internal/query"
+	"pathdump/internal/tcp"
+	"pathdump/internal/tib"
+	"pathdump/internal/topology"
+	"pathdump/internal/types"
+)
+
+// AlarmSink consumes alarms raised by agents (the controller).
+type AlarmSink interface {
+	RaiseAlarm(a types.Alarm)
+}
+
+// Config parameterises an agent. Zero values select the noted defaults.
+type Config struct {
+	// IdleTimeout evicts per-path flow records after inactivity
+	// (default 5 s, §3.2).
+	IdleTimeout types.Time
+	// SweepPeriod is how often the eviction sweep runs (default 1 s).
+	SweepPeriod types.Time
+	// CacheSize bounds the trajectory cache (default 4096 paths).
+	CacheSize int
+	// DisableCache turns the trajectory cache off (ablation).
+	DisableCache bool
+	// PacketLog, when positive, keeps the last N packets at per-packet
+	// granularity (the paper's §2.2 future-work extension); zero keeps
+	// the shipped per-path aggregation only.
+	PacketLog int
+}
+
+func (c Config) withDefaults() Config {
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = tib.DefaultIdleTimeout
+	}
+	if c.SweepPeriod == 0 {
+		c.SweepPeriod = types.Second
+	}
+	return c
+}
+
+// Installed is one query installed by the controller (§2.1): periodic when
+// Period > 0, event-triggered (run as records are exported) otherwise.
+type Installed struct {
+	ID     int
+	Query  query.Query
+	Period types.Time
+	gen    uint64 // bumped on uninstall to cancel pending timers
+}
+
+// Agent is one host's PathDump instance.
+type Agent struct {
+	Host *topology.Host
+
+	sim    *netsim.Sim
+	topo   *topology.Topology
+	scheme cherrypick.Scheme
+	cfg    Config
+
+	Mem   *tib.Memory
+	Cache *tib.Cache
+	Store *tib.Store
+
+	stack *tcp.Stack
+	sink  AlarmSink
+
+	installed map[int]*Installed
+	nextID    int
+	sweeping  bool
+	plog      *packetRing
+
+	// Counters exposed for the overhead experiments (§5.3).
+	PacketsSeen   uint64
+	BytesSeen     uint64
+	RecordsStored uint64
+	InvalidTraj   uint64
+}
+
+// New builds an agent for host h and registers it as the host's packet
+// receiver. stack may be nil for hosts without TCP endpoints; sink may be
+// nil to discard alarms.
+func New(sim *netsim.Sim, h *topology.Host, stack *tcp.Stack, sink AlarmSink, cfg Config) *Agent {
+	cfg = cfg.withDefaults()
+	a := &Agent{
+		Host:      h,
+		sim:       sim,
+		topo:      sim.Topo,
+		scheme:    sim.Scheme,
+		cfg:       cfg,
+		Mem:       tib.NewMemory(cfg.IdleTimeout),
+		Cache:     tib.NewCache(cfg.CacheSize),
+		Store:     tib.NewStore(),
+		stack:     stack,
+		sink:      sink,
+		installed: make(map[int]*Installed),
+	}
+	if cfg.PacketLog > 0 {
+		a.plog = newPacketRing(cfg.PacketLog)
+	}
+	sim.SetReceiver(h.ID, a)
+	return a
+}
+
+// Receive implements netsim.Receiver: the OVS-side datapath of Figure 2.
+// It extracts the trajectory header, strips it from the packet before the
+// upper stack sees it, updates the per-path flow record, and exports
+// records on FIN.
+func (a *Agent) Receive(pkt *netsim.Packet) {
+	hdr := pkt.Hdr
+	pkt.Hdr = cherrypick.Header{} // strip trajectory info for upper layers
+	a.PacketsSeen++
+	a.BytesSeen += uint64(pkt.Size)
+	now := a.sim.Now()
+	if a.plog != nil {
+		a.plog.add(packetEntry{flow: pkt.Flow, hdr: hdr, at: now, size: pkt.Size})
+	}
+	a.Mem.Update(now, pkt.Flow, hdr, pkt.Size, pkt.Fin)
+	if pkt.Fin {
+		for _, e := range a.Mem.EvictFlow(pkt.Flow) {
+			a.export(e)
+		}
+	}
+	a.ensureSweep()
+	if a.stack != nil {
+		a.stack.Receive(pkt)
+	}
+}
+
+// ensureSweep keeps exactly one idle-eviction timer alive while the
+// trajectory memory is non-empty (so a drained simulation terminates).
+func (a *Agent) ensureSweep() {
+	if a.sweeping || a.Mem.Len() == 0 {
+		return
+	}
+	a.sweeping = true
+	a.sim.After(a.cfg.SweepPeriod, a.sweep)
+}
+
+func (a *Agent) sweep() {
+	for _, e := range a.Mem.EvictIdle(a.sim.Now()) {
+		a.export(e)
+	}
+	if a.Mem.Len() > 0 {
+		a.sim.After(a.cfg.SweepPeriod, a.sweep)
+		return
+	}
+	a.sweeping = false
+}
+
+// construct resolves a header to an end-to-end path via the trajectory
+// cache, falling back to a topology walk.
+func (a *Agent) construct(src types.IP, hdr cherrypick.Header) (types.Path, error) {
+	key := hdr.Key()
+	if !a.cfg.DisableCache {
+		if p, ok := a.Cache.Get(src, key); ok {
+			return p, nil
+		}
+	}
+	p, err := a.scheme.Reconstruct(src, a.Host.IP, hdr)
+	if err != nil {
+		return nil, err
+	}
+	if !a.cfg.DisableCache {
+		a.Cache.Put(src, key, p)
+	}
+	return p, nil
+}
+
+// export turns one evicted per-path flow record into a TIB record. A
+// header inconsistent with the ground-truth topology raises an
+// INVALID_TRAJECTORY alarm (§2.4) instead.
+func (a *Agent) export(e *tib.MemEntry) {
+	p, err := a.construct(e.Flow.SrcIP, e.Hdr)
+	if err != nil {
+		a.InvalidTraj++
+		a.raise(types.Alarm{Flow: e.Flow, Reason: types.ReasonInvalidTraj})
+		return
+	}
+	rec := types.Record{
+		Flow: e.Flow, Path: p,
+		STime: e.STime, ETime: e.ETime,
+		Bytes: e.Bytes, Pkts: e.Pkts,
+	}
+	a.Store.Add(rec)
+	a.RecordsStored++
+	// Event-triggered installed queries run as new records appear.
+	for _, inst := range a.installed {
+		if inst.Period == 0 {
+			a.runInstalled(inst, &rec)
+		}
+	}
+}
+
+// raise stamps and forwards an alarm.
+func (a *Agent) raise(al types.Alarm) {
+	if a.sink == nil {
+		return
+	}
+	al.Host = a.Host.ID
+	al.At = a.sim.Now()
+	a.sink.RaiseAlarm(al)
+}
+
+// Execute runs a query against this host's view (TIB plus live trajectory
+// memory plus the TCP monitor) — the host side of the controller API.
+func (a *Agent) Execute(q query.Query) query.Result {
+	return query.Execute(q, a.view())
+}
+
+// Install registers a query; period 0 means event-triggered (§2.1). The
+// returned ID is used to uninstall.
+func (a *Agent) Install(q query.Query, period types.Time) int {
+	a.nextID++
+	inst := &Installed{ID: a.nextID, Query: q, Period: period}
+	a.installed[inst.ID] = inst
+	if period > 0 {
+		gen := inst.gen
+		a.sim.After(period, func() { a.periodic(inst, gen) })
+	}
+	return inst.ID
+}
+
+// Uninstall removes an installed query.
+func (a *Agent) Uninstall(id int) error {
+	inst, ok := a.installed[id]
+	if !ok {
+		return fmt.Errorf("agent %v: no installed query %d", a.Host.ID, id)
+	}
+	inst.gen++
+	delete(a.installed, id)
+	return nil
+}
+
+// InstalledQueries returns the currently installed query IDs.
+func (a *Agent) InstalledQueries() []int {
+	out := make([]int, 0, len(a.installed))
+	for id := range a.installed {
+		out = append(out, id)
+	}
+	return out
+}
+
+// periodic runs one installed query and reschedules itself.
+func (a *Agent) periodic(inst *Installed, gen uint64) {
+	if cur, ok := a.installed[inst.ID]; !ok || cur.gen != gen {
+		return
+	}
+	a.runInstalled(inst, nil)
+	a.sim.After(inst.Period, func() { a.periodic(inst, gen) })
+}
+
+// runInstalled executes an installed query and converts its result into
+// alarms. rec, when non-nil, is the just-exported record for
+// event-triggered execution (the query is evaluated against it alone,
+// which is how the paper's per-packet-arrival conformance check behaves).
+func (a *Agent) runInstalled(inst *Installed, rec *types.Record) {
+	q := inst.Query
+	switch q.Op {
+	case query.OpPoorTCP:
+		// The active monitoring module (§3.2): raise POOR_PERF per
+		// suffering flow.
+		for _, f := range a.PoorTCPFlows(q.Threshold) {
+			a.raise(types.Alarm{Flow: f, Reason: types.ReasonPoorPerf})
+		}
+	case query.OpConformance:
+		var res query.Result
+		if rec != nil {
+			res = query.Execute(q, recordView{rec})
+		} else {
+			res = a.Execute(q)
+		}
+		for _, v := range res.Violations {
+			a.raise(types.Alarm{Flow: v.Flow, Reason: types.ReasonPathConformance, Paths: []types.Path{v.Path}})
+		}
+	default:
+		// Measurement queries installed for periodic execution surface
+		// their results through the TIB on demand; nothing to push.
+	}
+}
+
+// TIBSize reports the number of queryable records (TIB plus trajectory
+// memory) — the cost-model input for response-time accounting.
+func (a *Agent) TIBSize() int { return a.Store.Len() + a.Mem.Len() }
+
+// PoorTCPFlows implements getPoorTCPFlows over the host's TCP monitor.
+func (a *Agent) PoorTCPFlows(threshold int) []types.FlowID {
+	if a.stack == nil {
+		return nil
+	}
+	if threshold <= 0 {
+		threshold = 3
+	}
+	return a.stack.PoorFlows(threshold)
+}

@@ -1,0 +1,188 @@
+package agent
+
+import (
+	"pathdump/internal/query"
+	"pathdump/internal/types"
+)
+
+// view materialises the host's queryable state: the TIB store plus the
+// per-path flow records still in the trajectory memory (the paper's IPC
+// lookup that lets queries see data not yet exported, §3.2).
+type agentView struct {
+	a    *Agent
+	live []types.Record
+}
+
+func (a *Agent) view() query.View {
+	v := agentView{a: a}
+	for _, e := range a.Mem.Live() {
+		p, err := a.construct(e.Flow.SrcIP, e.Hdr)
+		if err != nil {
+			continue // counted on export; live queries skip bad headers
+		}
+		v.live = append(v.live, types.Record{
+			Flow: e.Flow, Path: p,
+			STime: e.STime, ETime: e.ETime,
+			Bytes: e.Bytes, Pkts: e.Pkts,
+		})
+	}
+	return v
+}
+
+// EachRecord implements query.View over store + live records.
+func (v agentView) EachRecord(link types.LinkID, tr types.TimeRange, fn func(*types.Record)) {
+	v.a.Store.ForEach(link, tr, fn)
+	all := link == types.AnyLink
+	for i := range v.live {
+		rec := &v.live[i]
+		if !rec.Overlaps(tr) {
+			continue
+		}
+		if all || rec.Path.ContainsLink(link) {
+			fn(rec)
+		}
+	}
+}
+
+// Flows implements query.View (getFlows).
+func (v agentView) Flows(link types.LinkID, tr types.TimeRange) []types.Flow {
+	type key struct {
+		f types.FlowID
+		p string
+	}
+	seen := make(map[key]bool)
+	var out []types.Flow
+	v.EachRecord(link, tr, func(rec *types.Record) {
+		k := key{rec.Flow, rec.Path.Key()}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, types.Flow{ID: rec.Flow, Path: rec.Path})
+		}
+	})
+	return out
+}
+
+// Paths implements query.View (getPaths).
+func (v agentView) Paths(f types.FlowID, link types.LinkID, tr types.TimeRange) []types.Path {
+	seen := make(map[string]bool)
+	var out []types.Path
+	v.eachFlowRecord(f, tr, func(rec *types.Record) {
+		if link != types.AnyLink && !rec.Path.ContainsLink(link) {
+			return
+		}
+		k := rec.Path.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, rec.Path)
+		}
+	})
+	return out
+}
+
+// Count implements query.View (getCount).
+func (v agentView) Count(f types.Flow, tr types.TimeRange) (bytes, pkts uint64) {
+	v.eachFlowRecord(f.ID, tr, func(rec *types.Record) {
+		if f.Path != nil && !rec.Path.Equal(f.Path) {
+			return
+		}
+		bytes += rec.Bytes
+		pkts += rec.Pkts
+	})
+	return bytes, pkts
+}
+
+// Duration implements query.View (getDuration).
+func (v agentView) Duration(f types.Flow, tr types.TimeRange) types.Time {
+	var lo, hi types.Time = -1, -1
+	v.eachFlowRecord(f.ID, tr, func(rec *types.Record) {
+		if f.Path != nil && !rec.Path.Equal(f.Path) {
+			return
+		}
+		if lo < 0 || rec.STime < lo {
+			lo = rec.STime
+		}
+		if rec.ETime > hi {
+			hi = rec.ETime
+		}
+	})
+	if lo < 0 {
+		return 0
+	}
+	return hi - lo
+}
+
+// PoorTCPFlows implements query.View.
+func (v agentView) PoorTCPFlows(threshold int) []types.FlowID {
+	return v.a.PoorTCPFlows(threshold)
+}
+
+func (v agentView) eachFlowRecord(f types.FlowID, tr types.TimeRange, fn func(*types.Record)) {
+	v.a.Store.ForFlow(f, types.AnyLink, tr, fn)
+	for i := range v.live {
+		rec := &v.live[i]
+		if rec.Flow == f && rec.Overlaps(tr) {
+			fn(rec)
+		}
+	}
+}
+
+// recordView exposes a single just-exported record to event-triggered
+// queries.
+type recordView struct {
+	rec *types.Record
+}
+
+// Flows implements query.View.
+func (v recordView) Flows(link types.LinkID, tr types.TimeRange) []types.Flow {
+	if !v.rec.Overlaps(tr) {
+		return nil
+	}
+	if link != types.AnyLink && !v.rec.Path.ContainsLink(link) {
+		return nil
+	}
+	return []types.Flow{{ID: v.rec.Flow, Path: v.rec.Path}}
+}
+
+// Paths implements query.View.
+func (v recordView) Paths(f types.FlowID, link types.LinkID, tr types.TimeRange) []types.Path {
+	if v.rec.Flow != f {
+		return nil
+	}
+	for _, fl := range v.Flows(link, tr) {
+		return []types.Path{fl.Path}
+	}
+	return nil
+}
+
+// Count implements query.View.
+func (v recordView) Count(f types.Flow, tr types.TimeRange) (uint64, uint64) {
+	if v.rec.Flow != f.ID || !v.rec.Overlaps(tr) {
+		return 0, 0
+	}
+	if f.Path != nil && !v.rec.Path.Equal(f.Path) {
+		return 0, 0
+	}
+	return v.rec.Bytes, v.rec.Pkts
+}
+
+// Duration implements query.View.
+func (v recordView) Duration(f types.Flow, tr types.TimeRange) types.Time {
+	if v.rec.Flow != f.ID || !v.rec.Overlaps(tr) {
+		return 0
+	}
+	return v.rec.Duration()
+}
+
+// PoorTCPFlows implements query.View.
+func (v recordView) PoorTCPFlows(int) []types.FlowID { return nil }
+
+// EachRecord implements query.View.
+func (v recordView) EachRecord(link types.LinkID, tr types.TimeRange, fn func(*types.Record)) {
+	if !v.rec.Overlaps(tr) {
+		return
+	}
+	if link != types.AnyLink && !v.rec.Path.ContainsLink(link) {
+		return
+	}
+	fn(v.rec)
+}

@@ -1,0 +1,372 @@
+package apps
+
+import (
+	"testing"
+
+	"pathdump/internal/agent"
+	"pathdump/internal/cherrypick"
+	"pathdump/internal/controller"
+	"pathdump/internal/netsim"
+	"pathdump/internal/tcp"
+	"pathdump/internal/topology"
+	"pathdump/internal/types"
+	"pathdump/internal/workload"
+)
+
+// rig is the standard 4-ary fat-tree test cluster.
+type rig struct {
+	sim    *netsim.Sim
+	ctrl   *controller.Controller
+	agents map[types.HostID]*agent.Agent
+	stacks map[types.HostID]*tcp.Stack
+	hosts  []types.HostID
+}
+
+func newRig(t *testing.T, cfg netsim.Config) *rig {
+	t.Helper()
+	topo, err := topology.FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, err := cherrypick.New(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := netsim.New(topo, scheme, cfg)
+	r := &rig{
+		sim:    sim,
+		agents: make(map[types.HostID]*agent.Agent),
+		stacks: make(map[types.HostID]*tcp.Stack),
+	}
+	r.ctrl = controller.New(topo, controller.Local{Agents: r.agents}, sim)
+	for _, h := range topo.Hosts() {
+		st := tcp.NewStack(sim, h.ID, tcp.Config{})
+		r.stacks[h.ID] = st
+		r.agents[h.ID] = agent.New(sim, h, st, r.ctrl, agent.Config{})
+		r.hosts = append(r.hosts, h.ID)
+	}
+	return r
+}
+
+func (r *rig) flowID(src, dst *topology.Host, port uint16) types.FlowID {
+	return types.FlowID{SrcIP: src.IP, DstIP: dst.IP, SrcPort: port, DstPort: 80, Proto: types.ProtoTCP}
+}
+
+func TestFlowSizeDistributionAndImbalance(t *testing.T) {
+	r := newRig(t, netsim.Config{Seed: 1})
+	topo := r.sim.Topo
+	srcs := topo.HostsAt(topo.ToRID(0, 0))
+	dst := topo.HostsAt(topo.ToRID(1, 0))[0]
+	// Two flow sizes from the same source rack.
+	for i := 0; i < 8; i++ {
+		size := int64(5_000)
+		if i%2 == 0 {
+			size = 60_000
+		}
+		src := srcs[i%2]
+		r.stacks[src.ID].StartFlow(r.flowID(src, dst, uint16(6000+i)), size, size, nil)
+	}
+	r.sim.RunAll()
+
+	links := []types.LinkID{
+		{A: topo.ToRID(0, 0), B: topo.AggID(0, 0)},
+		{A: topo.ToRID(0, 0), B: topo.AggID(0, 1)},
+	}
+	hists, stats, err := FlowSizeDistribution(r.ctrl, r.hosts, links, types.AllTime, 10_000, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hists) != 2 || stats.Hosts != len(r.hosts) {
+		t.Fatalf("hists=%d hosts=%d", len(hists), stats.Hosts)
+	}
+	var flowsSeen uint64
+	for _, h := range hists {
+		for _, b := range h.Bins {
+			flowsSeen += b
+		}
+		if pts := CDF(h); len(pts) > 0 {
+			if pts[len(pts)-1][1] != 1.0 {
+				t.Errorf("CDF does not reach 1: %v", pts)
+			}
+			if Percentile(pts, 0.5) <= 0 {
+				t.Error("bad percentile")
+			}
+		}
+	}
+	if flowsSeen != 8 {
+		t.Errorf("histograms cover %d flows, want 8", flowsSeen)
+	}
+
+	// Imbalance metric sanity.
+	if got := ImbalanceRate([]float64{1, 1}); got != 0 {
+		t.Errorf("balanced rate = %v", got)
+	}
+	if got := ImbalanceRate([]float64{3, 1}); got != 50 {
+		t.Errorf("3:1 rate = %v, want 50", got)
+	}
+	if got := ImbalanceRate(nil); got != 0 {
+		t.Errorf("empty rate = %v", got)
+	}
+
+	// Raw link loads.
+	loads, err := LinkBytes(r.ctrl, r.hosts, links, types.AllTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, b := range loads {
+		total += b
+	}
+	if total == 0 {
+		t.Error("no bytes attributed to ToR uplinks")
+	}
+}
+
+func TestSubflowBytesUnderSpraying(t *testing.T) {
+	r := newRig(t, netsim.Config{Seed: 2, Spray: true})
+	topo := r.sim.Topo
+	src := topo.HostsAt(topo.ToRID(0, 0))[0]
+	dst := topo.HostsAt(topo.ToRID(2, 0))[0]
+	f := r.flowID(src, dst, 7000)
+	r.stacks[src.ID].StartFlow(f, 2_000_000, 0, nil)
+	r.sim.RunAll()
+
+	sub, err := SubflowBytes(r.ctrl, f, types.AllTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 4 {
+		t.Fatalf("sprayed flow used %d paths, want 4", len(sub))
+	}
+	imb := SprayImbalance(sub)
+	if imb < 0 || imb > 60 {
+		t.Errorf("random spray imbalance = %.1f%%", imb)
+	}
+	// Unknown flow errors.
+	if _, err := SubflowBytes(r.ctrl, r.flowID(src, dst, 9999), types.AllTime); err == nil {
+		t.Error("unknown flow accepted")
+	}
+}
+
+func TestBlackholeDiagnosis(t *testing.T) {
+	r := newRig(t, netsim.Config{Seed: 3, Spray: true})
+	topo := r.sim.Topo
+	src := topo.HostsAt(topo.ToRID(0, 0))[0]
+	dst := topo.HostsAt(topo.ToRID(2, 0))[0]
+
+	// Blackhole one aggregate→core link in the source pod.
+	aggS := topo.AggID(0, 0)
+	core := topo.CoreID(0)
+	r.sim.SetBlackhole(aggS, core, true)
+
+	f := r.flowID(src, dst, 7100)
+	r.stacks[src.ID].StartFlow(f, 500_000, 0, nil)
+	r.sim.Run(5 * types.Second) // flow cannot complete; let records expire
+
+	d, err := DiagnoseBlackhole(r.ctrl, f, types.AllTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Expected) != 4 {
+		t.Fatalf("expected paths = %d", len(d.Expected))
+	}
+	if len(d.Missing) != 1 {
+		t.Fatalf("missing paths = %v", d.Missing)
+	}
+	if !d.Missing[0].ContainsLink(types.LinkID{A: aggS, B: core}) {
+		t.Errorf("missing path %v does not cross the blackhole", d.Missing[0])
+	}
+	// §4.4: one missing path ⇒ three suspects (src agg, core, dst agg).
+	if len(d.Suspects) != 3 {
+		t.Fatalf("suspects = %v, want 3", d.Suspects)
+	}
+	found := false
+	for _, s := range d.Suspects {
+		if s == core {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("true culprit's neighbourhood not in suspects %v", d.Suspects)
+	}
+}
+
+func TestBlackholeAtToRAggNarrowsToAgg(t *testing.T) {
+	r := newRig(t, netsim.Config{Seed: 4, Spray: true})
+	topo := r.sim.Topo
+	src := topo.HostsAt(topo.ToRID(0, 0))[0]
+	dst := topo.HostsAt(topo.ToRID(2, 0))[0]
+	// Blackhole the ToR→agg link in the source pod: kills 2 subflows.
+	aggS := topo.AggID(0, 1)
+	r.sim.SetBlackhole(src.ToR, aggS, true)
+	f := r.flowID(src, dst, 7200)
+	r.stacks[src.ID].StartFlow(f, 500_000, 0, nil)
+	r.sim.Run(5 * types.Second)
+
+	d, err := DiagnoseBlackhole(r.ctrl, f, types.AllTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Missing) != 2 {
+		t.Fatalf("missing = %d paths, want 2", len(d.Missing))
+	}
+	// Joining both missing paths keeps the shared source aggregate and
+	// the shared destination aggregate (its core group serves both
+	// missing paths) — the paper's "four common switches" minus the two
+	// endpoint ToRs (§4.4).
+	if len(d.Suspects) != 2 || d.Suspects[0] != aggS {
+		t.Fatalf("suspects = %v, want [%v, dst agg]", d.Suspects, aggS)
+	}
+}
+
+func TestTopKMatrixDDoSWaypointIsolation(t *testing.T) {
+	r := newRig(t, netsim.Config{Seed: 5})
+	topo := r.sim.Topo
+	a := topo.HostsAt(topo.ToRID(0, 0))[0]
+	b := topo.HostsAt(topo.ToRID(1, 0))[0]
+	c := topo.HostsAt(topo.ToRID(2, 0))[0]
+	r.stacks[a.ID].StartFlow(r.flowID(a, c, 8000), 100_000, 0, nil)
+	r.stacks[b.ID].StartFlow(r.flowID(b, c, 8001), 10_000, 0, nil)
+	r.stacks[a.ID].StartFlow(r.flowID(a, b, 8002), 1_000, 0, nil)
+	r.sim.RunAll()
+
+	top, _, err := TopK(r.ctrl, r.hosts, 2, types.AllTime, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 || top[0].Flow.SrcIP != a.IP || top[0].Flow.DstIP != c.IP {
+		t.Fatalf("top = %v", top)
+	}
+
+	cells, err := TrafficMatrix(r.ctrl, r.hosts, types.AllTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Data flows: a→c, b→c, a→b; plus reverse ACK streams: 6 ToR pairs.
+	if len(cells) < 3 {
+		t.Fatalf("matrix cells = %v", cells)
+	}
+
+	srcs, err := DDoSSources(r.ctrl, c.ID, types.AllTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srcs) != 2 || srcs[0].Flow.SrcIP != a.IP {
+		t.Fatalf("ddos sources = %v", srcs)
+	}
+
+	// Waypoint: require all paths through a's ToR — flows b→c violate.
+	viol, err := WaypointViolations(r.ctrl, []types.HostID{c.ID}, topo.ToRID(0, 0), types.AllTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viol) == 0 {
+		t.Error("no waypoint violations found")
+	}
+
+	// Isolation: allow only a→c; b→c (and ACK streams) violate.
+	pol := NewIsolationPolicy()
+	pol.Allow(a.IP, c.IP)
+	iv, err := IsolationViolations(r.ctrl, []types.HostID{c.ID}, pol, types.AllTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundB := false
+	for _, f := range iv {
+		if f.SrcIP == b.IP && f.DstIP == c.IP {
+			foundB = true
+		}
+		if f.SrcIP == a.IP && f.DstIP == c.IP {
+			t.Error("allowed pair flagged")
+		}
+	}
+	if !foundB {
+		t.Errorf("isolation violations = %v", iv)
+	}
+
+	// Congested-link diagnosis: flows on a's ToR uplink ranked by bytes.
+	flows, err := CongestedLinkFlows(r.ctrl, r.hosts, types.LinkID{A: topo.ToRID(0, 0), B: types.WildcardSwitch}, types.AllTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) < 2 || flows[0].Bytes < flows[1].Bytes {
+		t.Errorf("congested link flows = %v", flows)
+	}
+}
+
+func TestSilentDropDebuggerEndToEnd(t *testing.T) {
+	r := newRig(t, netsim.Config{Seed: 6, BandwidthBps: 20e6})
+	topo := r.sim.Topo
+	d := NewSilentDropDebugger(r.ctrl)
+	// Install the paper's 200 ms TCP monitor everywhere.
+	if _, err := InstallTCPMonitor(r.ctrl, r.hosts, 3, 200*types.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// Fault one aggregate→core interface at 3%.
+	bad := types.LinkID{A: topo.AggID(0, 0), B: topo.CoreID(0)}
+	r.sim.SetSilentDrop(bad.A, bad.B, 0.03)
+
+	// Fabric-wide background traffic (the ratio scoring needs healthy
+	// flows on every link as denominators).
+	hosts := topo.Hosts()
+	gen, err := workload.NewGenerator(r.sim, r.stacks, workload.GenConfig{
+		Sources: r.hosts, Dests: r.hosts,
+		Load: 0.7, LinkBps: 20e6,
+		Dist:  workload.WebSearch(),
+		Until: 40 * types.Second, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen.Start()
+	r.sim.Run(40 * types.Second)
+	_ = hosts
+
+	if d.Signatures() == 0 {
+		t.Fatal("no failure signatures collected")
+	}
+	recall, precision := d.Accuracy([]types.LinkID{bad})
+	if recall != 1.0 {
+		t.Errorf("recall = %v, want 1 (hypothesis %v)", recall, d.Localize())
+	}
+	// 40 virtual seconds is early in Fig. 7 terms: recall converges first,
+	// precision later, so a couple of false positives are acceptable here.
+	if precision < 0.3 {
+		t.Errorf("precision = %v", precision)
+	}
+}
+
+func TestOutcastDiagnosis(t *testing.T) {
+	r := newRig(t, netsim.Config{Seed: 7, QueueBytes: 20_000, BandwidthBps: 100e6})
+	topo := r.sim.Topo
+	recv := topo.HostsAt(topo.ToRID(0, 0))[0]
+
+	var got *OutcastDiagnosis
+	NewOutcastWatcher(r.ctrl, 3, func(d *OutcastDiagnosis) { got = d })
+	if _, err := InstallTCPMonitor(r.ctrl, r.hosts, 2, 200*types.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	// One close sender (same pod) competes with many far senders.
+	close1 := topo.HostsAt(topo.ToRID(0, 1))[0]
+	r.stacks[close1.ID].StartFlow(r.flowID(close1, recv, 9100), 3_000_000, 0, nil)
+	for i := 0; i < 6; i++ {
+		far := topo.HostsAt(topo.ToRID(1+i%3, i%2))[i%2]
+		r.stacks[far.ID].StartFlow(r.flowID(far, recv, uint16(9101+i)), 3_000_000, 0, nil)
+	}
+	r.sim.Run(20 * types.Second)
+
+	d, err := DiagnoseOutcast(r.ctrl, recv.IP, types.AllTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Senders) != 7 {
+		t.Fatalf("senders = %d, want 7", len(d.Senders))
+	}
+	for _, s := range d.Senders {
+		if s.ThroughputBps <= 0 {
+			t.Errorf("sender %v throughput %v", s.Flow, s.ThroughputBps)
+		}
+	}
+	_ = got // watcher may or may not have fired depending on loss pattern
+}

@@ -1,0 +1,257 @@
+package cherrypick
+
+import (
+	"fmt"
+
+	"pathdump/internal/topology"
+	"pathdump/internal/types"
+)
+
+// FatTree is the CherryPick sampling scheme for k-ary fat trees.
+//
+// VLAN value layout (see package comment; ranges may overlap when the
+// decoder's walk context disambiguates them):
+//
+//	[0, (k/2)²)            class A: first up-leg agg→core, value = core index
+//	                       class Cʹ: ToR re-ascent, value = torPos·(k/2)+aggPos
+//	[(k/2)², +k·(k/2))     class B: agg→core re-ascent, value = pod·(k/2)+corePort
+//	[(k/2)²+k·(k/2), +k/2) class C: first-hop intra-pod ToR→agg, value = aggPos
+type FatTree struct {
+	t    *topology.Topology
+	k    int
+	half int
+	// offsets into the 12-bit ID space
+	offB, offC int
+}
+
+// NewFatTree builds the scheme, verifying the 12-bit link-ID budget.
+func NewFatTree(t *topology.Topology) (*FatTree, error) {
+	if t.Kind != topology.FatTreeKind {
+		return nil, fmt.Errorf("cherrypick: topology is not a fat tree")
+	}
+	k := t.K
+	half := k / 2
+	need := half*half + k*half + half
+	if need > types.LinkIDSpace {
+		return nil, fmt.Errorf("cherrypick: fat-tree k=%d needs %d link IDs, VLAN space has %d (max k=72)",
+			k, need, types.LinkIDSpace)
+	}
+	return &FatTree{t: t, k: k, half: half, offB: half * half, offC: half*half + k*half}, nil
+}
+
+// Tag implements Scheme.
+func (f *FatTree) Tag(from, to types.SwitchID, dst types.IP, hdr Header) (types.Tag, bool) {
+	sf := f.t.Switch(from)
+	st := f.t.Switch(to)
+	if sf == nil || st == nil {
+		return types.Tag{}, false
+	}
+	switch {
+	case sf.Layer == topology.LayerAgg && st.Layer == topology.LayerCore:
+		// Up-leg to the core tier: always sampled.
+		if len(hdr.VLANs) == 0 {
+			// Class A: core index. Source pod is known from srcIP.
+			return types.Tag{Kind: types.TagVLAN, Value: uint16(st.Index)}, true
+		}
+		// Class B: ⟨pod, core port⟩. The agg position is known from the
+		// walk context, so pod+port pin down the 2-hop detour.
+		m := st.Index % f.half
+		return types.Tag{Kind: types.TagVLAN, Value: uint16(f.offB + sf.Pod*f.half + m)}, true
+
+	case sf.Layer == topology.LayerToR && st.Layer == topology.LayerAgg:
+		if len(hdr.VLANs) > 0 {
+			// Class Cʹ: re-ascent after a downward detour — identify the
+			// ToR we bounced through and the aggregation switch we take.
+			return types.Tag{Kind: types.TagVLAN, Value: uint16(sf.Index*f.half + st.Index)}, true
+		}
+		if h := f.t.HostByIP(dst); h != nil && h.Pod == sf.Pod {
+			// Class C: intra-pod first hop; the chosen aggregation
+			// position is the only unknown.
+			return types.Tag{Kind: types.TagVLAN, Value: uint16(f.offC + st.Index)}, true
+		}
+		// Inter-pod first hop: inferable from the class-A tag that the
+		// aggregation switch will push.
+		return types.Tag{}, false
+	}
+	// All descents are unsampled: they are either deterministic
+	// (core→agg toward the destination pod, agg→dst ToR) or pinned by the
+	// re-ascent tag that follows.
+	return types.Tag{}, false
+}
+
+// classify buckets a VLAN value for a given decode context.
+func (f *FatTree) inA(v int) bool  { return v < f.offB }
+func (f *FatTree) inB(v int) bool  { return v >= f.offB && v < f.offC }
+func (f *FatTree) inC(v int) bool  { return v >= f.offC && v < f.offC+f.half }
+func (f *FatTree) inCp(v int) bool { return v < f.offB } // Cʹ shares class A's range
+
+// Reconstruct implements Scheme. It walks the static topology, consuming
+// tags in push order; every tag resolves exactly the choices the sampling
+// rules left open.
+func (f *FatTree) Reconstruct(src, dst types.IP, hdr Header) (types.Path, error) {
+	path, _, err := f.walk(src, dst, hdr, true)
+	return path, err
+}
+
+// SampledLinks implements Scheme: the concrete link each VLAN tag samples,
+// decoded with the same walk but without requiring the trajectory to end
+// at the destination (trapped packets are still in flight).
+func (f *FatTree) SampledLinks(src, dst types.IP, hdr Header) ([]types.LinkID, error) {
+	_, links, err := f.walk(src, dst, hdr, false)
+	return links, err
+}
+
+// walk decodes a tag sequence into the traversed path and the sampled
+// links. With complete=true the walk must end at the destination ToR
+// (Reconstruct); with complete=false it stops when tags run out
+// (SampledLinks for trapped packets), returning partial links on error.
+func (f *FatTree) walk(src, dst types.IP, hdr Header, complete bool) (types.Path, []types.LinkID, error) {
+	var links []types.LinkID
+	fail := func(format string, args ...interface{}) (types.Path, []types.LinkID, error) {
+		return nil, links, &ReconstructError{Src: src, Dst: dst, Hdr: hdr, Msg: fmt.Sprintf(format, args...)}
+	}
+	srcHost := f.t.HostByIP(src)
+	dstHost := f.t.HostByIP(dst)
+	if srcHost == nil || dstHost == nil {
+		return fail("unknown src or dst address")
+	}
+	tags := hdr.VLANs
+	path := types.Path{srcHost.ToR}
+	if srcHost.ToR == dstHost.ToR && complete {
+		if len(tags) != 0 {
+			return fail("same-ToR flow carries %d tags", len(tags))
+		}
+		return path, nil, nil
+	}
+	if len(tags) == 0 {
+		if complete {
+			return fail("inter-ToR flow carries no tags")
+		}
+		return path, nil, nil
+	}
+
+	// Step 1: leave the source ToR using the first tag.
+	v := int(tags[0])
+	ti := 1
+	var cur *topology.Switch
+	switch {
+	case f.inC(v):
+		j := v - f.offC
+		cur = f.t.Switch(f.t.AggID(srcHost.Pod, j))
+		path = append(path, cur.ID)
+		links = append(links, types.LinkID{A: srcHost.ToR, B: cur.ID})
+	case f.inA(v):
+		c := v
+		if c >= f.half*f.half {
+			return fail("class-A core index %d out of range", c)
+		}
+		j := f.t.CoreGroup(c)
+		agg := f.t.AggID(srcHost.Pod, j)
+		core := f.t.CoreID(c)
+		path = append(path, agg, core)
+		links = append(links, types.LinkID{A: agg, B: core})
+		cur = f.t.Switch(core)
+	default:
+		return fail("first tag %d is not class A or C", v)
+	}
+
+	// Step 2: walk, consuming one tag per 2-hop segment.
+	for guard := 0; ; guard++ {
+		if guard > 4+2*len(tags) {
+			return fail("walk did not terminate")
+		}
+		if ti == len(tags) {
+			if !complete {
+				return path, links, nil
+			}
+			// Canonical finish from the current position.
+			switch cur.Layer {
+			case topology.LayerAgg:
+				if cur.Pod != dstHost.Pod {
+					return fail("tags exhausted at agg %v outside destination pod", cur.ID)
+				}
+				path = append(path, dstHost.ToR)
+			case topology.LayerCore:
+				j := f.t.CoreGroup(cur.Index)
+				path = append(path, f.t.AggID(dstHost.Pod, j), dstHost.ToR)
+			default:
+				return fail("tags exhausted at unexpected layer %v", cur.Layer)
+			}
+			return path, links, nil
+		}
+		v = int(tags[ti])
+		ti++
+		switch cur.Layer {
+		case topology.LayerAgg:
+			switch {
+			case f.inB(v):
+				// This aggregation switch re-ascended.
+				rel := v - f.offB
+				pod, m := rel/f.half, rel%f.half
+				if pod != cur.Pod {
+					return fail("class-B pod %d disagrees with agg pod %d", pod, cur.Pod)
+				}
+				core := f.t.CoreID(cur.Index*f.half + m)
+				path = append(path, core)
+				links = append(links, types.LinkID{A: cur.ID, B: core})
+				cur = f.t.Switch(core)
+			case f.inCp(v):
+				// Detour: descend to a wrong ToR, re-ascend.
+				e, j := v/f.half, v%f.half
+				tor := f.t.ToRID(cur.Pod, e)
+				agg := f.t.AggID(cur.Pod, j)
+				path = append(path, tor, agg)
+				links = append(links, types.LinkID{A: tor, B: agg})
+				cur = f.t.Switch(agg)
+			default:
+				return fail("tag %d invalid at aggregation context", v)
+			}
+		case topology.LayerCore:
+			jg := f.t.CoreGroup(cur.Index)
+			switch {
+			case f.inB(v):
+				// Core bounce: descend to ⟨pod⟩ at our group position,
+				// re-ascend to core port m.
+				rel := v - f.offB
+				pod, m := rel/f.half, rel%f.half
+				agg := f.t.AggID(pod, jg)
+				core := f.t.CoreID(jg*f.half + m)
+				path = append(path, agg, core)
+				links = append(links, types.LinkID{A: agg, B: core})
+				cur = f.t.Switch(core)
+			case f.inCp(v):
+				// Canonical descent into the destination pod, then a
+				// ToR-level detour.
+				e, j := v/f.half, v%f.half
+				agg := f.t.AggID(dstHost.Pod, jg)
+				tor := f.t.ToRID(dstHost.Pod, e)
+				agg2 := f.t.AggID(dstHost.Pod, j)
+				path = append(path, agg, tor, agg2)
+				links = append(links, types.LinkID{A: tor, B: agg2})
+				cur = f.t.Switch(agg2)
+			default:
+				return fail("tag %d invalid at core context", v)
+			}
+		default:
+			return fail("walk stranded at layer %v", cur.Layer)
+		}
+	}
+}
+
+// RuleCount implements Scheme: the number of static OpenFlow rules the
+// scheme installs. ToR switches need two rules per uplink (intra-pod
+// destination prefix, and tagged re-ascent); aggregation switches need two
+// rules per core-facing port (untagged class A, tagged class B); cores need
+// none. Rule counts grow linearly with port density, as the paper notes.
+func (f *FatTree) RuleCount(sw types.SwitchID) int {
+	s := f.t.Switch(sw)
+	if s == nil {
+		return 0
+	}
+	switch s.Layer {
+	case topology.LayerToR, topology.LayerAgg:
+		return 2 * len(s.Up)
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,205 @@
+package cherrypick
+
+import (
+	"fmt"
+
+	"pathdump/internal/topology"
+	"pathdump/internal/types"
+)
+
+// VL2Scheme is the CherryPick sampling scheme for VL2 topologies.
+//
+// Because VL2 shortest paths sample three links, the 6-bit DSCP field is
+// used first — for the ToR→aggregate uplink, where there are only two
+// choices — and VLAN tags are spent on the remaining samples (§3.1):
+//
+//	DSCP               uplink index + 1 (0 means unused)
+//	[0, nInt)          class A: agg→intermediate, value = intermediate index
+//	[nInt, +nAgg)      class D: intermediate→agg descent, value = agg index
+//	[nInt+nAgg, +dA)   class Cʹ: ToR re-ascent, value = torPort·2 + uplink
+//
+// A canonical inter-group path therefore ends with one DSCP value and two
+// VLAN tags; any detour needs a third VLAN tag and traps at the controller.
+type VL2Scheme struct {
+	t          *topology.Topology
+	nInt, nAgg int
+	offD, offC int
+}
+
+// NewVL2 builds the scheme, verifying the ID budgets.
+func NewVL2(t *topology.Topology) (*VL2Scheme, error) {
+	if t.Kind != topology.VL2Kind {
+		return nil, fmt.Errorf("cherrypick: topology is not VL2")
+	}
+	nInt := t.DA / 2
+	nAgg := t.DI
+	need := nInt + nAgg + t.DA
+	if need > types.LinkIDSpace {
+		return nil, fmt.Errorf("cherrypick: VL2(%d,%d) needs %d link IDs, VLAN space has %d",
+			t.DA, t.DI, need, types.LinkIDSpace)
+	}
+	if 3 > types.DSCPSpace { // uplink values 1..2 plus the unused marker
+		return nil, fmt.Errorf("cherrypick: DSCP space exhausted")
+	}
+	return &VL2Scheme{t: t, nInt: nInt, nAgg: nAgg, offD: nInt, offC: nInt + nAgg}, nil
+}
+
+// uplinkIndex returns to's position in from.Up, or -1.
+func uplinkIndex(s *topology.Switch, to types.SwitchID) int {
+	for i, u := range s.Up {
+		if u == to {
+			return i
+		}
+	}
+	return -1
+}
+
+// Tag implements Scheme.
+func (v *VL2Scheme) Tag(from, to types.SwitchID, dst types.IP, hdr Header) (types.Tag, bool) {
+	sf := v.t.Switch(from)
+	st := v.t.Switch(to)
+	if sf == nil || st == nil {
+		return types.Tag{}, false
+	}
+	switch {
+	case sf.Layer == topology.LayerToR && st.Layer == topology.LayerAgg:
+		u := uplinkIndex(sf, to)
+		if u < 0 {
+			return types.Tag{}, false
+		}
+		if hdr.DSCP == 0 {
+			// First hop: spend the DSCP field.
+			return types.Tag{Kind: types.TagDSCP, Value: uint16(u + 1)}, true
+		}
+		// Re-ascent after a ToR-level detour: identify the ToR we
+		// bounced through (its port at the group's agg pair) and the
+		// uplink taken.
+		q := sf.Index % (v.t.DA / 2)
+		return types.Tag{Kind: types.TagVLAN, Value: uint16(v.offC + q*2 + u)}, true
+
+	case sf.Layer == topology.LayerAgg && st.Layer == topology.LayerCore:
+		// Up-leg to an intermediate switch: the agg is known from the
+		// walk context, so the intermediate index suffices.
+		return types.Tag{Kind: types.TagVLAN, Value: uint16(st.Index)}, true
+
+	case sf.Layer == topology.LayerCore && st.Layer == topology.LayerAgg:
+		// Descent: the destination ToR is dual-homed, so the chosen
+		// aggregate must always be sampled.
+		return types.Tag{Kind: types.TagVLAN, Value: uint16(v.offD + st.Index)}, true
+	}
+	return types.Tag{}, false
+}
+
+// Reconstruct implements Scheme.
+func (v *VL2Scheme) Reconstruct(src, dst types.IP, hdr Header) (types.Path, error) {
+	path, _, err := v.walk(src, dst, hdr, true)
+	return path, err
+}
+
+// SampledLinks implements Scheme (see the interface comment).
+func (v *VL2Scheme) SampledLinks(src, dst types.IP, hdr Header) ([]types.LinkID, error) {
+	_, links, err := v.walk(src, dst, hdr, false)
+	return links, err
+}
+
+// walk decodes the header; with complete=false it stops when tags run out
+// instead of requiring a canonical finish at the destination.
+func (v *VL2Scheme) walk(src, dst types.IP, hdr Header, complete bool) (types.Path, []types.LinkID, error) {
+	var links []types.LinkID
+	fail := func(format string, args ...interface{}) (types.Path, []types.LinkID, error) {
+		return nil, links, &ReconstructError{Src: src, Dst: dst, Hdr: hdr, Msg: fmt.Sprintf(format, args...)}
+	}
+	srcHost := v.t.HostByIP(src)
+	dstHost := v.t.HostByIP(dst)
+	if srcHost == nil || dstHost == nil {
+		return fail("unknown src or dst address")
+	}
+	path := types.Path{srcHost.ToR}
+	if srcHost.ToR == dstHost.ToR && complete {
+		if hdr.DSCP != 0 || len(hdr.VLANs) != 0 {
+			return fail("same-ToR flow carries trajectory info")
+		}
+		return path, nil, nil
+	}
+	if hdr.DSCP == 0 {
+		if complete {
+			return fail("inter-ToR flow with unused DSCP")
+		}
+		return path, nil, nil
+	}
+	srcToR := v.t.Switch(srcHost.ToR)
+	u := int(hdr.DSCP) - 1
+	if u >= len(srcToR.Up) {
+		return fail("DSCP uplink %d out of range", u)
+	}
+	cur := v.t.Switch(srcToR.Up[u])
+	path = append(path, cur.ID)
+
+	tags := hdr.VLANs
+	ti := 0
+	for guard := 0; ; guard++ {
+		if guard > 4+2*len(tags) {
+			return fail("walk did not terminate")
+		}
+		if ti == len(tags) {
+			if !complete {
+				return path, links, nil
+			}
+			if cur.Layer != topology.LayerAgg {
+				return fail("tags exhausted at layer %v", cur.Layer)
+			}
+			if cur.Pod != dstHost.Pod {
+				return fail("tags exhausted at agg %v outside destination group", cur.ID)
+			}
+			path = append(path, dstHost.ToR)
+			return path, links, nil
+		}
+		val := int(tags[ti])
+		ti++
+		switch cur.Layer {
+		case topology.LayerAgg:
+			switch {
+			case val < v.nInt:
+				in := v.t.IntID(val)
+				path = append(path, in)
+				links = append(links, types.LinkID{A: cur.ID, B: in})
+				cur = v.t.Switch(in)
+			case val >= v.offC && val < v.offC+v.t.DA:
+				rel := val - v.offC
+				q, up := rel/2, rel%2
+				torIdx := cur.Pod*(v.t.DA/2) + q
+				tor := v.t.Switch(v.t.VL2ToRID(torIdx))
+				if tor == nil || up >= len(tor.Up) {
+					return fail("class-Cʹ tag %d does not resolve", val)
+				}
+				agg := tor.Up[up]
+				path = append(path, tor.ID, agg)
+				links = append(links, types.LinkID{A: tor.ID, B: agg})
+				cur = v.t.Switch(agg)
+			default:
+				return fail("tag %d invalid at aggregation context", val)
+			}
+		case topology.LayerCore:
+			if val < v.offD || val >= v.offD+v.nAgg {
+				return fail("tag %d invalid at intermediate context", val)
+			}
+			agg := v.t.VL2AggID(val - v.offD)
+			path = append(path, agg)
+			links = append(links, types.LinkID{A: cur.ID, B: agg})
+			cur = v.t.Switch(agg)
+		default:
+			return fail("walk stranded at layer %v", cur.Layer)
+		}
+	}
+}
+
+// RuleCount implements Scheme: two rules per ingress port, one checking
+// whether the DSCP field is unused and one adding a VLAN tag otherwise,
+// exactly the paper's accounting for VL2.
+func (v *VL2Scheme) RuleCount(sw types.SwitchID) int {
+	s := v.t.Switch(sw)
+	if s == nil {
+		return 0
+	}
+	return 2 * s.Ports()
+}

@@ -1,0 +1,360 @@
+// Package controller implements the PathDump controller (§3.3): it
+// installs the (static, one-time) tagging rules conceptually owned by the
+// fabric, executes debugging queries against distributed TIBs — directly
+// or through a Dremel/iMR-style multi-level aggregation tree — receives
+// alarms from agents' active monitors, and traps packets whose VLAN stack
+// overflowed (suspiciously long paths and routing loops, §4.5).
+package controller
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"pathdump/internal/agent"
+	"pathdump/internal/netsim"
+	"pathdump/internal/query"
+	"pathdump/internal/topology"
+	"pathdump/internal/types"
+)
+
+// QueryMeta carries per-execution cost inputs from an agent (used by the
+// response-time model, §5.2).
+type QueryMeta struct {
+	// RecordsScanned is how many TIB records the host touched.
+	RecordsScanned int
+}
+
+// Transport moves queries between the controller and host agents. The
+// in-process implementation backs simulations; the HTTP implementation in
+// internal/rpc backs real deployments.
+type Transport interface {
+	Query(host types.HostID, q query.Query) (query.Result, QueryMeta, error)
+	Install(host types.HostID, q query.Query, period types.Time) (int, error)
+	Uninstall(host types.HostID, id int) error
+}
+
+// Local is the in-process Transport over a set of agents.
+type Local struct {
+	Agents map[types.HostID]*agent.Agent
+}
+
+// Query implements Transport.
+func (l Local) Query(host types.HostID, q query.Query) (query.Result, QueryMeta, error) {
+	a, ok := l.Agents[host]
+	if !ok {
+		return query.Result{}, QueryMeta{}, fmt.Errorf("controller: unknown host %v", host)
+	}
+	res := a.Execute(q)
+	return res, QueryMeta{RecordsScanned: a.Store.Len() + a.Mem.Len()}, nil
+}
+
+// Install implements Transport.
+func (l Local) Install(host types.HostID, q query.Query, period types.Time) (int, error) {
+	a, ok := l.Agents[host]
+	if !ok {
+		return 0, fmt.Errorf("controller: unknown host %v", host)
+	}
+	return a.Install(q, period), nil
+}
+
+// Uninstall implements Transport.
+func (l Local) Uninstall(host types.HostID, id int) error {
+	a, ok := l.Agents[host]
+	if !ok {
+		return fmt.Errorf("controller: unknown host %v", host)
+	}
+	return a.Uninstall(id)
+}
+
+// CostModel parameterises the query response-time accounting used by the
+// §5.2 experiments. It mirrors the paper's testbed: a management network
+// separate from the data network, per-record query execution cost at
+// hosts, and per-item aggregation cost wherever results are merged.
+type CostModel struct {
+	// RTT is the management-network round trip per request (default 1 ms).
+	RTT types.Time
+	// BandwidthBps is the management link rate (default 1 Gbps).
+	BandwidthBps int64
+	// ExecBase is the fixed per-query host cost (default 2 ms — process
+	// wakeup plus TIB session setup).
+	ExecBase types.Time
+	// ExecPerRecord is the per-TIB-record scan cost (default 400 ns).
+	ExecPerRecord types.Time
+	// MergePerItem is the per-result-item aggregation cost at whichever
+	// node merges (default 4 µs — the paper's controller-side key-value
+	// processing dominates large direct queries, §5.2).
+	MergePerItem types.Time
+}
+
+// DefaultCostModel returns the defaults above.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		RTT:           types.Millisecond,
+		BandwidthBps:  1e9,
+		ExecBase:      2 * types.Millisecond,
+		ExecPerRecord: 400,
+		MergePerItem:  4 * types.Microsecond,
+	}
+}
+
+// ExecStats summarises one distributed query execution.
+type ExecStats struct {
+	Hosts int
+	// ResponseTime is the modelled end-to-end latency.
+	ResponseTime types.Time
+	// WireBytes is the total bytes moved over the management network
+	// (queries down plus results up, Figs. 11b/12b).
+	WireBytes int64
+}
+
+// Controller is one PathDump controller instance.
+type Controller struct {
+	Topo *topology.Topology
+	T    Transport
+	Cost CostModel
+
+	mu       sync.Mutex
+	alarms   []types.Alarm
+	handlers []func(types.Alarm)
+
+	sim       *netsim.Sim
+	loopState map[loopKey][]types.LinkID
+	loopFns   []func(LoopEvent)
+	longFns   []func(types.SwitchID, *netsim.Packet)
+}
+
+// New builds a controller over a transport. sim may be nil when no
+// in-fabric trap handling is needed (e.g. pure HTTP deployments).
+func New(topo *topology.Topology, t Transport, sim *netsim.Sim) *Controller {
+	c := &Controller{
+		Topo:      topo,
+		T:         t,
+		Cost:      DefaultCostModel(),
+		sim:       sim,
+		loopState: make(map[loopKey][]types.LinkID),
+	}
+	if sim != nil {
+		sim.SetTrapHandler(c)
+	}
+	return c
+}
+
+// RaiseAlarm implements agent.AlarmSink: it logs the alarm and dispatches
+// registered handlers (the event-driven debugging path of Figure 3).
+func (c *Controller) RaiseAlarm(a types.Alarm) {
+	c.mu.Lock()
+	c.alarms = append(c.alarms, a)
+	handlers := append(make([]func(types.Alarm), 0, len(c.handlers)), c.handlers...)
+	c.mu.Unlock()
+	for _, fn := range handlers {
+		fn(a)
+	}
+}
+
+// OnAlarm registers an alarm handler.
+func (c *Controller) OnAlarm(fn func(types.Alarm)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.handlers = append(c.handlers, fn)
+}
+
+// Alarms returns a copy of the alarm log.
+func (c *Controller) Alarms() []types.Alarm {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]types.Alarm(nil), c.alarms...)
+}
+
+// AlarmsFor filters the log by reason.
+func (c *Controller) AlarmsFor(r types.Reason) []types.Alarm {
+	var out []types.Alarm
+	for _, a := range c.Alarms() {
+		if a.Reason == r {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// QueryHost executes one query at one host (the direct query primitive).
+func (c *Controller) QueryHost(host types.HostID, q query.Query) (query.Result, error) {
+	res, _, err := c.T.Query(host, q)
+	return res, err
+}
+
+// Execute runs a query at every listed host as a direct query — each host
+// contacted straight from the controller, results folded at the
+// controller — and returns the merged result with modelled cost (§3.2).
+func (c *Controller) Execute(hosts []types.HostID, q query.Query) (query.Result, ExecStats, error) {
+	root := &treeNode{children: leafNodes(hosts)}
+	return c.run(root, q)
+}
+
+// ExecuteTree runs a query through a multi-level aggregation tree with the
+// given per-level fan-outs (e.g. [7,4,4] builds the paper's 4-level tree
+// over 112 hosts). Hosts double as interior aggregation nodes.
+func (c *Controller) ExecuteTree(hosts []types.HostID, q query.Query, fanouts []int) (query.Result, ExecStats, error) {
+	if len(fanouts) == 0 {
+		return c.Execute(hosts, q)
+	}
+	root := &treeNode{children: buildLevels(hosts, fanouts)}
+	return c.run(root, q)
+}
+
+// Install installs a query at each listed host (§2.1 controller API).
+// It returns per-host installation IDs for Uninstall.
+func (c *Controller) Install(hosts []types.HostID, q query.Query, period types.Time) (map[types.HostID]int, error) {
+	out := make(map[types.HostID]int, len(hosts))
+	for _, h := range hosts {
+		id, err := c.T.Install(h, q, period)
+		if err != nil {
+			return out, err
+		}
+		out[h] = id
+	}
+	return out, nil
+}
+
+// Uninstall removes previously installed queries.
+func (c *Controller) Uninstall(ids map[types.HostID]int) error {
+	var first error
+	for h, id := range ids {
+		if err := c.T.Uninstall(h, id); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// treeNode is one aggregation-tree position; the root has no host.
+type treeNode struct {
+	host     types.HostID
+	isHost   bool
+	children []*treeNode
+}
+
+func leafNodes(hosts []types.HostID) []*treeNode {
+	out := make([]*treeNode, len(hosts))
+	for i, h := range hosts {
+		out[i] = &treeNode{host: h, isHost: true}
+	}
+	return out
+}
+
+// buildLevels partitions hosts into fanouts[0] contiguous groups; each
+// group's first host becomes the aggregation node for the rest,
+// recursively.
+func buildLevels(hosts []types.HostID, fanouts []int) []*treeNode {
+	if len(hosts) == 0 {
+		return nil
+	}
+	if len(fanouts) == 0 {
+		return leafNodes(hosts)
+	}
+	n := fanouts[0]
+	if n <= 0 || n > len(hosts) {
+		n = len(hosts)
+	}
+	out := make([]*treeNode, 0, n)
+	for g := 0; g < n; g++ {
+		lo := g * len(hosts) / n
+		hi := (g + 1) * len(hosts) / n
+		group := hosts[lo:hi]
+		if len(group) == 0 {
+			continue
+		}
+		node := &treeNode{host: group[0], isHost: true}
+		node.children = buildLevels(group[1:], fanouts[1:])
+		out = append(out, node)
+	}
+	return out
+}
+
+// run executes the query over the tree, merging bottom-up, and computes
+// the modelled response time:
+//
+//	T(node) = max(execLocal, max over children(RTT + T(child) + xfer))
+//	        + Σ children items·MergePerItem
+//
+// Children proceed in parallel; merging at a node is serial. Wire bytes
+// count the query going down and each (partial) result coming up.
+func (c *Controller) run(n *treeNode, q query.Query) (query.Result, ExecStats, error) {
+	qBytes, err := json.Marshal(q)
+	if err != nil {
+		return query.Result{}, ExecStats{}, err
+	}
+	res, t, bytes, hosts, err := c.runNode(n, q, int64(len(qBytes)))
+	if err != nil {
+		return query.Result{}, ExecStats{}, err
+	}
+	return res, ExecStats{Hosts: hosts, ResponseTime: t, WireBytes: bytes}, nil
+}
+
+func (c *Controller) runNode(n *treeNode, q query.Query, qWire int64) (query.Result, types.Time, int64, int, error) {
+	var (
+		res    query.Result
+		localT types.Time
+		wire   int64
+		hosts  int
+	)
+	res.Op = q.Op
+	if n.isHost {
+		r, meta, err := c.T.Query(n.host, q)
+		if err != nil {
+			return res, 0, 0, 0, err
+		}
+		res = r
+		localT = c.Cost.ExecBase + types.Time(meta.RecordsScanned)*c.Cost.ExecPerRecord
+		hosts = 1
+	}
+	childT := localT
+	type part struct {
+		res   query.Result
+		avail types.Time
+	}
+	parts := make([]part, 0, len(n.children))
+	for _, ch := range n.children {
+		r, t, b, h, err := c.runNode(ch, q, qWire)
+		if err != nil {
+			return res, 0, 0, 0, err
+		}
+		size := int64(r.WireSize())
+		xfer := types.Time((size + qWire) * 8 * int64(types.Second) / c.Cost.BandwidthBps)
+		avail := c.Cost.RTT + t + xfer
+		if avail > childT {
+			childT = avail
+		}
+		wire += b + size + qWire
+		hosts += h
+		parts = append(parts, part{res: r, avail: avail})
+	}
+	// Merge serially in arrival order.
+	sort.SliceStable(parts, func(i, j int) bool { return parts[i].avail < parts[j].avail })
+	total := childT
+	for i := range parts {
+		res.Merge(&parts[i].res, q)
+		total += types.Time(itemCount(&parts[i].res)) * c.Cost.MergePerItem
+	}
+	return res, total, wire, hosts, nil
+}
+
+// itemCount estimates the number of key-value items merged from a partial
+// result (the unit of aggregation cost). Histograms count their occupied
+// bins: zero bins are never materialised as key-value pairs.
+func itemCount(r *query.Result) int {
+	n := len(r.Flows) + len(r.Paths) + len(r.FlowIDs) + len(r.Top) +
+		len(r.Violations) + len(r.Matrix) + len(r.Records)
+	for _, h := range r.Hists {
+		for _, b := range h.Bins {
+			if b != 0 {
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		n = 1 // scalar results still cost one update
+	}
+	return n
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"pathdump"
+	"pathdump/internal/apps"
+	"pathdump/internal/netsim"
+	"pathdump/internal/types"
+)
+
+// Fig10Config parameterises the §4.6 TCP outcast experiment: 15 senders —
+// one in the receiver's own pod (two hops away), the rest across the
+// fabric — push data to a single receiver whose ToR output port becomes
+// the bottleneck. Shallow drop-tail queues produce the port-blackout
+// pattern that penalises the closest flow.
+type Fig10Config struct {
+	Senders    int           // default 15
+	FlowBytes  int64         // default 40 MB (senders stay active all run)
+	LinkBps    int64         // default 100 Mb/s
+	QueueBytes int           // default 15 kB (shallow: port blackout)
+	Duration   pathdump.Time // default 10 s (the paper's)
+	MinAlerts  int           // alerts from distinct sources to trigger, default 10
+	Seed       int64
+}
+
+func (c Fig10Config) withDefaults() Fig10Config {
+	if c.Senders == 0 {
+		c.Senders = 15
+	}
+	if c.FlowBytes == 0 {
+		c.FlowBytes = 40_000_000 // outlives the run: senders transmit throughout
+	}
+	if c.LinkBps == 0 {
+		c.LinkBps = 100e6
+	}
+	if c.QueueBytes == 0 {
+		c.QueueBytes = 6_000 // shallow buffer: the port-blackout regime
+	}
+	if c.Duration == 0 {
+		c.Duration = 10 * pathdump.Second
+	}
+	if c.MinAlerts == 0 {
+		c.MinAlerts = 10
+	}
+	return c
+}
+
+// Fig10Result reproduces Figure 10: per-sender throughput (a) and the
+// hop-count tree behind the communication graph (b), plus the automatic
+// diagnosis verdict.
+type Fig10Result struct {
+	Diagnosis *apps.OutcastDiagnosis
+	// AlarmSources is how many distinct sources raised POOR_PERF.
+	AlarmSources int
+	// WatcherFired reports whether the alert-driven watcher triggered
+	// the diagnosis on its own (§4.6: "starts to work when it sees a
+	// minimum of 10 alerts from different sources").
+	WatcherFired bool
+	// VictimIsClosest is the outcast signature.
+	VictimIsClosest bool
+}
+
+// steer pins the upward port choices so that traffic toward recv from the
+// close sender uses aggregation position 0 and everyone else's uses
+// position 1 — the paper's two-input-port contention pattern.
+func steer(c *pathdump.Cluster, recv pathdump.IP, close pathdump.HostID) {
+	topo := c.Topo
+	closeIP := c.HostIP(close)
+	pick := func(want int) func(*netsim.Packet, []types.SwitchID, netsim.NodeID) (types.SwitchID, bool) {
+		return func(pkt *netsim.Packet, canonical []types.SwitchID, _ netsim.NodeID) (types.SwitchID, bool) {
+			if pkt.Ack || pkt.Flow.DstIP != recv || len(canonical) < 2 {
+				return 0, false
+			}
+			if pkt.Flow.SrcIP == closeIP {
+				return canonical[0], true
+			}
+			return canonical[want], true
+		}
+	}
+	for _, tor := range topo.ToRs() {
+		c.Sim.SetNextHopOverride(tor, pick(1))
+	}
+	for _, agg := range topo.Aggs() {
+		// Upward choices at aggregation switches only exist outside the
+		// destination pod; position is irrelevant there because the
+		// descent into pod 0 is fixed by the core group.
+		c.Sim.SetNextHopOverride(agg, pick(1))
+	}
+}
+
+// Fig10 runs the experiment.
+func Fig10(cfg Fig10Config) *Fig10Result {
+	cfg = cfg.withDefaults()
+	c := buildCluster(pathdump.NetConfig{
+		BandwidthBps: cfg.LinkBps,
+		QueueBytes:   cfg.QueueBytes,
+		Seed:         cfg.Seed,
+	})
+	topo := c.Topo
+	recv := topo.HostsAt(topo.ToRID(0, 0))[0]
+
+	res := &Fig10Result{}
+	apps.NewOutcastWatcher(c.Ctrl, cfg.MinAlerts, func(*apps.OutcastDiagnosis) { res.WatcherFired = true })
+	if _, err := c.InstallTCPMonitor(2, 200*pathdump.Millisecond); err != nil {
+		panic(err)
+	}
+
+	// f1 is the closest sender: the receiver's pod neighbour, entering
+	// the ToR through aggregation port 0. Every other sender is steered
+	// through aggregation port 1, reproducing the paper's Fig. 10(b)
+	// communication graph: one flow on one input port of switch T, the
+	// rest arriving together on the other, all competing for the output
+	// port toward R.
+	var senders []pathdump.HostID
+	senders = append(senders, topo.HostsAt(topo.ToRID(0, 1))[0].ID)
+	for _, h := range topo.Hosts() {
+		if len(senders) >= cfg.Senders {
+			break
+		}
+		// The receiver's own rack is excluded: those flows enter T on
+		// the host-facing port, outside the two contended input ports.
+		if h.ToR != recv.ToR && h.ID != senders[0] {
+			senders = append(senders, h.ID)
+		}
+	}
+	steer(c, recv.IP, senders[0])
+
+	for _, s := range senders {
+		if _, err := c.StartFlow(s, recv.ID, 5001, cfg.FlowBytes, nil); err != nil {
+			panic(err)
+		}
+	}
+	c.Run(cfg.Duration)
+
+	srcs := map[pathdump.IP]bool{}
+	for _, a := range c.Alarms() {
+		if a.Reason == pathdump.ReasonPoorPerf && a.Flow.DstIP == recv.IP {
+			srcs[a.Flow.SrcIP] = true
+		}
+	}
+	res.AlarmSources = len(srcs)
+
+	d, err := c.DiagnoseOutcast(recv.IP, pathdump.AllTime)
+	if err != nil {
+		panic(err)
+	}
+	res.Diagnosis = d
+	minHops := d.Senders[0].Hops
+	for _, s := range d.Senders {
+		if s.Hops < minHops {
+			minHops = s.Hops
+		}
+	}
+	res.VictimIsClosest = d.Victim.Hops == minHops
+	return res
+}

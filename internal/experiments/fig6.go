@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"pathdump"
+	"pathdump/internal/apps"
+	"pathdump/internal/netsim"
+	"pathdump/internal/types"
+)
+
+// Fig6Config parameterises the §4.2 packet-spraying experiment: one large
+// flow sprayed across the four equal-cost paths, once with unbiased
+// per-packet spraying and once with switches deliberately favouring one
+// path. The paper uses a 100 MB flow; the default here is 10 MB.
+type Fig6Config struct {
+	FlowBytes int64 // default 10 MB
+	LinkBps   int64 // default 200 Mb/s
+	// BiasNum/BiasDen bias the imbalanced case: at each spray choice the
+	// favoured port is taken BiasNum out of BiasDen times (default 2/3).
+	BiasNum, BiasDen uint64
+	Seed             int64
+}
+
+func (c Fig6Config) withDefaults() Fig6Config {
+	if c.FlowBytes == 0 {
+		c.FlowBytes = 10_000_000
+	}
+	if c.LinkBps == 0 {
+		c.LinkBps = 200e6
+	}
+	if c.BiasDen == 0 {
+		c.BiasNum, c.BiasDen = 2, 3
+	}
+	return c
+}
+
+// Fig6Result reproduces Figure 6: per-path bytes of the flow under the
+// balanced and imbalanced configurations, read from the destination TIB.
+type Fig6Result struct {
+	Balanced   []apps.PathBytes
+	Imbalanced []apps.PathBytes
+	// Rates are the spray-imbalance metrics of the two cases.
+	BalancedRate, ImbalancedRate float64
+}
+
+// Fig6 runs both cases.
+func Fig6(cfg Fig6Config) *Fig6Result {
+	cfg = cfg.withDefaults()
+	run := func(biased bool) []apps.PathBytes {
+		c := buildCluster(pathdump.NetConfig{
+			BandwidthBps: cfg.LinkBps, Spray: true, Seed: cfg.Seed,
+		})
+		topo := c.Topo
+		hosts := c.HostIDs()
+		src, dst := hosts[0], hosts[8]
+		if biased {
+			// Configure the source ToR and aggregation switches to
+			// prefer their first port for a skewed share of packets.
+			bias := func(pkt *netsim.Packet, canonical []types.SwitchID, _ netsim.NodeID) (types.SwitchID, bool) {
+				if len(canonical) < 2 || pkt.Ack {
+					return 0, false
+				}
+				key := pkt.Seq
+				if pkt.XmitID != 0 {
+					key = pkt.XmitID
+				}
+				// Decorrelate the choice across switches so the bias
+				// compounds over hops instead of replaying: mix the key
+				// with the switch identity and take high bits (low-bit
+				// modular arithmetic is a permutation, not a hash).
+				key = (key ^ uint64(canonical[0])<<17 ^ uint64(canonical[0])) * 0x9E3779B97F4A7C15
+				if (key>>33)%cfg.BiasDen < cfg.BiasNum {
+					return canonical[0], true
+				}
+				return canonical[1], true
+			}
+			srcToR := topo.Host(src).ToR
+			c.Sim.SetNextHopOverride(srcToR, bias)
+			for j := 0; j < 2; j++ {
+				c.Sim.SetNextHopOverride(topo.AggID(0, j), bias)
+			}
+		}
+		f, err := c.StartFlow(src, dst, 8080, cfg.FlowBytes, nil)
+		if err != nil {
+			panic(err)
+		}
+		c.RunAll()
+		sub, err := c.SubflowBytes(f, pathdump.AllTime)
+		if err != nil {
+			panic(err)
+		}
+		return sub
+	}
+	res := &Fig6Result{Balanced: run(false), Imbalanced: run(true)}
+	res.BalancedRate = apps.SprayImbalance(res.Balanced)
+	res.ImbalancedRate = apps.SprayImbalance(res.Imbalanced)
+	return res
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"pathdump"
+	"pathdump/internal/types"
+)
+
+// Fig7Config parameterises the §4.3 silent-random-drop experiment: N
+// randomly chosen aggregate↔core interfaces drop packets at LossRate, web
+// traffic runs at Load, end-host monitors alarm, and the controller's
+// MAX-COVERAGE localiser is scored over time. The paper runs 10 times at
+// 1 GbE for 150 s; the defaults scale the fabric to 30 Mb/s and 2 runs.
+type Fig7Config struct {
+	Faulty    int           // number of faulty interfaces (1, 2 or 4)
+	LossRate  float64       // default 0.01
+	Load      float64       // default 0.7
+	LinkBps   int64         // default 30 Mb/s
+	Duration  pathdump.Time // default 150 s
+	Sample    pathdump.Time // accuracy sampling period, default 10 s
+	Runs      int           // default 2
+	Threshold int           // monitor threshold, default 3
+	Seed      int64
+}
+
+func (c Fig7Config) withDefaults() Fig7Config {
+	if c.Faulty == 0 {
+		c.Faulty = 1
+	}
+	if c.LossRate == 0 {
+		c.LossRate = 0.01
+	}
+	if c.Load == 0 {
+		c.Load = 0.7
+	}
+	if c.LinkBps == 0 {
+		c.LinkBps = 30e6
+	}
+	if c.Duration == 0 {
+		c.Duration = 150 * pathdump.Second
+	}
+	if c.Sample == 0 {
+		c.Sample = 10 * pathdump.Second
+	}
+	if c.Runs == 0 {
+		c.Runs = 2
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 3
+	}
+	return c
+}
+
+// Fig7Point is one (time, recall, precision) sample averaged over runs.
+type Fig7Point struct {
+	T                 pathdump.Time
+	Recall, Precision float64
+	Signatures        float64
+}
+
+// Fig7Result reproduces one curve of Figure 7.
+type Fig7Result struct {
+	Faulty int
+	Points []Fig7Point
+	// TimeTo100 is the first sample where recall and precision both hit
+	// 1 in every run (Fig. 8's metric); negative when never reached.
+	TimeTo100 pathdump.Time
+}
+
+// Fig7 runs the experiment for one faulty-interface count.
+func Fig7(cfg Fig7Config) *Fig7Result {
+	cfg = cfg.withDefaults()
+	samples := int(cfg.Duration / cfg.Sample)
+	res := &Fig7Result{Faulty: cfg.Faulty, TimeTo100: -1}
+	res.Points = make([]Fig7Point, samples)
+	for i := range res.Points {
+		res.Points[i].T = cfg.Sample * pathdump.Time(i+1)
+	}
+
+	for run := 0; run < cfg.Runs; run++ {
+		seed := cfg.Seed + int64(run)*101
+		c := buildCluster(pathdump.NetConfig{BandwidthBps: cfg.LinkBps, Seed: seed})
+		faulty := pickFaultyLinks(c, cfg.Faulty, seed)
+		for _, l := range faulty {
+			c.SetSilentDrop(l.A, l.B, cfg.LossRate)
+		}
+		dbg := c.NewSilentDropDebugger()
+		if _, err := c.InstallTCPMonitor(cfg.Threshold, 200*pathdump.Millisecond); err != nil {
+			panic(err)
+		}
+		hosts := c.HostIDs()
+		startWebTraffic(c, hosts, hosts, cfg.Load, cfg.LinkBps, cfg.Duration, seed+7)
+
+		for i := 0; i < samples; i++ {
+			c.Run(res.Points[i].T)
+			r, p := dbg.Accuracy(faulty)
+			res.Points[i].Recall += r / float64(cfg.Runs)
+			res.Points[i].Precision += p / float64(cfg.Runs)
+			res.Points[i].Signatures += float64(dbg.Signatures()) / float64(cfg.Runs)
+		}
+	}
+	for _, pt := range res.Points {
+		if pt.Recall >= 0.999 && pt.Precision >= 0.999 {
+			res.TimeTo100 = pt.T
+			break
+		}
+	}
+	return res
+}
+
+// pickFaultyLinks selects n distinct aggregate→core interfaces.
+func pickFaultyLinks(c *pathdump.Cluster, n int, seed int64) []pathdump.LinkID {
+	rng := rand.New(rand.NewSource(seed))
+	var candidates []pathdump.LinkID
+	for _, aggID := range c.Topo.Aggs() {
+		for _, core := range c.Topo.Switch(aggID).Up {
+			candidates = append(candidates, types.LinkID{A: aggID, B: core})
+		}
+	}
+	rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	if n > len(candidates) {
+		n = len(candidates)
+	}
+	return candidates[:n]
+}
+
+// Fig8Result reproduces Figure 8: time to reach 100% recall and precision
+// as loss rate and offered load vary.
+type Fig8Result struct {
+	// ByLossRate maps loss rate (%) → convergence time at fixed load.
+	LossRates []float64
+	ByLoss    []pathdump.Time
+	// ByLoad maps offered load (%) → convergence time at fixed loss.
+	Loads  []float64
+	ByLoad []pathdump.Time
+}
+
+// Fig8Config parameterises the sweep; the embedded Fig7Config supplies
+// the per-cell experiment parameters.
+type Fig8Config struct {
+	Base      Fig7Config
+	LossRates []float64 // default {0.01, 0.02, 0.03, 0.04}
+	Loads     []float64 // default {0.3, 0.5, 0.7, 0.9}
+}
+
+// Fig8 runs the two sweeps of Figure 8 for the configured faulty count.
+func Fig8(cfg Fig8Config) *Fig8Result {
+	if len(cfg.LossRates) == 0 {
+		cfg.LossRates = []float64{0.01, 0.02, 0.03, 0.04}
+	}
+	if len(cfg.Loads) == 0 {
+		cfg.Loads = []float64{0.3, 0.5, 0.7, 0.9}
+	}
+	res := &Fig8Result{LossRates: cfg.LossRates, Loads: cfg.Loads}
+	for _, lr := range cfg.LossRates {
+		c := cfg.Base
+		c.LossRate = lr
+		res.ByLoss = append(res.ByLoss, Fig7(c).TimeTo100)
+	}
+	for _, ld := range cfg.Loads {
+		c := cfg.Base
+		c.Load = ld
+		res.ByLoad = append(res.ByLoad, Fig7(c).TimeTo100)
+	}
+	return res
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"pathdump"
+	"pathdump/internal/netsim"
+	"pathdump/internal/types"
+)
+
+// Fig9Config parameterises the §4.5 routing-loop experiment. PuntDelay is
+// the switch→controller slow-path latency; the default of 45 ms
+// calibrates the 4-hop case to the paper's ~47 ms (their loop detection
+// time is dominated by exactly this punt path).
+type Fig9Config struct {
+	PuntDelay pathdump.Time // default 45 ms
+	Seed      int64
+}
+
+func (c Fig9Config) withDefaults() Fig9Config {
+	if c.PuntDelay == 0 {
+		c.PuntDelay = 45 * pathdump.Millisecond
+	}
+	return c
+}
+
+// Fig9Case is one loop size's outcome.
+type Fig9Case struct {
+	Hops     int
+	Detected bool
+	Latency  pathdump.Time
+	Rounds   int
+	Repeated pathdump.LinkID
+}
+
+// Fig9Result reproduces Figure 9 (4-hop loop) and the §4.5 6-hop case.
+type Fig9Result struct {
+	FourHop Fig9Case
+	SixHop  Fig9Case
+}
+
+// Fig9 injects a 4-hop loop (agg→core→agg→core within two pods, entered
+// on the flow's first up-leg so a single punted header already repeats a
+// sampled link) and a 6-hop loop spanning three pods (which needs the
+// controller's strip-and-reinject round, §4.5 "detecting loops of any
+// size"), and measures detection latency for each.
+func Fig9(cfg Fig9Config) *Fig9Result {
+	cfg = cfg.withDefaults()
+	res := &Fig9Result{}
+	res.FourHop = runLoop(cfg, 2)
+	res.FourHop.Hops = 4
+	res.SixHop = runLoop(cfg, 3)
+	res.SixHop.Hops = 6
+	return res
+}
+
+// runLoop builds a loop through `aggs` aggregation switches (one per pod,
+// all in core group 0), entered on the flow's first up-leg, then measures
+// detection. With two aggregation switches the cycle is 4 hops
+// (agg00→core0→agg10→core1→agg00) and the third tag already repeats a
+// sampled link, so one punt suffices; with three it is 6 hops and the
+// controller must strip tags and reinject once before the repeat appears.
+func runLoop(cfg Fig9Config, aggs int) Fig9Case {
+	c := buildCluster(pathdump.NetConfig{PuntDelay: cfg.PuntDelay, Seed: cfg.Seed})
+	topo := c.Topo
+	hosts := c.HostIDs()
+	src := hosts[0]
+	// Destination in the last pod, which the loop never reaches.
+	dst := hosts[12]
+	f := c.FlowBetween(src, dst, 9000)
+
+	ring := make([]types.SwitchID, 0, 2*aggs)
+	for i := 0; i < aggs; i++ {
+		ring = append(ring, topo.AggID(i, 0), topo.CoreID(i%2))
+	}
+	// A switch can appear twice in the ring (core0 in the 6-hop case),
+	// so the next hop is keyed by ingress, with the first occurrence as
+	// the fallback for entry hops and controller reinjection.
+	trans := make(map[types.SwitchID]map[netsim.NodeID]types.SwitchID)
+	firstNext := make(map[types.SwitchID]types.SwitchID)
+	for i, sw := range ring {
+		prev := ring[(i-1+len(ring))%len(ring)]
+		next := ring[(i+1)%len(ring)]
+		m := trans[sw]
+		if m == nil {
+			m = make(map[netsim.NodeID]types.SwitchID)
+			trans[sw] = m
+			firstNext[sw] = next
+		}
+		m[netsim.SwitchNode(prev)] = next
+	}
+	for sw, m := range trans {
+		mCopy, fallback := m, firstNext[sw]
+		c.Sim.SetNextHopOverride(sw, func(pkt *netsim.Packet, _ []types.SwitchID, ingress netsim.NodeID) (types.SwitchID, bool) {
+			if pkt.Flow != f {
+				return 0, false
+			}
+			if next, ok := mCopy[ingress]; ok {
+				return next, true
+			}
+			return fallback, true
+		})
+	}
+	// Force the source ToR into the loop's entry aggregation switch.
+	entry := ring[0]
+	c.Sim.SetNextHopOverride(topo.Host(src).ToR, func(pkt *netsim.Packet, _ []types.SwitchID, _ netsim.NodeID) (types.SwitchID, bool) {
+		if pkt.Flow != f {
+			return 0, false
+		}
+		return entry, true
+	})
+
+	var events []pathdump.LoopEvent
+	c.OnLoop(func(ev pathdump.LoopEvent) { events = append(events, ev) })
+
+	start := c.Now()
+	if err := c.SendPacket(src, &netsim.Packet{Flow: f, Size: 100}); err != nil {
+		panic(err)
+	}
+	c.RunAll()
+	if len(events) == 0 {
+		return Fig9Case{}
+	}
+	ev := events[0]
+	return Fig9Case{
+		Detected: true,
+		Latency:  ev.DetectedAt - start,
+		Rounds:   ev.Rounds,
+		Repeated: ev.Repeated,
+	}
+}

@@ -1,0 +1,133 @@
+// Package maxcov implements the MAX-COVERAGE fault-localisation algorithm
+// [Kompella et al., INFOCOM'07] that the paper's silent-packet-drop
+// application runs at the controller (§2.3, §4.3): given failure
+// signatures — the paths of flows that raised TCP performance alarms — it
+// greedily picks the smallest set of links that explains (covers) all of
+// them. The paper notes its controller-side implementation is ~50 lines;
+// this one is comparably small.
+package maxcov
+
+import (
+	"sort"
+
+	"pathdump/internal/types"
+)
+
+// Signature is one failure observation: the links of a path taken by a
+// flow that suffered consecutive retransmissions.
+type Signature []types.LinkID
+
+// FromPath builds a signature from a switch path.
+func FromPath(p types.Path) Signature { return Signature(p.Links()) }
+
+// Localize returns the greedy minimum set of links covering every
+// signature: repeatedly choose the link that appears in the most
+// still-uncovered signatures (ties broken by lowest link ID for
+// determinism) until all signatures are covered.
+func Localize(sigs []Signature) []types.LinkID { return LocalizeRobust(sigs, 1) }
+
+// LocalizeRobust is Localize with a noise cutoff: the greedy loop stops
+// once the best remaining link would explain fewer than minCover
+// signatures. Transient congestion produces one-off failure signatures
+// scattered across the fabric; a genuinely faulty interface accumulates
+// signatures from many distinct flows, so requiring minimum coverage
+// suppresses false positives without hurting recall (this is how the
+// precision curves of Fig. 7 converge to 1 despite background noise).
+func LocalizeRobust(sigs []Signature, minCover int) []types.LinkID {
+	uncovered := make([]Signature, 0, len(sigs))
+	for _, s := range sigs {
+		if len(s) > 0 {
+			uncovered = append(uncovered, s)
+		}
+	}
+	var out []types.LinkID
+	for len(uncovered) > 0 {
+		counts := make(map[types.LinkID]int)
+		for _, s := range uncovered {
+			seen := make(map[types.LinkID]bool, len(s))
+			for _, l := range s {
+				if !seen[l] {
+					seen[l] = true
+					counts[l]++
+				}
+			}
+		}
+		best, bestN := types.LinkID{}, -1
+		links := make([]types.LinkID, 0, len(counts))
+		for l := range counts {
+			links = append(links, l)
+		}
+		sort.Slice(links, func(i, j int) bool {
+			if links[i].A != links[j].A {
+				return links[i].A < links[j].A
+			}
+			return links[i].B < links[j].B
+		})
+		for _, l := range links {
+			if counts[l] > bestN {
+				best, bestN = l, counts[l]
+			}
+		}
+		if bestN < minCover {
+			break
+		}
+		out = append(out, best)
+		next := uncovered[:0]
+		for _, s := range uncovered {
+			if !contains(s, best) {
+				next = append(next, s)
+			}
+		}
+		uncovered = next
+	}
+	return out
+}
+
+func contains(s Signature, l types.LinkID) bool {
+	for _, x := range s {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// Score computes recall and precision of a hypothesis against the true
+// faulty links, the metrics of Figures 7 and 8:
+//
+//	recall    = TP / (TP + FN)
+//	precision = TP / (TP + FP)
+//
+// Links are compared ignoring direction (a faulty interface affects the
+// physical link).
+func Score(hypothesis, truth []types.LinkID) (recall, precision float64) {
+	norm := func(l types.LinkID) types.LinkID {
+		if l.B < l.A {
+			l.A, l.B = l.B, l.A
+		}
+		return l
+	}
+	truthSet := make(map[types.LinkID]bool, len(truth))
+	for _, l := range truth {
+		truthSet[norm(l)] = true
+	}
+	hypSet := make(map[types.LinkID]bool, len(hypothesis))
+	tp := 0
+	for _, l := range hypothesis {
+		n := norm(l)
+		if hypSet[n] {
+			continue
+		}
+		hypSet[n] = true
+		if truthSet[n] {
+			tp++
+		}
+	}
+	if len(truthSet) > 0 {
+		recall = float64(tp) / float64(len(truthSet))
+	}
+	if len(hypSet) > 0 {
+		precision = float64(tp) / float64(len(hypSet))
+	}
+	return recall, precision
+}

@@ -1,0 +1,127 @@
+package maxcov
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathdump/internal/types"
+)
+
+func link(a, b int) types.LinkID {
+	return types.LinkID{A: types.SwitchID(a), B: types.SwitchID(b)}
+}
+
+func TestLocalizeSingleFault(t *testing.T) {
+	// Every signature crosses link 2-3: greedy picks exactly it.
+	sigs := []Signature{
+		{link(0, 2), link(2, 3), link(3, 5)},
+		{link(1, 2), link(2, 3), link(3, 6)},
+		{link(0, 2), link(2, 3), link(3, 7)},
+	}
+	got := Localize(sigs)
+	if len(got) != 1 || got[0] != link(2, 3) {
+		t.Errorf("Localize = %v, want [s2-s3]", got)
+	}
+}
+
+func TestLocalizeTwoFaults(t *testing.T) {
+	sigs := []Signature{
+		{link(0, 2), link(2, 4)},
+		{link(0, 2), link(2, 5)},
+		{link(1, 3), link(3, 6)},
+		{link(1, 3), link(3, 7)},
+	}
+	got := Localize(sigs)
+	if len(got) != 2 {
+		t.Fatalf("Localize = %v, want 2 links", got)
+	}
+	seen := map[types.LinkID]bool{got[0]: true, got[1]: true}
+	if !seen[link(0, 2)] || !seen[link(1, 3)] {
+		t.Errorf("Localize = %v", got)
+	}
+}
+
+func TestLocalizeEmptyAndDegenerate(t *testing.T) {
+	if got := Localize(nil); got != nil {
+		t.Errorf("Localize(nil) = %v", got)
+	}
+	if got := Localize([]Signature{{}}); got != nil {
+		t.Errorf("empty signature yielded %v", got)
+	}
+	// A single signature picks one of its links.
+	got := Localize([]Signature{{link(1, 2), link(2, 3)}})
+	if len(got) != 1 {
+		t.Errorf("single signature = %v", got)
+	}
+}
+
+func TestLocalizeDeterministic(t *testing.T) {
+	sigs := []Signature{
+		{link(5, 1), link(1, 9)},
+		{link(5, 1), link(1, 8)},
+	}
+	a := Localize(sigs)
+	b := Localize(sigs)
+	if len(a) != len(b) || a[0] != b[0] {
+		t.Errorf("non-deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestScore(t *testing.T) {
+	truth := []types.LinkID{link(1, 2), link(3, 4)}
+	r, p := Score([]types.LinkID{link(1, 2)}, truth)
+	if r != 0.5 || p != 1.0 {
+		t.Errorf("recall=%v precision=%v", r, p)
+	}
+	// Direction-insensitive.
+	r, p = Score([]types.LinkID{link(2, 1), link(4, 3)}, truth)
+	if r != 1.0 || p != 1.0 {
+		t.Errorf("reversed links: recall=%v precision=%v", r, p)
+	}
+	// False positives hurt precision only.
+	r, p = Score([]types.LinkID{link(1, 2), link(3, 4), link(9, 9)}, truth)
+	if r != 1.0 || p < 0.66 || p > 0.67 {
+		t.Errorf("recall=%v precision=%v", r, p)
+	}
+	// Duplicates in the hypothesis count once.
+	r, p = Score([]types.LinkID{link(1, 2), link(2, 1)}, truth)
+	if r != 0.5 || p != 1.0 {
+		t.Errorf("dup hypothesis: recall=%v precision=%v", r, p)
+	}
+	// Empty sets.
+	r, p = Score(nil, truth)
+	if r != 0 || p != 0 {
+		t.Errorf("empty hypothesis: %v %v", r, p)
+	}
+}
+
+// TestAccuracyImprovesWithSignatures reproduces the paper's core claim
+// (Fig. 7): with more failure signatures, the algorithm's precision
+// converges to 1 for a fixed set of faulty links.
+func TestAccuracyImprovesWithSignatures(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	faulty := []types.LinkID{link(100, 200), link(101, 201)}
+	gen := func(n int) []Signature {
+		var sigs []Signature
+		for i := 0; i < n; i++ {
+			bad := faulty[rng.Intn(len(faulty))]
+			// A 4-link path through one faulty link with random
+			// healthy neighbours.
+			sigs = append(sigs, Signature{
+				link(rng.Intn(50), 60+rng.Intn(10)),
+				bad,
+				link(70+rng.Intn(10), 90+rng.Intn(10)),
+			})
+		}
+		return sigs
+	}
+	rFew, pFew := Score(Localize(gen(3)), faulty)
+	rMany, pMany := Score(Localize(gen(200)), faulty)
+	if rMany < rFew {
+		t.Errorf("recall regressed: %v -> %v", rFew, rMany)
+	}
+	if rMany != 1.0 || pMany != 1.0 {
+		t.Errorf("with 200 signatures: recall=%v precision=%v, want 1/1", rMany, pMany)
+	}
+	_ = pFew
+}

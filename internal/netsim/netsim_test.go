@@ -1,0 +1,442 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"pathdump/internal/cherrypick"
+	"pathdump/internal/topology"
+	"pathdump/internal/types"
+)
+
+// capture is a Receiver that stores delivered packets.
+type capture struct {
+	pkts []*Packet
+}
+
+func (c *capture) Receive(pkt *Packet) { c.pkts = append(c.pkts, pkt) }
+
+// trapRec records punted packets.
+type trapRec struct {
+	at   []types.SwitchID
+	pkts []*Packet
+}
+
+func (t *trapRec) Trap(at types.SwitchID, pkt *Packet) {
+	t.at = append(t.at, at)
+	t.pkts = append(t.pkts, pkt)
+}
+
+// newFatTreeSim builds a 4-ary fat-tree simulator plus captures at every host.
+func newFatTreeSim(t *testing.T, cfg Config) (*Sim, map[types.HostID]*capture) {
+	t.Helper()
+	topo, err := topology.FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, err := cherrypick.New(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(topo, scheme, cfg)
+	caps := make(map[types.HostID]*capture)
+	for _, h := range topo.Hosts() {
+		c := &capture{}
+		caps[h.ID] = c
+		s.SetReceiver(h.ID, c)
+	}
+	return s, caps
+}
+
+func flowBetween(a, b *topology.Host, port uint16) types.FlowID {
+	return types.FlowID{SrcIP: a.IP, DstIP: b.IP, SrcPort: port, DstPort: 80, Proto: types.ProtoTCP}
+}
+
+func TestBasicDelivery(t *testing.T) {
+	s, caps := newFatTreeSim(t, Config{})
+	src := s.Topo.Hosts()[0]
+	dst := s.Topo.HostsAt(s.Topo.ToRID(2, 1))[0]
+	f := flowBetween(src, dst, 1000)
+	if err := s.Send(src.ID, &Packet{Flow: f, Size: 1500}); err != nil {
+		t.Fatal(err)
+	}
+	s.RunAll()
+	got := caps[dst.ID].pkts
+	if len(got) != 1 {
+		t.Fatalf("delivered %d packets, want 1", len(got))
+	}
+	pkt := got[0]
+	if err := s.Topo.ValidTrajectory(f.SrcIP, f.DstIP, pkt.Trace); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	if len(pkt.Trace) != 5 {
+		t.Errorf("inter-pod trace %v, want 5 switches", pkt.Trace)
+	}
+	rec, err := s.Scheme.Reconstruct(f.SrcIP, f.DstIP, pkt.Hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Equal(pkt.Trace) {
+		t.Errorf("reconstructed %v, actual %v", rec, pkt.Trace)
+	}
+	if s.Stats().Delivered != 1 {
+		t.Errorf("stats.Delivered = %d", s.Stats().Delivered)
+	}
+}
+
+func TestSendUnknownHost(t *testing.T) {
+	s, _ := newFatTreeSim(t, Config{})
+	if err := s.Send(types.HostID(9999), &Packet{Size: 100}); err == nil {
+		t.Error("sending from unknown host should fail")
+	}
+}
+
+// TestReconstructionMatchesTraceProperty is the central invariant of the
+// whole tracing substrate: for random traffic under ECMP and spraying, with
+// and without link failures, every delivered packet's sampled tags
+// reconstruct to exactly the path it took.
+func TestReconstructionMatchesTraceProperty(t *testing.T) {
+	for _, spray := range []bool{false, true} {
+		for _, withFailures := range []bool{false, true} {
+			s, caps := newFatTreeSim(t, Config{Spray: spray, Seed: 42})
+			if withFailures {
+				// Take down one agg-core link and one agg-ToR link.
+				s.FailLink(s.Topo.AggID(2, 0), s.Topo.CoreID(0))
+				s.FailLink(s.Topo.AggID(1, 1), s.Topo.ToRID(1, 0))
+			}
+			s.SetTrapHandler(&trapRec{})
+			rng := rand.New(rand.NewSource(7))
+			hosts := s.Topo.Hosts()
+			sent := 0
+			for i := 0; i < 400; i++ {
+				src := hosts[rng.Intn(len(hosts))]
+				dst := hosts[rng.Intn(len(hosts))]
+				if src.ID == dst.ID {
+					continue
+				}
+				f := flowBetween(src, dst, uint16(1024+i))
+				s.Send(src.ID, &Packet{Flow: f, Seq: uint64(i), Size: 1000})
+				sent++
+			}
+			s.RunAll()
+			delivered := 0
+			for _, c := range caps {
+				for _, pkt := range c.pkts {
+					delivered++
+					if err := s.Topo.ValidTrajectory(pkt.Flow.SrcIP, pkt.Flow.DstIP, pkt.Trace); err != nil {
+						t.Fatalf("spray=%v fail=%v: trace invalid: %v", spray, withFailures, err)
+					}
+					rec, err := s.Scheme.Reconstruct(pkt.Flow.SrcIP, pkt.Flow.DstIP, pkt.Hdr)
+					if err != nil {
+						t.Fatalf("spray=%v fail=%v: reconstruct %v (trace %v): %v",
+							spray, withFailures, pkt.Hdr.Tags(), pkt.Trace, err)
+					}
+					if !rec.Equal(pkt.Trace) {
+						t.Fatalf("spray=%v fail=%v: reconstructed %v != actual %v",
+							spray, withFailures, rec, pkt.Trace)
+					}
+				}
+			}
+			if delivered == 0 {
+				t.Fatalf("spray=%v fail=%v: nothing delivered", spray, withFailures)
+			}
+			if !withFailures && uint64(delivered) != uint64(sent) {
+				t.Errorf("spray=%v: delivered %d of %d on healthy fabric", spray, delivered, sent)
+			}
+		}
+	}
+}
+
+func TestFailoverDetourIsTraced(t *testing.T) {
+	s, caps := newFatTreeSim(t, Config{})
+	trap := &trapRec{}
+	s.SetTrapHandler(trap)
+	src := s.Topo.Hosts()[0]
+	dst := s.Topo.HostsAt(s.Topo.ToRID(2, 0))[0]
+
+	// Find the canonical path of a probe flow, then fail its core→agg
+	// downlink so the core must bounce via another pod.
+	probe := flowBetween(src, dst, 5001)
+	s.Send(src.ID, &Packet{Flow: probe, Size: 100})
+	s.RunAll()
+	if len(caps[dst.ID].pkts) != 1 {
+		t.Fatal("probe not delivered")
+	}
+	canon := caps[dst.ID].pkts[0].Trace
+	core := canon[2]
+	s.FailLink(core, canon[3])
+
+	s.Send(src.ID, &Packet{Flow: probe, Size: 100})
+	s.RunAll()
+	pkts := caps[dst.ID].pkts
+	if len(pkts) == 2 {
+		detour := pkts[1].Trace
+		if len(detour) <= len(canon) {
+			t.Errorf("expected a longer detour, got %v", detour)
+		}
+		rec, err := s.Scheme.Reconstruct(probe.SrcIP, probe.DstIP, pkts[1].Hdr)
+		if err != nil {
+			t.Fatalf("detour reconstruct: %v", err)
+		}
+		if !rec.Equal(detour) {
+			t.Errorf("detour reconstructed %v != actual %v", rec, detour)
+		}
+	} else if len(trap.pkts) == 0 {
+		// The re-ascent may hash back into the dead core repeatedly,
+		// accumulating tags until the punt fires — also acceptable.
+		t.Fatalf("packet neither delivered nor trapped (delivered=%d)", len(pkts)-1)
+	}
+}
+
+func TestRoutingLoopTrapsAtController(t *testing.T) {
+	s, caps := newFatTreeSim(t, Config{})
+	trap := &trapRec{}
+	s.SetTrapHandler(trap)
+	src := s.Topo.Hosts()[0]
+	dst := s.Topo.HostsAt(s.Topo.ToRID(2, 0))[0]
+	f := flowBetween(src, dst, 6001)
+
+	// Probe to learn the flow's actual ECMP path, then misconfigure the
+	// destination-pod aggregation switch on that path to bounce packets
+	// back up — a routing loop through the core (§4.5).
+	s.Send(src.ID, &Packet{Flow: f, Size: 100})
+	s.RunAll()
+	probe := caps[dst.ID].pkts[0].Trace
+	core, aggD := probe[2], probe[3]
+	j := s.Topo.CoreGroup(s.Topo.Switch(core).Index)
+	aggOther := s.Topo.AggID(3, j)
+	s.SetNextHopOverride(aggD, func(pkt *Packet, _ []types.SwitchID, _ NodeID) (types.SwitchID, bool) {
+		return core, true
+	})
+	s.SetNextHopOverride(core, func(pkt *Packet, _ []types.SwitchID, ingress NodeID) (types.SwitchID, bool) {
+		if ingress == SwitchNode(aggD) {
+			return aggOther, true
+		}
+		return aggD, true
+	})
+	s.SetNextHopOverride(aggOther, func(pkt *Packet, _ []types.SwitchID, _ NodeID) (types.SwitchID, bool) {
+		return core, true
+	})
+
+	s.Send(src.ID, &Packet{Flow: f, Size: 100})
+	s.RunAll()
+	if len(trap.pkts) != 1 {
+		t.Fatalf("trapped %d packets, want 1", len(trap.pkts))
+	}
+	if len(caps[dst.ID].pkts) != 1 { // only the probe
+		t.Error("looped packet must not be delivered")
+	}
+	if got := trap.pkts[0]; !got.Hdr.Overflow() {
+		t.Errorf("trapped packet carries %d tags, want >%d", len(got.Hdr.VLANs), types.MaxVLANTags)
+	}
+	if s.Stats().Punts != 1 {
+		t.Errorf("Punts = %d", s.Stats().Punts)
+	}
+}
+
+func TestSilentDropAndBlackhole(t *testing.T) {
+	s, caps := newFatTreeSim(t, Config{Seed: 3})
+	src := s.Topo.Hosts()[0]
+	dstSame := s.Topo.HostsAt(src.ToR)[1]
+	f := flowBetween(src, dstSame, 7001)
+	// Same-ToR traffic crosses only host links; fault the ToR→host side
+	// cannot be addressed via SwitchID, so fault a switch link instead:
+	// use an intra-pod flow through agg(0,0).
+	dstPod := s.Topo.HostsAt(s.Topo.ToRID(0, 1))[0]
+	f2 := flowBetween(src, dstPod, 7002)
+
+	// Determine the agg the flow hashes through.
+	s.Send(src.ID, &Packet{Flow: f2, Size: 100})
+	s.RunAll()
+	agg := caps[dstPod.ID].pkts[0].Trace[1]
+
+	s.SetSilentDrop(src.ToR, agg, 1.0)
+	for i := 0; i < 10; i++ {
+		s.Send(src.ID, &Packet{Flow: f2, Seq: uint64(i), Size: 100})
+	}
+	s.RunAll()
+	if len(caps[dstPod.ID].pkts) != 1 {
+		t.Errorf("silent drop leaked packets: %d", len(caps[dstPod.ID].pkts))
+	}
+	if got := s.Stats().SilentDrops(); got != 10 {
+		t.Errorf("SilentDrops = %d, want 10", got)
+	}
+	if got := s.Stats().LinkDrops(src.ToR, agg); got != 10 {
+		t.Errorf("LinkDrops = %d, want 10", got)
+	}
+
+	// Blackhole on the reverse direction link.
+	s.SetSilentDrop(src.ToR, agg, 0)
+	s.SetBlackhole(src.ToR, agg, true)
+	s.Send(src.ID, &Packet{Flow: f2, Size: 100})
+	s.RunAll()
+	if got := s.Stats().BlackholeDrops(); got != 1 {
+		t.Errorf("BlackholeDrops = %d, want 1", got)
+	}
+	_ = f
+}
+
+func TestCongestionDropTail(t *testing.T) {
+	s, caps := newFatTreeSim(t, Config{QueueBytes: 3000, BandwidthBps: 1e6})
+	src := s.Topo.Hosts()[0]
+	dst := s.Topo.HostsAt(s.Topo.ToRID(0, 1))[0]
+	f := flowBetween(src, dst, 8001)
+	for i := 0; i < 50; i++ {
+		s.Send(src.ID, &Packet{Flow: f, Seq: uint64(i), Size: 1500})
+	}
+	s.RunAll()
+	st := s.Stats()
+	if st.CongestionDrops() == 0 {
+		t.Error("expected congestion drops with a 2-packet queue")
+	}
+	if len(caps[dst.ID].pkts) == 0 {
+		t.Error("some packets should still get through")
+	}
+	if st.CongestionDrops()+st.Delivered != 50 {
+		t.Errorf("conservation violated: %d dropped + %d delivered != 50",
+			st.CongestionDrops(), st.Delivered)
+	}
+}
+
+func TestAdminLinkFailureAndRestore(t *testing.T) {
+	s, caps := newFatTreeSim(t, Config{})
+	src := s.Topo.Hosts()[0]
+	dst := s.Topo.HostsAt(s.Topo.ToRID(0, 1))[0]
+	f := flowBetween(src, dst, 9001)
+	// Fail both agg uplinks of the source ToR: no route at all.
+	s.FailLink(src.ToR, s.Topo.AggID(0, 0))
+	s.FailLink(src.ToR, s.Topo.AggID(0, 1))
+	s.Send(src.ID, &Packet{Flow: f, Size: 100})
+	s.RunAll()
+	if len(caps[dst.ID].pkts) != 0 {
+		t.Error("packet delivered despite no live uplink")
+	}
+	if s.Stats().NoRouteDrops() == 0 {
+		t.Error("expected a no-route drop")
+	}
+	s.RestoreLink(src.ToR, s.Topo.AggID(0, 0))
+	s.Send(src.ID, &Packet{Flow: f, Size: 100})
+	s.RunAll()
+	if len(caps[dst.ID].pkts) != 1 {
+		t.Error("packet not delivered after restore")
+	}
+}
+
+func TestTTLExhaustion(t *testing.T) {
+	s, _ := newFatTreeSim(t, Config{DisableTagging: true, TTL: 8})
+	src := s.Topo.Hosts()[0]
+	dst := s.Topo.HostsAt(s.Topo.ToRID(2, 0))[0]
+	f := flowBetween(src, dst, 9501)
+	// Ping-pong loop between ToR and agg with tagging disabled (so no
+	// punt rescues the packet): TTL must kill it.
+	agg := s.Topo.AggID(0, 0)
+	s.SetNextHopOverride(src.ToR, func(pkt *Packet, _ []types.SwitchID, _ NodeID) (types.SwitchID, bool) {
+		return agg, true
+	})
+	s.SetNextHopOverride(agg, func(pkt *Packet, _ []types.SwitchID, _ NodeID) (types.SwitchID, bool) {
+		return src.ToR, true
+	})
+	s.Send(src.ID, &Packet{Flow: f, Size: 100})
+	s.RunAll()
+	if s.Stats().TTLDrops() != 1 {
+		t.Errorf("TTLDrops = %d, want 1", s.Stats().TTLDrops())
+	}
+}
+
+func TestSchedulerOrdering(t *testing.T) {
+	s, _ := newFatTreeSim(t, Config{})
+	var order []int
+	s.At(100, func() { order = append(order, 2) })
+	s.At(50, func() { order = append(order, 1) })
+	s.At(100, func() { order = append(order, 3) }) // FIFO at equal times
+	s.Run(75)
+	if len(order) != 1 || order[0] != 1 {
+		t.Fatalf("after Run(75): %v", order)
+	}
+	if s.Now() != 75 {
+		t.Errorf("Now = %v, want 75", s.Now())
+	}
+	s.RunAll()
+	if len(order) != 3 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("final order %v", order)
+	}
+	// After schedules relative to now.
+	s.After(10, func() { order = append(order, 4) })
+	if s.Pending() != 1 {
+		t.Error("Pending != 1")
+	}
+	s.RunAll()
+	if s.Now() != 110 {
+		t.Errorf("Now = %v, want 110", s.Now())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (uint64, uint64) {
+		s, _ := newFatTreeSim(t, Config{Seed: 99})
+		s.SetSilentDrop(s.Topo.ToRID(0, 0), s.Topo.AggID(0, 0), 0.3)
+		src := s.Topo.Hosts()[0]
+		dst := s.Topo.HostsAt(s.Topo.ToRID(1, 0))[0]
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 200; i++ {
+			f := flowBetween(src, dst, uint16(rng.Intn(5000)))
+			s.Send(src.ID, &Packet{Flow: f, Seq: uint64(i), Size: 500})
+		}
+		s.RunAll()
+		return s.Stats().Delivered, s.Stats().SilentDrops()
+	}
+	d1, s1 := run()
+	d2, s2 := run()
+	if d1 != d2 || s1 != s2 {
+		t.Errorf("non-deterministic: (%d,%d) vs (%d,%d)", d1, s1, d2, s2)
+	}
+	if s1 == 0 {
+		t.Error("no silent drops at p=0.3?")
+	}
+}
+
+func TestVL2SimDelivery(t *testing.T) {
+	topo, err := topology.VL2(8, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, err := cherrypick.New(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(topo, scheme, Config{})
+	caps := make(map[types.HostID]*capture)
+	for _, h := range topo.Hosts() {
+		c := &capture{}
+		caps[h.ID] = c
+		s.SetReceiver(h.ID, c)
+	}
+	rng := rand.New(rand.NewSource(11))
+	hosts := topo.Hosts()
+	for i := 0; i < 200; i++ {
+		src := hosts[rng.Intn(len(hosts))]
+		dst := hosts[rng.Intn(len(hosts))]
+		if src.ID == dst.ID {
+			continue
+		}
+		f := flowBetween(src, dst, uint16(1024+i))
+		s.Send(src.ID, &Packet{Flow: f, Size: 800})
+	}
+	s.RunAll()
+	checked := 0
+	for _, c := range caps {
+		for _, pkt := range c.pkts {
+			rec, err := s.Scheme.Reconstruct(pkt.Flow.SrcIP, pkt.Flow.DstIP, pkt.Hdr)
+			if err != nil {
+				t.Fatalf("VL2 reconstruct (trace %v): %v", pkt.Trace, err)
+			}
+			if !rec.Equal(pkt.Trace) {
+				t.Fatalf("VL2 reconstructed %v != actual %v", rec, pkt.Trace)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no VL2 packets delivered")
+	}
+}

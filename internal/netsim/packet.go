@@ -1,0 +1,69 @@
+package netsim
+
+import (
+	"fmt"
+
+	"pathdump/internal/cherrypick"
+	"pathdump/internal/types"
+)
+
+// Packet is one simulated packet. Switches forward it, tag it with sampled
+// link IDs, and may drop or punt it; the destination host's edge datapath
+// consumes the header.
+type Packet struct {
+	Flow types.FlowID
+	// Seq is the segment index for data packets and the cumulative
+	// acknowledgement for ACKs.
+	Seq uint64
+	// XmitID distinguishes transmissions of the same segment: packet
+	// spraying hashes on it, so a retransmission can take a different
+	// path than the lost original (as real per-packet spraying does).
+	// Zero means "first transmission" and falls back to Seq.
+	XmitID uint64
+	// Size is the wire size in bytes.
+	Size int
+	// Ack marks TCP acknowledgements; Fin marks the final segment of a
+	// flow (the edge datapath evicts the flow record when it sees it).
+	Ack bool
+	Fin bool
+	// Hdr carries the trajectory information (DSCP + VLAN stack).
+	Hdr cherrypick.Header
+	// TTL bounds forwarding in the presence of loops.
+	TTL int
+	// SentAt is the send timestamp (for RTT accounting by TCP).
+	SentAt types.Time
+	// Meta is opaque sender metadata visible to switch overrides; the
+	// load-imbalance experiment uses it to carry the flow size so a
+	// misconfigured switch can split traffic by size (§4.2).
+	Meta int64
+
+	// Trace is simulator-side ground truth: every switch the packet
+	// actually visited. It never influences forwarding and exists so
+	// tests and experiments can compare reconstructed trajectories
+	// against reality.
+	Trace types.Path
+}
+
+// String renders the packet compactly.
+func (p *Packet) String() string {
+	kind := "data"
+	if p.Ack {
+		kind = "ack"
+	}
+	return fmt.Sprintf("%s %s seq=%d %dB tags=%v", kind, p.Flow, p.Seq, p.Size, p.Hdr.Tags())
+}
+
+// NodeID identifies any simulated node (switch, host, or the controller)
+// in one key space, for link-state maps.
+type NodeID int64
+
+const (
+	nodeSwitchBase NodeID = 0
+	nodeHostBase   NodeID = 1 << 32
+)
+
+// SwitchNode converts a switch ID to a node ID.
+func SwitchNode(s types.SwitchID) NodeID { return nodeSwitchBase + NodeID(s) }
+
+// HostNode converts a host ID to a node ID.
+func HostNode(h types.HostID) NodeID { return nodeHostBase + NodeID(h) }

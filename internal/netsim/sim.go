@@ -1,0 +1,451 @@
+// Package netsim is a deterministic, packet-level, discrete-event
+// simulator of a datacenter network: the substrate standing in for the
+// paper's hardware testbed. It models
+//
+//   - links with bandwidth, propagation delay, and drop-tail output queues;
+//   - switches that forward along canonical equal-cost routes (flow-level
+//     ECMP or per-packet spraying), apply CherryPick tag rules, fail over
+//     to live neighbours when canonical next hops are down, and punt
+//     packets whose VLAN stack exceeds the commodity-ASIC parse limit to
+//     the controller (the paper's suspicious-path trap, §3.1);
+//   - failure injection: administrative link failures, silent random drops
+//     at an interface, blackholes, and per-switch next-hop overrides (used
+//     to build routing loops and pathological load balancers);
+//   - hosts whose receive path hands packets to a pluggable Receiver (the
+//     PathDump edge datapath).
+//
+// Everything runs on one virtual clock with a seeded RNG, so every
+// experiment in this repository is reproducible bit for bit.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"pathdump/internal/cherrypick"
+	"pathdump/internal/topology"
+	"pathdump/internal/types"
+)
+
+// Receiver consumes packets delivered to a host.
+type Receiver interface {
+	Receive(pkt *Packet)
+}
+
+// TrapHandler consumes packets punted to the controller because their VLAN
+// stack overflowed the ASIC parse limit.
+type TrapHandler interface {
+	Trap(at types.SwitchID, pkt *Packet)
+}
+
+// Config parameterises the simulated fabric. Zero values select the
+// defaults noted on each field.
+type Config struct {
+	// BandwidthBps is the link rate (default 1 Gbps).
+	BandwidthBps int64
+	// LinkDelay is per-link propagation delay (default 5 µs).
+	LinkDelay types.Time
+	// SwitchDelay is per-hop processing latency (default 1 µs).
+	SwitchDelay types.Time
+	// QueueBytes is the drop-tail capacity of each output port
+	// (default 150 000 bytes ≈ 100 MTU packets).
+	QueueBytes int
+	// PuntDelay is the switch→controller slow-path latency for trapped
+	// packets (default 20 ms — commodity OpenFlow punt path).
+	PuntDelay types.Time
+	// Spray selects per-packet spraying instead of flow-level ECMP.
+	Spray bool
+	// TTL is the initial hop budget of injected packets (default 64).
+	TTL int
+	// Seed seeds the simulation RNG.
+	Seed int64
+	// DisableTagging turns CherryPick tagging off (vanilla fabric, used
+	// by ablation benchmarks).
+	DisableTagging bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.BandwidthBps == 0 {
+		c.BandwidthBps = 1e9
+	}
+	if c.LinkDelay == 0 {
+		c.LinkDelay = 5 * types.Microsecond
+	}
+	if c.SwitchDelay == 0 {
+		c.SwitchDelay = 1 * types.Microsecond
+	}
+	if c.QueueBytes == 0 {
+		c.QueueBytes = 150000
+	}
+	if c.PuntDelay == 0 {
+		c.PuntDelay = 20 * types.Millisecond
+	}
+	if c.TTL == 0 {
+		c.TTL = 64
+	}
+	return c
+}
+
+// event is one scheduled callback.
+type event struct {
+	at  types.Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// linkState is the per-directed-link transmission state.
+type linkState struct {
+	busyUntil types.Time
+	down      bool
+	blackhole bool
+	silentP   float64
+}
+
+type linkKey struct{ from, to NodeID }
+
+// override customises next-hop selection at one switch.
+type override func(pkt *Packet, canonical []types.SwitchID, ingress NodeID) (types.SwitchID, bool)
+
+// Sim is one simulation instance.
+type Sim struct {
+	Topo   *topology.Topology
+	Router *topology.Router
+	Scheme cherrypick.Scheme
+
+	cfg    Config
+	now    types.Time
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+
+	links     map[linkKey]*linkState
+	overrides map[types.SwitchID]override
+	receivers map[types.HostID]Receiver
+	trap      TrapHandler
+	stats     Stats
+}
+
+// New builds a simulator over a topology with its CherryPick scheme.
+func New(topo *topology.Topology, scheme cherrypick.Scheme, cfg Config) *Sim {
+	cfg = cfg.withDefaults()
+	return &Sim{
+		Topo:      topo,
+		Router:    topology.NewRouter(topo),
+		Scheme:    scheme,
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		links:     make(map[linkKey]*linkState),
+		overrides: make(map[types.SwitchID]override),
+		receivers: make(map[types.HostID]Receiver),
+		stats:     newStats(),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() types.Time { return s.now }
+
+// Config returns the effective configuration.
+func (s *Sim) Config() Config { return s.cfg }
+
+// Rand exposes the simulation RNG (for workload generators that must share
+// the deterministic stream).
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn at absolute virtual time t (clamped to now).
+func (s *Sim) At(t types.Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn after a delay.
+func (s *Sim) After(d types.Time, fn func()) { s.At(s.now+d, fn) }
+
+// Run processes events until the queue drains or virtual time passes
+// until; it returns the number of events processed. The clock ends at
+// until even if the queue drained earlier.
+func (s *Sim) Run(until types.Time) int {
+	n := 0
+	for len(s.events) > 0 && s.events[0].at <= until {
+		e := heap.Pop(&s.events).(event)
+		s.now = e.at
+		e.fn()
+		n++
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return n
+}
+
+// RunAll drains the event queue completely, returning events processed.
+func (s *Sim) RunAll() int {
+	n := 0
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(event)
+		s.now = e.at
+		e.fn()
+		n++
+	}
+	return n
+}
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return len(s.events) }
+
+// SetReceiver installs the packet consumer for a host.
+func (s *Sim) SetReceiver(h types.HostID, r Receiver) { s.receivers[h] = r }
+
+// SetTrapHandler installs the controller-side consumer of punted packets.
+func (s *Sim) SetTrapHandler(t TrapHandler) { s.trap = t }
+
+// SetNextHopOverride installs a custom next-hop selector at a switch
+// (misconfigurations, size-based splitters, loop inducers). The function
+// receives the canonical candidates and returns the hop to use; returning
+// ok==false falls back to normal selection.
+func (s *Sim) SetNextHopOverride(sw types.SwitchID, fn func(pkt *Packet, canonical []types.SwitchID, ingress NodeID) (types.SwitchID, bool)) {
+	if fn == nil {
+		delete(s.overrides, sw)
+		return
+	}
+	s.overrides[sw] = fn
+}
+
+// link returns (allocating) the state of directed link from→to.
+func (s *Sim) link(from, to NodeID) *linkState {
+	k := linkKey{from, to}
+	l := s.links[k]
+	if l == nil {
+		l = &linkState{}
+		s.links[k] = l
+	}
+	return l
+}
+
+// FailLink administratively takes the a–b link down in both directions;
+// adjacent switches observe it and route around.
+func (s *Sim) FailLink(a, b types.SwitchID) {
+	s.link(SwitchNode(a), SwitchNode(b)).down = true
+	s.link(SwitchNode(b), SwitchNode(a)).down = true
+}
+
+// RestoreLink brings the a–b link back up.
+func (s *Sim) RestoreLink(a, b types.SwitchID) {
+	s.link(SwitchNode(a), SwitchNode(b)).down = false
+	s.link(SwitchNode(b), SwitchNode(a)).down = false
+}
+
+// SetSilentDrop makes the directed a→b interface drop packets at random
+// with probability p without updating any visible counter — the paper's
+// silent random packet drop failure (§4.3).
+func (s *Sim) SetSilentDrop(a, b types.SwitchID, p float64) {
+	s.link(SwitchNode(a), SwitchNode(b)).silentP = p
+}
+
+// SetBlackhole makes the directed a→b interface drop every packet
+// silently (§4.4). Switches keep routing into it: they cannot see it.
+func (s *Sim) SetBlackhole(a, b types.SwitchID, on bool) {
+	s.link(SwitchNode(a), SwitchNode(b)).blackhole = on
+}
+
+// linkUp reports whether the directed link is administratively up (the
+// only failure mode switches can observe).
+func (s *Sim) linkUp(from, to NodeID) bool {
+	if l, ok := s.links[linkKey{from, to}]; ok {
+		return !l.down
+	}
+	return true
+}
+
+// Send injects a packet from a host into the fabric.
+func (s *Sim) Send(from types.HostID, pkt *Packet) error {
+	h := s.Topo.Host(from)
+	if h == nil {
+		return fmt.Errorf("netsim: unknown host %v", from)
+	}
+	if pkt.TTL == 0 {
+		pkt.TTL = s.cfg.TTL
+	}
+	pkt.SentAt = s.now
+	s.transmit(HostNode(from), SwitchNode(h.ToR), pkt, func() {
+		s.arriveAtSwitch(h.ToR, HostNode(from), pkt)
+	})
+	return nil
+}
+
+// Reinject puts a packet back into the fabric at a switch — used by the
+// controller's loop detector after stripping tags (§4.5). The hop budget
+// is refreshed so the packet can loop again and re-trap.
+func (s *Sim) Reinject(at types.SwitchID, pkt *Packet) {
+	if pkt.TTL <= 1 {
+		pkt.TTL = s.cfg.TTL
+	}
+	s.arriveAtSwitch(at, SwitchNode(at), pkt)
+}
+
+// transmit models the directed link from→to: drop-tail admission, silent
+// faults, serialisation, propagation, then onArrive.
+func (s *Sim) transmit(from, to NodeID, pkt *Packet, onArrive func()) {
+	l := s.link(from, to)
+	if l.down {
+		s.stats.drop(dropNoRoute, from, to)
+		return
+	}
+	// Drop-tail queue: backlog is the untransmitted byte count implied
+	// by busyUntil.
+	backlog := int64(0)
+	if l.busyUntil > s.now {
+		backlog = int64(l.busyUntil-s.now) * s.cfg.BandwidthBps / (8 * int64(types.Second))
+	}
+	if backlog+int64(pkt.Size) > int64(s.cfg.QueueBytes) {
+		s.stats.drop(dropCongestion, from, to)
+		return
+	}
+	if l.blackhole {
+		s.stats.drop(dropBlackhole, from, to)
+		return
+	}
+	if l.silentP > 0 && s.rng.Float64() < l.silentP {
+		s.stats.drop(dropSilent, from, to)
+		return
+	}
+	ser := types.Time(int64(pkt.Size) * 8 * int64(types.Second) / s.cfg.BandwidthBps)
+	start := l.busyUntil
+	if start < s.now {
+		start = s.now
+	}
+	l.busyUntil = start + ser
+	s.At(l.busyUntil+s.cfg.LinkDelay, onArrive)
+}
+
+// arriveAtSwitch performs one forwarding decision.
+func (s *Sim) arriveAtSwitch(sw types.SwitchID, ingress NodeID, pkt *Packet) {
+	pkt.Trace = append(pkt.Trace, sw)
+	if !s.cfg.DisableTagging && pkt.Hdr.Overflow() {
+		// The ASIC cannot parse past two VLAN tags: rule miss, punt.
+		s.stats.Punts++
+		if s.trap != nil {
+			trapAt, p := sw, pkt
+			s.After(s.cfg.PuntDelay, func() { s.trap.Trap(trapAt, p) })
+		}
+		return
+	}
+	pkt.TTL--
+	if pkt.TTL <= 0 {
+		s.stats.drop(dropTTL, ingress, SwitchNode(sw))
+		return
+	}
+
+	canonical, deliver := s.Router.NextHops(sw, pkt.Flow.DstIP)
+	// Overrides (misconfigurations) take precedence over everything.
+	if ov, ok := s.overrides[sw]; ok {
+		if next, ok := ov(pkt, canonical, ingress); ok {
+			s.forwardTo(sw, next, pkt)
+			return
+		}
+	}
+	if deliver {
+		dst := s.Topo.HostByIP(pkt.Flow.DstIP)
+		s.transmit(SwitchNode(sw), HostNode(dst.ID), pkt, func() {
+			s.deliver(dst.ID, pkt)
+		})
+		return
+	}
+	if next, ok := s.choose(sw, pkt, canonical, ingress); ok {
+		s.forwardTo(sw, next, pkt)
+		return
+	}
+	s.stats.drop(dropNoRoute, ingress, SwitchNode(sw))
+}
+
+// choose picks a next hop: live canonical candidates under ECMP/spray,
+// else failover to a live neighbour (upward tiers first, never the ingress).
+func (s *Sim) choose(sw types.SwitchID, pkt *Packet, canonical []types.SwitchID, ingress NodeID) (types.SwitchID, bool) {
+	live := canonical[:0:0]
+	for _, c := range canonical {
+		if s.linkUp(SwitchNode(sw), SwitchNode(c)) {
+			live = append(live, c)
+		}
+	}
+	if len(live) > 0 {
+		return live[s.pathIndex(pkt, sw, len(live))], true
+	}
+	// Failover: any live neighbour except where we came from, preferring
+	// upward tiers (keeps detours CherryPick-decodable).
+	node := s.Topo.Switch(sw)
+	if node == nil {
+		return 0, false
+	}
+	var alt []types.SwitchID
+	for _, n := range node.Up {
+		if SwitchNode(n) != ingress && s.linkUp(SwitchNode(sw), SwitchNode(n)) {
+			alt = append(alt, n)
+		}
+	}
+	if len(alt) == 0 {
+		for _, n := range node.Down {
+			if SwitchNode(n) != ingress && s.linkUp(SwitchNode(sw), SwitchNode(n)) {
+				alt = append(alt, n)
+			}
+		}
+	}
+	if len(alt) == 0 {
+		return 0, false
+	}
+	return alt[s.pathIndex(pkt, sw, len(alt))], true
+}
+
+// pathIndex returns the load-balancing index at switch sw for pkt.
+func (s *Sim) pathIndex(pkt *Packet, sw types.SwitchID, n int) int {
+	if s.cfg.Spray && !pkt.Ack {
+		key := pkt.Seq
+		if pkt.XmitID != 0 {
+			key = pkt.XmitID
+		}
+		return topology.SprayIndex(pkt.Flow, key, uint32(sw), n)
+	}
+	return topology.ECMPIndex(pkt.Flow, uint32(sw), n)
+}
+
+// forwardTo tags and transmits a packet to the next switch.
+func (s *Sim) forwardTo(sw, next types.SwitchID, pkt *Packet) {
+	if !s.cfg.DisableTagging {
+		cherrypick.Apply(s.Scheme, sw, next, pkt.Flow.DstIP, &pkt.Hdr)
+	}
+	s.After(s.cfg.SwitchDelay, func() {
+		s.transmit(SwitchNode(sw), SwitchNode(next), pkt, func() {
+			s.arriveAtSwitch(next, SwitchNode(sw), pkt)
+		})
+	})
+}
+
+// deliver hands a packet to the destination host's receiver.
+func (s *Sim) deliver(h types.HostID, pkt *Packet) {
+	s.stats.Delivered++
+	s.stats.DeliveredBytes += uint64(pkt.Size)
+	if r := s.receivers[h]; r != nil {
+		r.Receive(pkt)
+	}
+}

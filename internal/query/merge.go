@@ -1,0 +1,164 @@
+package query
+
+import (
+	"pathdump/internal/types"
+)
+
+// Merge folds another host's partial result into r. It implements the
+// aggregation step of both the controller's direct query (fold at the
+// root) and the multi-level aggregation tree (fold at interior nodes),
+// inspired by Dremel/iMR (§3.2). Merging is associative and commutative,
+// so any tree shape yields the same final result.
+func (r *Result) Merge(o *Result, q Query) {
+	switch q.Op {
+	case OpFlows:
+		r.Flows = mergeFlows(r.Flows, o.Flows)
+	case OpPaths:
+		r.Paths = mergePaths(r.Paths, o.Paths)
+	case OpCount:
+		r.Bytes += o.Bytes
+		r.Pkts += o.Pkts
+	case OpDuration:
+		if o.Duration > r.Duration {
+			r.Duration = o.Duration
+		}
+	case OpPoorTCP:
+		r.FlowIDs = mergeFlowIDs(r.FlowIDs, o.FlowIDs)
+	case OpFSD:
+		r.Hists = mergeHists(r.Hists, o.Hists)
+	case OpTopK:
+		k := q.K
+		if k <= 0 {
+			k = 1000
+		}
+		r.Top = mergeTop(r.Top, o.Top, k)
+	case OpConformance:
+		r.Violations = mergeViolations(r.Violations, o.Violations)
+	case OpMatrix:
+		r.Matrix = mergeMatrix(r.Matrix, o.Matrix)
+	case OpRecords:
+		r.Records = append(r.Records, o.Records...)
+	}
+}
+
+func mergeFlows(a, b []types.Flow) []types.Flow {
+	seen := make(map[string]bool, len(a))
+	for _, f := range a {
+		seen[f.ID.String()+f.Path.Key()] = true
+	}
+	for _, f := range b {
+		k := f.ID.String() + f.Path.Key()
+		if !seen[k] {
+			seen[k] = true
+			a = append(a, f)
+		}
+	}
+	return a
+}
+
+func mergePaths(a, b []types.Path) []types.Path {
+	seen := make(map[string]bool, len(a))
+	for _, p := range a {
+		seen[p.Key()] = true
+	}
+	for _, p := range b {
+		if !seen[p.Key()] {
+			seen[p.Key()] = true
+			a = append(a, p)
+		}
+	}
+	return a
+}
+
+func mergeFlowIDs(a, b []types.FlowID) []types.FlowID {
+	seen := make(map[types.FlowID]bool, len(a))
+	for _, f := range a {
+		seen[f] = true
+	}
+	for _, f := range b {
+		if !seen[f] {
+			seen[f] = true
+			a = append(a, f)
+		}
+	}
+	return a
+}
+
+func mergeHists(a, b []LinkHist) []LinkHist {
+	idx := make(map[types.LinkID]int, len(a))
+	for i, h := range a {
+		idx[h.Link] = i
+	}
+	for _, h := range b {
+		i, ok := idx[h.Link]
+		if !ok {
+			idx[h.Link] = len(a)
+			a = append(a, LinkHist{Link: h.Link, BinBytes: h.BinBytes, Bins: append([]uint64(nil), h.Bins...)})
+			continue
+		}
+		for len(a[i].Bins) < len(h.Bins) {
+			a[i].Bins = append(a[i].Bins, 0)
+		}
+		for j, v := range h.Bins {
+			a[i].Bins[j] += v
+		}
+	}
+	return a
+}
+
+// mergeTop combines two ranked lists and keeps the global top k. Entries
+// for the same flow are summed first (a flow's records live on a single
+// host, but spray subflows can surface the same flow twice during
+// intermediate aggregation).
+func mergeTop(a, b []FlowBytes, k int) []FlowBytes {
+	sum := make(map[types.FlowID]FlowBytes, len(a)+len(b))
+	for _, fb := range append(append([]FlowBytes(nil), a...), b...) {
+		cur := sum[fb.Flow]
+		cur.Flow = fb.Flow
+		cur.Bytes += fb.Bytes
+		cur.Pkts += fb.Pkts
+		sum[fb.Flow] = cur
+	}
+	out := make([]FlowBytes, 0, len(sum))
+	for _, fb := range sum {
+		out = append(out, fb)
+	}
+	sortFlowBytes(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func mergeViolations(a, b []Violation) []Violation {
+	seen := make(map[string]bool, len(a))
+	for _, v := range a {
+		seen[v.Flow.String()+v.Path.Key()] = true
+	}
+	for _, v := range b {
+		k := v.Flow.String() + v.Path.Key()
+		if !seen[k] {
+			seen[k] = true
+			a = append(a, v)
+		}
+	}
+	return a
+}
+
+func mergeMatrix(a, b []MatrixCell) []MatrixCell {
+	type key struct{ s, d types.SwitchID }
+	idx := make(map[key]int, len(a))
+	for i, c := range a {
+		idx[key{c.SrcToR, c.DstToR}] = i
+	}
+	for _, c := range b {
+		k := key{c.SrcToR, c.DstToR}
+		if i, ok := idx[k]; ok {
+			a[i].Bytes += c.Bytes
+		} else {
+			idx[k] = len(a)
+			a = append(a, c)
+		}
+	}
+	return a
+}

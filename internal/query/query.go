@@ -1,0 +1,327 @@
+// Package query defines the serialisable query language PathDump's
+// controller sends to host agents, plus result merging for distributed
+// (multi-level aggregation tree) execution. Each query op corresponds to a
+// composition over the Table-1 host API; results are mergeable so partial
+// results can be aggregated bottom-up through the tree (§3.2).
+package query
+
+import (
+	"encoding/json"
+	"sort"
+
+	"pathdump/internal/tib"
+	"pathdump/internal/types"
+)
+
+// Op names a query operation.
+type Op string
+
+// Supported query operations.
+const (
+	// OpFlows → getFlows(linkID, timeRange).
+	OpFlows Op = "flows"
+	// OpPaths → getPaths(flowID, linkID, timeRange).
+	OpPaths Op = "paths"
+	// OpCount → getCount(Flow, timeRange).
+	OpCount Op = "count"
+	// OpDuration → getDuration(Flow, timeRange).
+	OpDuration Op = "duration"
+	// OpPoorTCP → getPoorTCPFlows(threshold).
+	OpPoorTCP Op = "poor_tcp"
+	// OpFSD builds the per-link flow size distribution used by the
+	// load-imbalance diagnosis (§2.3, Fig. 5).
+	OpFSD Op = "fsd"
+	// OpTopK computes the top-k flows by bytes (§2.3).
+	OpTopK Op = "topk"
+	// OpConformance checks paths against operator policy (§2.3, §4.1).
+	OpConformance Op = "conformance"
+	// OpMatrix aggregates a ToR-to-ToR traffic matrix.
+	OpMatrix Op = "matrix"
+	// OpRecords dumps raw matching records (debug/inspection tool).
+	OpRecords Op = "records"
+)
+
+// Query is one request to a host agent. Only the fields relevant to the op
+// need to be set; the zero TimeRange means "all time".
+type Query struct {
+	Op    Op              `json:"op"`
+	Link  types.LinkID    `json:"link,omitempty"`
+	Links []types.LinkID  `json:"links,omitempty"`
+	Flow  types.FlowID    `json:"flow,omitempty"`
+	Path  types.Path      `json:"path,omitempty"`
+	Range types.TimeRange `json:"range,omitempty"`
+
+	// K bounds top-k queries; BinBytes sets FSD histogram bin width.
+	K        int    `json:"k,omitempty"`
+	BinBytes uint64 `json:"bin_bytes,omitempty"`
+	// Threshold is the consecutive-retransmission threshold for poor-TCP
+	// queries.
+	Threshold int `json:"threshold,omitempty"`
+
+	// Conformance policy: maximum path length (0 disables), switches the
+	// path must avoid, and waypoints it must traverse.
+	MaxPathLen int              `json:"max_path_len,omitempty"`
+	Avoid      []types.SwitchID `json:"avoid,omitempty"`
+	Waypoints  []types.SwitchID `json:"waypoints,omitempty"`
+}
+
+// normalRange defaults the zero range to all time.
+func (q Query) normalRange() types.TimeRange {
+	if q.Range == (types.TimeRange{}) {
+		return types.AllTime
+	}
+	return q.Range
+}
+
+// LinkHist is one link's flow-size histogram: Bins[i] counts flows whose
+// byte count falls in [i·BinBytes, (i+1)·BinBytes).
+type LinkHist struct {
+	Link     types.LinkID `json:"link"`
+	BinBytes uint64       `json:"bin_bytes"`
+	Bins     []uint64     `json:"bins"`
+}
+
+// FlowBytes pairs a flow with its byte/packet totals (top-k entries).
+type FlowBytes struct {
+	Flow  types.FlowID `json:"flow"`
+	Bytes uint64       `json:"bytes"`
+	Pkts  uint64       `json:"pkts"`
+}
+
+// Violation is one path-conformance failure.
+type Violation struct {
+	Flow types.FlowID `json:"flow"`
+	Path types.Path   `json:"path"`
+}
+
+// MatrixCell is one ⟨source ToR, destination ToR⟩ traffic-matrix entry.
+type MatrixCell struct {
+	SrcToR types.SwitchID `json:"src_tor"`
+	DstToR types.SwitchID `json:"dst_tor"`
+	Bytes  uint64         `json:"bytes"`
+}
+
+// Result carries a query's (partial) answer. Only the fields relevant to
+// the op are populated.
+type Result struct {
+	Op         Op             `json:"op"`
+	Flows      []types.Flow   `json:"flows,omitempty"`
+	Paths      []types.Path   `json:"paths,omitempty"`
+	Bytes      uint64         `json:"bytes,omitempty"`
+	Pkts       uint64         `json:"pkts,omitempty"`
+	Duration   types.Time     `json:"duration,omitempty"`
+	FlowIDs    []types.FlowID `json:"flow_ids,omitempty"`
+	Hists      []LinkHist     `json:"hists,omitempty"`
+	Top        []FlowBytes    `json:"top,omitempty"`
+	Violations []Violation    `json:"violations,omitempty"`
+	Matrix     []MatrixCell   `json:"matrix,omitempty"`
+	Records    []types.Record `json:"records,omitempty"`
+}
+
+// WireSize returns the serialised size in bytes — the unit of the query
+// traffic-volume measurements (Figs. 11b, 12b).
+func (r *Result) WireSize() int {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return 0
+	}
+	return len(b)
+}
+
+// View is the data a host agent exposes to query execution: its TIB (plus
+// not-yet-exported trajectory memory) and the active TCP monitor.
+type View interface {
+	// Flows is getFlows: distinct ⟨flowID, path⟩ pairs through a link.
+	Flows(link types.LinkID, tr types.TimeRange) []types.Flow
+	// Paths is getPaths: distinct paths of one flow through a link.
+	Paths(f types.FlowID, link types.LinkID, tr types.TimeRange) []types.Path
+	// Count is getCount over a ⟨flowID, path⟩ pair (nil path = all).
+	Count(f types.Flow, tr types.TimeRange) (bytes, pkts uint64)
+	// Duration is getDuration over a ⟨flowID, path⟩ pair.
+	Duration(f types.Flow, tr types.TimeRange) types.Time
+	// PoorTCPFlows is getPoorTCPFlows from the active monitor.
+	PoorTCPFlows(threshold int) []types.FlowID
+	// EachRecord visits raw records (for matrix/records/conformance ops).
+	EachRecord(link types.LinkID, tr types.TimeRange, fn func(*types.Record))
+}
+
+// StoreView adapts a bare TIB store into a View with no TCP monitor —
+// used by tests and offline analysis of snapshots.
+type StoreView struct{ S *tib.Store }
+
+// Flows implements View.
+func (v StoreView) Flows(l types.LinkID, tr types.TimeRange) []types.Flow { return v.S.Flows(l, tr) }
+
+// Paths implements View.
+func (v StoreView) Paths(f types.FlowID, l types.LinkID, tr types.TimeRange) []types.Path {
+	return v.S.Paths(f, l, tr)
+}
+
+// Count implements View.
+func (v StoreView) Count(f types.Flow, tr types.TimeRange) (uint64, uint64) { return v.S.Count(f, tr) }
+
+// Duration implements View.
+func (v StoreView) Duration(f types.Flow, tr types.TimeRange) types.Time { return v.S.Duration(f, tr) }
+
+// PoorTCPFlows implements View (no monitor: always empty).
+func (v StoreView) PoorTCPFlows(int) []types.FlowID { return nil }
+
+// EachRecord implements View.
+func (v StoreView) EachRecord(l types.LinkID, tr types.TimeRange, fn func(*types.Record)) {
+	v.S.ForEach(l, tr, fn)
+}
+
+// Execute runs a query against a host's view and returns its local result.
+func Execute(q Query, v View) Result {
+	tr := q.normalRange()
+	res := Result{Op: q.Op}
+	switch q.Op {
+	case OpFlows:
+		res.Flows = v.Flows(q.Link, tr)
+	case OpPaths:
+		res.Paths = v.Paths(q.Flow, q.Link, tr)
+	case OpCount:
+		res.Bytes, res.Pkts = v.Count(types.Flow{ID: q.Flow, Path: q.Path}, tr)
+	case OpDuration:
+		res.Duration = v.Duration(types.Flow{ID: q.Flow, Path: q.Path}, tr)
+	case OpPoorTCP:
+		res.FlowIDs = v.PoorTCPFlows(q.Threshold)
+	case OpFSD:
+		res.Hists = executeFSD(q, v, tr)
+	case OpTopK:
+		res.Top = executeTopK(q, v, tr)
+	case OpConformance:
+		res.Violations = executeConformance(q, v, tr)
+	case OpMatrix:
+		res.Matrix = executeMatrix(q, v, tr)
+	case OpRecords:
+		v.EachRecord(q.Link, tr, func(rec *types.Record) {
+			res.Records = append(res.Records, *rec)
+		})
+	}
+	return res
+}
+
+// executeFSD builds one histogram per requested link: the §2.3
+// load-imbalance query (getFlows + getCount per flow, binned).
+func executeFSD(q Query, v View, tr types.TimeRange) []LinkHist {
+	bin := q.BinBytes
+	if bin == 0 {
+		bin = 10000 // the paper's example binsize
+	}
+	links := q.Links
+	if len(links) == 0 {
+		links = []types.LinkID{q.Link}
+	}
+	out := make([]LinkHist, 0, len(links))
+	for _, l := range links {
+		h := LinkHist{Link: l, BinBytes: bin}
+		for _, fl := range v.Flows(l, tr) {
+			bytes, _ := v.Count(fl, tr)
+			idx := int(bytes / bin)
+			for len(h.Bins) <= idx {
+				h.Bins = append(h.Bins, 0)
+			}
+			h.Bins[idx]++
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+// executeTopK is the §2.3 top-k query: all local flows ranked by bytes.
+func executeTopK(q Query, v View, tr types.TimeRange) []FlowBytes {
+	k := q.K
+	if k <= 0 {
+		k = 1000 // the paper's example
+	}
+	totals := make(map[types.FlowID]*FlowBytes)
+	for _, fl := range v.Flows(types.AnyLink, tr) {
+		if _, seen := totals[fl.ID]; seen {
+			continue // Count aggregates across paths already
+		}
+		b, p := v.Count(types.Flow{ID: fl.ID}, tr)
+		totals[fl.ID] = &FlowBytes{Flow: fl.ID, Bytes: b, Pkts: p}
+	}
+	all := make([]FlowBytes, 0, len(totals))
+	for _, fb := range totals {
+		all = append(all, *fb)
+	}
+	sortFlowBytes(all)
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// executeConformance is the §2.3 path-conformance check over local flows.
+func executeConformance(q Query, v View, tr types.TimeRange) []Violation {
+	var out []Violation
+	check := func(f types.FlowID, p types.Path) {
+		if violates(q, p) {
+			out = append(out, Violation{Flow: f, Path: p})
+		}
+	}
+	zero := types.FlowID{}
+	if q.Flow != zero {
+		for _, p := range v.Paths(q.Flow, types.AnyLink, tr) {
+			check(q.Flow, p)
+		}
+		return out
+	}
+	for _, fl := range v.Flows(types.AnyLink, tr) {
+		check(fl.ID, fl.Path)
+	}
+	return out
+}
+
+// violates applies the conformance policy to one path.
+func violates(q Query, p types.Path) bool {
+	if q.MaxPathLen > 0 && len(p) >= q.MaxPathLen {
+		return true
+	}
+	for _, s := range q.Avoid {
+		if p.Contains(s) {
+			return true
+		}
+	}
+	for _, w := range q.Waypoints {
+		if !p.Contains(w) {
+			return true
+		}
+	}
+	return false
+}
+
+// executeMatrix aggregates bytes between path endpoints (ToR pairs).
+func executeMatrix(q Query, v View, tr types.TimeRange) []MatrixCell {
+	type key struct{ s, d types.SwitchID }
+	cells := make(map[key]uint64)
+	v.EachRecord(types.AnyLink, tr, func(rec *types.Record) {
+		if len(rec.Path) == 0 {
+			return
+		}
+		k := key{rec.Path[0], rec.Path[len(rec.Path)-1]}
+		cells[k] += rec.Bytes
+	})
+	out := make([]MatrixCell, 0, len(cells))
+	for k, b := range cells {
+		out = append(out, MatrixCell{SrcToR: k.s, DstToR: k.d, Bytes: b})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SrcToR != out[j].SrcToR {
+			return out[i].SrcToR < out[j].SrcToR
+		}
+		return out[i].DstToR < out[j].DstToR
+	})
+	return out
+}
+
+func sortFlowBytes(s []FlowBytes) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Bytes != s[j].Bytes {
+			return s[i].Bytes > s[j].Bytes
+		}
+		return s[i].Flow.String() < s[j].Flow.String()
+	})
+}

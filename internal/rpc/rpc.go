@@ -1,0 +1,237 @@
+// Package rpc is the HTTP/JSON transport between the PathDump controller
+// and host agents — the stand-in for the paper's Flask RESTful service
+// (§3). An AgentServer exposes one agent's query/install/uninstall
+// endpoints; HTTPTransport implements controller.Transport against a set
+// of agent base URLs; ControllerServer accepts agent alarms.
+//
+// Endpoints (all JSON over POST unless noted):
+//
+//	agent:      /query      {query}          → {result, records_scanned}
+//	            /install    {query, period}  → {id}
+//	            /uninstall  {id}             → {}
+//	            /stats      (GET)            → {records, packets, invalid}
+//	controller: /alarm      {alarm}          → {}
+package rpc
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"pathdump/internal/controller"
+	"pathdump/internal/query"
+	"pathdump/internal/types"
+)
+
+// Target is the agent-side surface the server exposes; *agent.Agent
+// satisfies it.
+type Target interface {
+	Execute(q query.Query) query.Result
+	Install(q query.Query, period types.Time) int
+	Uninstall(id int) error
+	TIBSize() int
+}
+
+// QueryRequest is the /query body.
+type QueryRequest struct {
+	Query query.Query `json:"query"`
+}
+
+// QueryResponse is the /query reply.
+type QueryResponse struct {
+	Result         query.Result `json:"result"`
+	RecordsScanned int          `json:"records_scanned"`
+}
+
+// InstallRequest is the /install body; Period is virtual nanoseconds.
+type InstallRequest struct {
+	Query  query.Query `json:"query"`
+	Period types.Time  `json:"period"`
+}
+
+// InstallResponse is the /install reply.
+type InstallResponse struct {
+	ID int `json:"id"`
+}
+
+// UninstallRequest is the /uninstall body.
+type UninstallRequest struct {
+	ID int `json:"id"`
+}
+
+// AlarmRequest is the controller's /alarm body.
+type AlarmRequest struct {
+	Alarm types.Alarm `json:"alarm"`
+}
+
+// AgentServer serves one agent's host API.
+type AgentServer struct {
+	T Target
+}
+
+// Handler returns the agent's HTTP mux.
+func (s *AgentServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		var req QueryRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		resp := QueryResponse{
+			Result:         s.T.Execute(req.Query),
+			RecordsScanned: s.T.TIBSize(),
+		}
+		encode(w, resp)
+	})
+	mux.HandleFunc("/install", func(w http.ResponseWriter, r *http.Request) {
+		var req InstallRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		encode(w, InstallResponse{ID: s.T.Install(req.Query, req.Period)})
+	})
+	mux.HandleFunc("/uninstall", func(w http.ResponseWriter, r *http.Request) {
+		var req UninstallRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		if err := s.T.Uninstall(req.ID); err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		encode(w, struct{}{})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		encode(w, map[string]int{"records": s.T.TIBSize()})
+	})
+	return mux
+}
+
+// ControllerServer accepts alarms from remote agents.
+type ControllerServer struct {
+	C *controller.Controller
+}
+
+// Handler returns the controller's HTTP mux.
+func (s *ControllerServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/alarm", func(w http.ResponseWriter, r *http.Request) {
+		var req AlarmRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		s.C.RaiseAlarm(req.Alarm)
+		encode(w, struct{}{})
+	})
+	return mux
+}
+
+// AlarmClient forwards agent alarms to a controller URL; it implements
+// agent.AlarmSink.
+type AlarmClient struct {
+	URL    string
+	Client *http.Client
+}
+
+// RaiseAlarm posts the alarm; delivery failures are dropped (alarms are
+// advisory, the monitor will fire again).
+func (c *AlarmClient) RaiseAlarm(a types.Alarm) {
+	body, err := json.Marshal(AlarmRequest{Alarm: a})
+	if err != nil {
+		return
+	}
+	resp, err := c.client().Post(c.URL+"/alarm", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+func (c *AlarmClient) client() *http.Client {
+	if c.Client != nil {
+		return c.Client
+	}
+	return http.DefaultClient
+}
+
+// HTTPTransport implements controller.Transport over per-host agent URLs.
+type HTTPTransport struct {
+	URLs   map[types.HostID]string
+	Client *http.Client
+}
+
+func (t *HTTPTransport) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return http.DefaultClient
+}
+
+func (t *HTTPTransport) post(host types.HostID, path string, in, out interface{}) error {
+	base, ok := t.URLs[host]
+	if !ok {
+		return fmt.Errorf("rpc: no URL for host %v", host)
+	}
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := t.client().Post(base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("rpc: %s%s: %s: %s", base, path, resp.Status, bytes.TrimSpace(msg))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Query implements controller.Transport.
+func (t *HTTPTransport) Query(host types.HostID, q query.Query) (query.Result, controller.QueryMeta, error) {
+	var resp QueryResponse
+	if err := t.post(host, "/query", QueryRequest{Query: q}, &resp); err != nil {
+		return query.Result{}, controller.QueryMeta{}, err
+	}
+	return resp.Result, controller.QueryMeta{RecordsScanned: resp.RecordsScanned}, nil
+}
+
+// Install implements controller.Transport.
+func (t *HTTPTransport) Install(host types.HostID, q query.Query, period types.Time) (int, error) {
+	var resp InstallResponse
+	if err := t.post(host, "/install", InstallRequest{Query: q, Period: period}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.ID, nil
+}
+
+// Uninstall implements controller.Transport.
+func (t *HTTPTransport) Uninstall(host types.HostID, id int) error {
+	var out struct{}
+	return t.post(host, "/uninstall", UninstallRequest{ID: id}, &out)
+}
+
+// decode parses a JSON request body, writing a 400 on failure.
+func decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return false
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 16<<20)).Decode(v); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// encode writes a JSON response.
+func encode(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

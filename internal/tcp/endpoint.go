@@ -1,0 +1,77 @@
+package tcp
+
+import (
+	"pathdump/internal/netsim"
+	"pathdump/internal/types"
+)
+
+// Endpoint is the receive side of one incoming TCP flow: it tracks
+// in-order delivery, buffers out-of-order segments, and emits cumulative
+// (and duplicate) ACKs back through the fabric.
+type Endpoint struct {
+	stack *Stack
+	cfg   Config
+
+	Flow types.FlowID
+
+	expected uint64
+	ooo      map[uint64]bool
+
+	// Receive-side statistics used by the outcast/incast diagnosis.
+	Bytes    uint64
+	Pkts     uint64
+	FirstAt  types.Time
+	LastAt   types.Time
+	GotFin   bool
+	finSeq   uint64
+	Complete bool
+}
+
+func newEndpoint(st *Stack, f types.FlowID) *Endpoint {
+	return &Endpoint{stack: st, cfg: st.cfg, Flow: f, ooo: make(map[uint64]bool)}
+}
+
+// onData processes one data segment and responds with a cumulative ACK.
+func (e *Endpoint) onData(pkt *netsim.Packet) {
+	now := e.stack.sim.Now()
+	if e.Pkts == 0 {
+		e.FirstAt = now
+	}
+	e.LastAt = now
+	e.Pkts++
+	e.Bytes += uint64(pkt.Size)
+	if pkt.Fin {
+		e.GotFin = true
+		e.finSeq = pkt.Seq
+	}
+	switch {
+	case pkt.Seq == e.expected:
+		e.expected++
+		for e.ooo[e.expected] {
+			delete(e.ooo, e.expected)
+			e.expected++
+		}
+	case pkt.Seq > e.expected:
+		e.ooo[pkt.Seq] = true
+	}
+	if e.GotFin && e.expected > e.finSeq {
+		e.Complete = true
+	}
+	ack := &netsim.Packet{
+		Flow: e.Flow.Reverse(),
+		Seq:  e.expected,
+		Size: e.cfg.AckBytes,
+		Ack:  true,
+	}
+	_ = e.stack.sim.Send(e.stack.host, ack)
+}
+
+// ThroughputBps returns the receive goodput over the endpoint's active
+// window, in bits per second.
+func (e *Endpoint) ThroughputBps() float64 {
+	d := e.LastAt - e.FirstAt
+	if d <= 0 {
+		return 0
+	}
+	return float64(e.Bytes) * 8 / d.Seconds()
+}

@@ -1,0 +1,221 @@
+package tcp
+
+import (
+	"pathdump/internal/netsim"
+	"pathdump/internal/types"
+)
+
+// Sender is one TCP flow's send side: a NewReno-style loop with slow
+// start, congestion avoidance, fast retransmit/recovery and exponential
+// RTO backoff. Retransmission counters feed the PathDump active monitor.
+type Sender struct {
+	stack *Stack
+	cfg   Config
+
+	Flow       types.FlowID
+	TotalBytes int64
+	Meta       int64
+
+	totalSegs      uint64
+	lastSize       int // payload bytes of final segment
+	nextSeq        uint64
+	sndUna         uint64 // lowest unacknowledged segment
+	cwnd           float64
+	ssthresh       float64
+	dupAcks        int
+	inRecovery     bool
+	recoverSeq     uint64
+	rto            types.Time
+	rtoGen         uint64 // invalidates stale timers
+	xmits          uint64 // transmission counter (spray re-hash key)
+	scannedRetrans int    // TotalRetrans at the monitor's last scan
+
+	// TotalRetrans counts every retransmission; ConsecRetrans counts
+	// retransmissions since the last forward progress — the quantity
+	// getPoorTCPFlows thresholds on.
+	TotalRetrans  int
+	ConsecRetrans int
+
+	StartedAt  types.Time
+	FinishedAt types.Time
+	Finished   bool
+
+	done func(*Sender)
+}
+
+func newSender(st *Stack, f types.FlowID, totalBytes, meta int64, done func(*Sender)) *Sender {
+	cfg := st.cfg
+	segs := uint64(totalBytes / int64(cfg.MSS))
+	last := int(totalBytes % int64(cfg.MSS))
+	if last > 0 {
+		segs++
+	} else {
+		last = cfg.MSS
+	}
+	if totalBytes <= 0 {
+		segs, last = 1, 1
+	}
+	return &Sender{
+		stack:      st,
+		cfg:        cfg,
+		Flow:       f,
+		TotalBytes: totalBytes,
+		Meta:       meta,
+		totalSegs:  segs,
+		lastSize:   last,
+		cwnd:       cfg.InitCwnd,
+		ssthresh:   cfg.MaxCwnd,
+		rto:        cfg.MinRTO,
+		done:       done,
+	}
+}
+
+func (s *Sender) start() {
+	s.StartedAt = s.stack.sim.Now()
+	s.trySend()
+	s.armRTO()
+}
+
+// inflight is the number of unacknowledged segments.
+func (s *Sender) inflight() uint64 { return s.nextSeq - s.sndUna }
+
+// segSize returns the wire size of segment seq.
+func (s *Sender) segSize(seq uint64) int {
+	payload := s.cfg.MSS
+	if seq == s.totalSegs-1 {
+		payload = s.lastSize
+	}
+	return payload + s.cfg.HeaderBytes
+}
+
+// sendSeg transmits one segment with a fresh transmission ID, so
+// per-packet spraying re-hashes retransmissions onto new paths.
+func (s *Sender) sendSeg(seq uint64) {
+	s.xmits++
+	pkt := &netsim.Packet{
+		Flow:   s.Flow,
+		Seq:    seq,
+		XmitID: s.xmits,
+		Size:   s.segSize(seq),
+		Fin:    seq == s.totalSegs-1,
+		Meta:   s.Meta,
+	}
+	// Errors only occur for unknown hosts, which cannot happen for a
+	// stack bound to a topology host.
+	_ = s.stack.sim.Send(s.stack.host, pkt)
+}
+
+// trySend opens the window.
+func (s *Sender) trySend() {
+	for s.inflight() < uint64(s.cwnd) && s.nextSeq < s.totalSegs {
+		s.sendSeg(s.nextSeq)
+		s.nextSeq++
+	}
+}
+
+// onAck processes a cumulative acknowledgement (ack = next expected seq).
+func (s *Sender) onAck(ack uint64) {
+	if s.Finished {
+		return
+	}
+	if ack > s.sndUna {
+		s.sndUna = ack
+		s.dupAcks = 0
+		s.ConsecRetrans = 0
+		if s.inRecovery && ack >= s.recoverSeq {
+			s.inRecovery = false
+			s.cwnd = s.ssthresh
+		}
+		if s.cwnd < s.ssthresh {
+			s.cwnd++
+		} else {
+			s.cwnd += 1 / s.cwnd
+		}
+		if s.cwnd > s.cfg.MaxCwnd {
+			s.cwnd = s.cfg.MaxCwnd
+		}
+		s.rto = s.cfg.MinRTO
+		if s.sndUna >= s.totalSegs {
+			s.finish()
+			return
+		}
+		s.armRTO()
+		s.trySend()
+		return
+	}
+	// Duplicate ACK.
+	s.dupAcks++
+	switch {
+	case s.dupAcks == 3 && !s.inRecovery:
+		s.ssthresh = s.cwnd / 2
+		if s.ssthresh < 2 {
+			s.ssthresh = 2
+		}
+		s.cwnd = s.ssthresh + 3
+		s.inRecovery = true
+		s.recoverSeq = s.nextSeq
+		s.retransmit(s.sndUna)
+	case s.inRecovery:
+		s.cwnd++ // window inflation per extra dup ACK
+		if s.cwnd > s.cfg.MaxCwnd {
+			s.cwnd = s.cfg.MaxCwnd
+		}
+		s.trySend()
+	}
+}
+
+// retransmit resends a segment and bumps the monitor counters.
+func (s *Sender) retransmit(seq uint64) {
+	s.TotalRetrans++
+	s.ConsecRetrans++
+	s.sendSeg(seq)
+}
+
+// armRTO (re)schedules the retransmission timer.
+func (s *Sender) armRTO() {
+	s.rtoGen++
+	gen := s.rtoGen
+	s.stack.sim.After(s.rto, func() { s.onRTO(gen) })
+}
+
+// onRTO fires the retransmission timeout.
+func (s *Sender) onRTO(gen uint64) {
+	if gen != s.rtoGen || s.Finished {
+		return
+	}
+	s.ssthresh = s.cwnd / 2
+	if s.ssthresh < 2 {
+		s.ssthresh = 2
+	}
+	s.cwnd = 1
+	s.dupAcks = 0
+	s.inRecovery = false
+	s.retransmit(s.sndUna)
+	s.rto *= 2
+	if s.rto > s.cfg.MaxRTO {
+		s.rto = s.cfg.MaxRTO
+	}
+	s.armRTO()
+}
+
+// finish marks completion and fires the callback.
+func (s *Sender) finish() {
+	s.Finished = true
+	s.FinishedAt = s.stack.sim.Now()
+	s.rtoGen++ // cancel timers
+	if s.done != nil {
+		s.done(s)
+	}
+}
+
+// Duration returns the flow completion time (valid once Finished).
+func (s *Sender) Duration() types.Time { return s.FinishedAt - s.StartedAt }
+
+// ThroughputBps returns goodput in bits per second (valid once Finished).
+func (s *Sender) ThroughputBps() float64 {
+	d := s.Duration()
+	if d <= 0 {
+		return 0
+	}
+	return float64(s.TotalBytes) * 8 / d.Seconds()
+}

@@ -1,0 +1,169 @@
+// Package tcp is a compact TCP model (slow start, congestion avoidance,
+// fast retransmit, retransmission timeouts) running over the netsim
+// fabric. It exists because PathDump's active monitoring consumes TCP
+// retransmission signals (the paper uses perf-tools' tcpretrans): silent
+// drop localisation (§4.3), blackhole diagnosis (§4.4) and the
+// outcast/incast analyses (§4.6) are all driven by flows that retransmit,
+// stall, or lose throughput under contention.
+package tcp
+
+import (
+	"sort"
+
+	"pathdump/internal/netsim"
+	"pathdump/internal/types"
+)
+
+// Config parameterises the TCP model. Zero values select defaults.
+type Config struct {
+	// MSS is the maximum segment size (default 1460 bytes payload; the
+	// wire size adds 40 bytes of headers).
+	MSS int
+	// HeaderBytes is the per-packet header overhead (default 40).
+	HeaderBytes int
+	// AckBytes is the wire size of an ACK (default 64).
+	AckBytes int
+	// InitCwnd is the initial congestion window in segments (default 4).
+	InitCwnd float64
+	// MinRTO is the minimum retransmission timeout (default 200 ms, the
+	// paper's monitoring period is tied to it).
+	MinRTO types.Time
+	// MaxRTO caps exponential backoff (default 1 s).
+	MaxRTO types.Time
+	// MaxCwnd caps window growth in segments (default 512).
+	MaxCwnd float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MSS == 0 {
+		c.MSS = 1460
+	}
+	if c.HeaderBytes == 0 {
+		c.HeaderBytes = 40
+	}
+	if c.AckBytes == 0 {
+		c.AckBytes = 64
+	}
+	if c.InitCwnd == 0 {
+		c.InitCwnd = 4
+	}
+	if c.MinRTO == 0 {
+		c.MinRTO = 200 * types.Millisecond
+	}
+	if c.MaxRTO == 0 {
+		c.MaxRTO = types.Second
+	}
+	if c.MaxCwnd == 0 {
+		c.MaxCwnd = 512
+	}
+	return c
+}
+
+// Stack is the per-host TCP state: active senders keyed by their forward
+// flow and receive endpoints keyed by the incoming flow. It implements the
+// upper-stack side of the edge datapath: the PathDump agent strips
+// trajectory tags and hands packets here.
+type Stack struct {
+	sim  *netsim.Sim
+	host types.HostID
+	cfg  Config
+
+	senders   map[types.FlowID]*Sender
+	endpoints map[types.FlowID]*Endpoint
+}
+
+// NewStack builds the TCP stack for one host.
+func NewStack(sim *netsim.Sim, host types.HostID, cfg Config) *Stack {
+	return &Stack{
+		sim:       sim,
+		host:      host,
+		cfg:       cfg.withDefaults(),
+		senders:   make(map[types.FlowID]*Sender),
+		endpoints: make(map[types.FlowID]*Endpoint),
+	}
+}
+
+// Host returns the owning host ID.
+func (st *Stack) Host() types.HostID { return st.host }
+
+// Receive dispatches an incoming packet: ACKs to the matching sender,
+// data to the (auto-created) receive endpoint.
+func (st *Stack) Receive(pkt *netsim.Packet) {
+	if pkt.Ack {
+		if snd, ok := st.senders[pkt.Flow.Reverse()]; ok {
+			snd.onAck(pkt.Seq)
+		}
+		return
+	}
+	ep := st.endpoints[pkt.Flow]
+	if ep == nil {
+		ep = newEndpoint(st, pkt.Flow)
+		st.endpoints[pkt.Flow] = ep
+	}
+	ep.onData(pkt)
+}
+
+// StartFlow opens a TCP flow of totalBytes from this host. meta is carried
+// in every packet's Meta field (the load-imbalance experiment stores the
+// flow size there so a misconfigured switch can split on it). done, if
+// non-nil, fires when the last byte is acknowledged.
+func (st *Stack) StartFlow(f types.FlowID, totalBytes int64, meta int64, done func(*Sender)) *Sender {
+	snd := newSender(st, f, totalBytes, meta, done)
+	st.senders[f] = snd
+	snd.start()
+	return snd
+}
+
+// Sender returns the sender for flow f, or nil.
+func (st *Stack) Sender(f types.FlowID) *Sender { return st.senders[f] }
+
+// Endpoint returns the receive endpoint for incoming flow f, or nil.
+func (st *Stack) Endpoint(f types.FlowID) *Endpoint { return st.endpoints[f] }
+
+// Endpoints lists receive endpoints in deterministic order.
+func (st *Stack) Endpoints() []*Endpoint {
+	out := make([]*Endpoint, 0, len(st.endpoints))
+	for _, ep := range st.endpoints {
+		out = append(out, ep)
+	}
+	sort.Slice(out, func(i, j int) bool { return flowLess(out[i].Flow, out[j].Flow) })
+	return out
+}
+
+// PoorFlows returns flows suffering retransmissions — the signal behind
+// getPoorTCPFlows() (§2.1). Mirroring the paper's tcpretrans-based
+// monitor, a flow is poor when it retransmitted at least threshold times
+// since the previous scan (retransmission frequency over the monitoring
+// interval) or is stuck retransmitting the same data threshold times in a
+// row. Each call advances the scan window for every sender.
+func (st *Stack) PoorFlows(threshold int) []types.FlowID {
+	var out []types.FlowID
+	for f, snd := range st.senders {
+		delta := snd.TotalRetrans - snd.scannedRetrans
+		snd.scannedRetrans = snd.TotalRetrans
+		if delta >= threshold || snd.ConsecRetrans >= threshold {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return flowLess(out[i], out[j]) })
+	return out
+}
+
+// Forget drops a finished sender's state (after the monitor has reported it).
+func (st *Stack) Forget(f types.FlowID) { delete(st.senders, f) }
+
+func flowLess(a, b types.FlowID) bool {
+	if a.SrcIP != b.SrcIP {
+		return a.SrcIP < b.SrcIP
+	}
+	if a.DstIP != b.DstIP {
+		return a.DstIP < b.DstIP
+	}
+	if a.SrcPort != b.SrcPort {
+		return a.SrcPort < b.SrcPort
+	}
+	if a.DstPort != b.DstPort {
+		return a.DstPort < b.DstPort
+	}
+	return a.Proto < b.Proto
+}

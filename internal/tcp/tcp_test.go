@@ -1,0 +1,239 @@
+package tcp
+
+import (
+	"testing"
+
+	"pathdump/internal/cherrypick"
+	"pathdump/internal/netsim"
+	"pathdump/internal/topology"
+	"pathdump/internal/types"
+)
+
+// rig wires stacks onto every host of a 4-ary fat tree.
+type rig struct {
+	sim    *netsim.Sim
+	stacks map[types.HostID]*Stack
+}
+
+func newRig(t *testing.T, cfg netsim.Config) *rig {
+	t.Helper()
+	topo, err := topology.FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, err := cherrypick.New(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := netsim.New(topo, scheme, cfg)
+	r := &rig{sim: sim, stacks: make(map[types.HostID]*Stack)}
+	for _, h := range topo.Hosts() {
+		st := NewStack(sim, h.ID, Config{})
+		r.stacks[h.ID] = st
+		sim.SetReceiver(h.ID, st)
+	}
+	return r
+}
+
+func (r *rig) flow(src, dst *topology.Host, port uint16) types.FlowID {
+	return types.FlowID{SrcIP: src.IP, DstIP: dst.IP, SrcPort: port, DstPort: 80, Proto: types.ProtoTCP}
+}
+
+func TestFlowCompletesOnHealthyFabric(t *testing.T) {
+	r := newRig(t, netsim.Config{})
+	src := r.sim.Topo.Hosts()[0]
+	dst := r.sim.Topo.HostsAt(r.sim.Topo.ToRID(2, 0))[0]
+	f := r.flow(src, dst, 2000)
+	var finished *Sender
+	// 100 KB stays within the bottleneck queue during slow start: no loss.
+	r.stacks[src.ID].StartFlow(f, 100_000, 0, func(s *Sender) { finished = s })
+	r.sim.RunAll()
+	if finished == nil {
+		t.Fatal("flow did not complete")
+	}
+	if finished.TotalRetrans != 0 {
+		t.Errorf("retransmissions on a healthy fabric: %d", finished.TotalRetrans)
+	}
+	ep := r.stacks[dst.ID].Endpoint(f)
+	if ep == nil || !ep.Complete {
+		t.Fatal("endpoint did not complete")
+	}
+	// Goodput must be positive and below line rate.
+	bps := finished.ThroughputBps()
+	if bps <= 0 || bps > 1e9 {
+		t.Errorf("throughput = %.0f bps", bps)
+	}
+	if finished.Duration() <= 0 {
+		t.Error("non-positive duration")
+	}
+}
+
+func TestLargeFlowSurvivesSlowStartOvershoot(t *testing.T) {
+	// A 1 MB flow overshoots the drop-tail queue in slow start; TCP must
+	// recover and complete with a clean consecutive-retransmit counter.
+	r := newRig(t, netsim.Config{})
+	src := r.sim.Topo.Hosts()[0]
+	dst := r.sim.Topo.HostsAt(r.sim.Topo.ToRID(2, 0))[0]
+	var finished *Sender
+	r.stacks[src.ID].StartFlow(r.flow(src, dst, 2010), 1_000_000, 0, func(s *Sender) { finished = s })
+	r.sim.RunAll()
+	if finished == nil {
+		t.Fatal("flow did not complete")
+	}
+	if finished.ConsecRetrans != 0 {
+		t.Errorf("ConsecRetrans = %d at completion", finished.ConsecRetrans)
+	}
+	if ep := r.stacks[dst.ID].Endpoint(r.flow(src, dst, 2010)); ep == nil || !ep.Complete {
+		t.Error("endpoint incomplete")
+	}
+}
+
+func TestFlowSurvivesRandomLoss(t *testing.T) {
+	r := newRig(t, netsim.Config{Seed: 17})
+	src := r.sim.Topo.Hosts()[0]
+	dst := r.sim.Topo.HostsAt(r.sim.Topo.ToRID(1, 0))[0]
+	f := r.flow(src, dst, 2001)
+
+	// Probe the path, then set 5% silent loss on its first switch link.
+	var done *Sender
+	r.stacks[src.ID].StartFlow(f, 50_000, 0, func(s *Sender) { done = s })
+	r.sim.RunAll()
+	if done == nil {
+		t.Fatal("probe flow did not finish")
+	}
+	ep := r.stacks[dst.ID].Endpoint(f)
+	_ = ep
+	// Find the traversed agg via a fresh probe packet trace: reuse the
+	// flow's first recorded trace through stats — simpler: fault both
+	// uplink directions of the source ToR at 5%.
+	r.sim.SetSilentDrop(src.ToR, r.sim.Topo.AggID(0, 0), 0.05)
+	r.sim.SetSilentDrop(src.ToR, r.sim.Topo.AggID(0, 1), 0.05)
+
+	f2 := r.flow(src, dst, 2002)
+	var done2 *Sender
+	r.stacks[src.ID].StartFlow(f2, 500_000, 0, func(s *Sender) { done2 = s })
+	r.sim.RunAll()
+	if done2 == nil {
+		t.Fatal("flow did not complete under 5% loss")
+	}
+	if done2.TotalRetrans == 0 {
+		t.Error("expected retransmissions under 5% loss")
+	}
+	if r.sim.Stats().SilentDrops() == 0 {
+		t.Error("no silent drops recorded")
+	}
+}
+
+func TestPoorFlowsUnderBlackhole(t *testing.T) {
+	r := newRig(t, netsim.Config{Seed: 23})
+	src := r.sim.Topo.Hosts()[0]
+	dst := r.sim.Topo.HostsAt(r.sim.Topo.ToRID(1, 1))[0]
+	f := r.flow(src, dst, 2100)
+	// Blackhole both uplinks: every data packet dies silently.
+	r.sim.SetBlackhole(src.ToR, r.sim.Topo.AggID(0, 0), true)
+	r.sim.SetBlackhole(src.ToR, r.sim.Topo.AggID(0, 1), true)
+	r.stacks[src.ID].StartFlow(f, 100_000, 0, nil)
+	// Let several RTOs fire.
+	r.sim.Run(3 * types.Second)
+	poor := r.stacks[src.ID].PoorFlows(2)
+	if len(poor) != 1 || poor[0] != f {
+		t.Fatalf("PoorFlows = %v, want [%v]", poor, f)
+	}
+	snd := r.stacks[src.ID].Sender(f)
+	if snd.Finished {
+		t.Error("flow cannot finish through a blackhole")
+	}
+	if snd.ConsecRetrans < 2 {
+		t.Errorf("ConsecRetrans = %d", snd.ConsecRetrans)
+	}
+	r.stacks[src.ID].Forget(f)
+	if len(r.stacks[src.ID].PoorFlows(2)) != 0 {
+		t.Error("Forget did not clear the sender")
+	}
+}
+
+func TestConsecRetransResetsOnProgress(t *testing.T) {
+	r := newRig(t, netsim.Config{Seed: 31})
+	src := r.sim.Topo.Hosts()[0]
+	dst := r.sim.Topo.HostsAt(r.sim.Topo.ToRID(1, 0))[0]
+	// Moderate loss: retransmissions happen but progress resumes, so the
+	// consecutive counter must return to zero by completion.
+	r.sim.SetSilentDrop(src.ToR, r.sim.Topo.AggID(0, 0), 0.03)
+	r.sim.SetSilentDrop(src.ToR, r.sim.Topo.AggID(0, 1), 0.03)
+	f := r.flow(src, dst, 2200)
+	var done *Sender
+	r.stacks[src.ID].StartFlow(f, 300_000, 0, func(s *Sender) { done = s })
+	r.sim.RunAll()
+	if done == nil {
+		t.Fatal("flow did not complete")
+	}
+	if done.ConsecRetrans != 0 {
+		t.Errorf("ConsecRetrans = %d after completion, want 0", done.ConsecRetrans)
+	}
+	if done.TotalRetrans == 0 {
+		t.Error("expected some retransmissions at 3% loss")
+	}
+}
+
+func TestManyParallelFlowsConserveBytes(t *testing.T) {
+	r := newRig(t, netsim.Config{Seed: 41})
+	hosts := r.sim.Topo.Hosts()
+	finished := 0
+	n := 24
+	for i := 0; i < n; i++ {
+		src := hosts[i%len(hosts)]
+		dst := hosts[(i*5+3)%len(hosts)]
+		if src.ID == dst.ID {
+			dst = hosts[(i*5+4)%len(hosts)]
+		}
+		f := r.flow(src, dst, uint16(3000+i))
+		r.stacks[src.ID].StartFlow(f, int64(10_000+i*1000), 0, func(*Sender) { finished++ })
+	}
+	r.sim.RunAll()
+	if finished != n {
+		t.Fatalf("finished %d of %d flows", finished, n)
+	}
+	// Every endpoint saw at least its payload bytes.
+	for _, st := range r.stacks {
+		for _, ep := range st.Endpoints() {
+			if ep.Bytes == 0 || !ep.Complete {
+				t.Errorf("incomplete endpoint %v", ep.Flow)
+			}
+		}
+	}
+}
+
+func TestSharedBottleneckIsRoughlyFair(t *testing.T) {
+	r := newRig(t, netsim.Config{Seed: 51, BandwidthBps: 50e6})
+	// Two senders on different source ToRs to the same destination host:
+	// they share the ToR→host link.
+	srcA := r.sim.Topo.HostsAt(r.sim.Topo.ToRID(1, 0))[0]
+	srcB := r.sim.Topo.HostsAt(r.sim.Topo.ToRID(1, 1))[0]
+	dst := r.sim.Topo.HostsAt(r.sim.Topo.ToRID(0, 0))[0]
+	var da, db *Sender
+	r.stacks[srcA.ID].StartFlow(r.flow(srcA, dst, 4000), 2_000_000, 0, func(s *Sender) { da = s })
+	r.stacks[srcB.ID].StartFlow(r.flow(srcB, dst, 4001), 2_000_000, 0, func(s *Sender) { db = s })
+	r.sim.RunAll()
+	if da == nil || db == nil {
+		t.Fatal("flows did not complete")
+	}
+	ta, tb := da.ThroughputBps(), db.ThroughputBps()
+	ratio := ta / tb
+	if ratio < 0.2 || ratio > 5 {
+		t.Errorf("gross unfairness on a symmetric bottleneck: %.0f vs %.0f bps", ta, tb)
+	}
+}
+
+func TestTinyFlowAndZeroByteFlow(t *testing.T) {
+	r := newRig(t, netsim.Config{})
+	src := r.sim.Topo.Hosts()[0]
+	dst := r.sim.Topo.HostsAt(r.sim.Topo.ToRID(0, 1))[0]
+	var n int
+	r.stacks[src.ID].StartFlow(r.flow(src, dst, 5000), 1, 0, func(*Sender) { n++ })
+	r.stacks[src.ID].StartFlow(r.flow(src, dst, 5001), 0, 0, func(*Sender) { n++ })
+	r.stacks[src.ID].StartFlow(r.flow(src, dst, 5002), 1460, 0, func(*Sender) { n++ })
+	r.sim.RunAll()
+	if n != 3 {
+		t.Fatalf("completed %d of 3 degenerate flows", n)
+	}
+}

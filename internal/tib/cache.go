@@ -1,0 +1,79 @@
+package tib
+
+import (
+	"container/list"
+
+	"pathdump/internal/types"
+)
+
+// Cache is the trajectory cache of Figure 2: an LRU memoising
+// ⟨srcIP, link IDs⟩ → end-to-end path so that the construction sub-module
+// only consults the topology on a miss.
+type Cache struct {
+	cap int
+	ll  *list.List
+	m   map[cacheKey]*list.Element
+
+	Hits, Misses uint64
+}
+
+type cacheKey struct {
+	src types.IP
+	hdr string
+}
+
+type cacheVal struct {
+	key  cacheKey
+	path types.Path
+}
+
+// NewCache builds an LRU trajectory cache with the given capacity
+// (0 selects 4096 entries).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Cache{cap: capacity, ll: list.New(), m: make(map[cacheKey]*list.Element)}
+}
+
+// Len returns the number of cached trajectories.
+func (c *Cache) Len() int { return c.ll.Len() }
+
+// Get looks up the path for ⟨src, header key⟩.
+func (c *Cache) Get(src types.IP, hdrKey string) (types.Path, bool) {
+	k := cacheKey{src, hdrKey}
+	if el, ok := c.m[k]; ok {
+		c.ll.MoveToFront(el)
+		c.Hits++
+		return el.Value.(*cacheVal).path, true
+	}
+	c.Misses++
+	return nil, false
+}
+
+// Put inserts a constructed path, evicting the least recently used entry
+// when full.
+func (c *Cache) Put(src types.IP, hdrKey string, p types.Path) {
+	k := cacheKey{src, hdrKey}
+	if el, ok := c.m[k]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheVal).path = p
+		return
+	}
+	el := c.ll.PushFront(&cacheVal{key: k, path: p})
+	c.m[k] = el
+	if c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*cacheVal).key)
+	}
+}
+
+// HitRate returns the fraction of lookups served from the cache.
+func (c *Cache) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}

@@ -1,0 +1,207 @@
+package tib
+
+import (
+	"encoding/gob"
+	"io"
+	"sync"
+
+	"pathdump/internal/types"
+)
+
+// Store is one host's Trajectory Information Base: an append-mostly record
+// log with flow, directed-link and switch indexes. All methods are safe
+// for concurrent use (the HTTP agent serves queries while the datapath
+// appends).
+type Store struct {
+	mu      sync.RWMutex
+	records []types.Record
+	byFlow  map[types.FlowID][]int
+	byLink  map[types.LinkID][]int
+	// indexing can be disabled for the ablation benchmark
+	indexed bool
+}
+
+// NewStore builds an empty, indexed TIB.
+func NewStore() *Store {
+	return &Store{
+		byFlow:  make(map[types.FlowID][]int),
+		byLink:  make(map[types.LinkID][]int),
+		indexed: true,
+	}
+}
+
+// NewUnindexedStore builds a TIB that answers every query by scanning the
+// record log — the baseline for the index ablation bench.
+func NewUnindexedStore() *Store {
+	s := NewStore()
+	s.indexed = false
+	return s
+}
+
+// Add appends one TIB record.
+func (s *Store) Add(rec types.Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := len(s.records)
+	s.records = append(s.records, rec)
+	if !s.indexed {
+		return
+	}
+	s.byFlow[rec.Flow] = append(s.byFlow[rec.Flow], idx)
+	for _, l := range rec.Path.Links() {
+		s.byLink[l] = append(s.byLink[l], idx)
+	}
+}
+
+// Len returns the record count.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.records)
+}
+
+// ForEach visits records matching the link pattern and time range. A
+// wildcard-free link uses the link index; everything else scans.
+func (s *Store) ForEach(link types.LinkID, tr types.TimeRange, fn func(*types.Record)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.indexed && !link.IsWildcard() {
+		for _, i := range s.byLink[link] {
+			rec := &s.records[i]
+			if rec.Overlaps(tr) {
+				fn(rec)
+			}
+		}
+		return
+	}
+	all := link == types.AnyLink
+	for i := range s.records {
+		rec := &s.records[i]
+		if !rec.Overlaps(tr) {
+			continue
+		}
+		if all || rec.Path.ContainsLink(link) {
+			fn(rec)
+		}
+	}
+}
+
+// ForFlow visits records of one flow matching the link pattern and range.
+func (s *Store) ForFlow(f types.FlowID, link types.LinkID, tr types.TimeRange, fn func(*types.Record)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	visit := func(rec *types.Record) {
+		if !rec.Overlaps(tr) {
+			return
+		}
+		if link != types.AnyLink && !rec.Path.ContainsLink(link) {
+			return
+		}
+		fn(rec)
+	}
+	if s.indexed {
+		for _, i := range s.byFlow[f] {
+			visit(&s.records[i])
+		}
+		return
+	}
+	for i := range s.records {
+		if s.records[i].Flow == f {
+			visit(&s.records[i])
+		}
+	}
+}
+
+// Flows returns the distinct ⟨flowID, path⟩ pairs that traversed the link
+// pattern during the range — the getFlows host API (§2.1).
+func (s *Store) Flows(link types.LinkID, tr types.TimeRange) []types.Flow {
+	type key struct {
+		f types.FlowID
+		p string
+	}
+	seen := make(map[key]bool)
+	var out []types.Flow
+	s.ForEach(link, tr, func(rec *types.Record) {
+		k := key{rec.Flow, rec.Path.Key()}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, types.Flow{ID: rec.Flow, Path: rec.Path})
+		}
+	})
+	return out
+}
+
+// Paths returns the distinct paths flowID took through the link pattern
+// during the range — the getPaths host API.
+func (s *Store) Paths(f types.FlowID, link types.LinkID, tr types.TimeRange) []types.Path {
+	seen := make(map[string]bool)
+	var out []types.Path
+	s.ForFlow(f, link, tr, func(rec *types.Record) {
+		k := rec.Path.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, rec.Path)
+		}
+	})
+	return out
+}
+
+// Count returns packet and byte totals for a ⟨flowID, path⟩ pair within
+// the range — the getCount host API. A nil path aggregates all paths.
+func (s *Store) Count(f types.Flow, tr types.TimeRange) (bytes, pkts uint64) {
+	s.ForFlow(f.ID, types.AnyLink, tr, func(rec *types.Record) {
+		if f.Path != nil && !rec.Path.Equal(f.Path) {
+			return
+		}
+		bytes += rec.Bytes
+		pkts += rec.Pkts
+	})
+	return bytes, pkts
+}
+
+// Duration returns the active time span of a ⟨flowID, path⟩ pair within
+// the range — the getDuration host API. A nil path aggregates all paths.
+func (s *Store) Duration(f types.Flow, tr types.TimeRange) types.Time {
+	var lo, hi types.Time = -1, -1
+	s.ForFlow(f.ID, types.AnyLink, tr, func(rec *types.Record) {
+		if f.Path != nil && !rec.Path.Equal(f.Path) {
+			return
+		}
+		if lo < 0 || rec.STime < lo {
+			lo = rec.STime
+		}
+		if rec.ETime > hi {
+			hi = rec.ETime
+		}
+	})
+	if lo < 0 {
+		return 0
+	}
+	return hi - lo
+}
+
+// Snapshot serialises the record log with gob (the stand-in for the
+// paper's MongoDB persistence).
+func (s *Store) Snapshot(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return gob.NewEncoder(w).Encode(s.records)
+}
+
+// LoadSnapshot replaces the store contents from a snapshot and rebuilds
+// the indexes.
+func (s *Store) LoadSnapshot(r io.Reader) error {
+	var recs []types.Record
+	if err := gob.NewDecoder(r).Decode(&recs); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.records = nil
+	s.byFlow = make(map[types.FlowID][]int)
+	s.byLink = make(map[types.LinkID][]int)
+	s.mu.Unlock()
+	for _, rec := range recs {
+		s.Add(rec)
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package topology
+
+import (
+	"fmt"
+
+	"pathdump/internal/types"
+)
+
+// FatTree builds a k-ary fat-tree: k pods, each with k/2 ToR and k/2
+// aggregation switches, and (k/2)² core switches. Every ToR hosts k/2
+// servers, for k³/4 servers total.
+//
+// Wiring follows the standard construction: aggregation switch at position
+// j of a pod connects to core switches j·(k/2) … j·(k/2)+k/2−1 (its "core
+// group"), so core switch c attaches to the aggregation switch at position
+// c/(k/2) in every pod. That structural property is what lets CherryPick
+// reconstruct a 4-hop path from a single sampled aggregate-core link.
+//
+// Switch IDs are assigned statically:
+//
+//	ToR  (pod p, pos e): p·(k/2) + e
+//	Agg  (pod p, pos j): k·(k/2) + p·(k/2) + j
+//	Core (index c):      k² + c
+//
+// Host IPs are 10.pod.tor.(2+i).
+func FatTree(k int) (*Topology, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("topology: fat-tree arity must be even and ≥2, got %d", k)
+	}
+	if k > 126 {
+		return nil, fmt.Errorf("topology: fat-tree arity %d exceeds addressing limits", k)
+	}
+	t := newTopology(FatTreeKind)
+	t.K = k
+	half := k / 2
+
+	// Core switches.
+	for c := 0; c < half*half; c++ {
+		t.addSwitch(&Switch{
+			ID:    t.CoreID(c),
+			Layer: LayerCore,
+			Pod:   -1,
+			Index: c,
+		})
+	}
+	// Pods.
+	for p := 0; p < k; p++ {
+		for j := 0; j < half; j++ {
+			agg := &Switch{ID: t.AggID(p, j), Layer: LayerAgg, Pod: p, Index: j}
+			for m := 0; m < half; m++ {
+				c := j*half + m
+				agg.Up = append(agg.Up, t.CoreID(c))
+				core := t.switches[t.CoreID(c)]
+				core.Down = append(core.Down, agg.ID)
+			}
+			t.addSwitch(agg)
+		}
+		for e := 0; e < half; e++ {
+			tor := &Switch{ID: t.ToRID(p, e), Layer: LayerToR, Pod: p, Index: e}
+			for j := 0; j < half; j++ {
+				tor.Up = append(tor.Up, t.AggID(p, j))
+				agg := t.switches[t.AggID(p, j)]
+				agg.Down = append(agg.Down, tor.ID)
+			}
+			t.addSwitch(tor)
+			for i := 0; i < half; i++ {
+				hid := types.HostID(uint32(p)*uint32(half)*uint32(half) + uint32(e)*uint32(half) + uint32(i))
+				ip := types.IP(0x0A000000 | uint32(p)<<16 | uint32(e)<<8 | uint32(i+2))
+				t.addHost(&Host{ID: hid, IP: ip, ToR: tor.ID, Pod: p})
+			}
+		}
+	}
+	return t, nil
+}
+
+// ToRID returns the switch ID of the ToR at position e in pod p.
+func (t *Topology) ToRID(p, e int) types.SwitchID {
+	return types.SwitchID(p*(t.K/2) + e)
+}
+
+// AggID returns the switch ID of the aggregation switch at position j in
+// pod p.
+func (t *Topology) AggID(p, j int) types.SwitchID {
+	return types.SwitchID(t.K*(t.K/2) + p*(t.K/2) + j)
+}
+
+// CoreID returns the switch ID of core switch index c.
+func (t *Topology) CoreID(c int) types.SwitchID {
+	return types.SwitchID(t.K*t.K + c)
+}
+
+// CoreGroup returns the aggregation position every pod uses to reach core
+// index c: c / (k/2).
+func (t *Topology) CoreGroup(c int) int { return c / (t.K / 2) }
+
+// NumCores returns the number of core switches.
+func (t *Topology) NumCores() int { return len(t.cores) }

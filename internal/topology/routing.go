@@ -1,0 +1,177 @@
+package topology
+
+import (
+	"pathdump/internal/types"
+)
+
+// Router computes canonical shortest-path forwarding over a topology.
+// It returns, per switch, the set of equal-cost next hops a packet for a
+// given destination may take; the simulator's switches pick among them with
+// ECMP hashing or per-packet spraying and fall back to any live neighbour
+// when every canonical choice is down (the paper's "simple failover
+// mechanism ... with a few flow rules", §4.1).
+type Router struct {
+	T *Topology
+}
+
+// NewRouter returns a Router over t.
+func NewRouter(t *Topology) *Router { return &Router{T: t} }
+
+// NextHops returns the canonical equal-cost next hops from sw toward dst.
+// A nil result with deliver==true means the packet has reached the
+// destination's ToR and should be handed to the host.
+func (r *Router) NextHops(sw types.SwitchID, dst types.IP) (hops []types.SwitchID, deliver bool) {
+	dstHost := r.T.HostByIP(dst)
+	if dstHost == nil {
+		return nil, false
+	}
+	s := r.T.Switch(sw)
+	if s == nil {
+		return nil, false
+	}
+	if s.ID == dstHost.ToR {
+		return nil, true
+	}
+	switch r.T.Kind {
+	case FatTreeKind:
+		return r.fatTreeNextHops(s, dstHost), false
+	case VL2Kind:
+		return r.vl2NextHops(s, dstHost), false
+	}
+	return nil, false
+}
+
+func (r *Router) fatTreeNextHops(s *Switch, dst *Host) []types.SwitchID {
+	t := r.T
+	dstToR := t.Switch(dst.ToR)
+	switch s.Layer {
+	case LayerToR:
+		// Up to any aggregation switch in the pod.
+		return s.Up
+	case LayerAgg:
+		if s.Pod == dst.Pod {
+			return []types.SwitchID{dst.ToR}
+		}
+		return s.Up
+	case LayerCore:
+		// Single deterministic route down: the aggregation switch in
+		// the destination pod within this core's group.
+		j := t.CoreGroup(s.Index)
+		return []types.SwitchID{t.AggID(dst.Pod, j)}
+	}
+	_ = dstToR
+	return nil
+}
+
+func (r *Router) vl2NextHops(s *Switch, dst *Host) []types.SwitchID {
+	t := r.T
+	switch s.Layer {
+	case LayerToR:
+		return s.Up
+	case LayerAgg:
+		if s.Pod == dst.Pod {
+			return []types.SwitchID{dst.ToR}
+		}
+		return s.Up
+	case LayerCore:
+		// Down to either aggregation switch serving the destination group.
+		g := dst.Pod
+		return []types.SwitchID{t.VL2AggID(2 * g), t.VL2AggID(2*g + 1)}
+	}
+	return nil
+}
+
+// fnv1a32 hashes b with FNV-1a and applies a murmur-style finaliser.
+// The avalanche step matters: raw FNV-1a taken mod 2 degenerates to a
+// parity function, which would linearly correlate the ECMP/spray choices
+// made at successive switches and collapse the equal-cost path set.
+func fnv1a32(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	h ^= h >> 16
+	h *= 0x7feb352d
+	h ^= h >> 15
+	h *= 0x846ca68b
+	h ^= h >> 16
+	return h
+}
+
+// flowBytes serialises the five-tuple for hashing.
+func flowBytes(f types.FlowID, extra uint64) [21]byte {
+	var b [21]byte
+	b[0] = byte(f.SrcIP >> 24)
+	b[1] = byte(f.SrcIP >> 16)
+	b[2] = byte(f.SrcIP >> 8)
+	b[3] = byte(f.SrcIP)
+	b[4] = byte(f.DstIP >> 24)
+	b[5] = byte(f.DstIP >> 16)
+	b[6] = byte(f.DstIP >> 8)
+	b[7] = byte(f.DstIP)
+	b[8] = byte(f.SrcPort >> 8)
+	b[9] = byte(f.SrcPort)
+	b[10] = byte(f.DstPort >> 8)
+	b[11] = byte(f.DstPort)
+	b[12] = f.Proto
+	for i := 0; i < 8; i++ {
+		b[13+i] = byte(extra >> (8 * i))
+	}
+	return b
+}
+
+// ECMPIndex returns the equal-cost path index a switch with the given salt
+// picks for flow f among n choices. Every packet of a flow hashes to the
+// same index (flow-level ECMP).
+func ECMPIndex(f types.FlowID, salt uint32, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	b := flowBytes(f, uint64(salt))
+	return int(fnv1a32(b[:]) % uint32(n))
+}
+
+// SprayIndex returns the per-packet choice under packet spraying [15]:
+// the sequence number participates in the hash so consecutive packets of a
+// flow spread across all n choices.
+func SprayIndex(f types.FlowID, seq uint64, salt uint32, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	b := flowBytes(f, seq<<16|uint64(salt&0xFFFF))
+	return int(fnv1a32(b[:]) % uint32(n))
+}
+
+// EqualCostPaths enumerates every canonical shortest path between the ToRs
+// of src and dst (useful for tests and for the blackhole-diagnosis
+// application's path join, §4.4).
+func (r *Router) EqualCostPaths(src, dst types.IP) []types.Path {
+	srcToR := r.T.ToROf(src)
+	dstToR := r.T.ToROf(dst)
+	if srcToR.IsWildcard() || dstToR.IsWildcard() {
+		return nil
+	}
+	if srcToR == dstToR {
+		return []types.Path{{srcToR}}
+	}
+	var out []types.Path
+	var walk func(cur types.SwitchID, acc types.Path)
+	walk = func(cur types.SwitchID, acc types.Path) {
+		acc = append(acc, cur)
+		if cur == dstToR {
+			out = append(out, acc.Clone())
+			return
+		}
+		hops, deliver := r.NextHops(cur, dst)
+		if deliver {
+			out = append(out, acc.Clone())
+			return
+		}
+		for _, h := range hops {
+			walk(h, acc)
+		}
+	}
+	walk(srcToR, nil)
+	return out
+}

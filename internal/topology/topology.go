@@ -1,0 +1,261 @@
+// Package topology builds and represents the datacenter network topologies
+// PathDump supports: FatTree(k) and VL2(dA, dI). The topology object is the
+// "ground truth" every edge device stores (§2.2): a static graph with
+// statically assigned switch identifiers, used both by the simulator to
+// forward packets and by the trajectory-construction module to rebuild
+// end-to-end paths from sampled link IDs.
+package topology
+
+import (
+	"fmt"
+
+	"pathdump/internal/types"
+)
+
+// Layer is the tier a switch occupies.
+type Layer uint8
+
+// Switch tiers. VL2 "intermediate" switches use LayerCore.
+const (
+	LayerToR  Layer = iota // edge / top-of-rack
+	LayerAgg               // aggregation
+	LayerCore              // core (fat-tree) or intermediate (VL2)
+)
+
+// String renders the layer name.
+func (l Layer) String() string {
+	switch l {
+	case LayerToR:
+		return "tor"
+	case LayerAgg:
+		return "agg"
+	case LayerCore:
+		return "core"
+	}
+	return fmt.Sprintf("layer(%d)", uint8(l))
+}
+
+// Kind identifies the topology family.
+type Kind uint8
+
+// Supported topology families.
+const (
+	FatTreeKind Kind = iota
+	VL2Kind
+)
+
+// String renders the kind.
+func (k Kind) String() string {
+	if k == FatTreeKind {
+		return "fattree"
+	}
+	return "vl2"
+}
+
+// Switch is one network element.
+type Switch struct {
+	ID    types.SwitchID
+	Layer Layer
+	// Pod is the pod number for ToR and aggregation switches in a fat
+	// tree; -1 for core/intermediate switches and for VL2 aggregates.
+	Pod int
+	// Index is the switch's position: within its pod and layer for
+	// fat-tree ToR/agg switches, global within its layer otherwise.
+	Index int
+	// Up and Down are the neighbouring switch IDs one tier above and
+	// below, in deterministic port order.
+	Up   []types.SwitchID
+	Down []types.SwitchID
+}
+
+// Ports returns the total number of switch-facing ports.
+func (s *Switch) Ports() int { return len(s.Up) + len(s.Down) }
+
+// Host is one end-host (edge device).
+type Host struct {
+	ID  types.HostID
+	IP  types.IP
+	ToR types.SwitchID
+	Pod int
+}
+
+// Topology is an immutable datacenter network graph.
+type Topology struct {
+	Kind Kind
+
+	// K is the fat-tree arity; zero for VL2.
+	K int
+	// DA, DI are the VL2 aggregate and intermediate port counts; zero
+	// for fat trees.
+	DA, DI int
+
+	switches map[types.SwitchID]*Switch
+	hosts    []*Host
+	hostByIP map[types.IP]*Host
+	hostByID map[types.HostID]*Host
+	torHosts map[types.SwitchID][]*Host
+
+	// ordered ID lists per layer for deterministic iteration
+	tors, aggs, cores []types.SwitchID
+}
+
+// newTopology allocates the internal maps.
+func newTopology(kind Kind) *Topology {
+	return &Topology{
+		Kind:     kind,
+		switches: make(map[types.SwitchID]*Switch),
+		hostByIP: make(map[types.IP]*Host),
+		hostByID: make(map[types.HostID]*Host),
+		torHosts: make(map[types.SwitchID][]*Host),
+	}
+}
+
+func (t *Topology) addSwitch(s *Switch) {
+	t.switches[s.ID] = s
+	switch s.Layer {
+	case LayerToR:
+		t.tors = append(t.tors, s.ID)
+	case LayerAgg:
+		t.aggs = append(t.aggs, s.ID)
+	case LayerCore:
+		t.cores = append(t.cores, s.ID)
+	}
+}
+
+func (t *Topology) addHost(h *Host) {
+	t.hosts = append(t.hosts, h)
+	t.hostByIP[h.IP] = h
+	t.hostByID[h.ID] = h
+	t.torHosts[h.ToR] = append(t.torHosts[h.ToR], h)
+}
+
+// Switch returns the switch with the given ID, or nil.
+func (t *Topology) Switch(id types.SwitchID) *Switch { return t.switches[id] }
+
+// NumSwitches returns the total switch count.
+func (t *Topology) NumSwitches() int { return len(t.switches) }
+
+// ToRs returns the ToR switch IDs in deterministic order.
+func (t *Topology) ToRs() []types.SwitchID { return t.tors }
+
+// Aggs returns the aggregation switch IDs in deterministic order.
+func (t *Topology) Aggs() []types.SwitchID { return t.aggs }
+
+// Cores returns the core (or VL2 intermediate) switch IDs.
+func (t *Topology) Cores() []types.SwitchID { return t.cores }
+
+// Hosts returns every host in deterministic order.
+func (t *Topology) Hosts() []*Host { return t.hosts }
+
+// Host returns the host with the given ID, or nil.
+func (t *Topology) Host(id types.HostID) *Host { return t.hostByID[id] }
+
+// HostByIP resolves an IP address to its host, or nil.
+func (t *Topology) HostByIP(ip types.IP) *Host { return t.hostByIP[ip] }
+
+// HostsAt returns the hosts attached to a ToR switch.
+func (t *Topology) HostsAt(tor types.SwitchID) []*Host { return t.torHosts[tor] }
+
+// ToROf returns the ToR switch the address attaches to, or WildcardSwitch
+// if the address is unknown.
+func (t *Topology) ToROf(ip types.IP) types.SwitchID {
+	if h := t.hostByIP[ip]; h != nil {
+		return h.ToR
+	}
+	return types.WildcardSwitch
+}
+
+// Adjacent reports whether a and b share a link.
+func (t *Topology) Adjacent(a, b types.SwitchID) bool {
+	sa := t.switches[a]
+	if sa == nil {
+		return false
+	}
+	for _, n := range sa.Up {
+		if n == b {
+			return true
+		}
+	}
+	for _, n := range sa.Down {
+		if n == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors returns every switch adjacent to id (up then down tiers).
+func (t *Topology) Neighbors(id types.SwitchID) []types.SwitchID {
+	s := t.switches[id]
+	if s == nil {
+		return nil
+	}
+	out := make([]types.SwitchID, 0, len(s.Up)+len(s.Down))
+	out = append(out, s.Up...)
+	out = append(out, s.Down...)
+	return out
+}
+
+// Links enumerates every undirected switch-switch link exactly once,
+// oriented lower-layer → upper-layer.
+func (t *Topology) Links() []types.LinkID {
+	var out []types.LinkID
+	for _, layer := range [][]types.SwitchID{t.tors, t.aggs} {
+		for _, id := range layer {
+			for _, up := range t.switches[id].Up {
+				out = append(out, types.LinkID{A: id, B: up})
+			}
+		}
+	}
+	return out
+}
+
+// ValidTrajectory checks a reconstructed path against the ground truth:
+// every consecutive pair must be an existing link, the first switch must be
+// the source's ToR and the last the destination's ToR. This is the check
+// that lets PathDump flag switches inserting incorrect switchIDs (§2.4).
+func (t *Topology) ValidTrajectory(src, dst types.IP, p types.Path) error {
+	if len(p) == 0 {
+		return fmt.Errorf("topology: empty trajectory")
+	}
+	if tor := t.ToROf(src); tor != p[0] {
+		return fmt.Errorf("topology: trajectory starts at %v, source ToR is %v", p[0], tor)
+	}
+	if tor := t.ToROf(dst); tor != p[len(p)-1] {
+		return fmt.Errorf("topology: trajectory ends at %v, destination ToR is %v", p[len(p)-1], tor)
+	}
+	for i := 0; i+1 < len(p); i++ {
+		if t.Switch(p[i]) == nil {
+			return fmt.Errorf("topology: unknown switch %v in trajectory", p[i])
+		}
+		if !t.Adjacent(p[i], p[i+1]) {
+			return fmt.Errorf("topology: %v and %v are not adjacent", p[i], p[i+1])
+		}
+	}
+	return nil
+}
+
+// ShortestLen returns the number of switch-switch hops on a shortest path
+// between two switches (BFS over the ground-truth graph); -1 if unreachable.
+func (t *Topology) ShortestLen(from, to types.SwitchID) int {
+	if from == to {
+		return 0
+	}
+	dist := map[types.SwitchID]int{from: 0}
+	queue := []types.SwitchID{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, n := range t.Neighbors(cur) {
+			if _, seen := dist[n]; seen {
+				continue
+			}
+			dist[n] = dist[cur] + 1
+			if n == to {
+				return dist[n]
+			}
+			queue = append(queue, n)
+		}
+	}
+	return -1
+}

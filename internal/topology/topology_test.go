@@ -1,0 +1,346 @@
+package topology
+
+import (
+	"testing"
+
+	"pathdump/internal/types"
+)
+
+func TestFatTreeCounts(t *testing.T) {
+	for _, k := range []int{4, 6, 8, 16} {
+		ft, err := FatTree(k)
+		if err != nil {
+			t.Fatalf("FatTree(%d): %v", k, err)
+		}
+		half := k / 2
+		if got := len(ft.ToRs()); got != k*half {
+			t.Errorf("k=%d: ToRs = %d, want %d", k, got, k*half)
+		}
+		if got := len(ft.Aggs()); got != k*half {
+			t.Errorf("k=%d: Aggs = %d, want %d", k, got, k*half)
+		}
+		if got := len(ft.Cores()); got != half*half {
+			t.Errorf("k=%d: Cores = %d, want %d", k, got, half*half)
+		}
+		if got := len(ft.Hosts()); got != k*k*k/4 {
+			t.Errorf("k=%d: hosts = %d, want %d", k, got, k*k*k/4)
+		}
+	}
+}
+
+func TestFatTreeRejectsBadArity(t *testing.T) {
+	for _, k := range []int{0, 1, 3, 5, 128} {
+		if _, err := FatTree(k); err == nil {
+			t.Errorf("FatTree(%d) should fail", k)
+		}
+	}
+}
+
+func TestFatTreeWiring(t *testing.T) {
+	ft, err := FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every ToR has k/2 up and 0 switch down; aggs k/2 up, k/2 down;
+	// cores 0 up, k down.
+	for _, id := range ft.ToRs() {
+		s := ft.Switch(id)
+		if len(s.Up) != 2 || len(s.Down) != 0 {
+			t.Errorf("ToR %v: up=%d down=%d", id, len(s.Up), len(s.Down))
+		}
+	}
+	for _, id := range ft.Aggs() {
+		s := ft.Switch(id)
+		if len(s.Up) != 2 || len(s.Down) != 2 {
+			t.Errorf("agg %v: up=%d down=%d", id, len(s.Up), len(s.Down))
+		}
+	}
+	for _, id := range ft.Cores() {
+		s := ft.Switch(id)
+		if len(s.Up) != 0 || len(s.Down) != 4 {
+			t.Errorf("core %v: up=%d down=%d", id, len(s.Up), len(s.Down))
+		}
+	}
+	// Core c connects to the agg at position CoreGroup(c) in every pod.
+	for c := 0; c < ft.NumCores(); c++ {
+		j := ft.CoreGroup(c)
+		core := ft.Switch(ft.CoreID(c))
+		seen := map[types.SwitchID]bool{}
+		for _, a := range core.Down {
+			seen[a] = true
+		}
+		for p := 0; p < 4; p++ {
+			if !seen[ft.AggID(p, j)] {
+				t.Errorf("core %d missing agg(%d,%d)", c, p, j)
+			}
+		}
+	}
+}
+
+func TestFatTreeHostAddressing(t *testing.T) {
+	ft, _ := FatTree(4)
+	seenIP := map[types.IP]bool{}
+	for _, h := range ft.Hosts() {
+		if seenIP[h.IP] {
+			t.Fatalf("duplicate IP %v", h.IP)
+		}
+		seenIP[h.IP] = true
+		if got := ft.HostByIP(h.IP); got != h {
+			t.Fatalf("HostByIP(%v) mismatch", h.IP)
+		}
+		if got := ft.ToROf(h.IP); got != h.ToR {
+			t.Fatalf("ToROf(%v) = %v, want %v", h.IP, got, h.ToR)
+		}
+		if len(ft.HostsAt(h.ToR)) != 2 {
+			t.Fatalf("HostsAt(%v) = %d hosts", h.ToR, len(ft.HostsAt(h.ToR)))
+		}
+	}
+	if ft.ToROf(types.IP(1)) != types.WildcardSwitch {
+		t.Error("unknown IP should map to wildcard ToR")
+	}
+}
+
+func TestVL2Counts(t *testing.T) {
+	v, err := VL2(8, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(v.Cores()); got != 4 { // dA/2
+		t.Errorf("intermediates = %d, want 4", got)
+	}
+	if got := len(v.Aggs()); got != 6 { // dI
+		t.Errorf("aggs = %d, want 6", got)
+	}
+	if got := len(v.ToRs()); got != 12 { // dI*dA/4
+		t.Errorf("ToRs = %d, want 12", got)
+	}
+	if got := len(v.Hosts()); got != 36 {
+		t.Errorf("hosts = %d, want 36", got)
+	}
+	// Each ToR dual-homed; each agg fully meshed upward.
+	for _, id := range v.ToRs() {
+		if got := len(v.Switch(id).Up); got != 2 {
+			t.Errorf("ToR %v up = %d, want 2", id, got)
+		}
+	}
+	for _, id := range v.Aggs() {
+		s := v.Switch(id)
+		if len(s.Up) != 4 {
+			t.Errorf("agg %v up = %d, want 4", id, len(s.Up))
+		}
+		if len(s.Down) != 4 { // dA/2 ToR ports
+			t.Errorf("agg %v down = %d, want 4", id, len(s.Down))
+		}
+	}
+}
+
+func TestVL2Validation(t *testing.T) {
+	if _, err := VL2(3, 6, 3); err == nil {
+		t.Error("odd dA should fail")
+	}
+	if _, err := VL2(8, 3, 3); err == nil {
+		t.Error("odd dI should fail")
+	}
+	if _, err := VL2(8, 6, 0); err == nil {
+		t.Error("zero hosts should fail")
+	}
+}
+
+func TestAdjacentAndLinks(t *testing.T) {
+	ft, _ := FatTree(4)
+	a := ft.ToRID(0, 0)
+	b := ft.AggID(0, 0)
+	if !ft.Adjacent(a, b) || !ft.Adjacent(b, a) {
+		t.Error("ToR-agg adjacency missing")
+	}
+	if ft.Adjacent(a, ft.CoreID(0)) {
+		t.Error("ToR adjacent to core?")
+	}
+	links := ft.Links()
+	// 4-ary fat tree: ToR-agg links = 8 ToRs * 2 = 16; agg-core = 8 aggs * 2 = 16.
+	if len(links) != 32 {
+		t.Errorf("links = %d, want 32", len(links))
+	}
+	seen := map[types.LinkID]bool{}
+	for _, l := range links {
+		if seen[l] {
+			t.Errorf("duplicate link %v", l)
+		}
+		seen[l] = true
+	}
+}
+
+func TestValidTrajectory(t *testing.T) {
+	ft, _ := FatTree(4)
+	src := ft.Hosts()[0]
+	dst := ft.Hosts()[len(ft.Hosts())-1]
+	good := types.Path{src.ToR, ft.AggID(src.Pod, 0), ft.CoreID(0), ft.AggID(dst.Pod, 0), dst.ToR}
+	if err := ft.ValidTrajectory(src.IP, dst.IP, good); err != nil {
+		t.Errorf("good path rejected: %v", err)
+	}
+	bad := types.Path{src.ToR, ft.CoreID(0), dst.ToR}
+	if err := ft.ValidTrajectory(src.IP, dst.IP, bad); err == nil {
+		t.Error("non-adjacent path accepted")
+	}
+	wrongStart := types.Path{ft.ToRID(1, 0), ft.AggID(1, 0), ft.CoreID(0), ft.AggID(dst.Pod, 0), dst.ToR}
+	if err := ft.ValidTrajectory(src.IP, dst.IP, wrongStart); err == nil {
+		t.Error("wrong source ToR accepted")
+	}
+	if err := ft.ValidTrajectory(src.IP, dst.IP, nil); err == nil {
+		t.Error("empty path accepted")
+	}
+	// Unknown switch ID inside the path.
+	unknown := types.Path{src.ToR, types.SwitchID(9999), ft.CoreID(0), ft.AggID(dst.Pod, 0), dst.ToR}
+	if err := ft.ValidTrajectory(src.IP, dst.IP, unknown); err == nil {
+		t.Error("unknown switch accepted")
+	}
+}
+
+func TestShortestLen(t *testing.T) {
+	ft, _ := FatTree(4)
+	if got := ft.ShortestLen(ft.ToRID(0, 0), ft.ToRID(0, 0)); got != 0 {
+		t.Errorf("self distance = %d", got)
+	}
+	if got := ft.ShortestLen(ft.ToRID(0, 0), ft.ToRID(0, 1)); got != 2 {
+		t.Errorf("intra-pod ToR distance = %d, want 2", got)
+	}
+	if got := ft.ShortestLen(ft.ToRID(0, 0), ft.ToRID(1, 0)); got != 4 {
+		t.Errorf("inter-pod ToR distance = %d, want 4", got)
+	}
+}
+
+func TestFatTreeNextHops(t *testing.T) {
+	ft, _ := FatTree(4)
+	r := NewRouter(ft)
+	src := ft.Hosts()[0]     // pod 0, ToR 0
+	dstSame := ft.Hosts()[1] // same ToR
+	dstPod := ft.HostsAt(ft.ToRID(0, 1))[0]
+	dstFar := ft.HostsAt(ft.ToRID(2, 1))[0]
+
+	if _, deliver := r.NextHops(src.ToR, dstSame.IP); !deliver {
+		t.Error("same-ToR destination should deliver")
+	}
+	hops, deliver := r.NextHops(src.ToR, dstPod.IP)
+	if deliver || len(hops) != 2 {
+		t.Errorf("ToR→agg choices = %v deliver=%v", hops, deliver)
+	}
+	// Agg in source pod toward remote pod: all cores.
+	hops, _ = r.NextHops(ft.AggID(0, 1), dstFar.IP)
+	if len(hops) != 2 {
+		t.Errorf("agg up choices = %v", hops)
+	}
+	// Core: unique downward hop into destination pod at its group position.
+	hops, _ = r.NextHops(ft.CoreID(3), dstFar.IP)
+	if len(hops) != 1 || hops[0] != ft.AggID(2, 1) {
+		t.Errorf("core down = %v, want agg(2,1)", hops)
+	}
+	// Agg in destination pod: straight down to the ToR.
+	hops, _ = r.NextHops(ft.AggID(2, 0), dstFar.IP)
+	if len(hops) != 1 || hops[0] != dstFar.ToR {
+		t.Errorf("agg down = %v", hops)
+	}
+	// Unknown destination yields nothing.
+	if hops, deliver := r.NextHops(src.ToR, types.IP(12345)); hops != nil || deliver {
+		t.Error("unknown destination should return nothing")
+	}
+}
+
+func TestVL2NextHops(t *testing.T) {
+	v, _ := VL2(8, 6, 2)
+	r := NewRouter(v)
+	src := v.Hosts()[0]
+	// Destination in a different ToR group.
+	var dst *Host
+	for _, h := range v.Hosts() {
+		if h.Pod != src.Pod {
+			dst = h
+			break
+		}
+	}
+	if dst == nil {
+		t.Fatal("no remote host found")
+	}
+	hops, deliver := r.NextHops(src.ToR, dst.IP)
+	if deliver || len(hops) != 2 {
+		t.Errorf("ToR up = %v", hops)
+	}
+	agg := hops[0]
+	hops, _ = r.NextHops(agg, dst.IP)
+	if len(hops) != 4 { // all intermediates
+		t.Errorf("agg up = %v", hops)
+	}
+	in := hops[0]
+	hops, _ = r.NextHops(in, dst.IP)
+	if len(hops) != 2 {
+		t.Errorf("intermediate down = %v, want both aggs of dst group", hops)
+	}
+	for _, a := range hops {
+		if v.Switch(a).Pod != dst.Pod {
+			t.Errorf("intermediate offered agg of wrong group: %v", a)
+		}
+	}
+}
+
+func TestECMPAndSprayIndex(t *testing.T) {
+	f := types.FlowID{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 6}
+	if ECMPIndex(f, 0, 1) != 0 || ECMPIndex(f, 0, 0) != 0 {
+		t.Error("degenerate n should return 0")
+	}
+	// Deterministic per flow.
+	if ECMPIndex(f, 7, 8) != ECMPIndex(f, 7, 8) {
+		t.Error("ECMP not deterministic")
+	}
+	// Spray spreads across choices for a single flow.
+	seen := map[int]bool{}
+	for seq := uint64(0); seq < 64; seq++ {
+		seen[SprayIndex(f, seq, 7, 4)] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("spray covered %d of 4 choices", len(seen))
+	}
+	// Different salts decorrelate switches (statistically: at least one
+	// flow maps differently across 32 flows).
+	diff := false
+	for i := 0; i < 32; i++ {
+		g := f
+		g.SrcPort = uint16(1000 + i)
+		if ECMPIndex(g, 1, 4) != ECMPIndex(g, 2, 4) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("salts do not decorrelate ECMP choices")
+	}
+}
+
+func TestEqualCostPaths(t *testing.T) {
+	ft, _ := FatTree(4)
+	r := NewRouter(ft)
+	src := ft.HostsAt(ft.ToRID(0, 0))[0]
+	dstFar := ft.HostsAt(ft.ToRID(2, 1))[0]
+	paths := r.EqualCostPaths(src.IP, dstFar.IP)
+	if len(paths) != 4 { // 2 aggs × 2 cores each
+		t.Fatalf("inter-pod equal-cost paths = %d, want 4", len(paths))
+	}
+	for _, p := range paths {
+		if len(p) != 5 {
+			t.Errorf("path %v length %d, want 5 switches", p, len(p))
+		}
+		if err := ft.ValidTrajectory(src.IP, dstFar.IP, p); err != nil {
+			t.Errorf("invalid canonical path: %v", err)
+		}
+	}
+	// Intra-pod: 2 equal-cost 3-switch paths.
+	dstPod := ft.HostsAt(ft.ToRID(0, 1))[0]
+	paths = r.EqualCostPaths(src.IP, dstPod.IP)
+	if len(paths) != 2 {
+		t.Fatalf("intra-pod equal-cost paths = %d, want 2", len(paths))
+	}
+	// Same ToR: single trivial path.
+	same := ft.HostsAt(ft.ToRID(0, 0))[1]
+	paths = r.EqualCostPaths(src.IP, same.IP)
+	if len(paths) != 1 || len(paths[0]) != 1 {
+		t.Fatalf("same-ToR paths = %v", paths)
+	}
+}

@@ -1,0 +1,81 @@
+package topology
+
+import (
+	"fmt"
+
+	"pathdump/internal/types"
+)
+
+// VL2 builds a VL2 Clos topology with dA-port aggregation switches and
+// dI-port intermediate switches:
+//
+//   - dA/2 intermediate switches, each connected to every aggregation switch;
+//   - dI aggregation switches, each using dA/2 ports up (to every
+//     intermediate) and dA/2 ports down (to ToRs);
+//   - dI·dA/4 ToR switches, each dual-homed to one aggregation *pair*
+//     (aggs 2g and 2g+1 serve ToR group g);
+//   - hostsPerToR servers per ToR.
+//
+// Switch IDs: ToR r → r; Agg a → nToR + a; Intermediate i → nToR + dI + i.
+// Host IPs are 10.(r»8).(r&0xFF).(2+i).
+func VL2(dA, dI, hostsPerToR int) (*Topology, error) {
+	if dA < 4 || dA%2 != 0 {
+		return nil, fmt.Errorf("topology: VL2 dA must be even and ≥4, got %d", dA)
+	}
+	if dI < 2 || dI%2 != 0 {
+		return nil, fmt.Errorf("topology: VL2 dI must be even and ≥2, got %d", dI)
+	}
+	if hostsPerToR < 1 || hostsPerToR > 250 {
+		return nil, fmt.Errorf("topology: hostsPerToR out of range: %d", hostsPerToR)
+	}
+	nInt := dA / 2
+	nAgg := dI
+	nToR := dI * dA / 4
+	if nToR > 1<<16 {
+		return nil, fmt.Errorf("topology: VL2(%d,%d) exceeds addressing limits", dA, dI)
+	}
+	t := newTopology(VL2Kind)
+	t.DA, t.DI = dA, dI
+
+	for i := 0; i < nInt; i++ {
+		t.addSwitch(&Switch{ID: t.IntID(i), Layer: LayerCore, Pod: -1, Index: i})
+	}
+	for a := 0; a < nAgg; a++ {
+		agg := &Switch{ID: t.VL2AggID(a), Layer: LayerAgg, Pod: a / 2, Index: a}
+		for i := 0; i < nInt; i++ {
+			agg.Up = append(agg.Up, t.IntID(i))
+			in := t.switches[t.IntID(i)]
+			in.Down = append(in.Down, agg.ID)
+		}
+		t.addSwitch(agg)
+	}
+	for r := 0; r < nToR; r++ {
+		g := r / (dA / 2) // ToR group served by agg pair (2g, 2g+1)
+		tor := &Switch{ID: t.VL2ToRID(r), Layer: LayerToR, Pod: g, Index: r}
+		for _, a := range []int{2 * g, 2*g + 1} {
+			tor.Up = append(tor.Up, t.VL2AggID(a))
+			agg := t.switches[t.VL2AggID(a)]
+			agg.Down = append(agg.Down, tor.ID)
+		}
+		t.addSwitch(tor)
+		for i := 0; i < hostsPerToR; i++ {
+			hid := types.HostID(uint32(r)*uint32(hostsPerToR) + uint32(i))
+			ip := types.IP(0x0A000000 | uint32(r)<<8 | uint32(i+2))
+			t.addHost(&Host{ID: hid, IP: ip, ToR: tor.ID, Pod: g})
+		}
+	}
+	return t, nil
+}
+
+// VL2ToRID returns the switch ID of ToR index r in a VL2 topology.
+func (t *Topology) VL2ToRID(r int) types.SwitchID { return types.SwitchID(r) }
+
+// VL2AggID returns the switch ID of aggregation switch index a.
+func (t *Topology) VL2AggID(a int) types.SwitchID {
+	return types.SwitchID(t.DI*t.DA/4 + a)
+}
+
+// IntID returns the switch ID of intermediate switch index i.
+func (t *Topology) IntID(i int) types.SwitchID {
+	return types.SwitchID(t.DI*t.DA/4 + t.DI + i)
+}

@@ -1,0 +1,243 @@
+// Package workload generates traffic for the experiments: empirical flow
+// size distributions (the web-search and data-mining models the paper's
+// experiments draw on [10, 19]), Poisson flow arrivals with a configurable
+// offered load, and a generator that drives TCP stacks over the simulated
+// fabric.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"pathdump/internal/netsim"
+	"pathdump/internal/tcp"
+	"pathdump/internal/topology"
+	"pathdump/internal/types"
+)
+
+// SizeDist samples flow sizes in bytes.
+type SizeDist interface {
+	Sample(rng *rand.Rand) int64
+	Mean() float64
+	Name() string
+}
+
+// Empirical is a piecewise log-linear CDF over flow sizes.
+type Empirical struct {
+	name  string
+	sizes []float64 // ascending bytes
+	cdf   []float64 // ascending, last = 1
+	mean  float64
+}
+
+// NewEmpirical builds a distribution from (bytes, cdf) points; cdf values
+// must be ascending and end at 1.
+func NewEmpirical(name string, points [][2]float64) (*Empirical, error) {
+	if len(points) < 2 {
+		return nil, fmt.Errorf("workload: need at least 2 CDF points")
+	}
+	e := &Empirical{name: name}
+	prev := 0.0
+	for i, p := range points {
+		if p[0] <= 0 {
+			return nil, fmt.Errorf("workload: size must be positive at point %d", i)
+		}
+		if p[1] < prev {
+			return nil, fmt.Errorf("workload: CDF must be non-decreasing at point %d", i)
+		}
+		if i > 0 && p[0] <= e.sizes[i-1] {
+			return nil, fmt.Errorf("workload: sizes must be ascending at point %d", i)
+		}
+		e.sizes = append(e.sizes, p[0])
+		e.cdf = append(e.cdf, p[1])
+		prev = p[1]
+	}
+	if math.Abs(e.cdf[len(e.cdf)-1]-1) > 1e-9 {
+		return nil, fmt.Errorf("workload: CDF must end at 1")
+	}
+	// Mean: within a segment the inverse transform is log-linear, i.e.
+	// sizes are log-uniform on [lo, hi], whose mean is (hi−lo)/ln(hi/lo).
+	m := e.cdf[0] * e.sizes[0]
+	for i := 1; i < len(e.sizes); i++ {
+		w := e.cdf[i] - e.cdf[i-1]
+		lo, hi := e.sizes[i-1], e.sizes[i]
+		m += w * (hi - lo) / math.Log(hi/lo)
+	}
+	e.mean = m
+	return e, nil
+}
+
+// Name implements SizeDist.
+func (e *Empirical) Name() string { return e.name }
+
+// Mean implements SizeDist.
+func (e *Empirical) Mean() float64 { return e.mean }
+
+// Sample draws a size by inverse transform with log-linear interpolation.
+func (e *Empirical) Sample(rng *rand.Rand) int64 {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(e.cdf, u)
+	if i == 0 {
+		return int64(e.sizes[0])
+	}
+	if i >= len(e.cdf) {
+		i = len(e.cdf) - 1
+	}
+	lo, hi := e.sizes[i-1], e.sizes[i]
+	clo, chi := e.cdf[i-1], e.cdf[i]
+	frac := 0.0
+	if chi > clo {
+		frac = (u - clo) / (chi - clo)
+	}
+	v := math.Exp(math.Log(lo) + frac*(math.Log(hi)-math.Log(lo)))
+	return int64(v)
+}
+
+// WebSearch returns the web-search flow size distribution (heavy-tailed:
+// most flows small, most bytes in multi-MB flows) used by the paper's
+// load-imbalance and drop-localisation experiments.
+func WebSearch() *Empirical {
+	e, err := NewEmpirical("websearch", [][2]float64{
+		{1e3, 0.05}, {5e3, 0.25}, {1e4, 0.40}, {3e4, 0.55},
+		{1e5, 0.70}, {3e5, 0.80}, {1e6, 0.90}, {3e6, 0.96},
+		{1e7, 0.99}, {3e7, 1.0},
+	})
+	if err != nil {
+		panic(err) // static table; cannot fail
+	}
+	return e
+}
+
+// DataMining returns the data-mining distribution (even heavier tail;
+// >80% of flows under 10 KB, elephants up to 100 MB).
+func DataMining() *Empirical {
+	e, err := NewEmpirical("datamining", [][2]float64{
+		{1e2, 0.45}, {1e3, 0.60}, {1e4, 0.80}, {1e5, 0.90},
+		{1e6, 0.95}, {1e7, 0.98}, {1e8, 1.0},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Fixed returns a degenerate distribution (every flow the same size).
+type Fixed int64
+
+// Sample implements SizeDist.
+func (f Fixed) Sample(*rand.Rand) int64 { return int64(f) }
+
+// Mean implements SizeDist.
+func (f Fixed) Mean() float64 { return float64(f) }
+
+// Name implements SizeDist.
+func (f Fixed) Name() string { return fmt.Sprintf("fixed(%d)", int64(f)) }
+
+// GenConfig parameterises a traffic generator.
+type GenConfig struct {
+	// Sources and Dests select the communicating hosts (a destination is
+	// drawn uniformly, excluding the source).
+	Sources []types.HostID
+	Dests   []types.HostID
+	// Load is the offered load as a fraction of each source's link rate.
+	Load float64
+	// LinkBps is the host link rate used to convert Load into a flow
+	// arrival rate.
+	LinkBps int64
+	// Dist is the flow size distribution.
+	Dist SizeDist
+	// Until stops new arrivals at this virtual time.
+	Until types.Time
+	// PortBase seeds source-port allocation (flows get unique ports).
+	PortBase uint16
+	// Seed decouples workload randomness from fabric randomness.
+	Seed int64
+	// OnDone, if set, fires as each flow's last byte is acknowledged.
+	OnDone func(*tcp.Sender)
+}
+
+// Generator schedules Poisson flow arrivals over a set of TCP stacks.
+type Generator struct {
+	sim    *netsim.Sim
+	stacks map[types.HostID]*tcp.Stack
+	cfg    GenConfig
+	rng    *rand.Rand
+	rate   float64 // flow arrivals per second per source
+
+	Started int // flows started so far
+}
+
+// NewGenerator builds a generator; stacks must contain every source and
+// destination host.
+func NewGenerator(sim *netsim.Sim, stacks map[types.HostID]*tcp.Stack, cfg GenConfig) (*Generator, error) {
+	if len(cfg.Sources) == 0 || len(cfg.Dests) == 0 {
+		return nil, fmt.Errorf("workload: need sources and destinations")
+	}
+	if cfg.Load <= 0 || cfg.Dist == nil || cfg.LinkBps <= 0 {
+		return nil, fmt.Errorf("workload: load, link rate and distribution are required")
+	}
+	for _, h := range cfg.Sources {
+		if stacks[h] == nil {
+			return nil, fmt.Errorf("workload: no stack for source %v", h)
+		}
+	}
+	g := &Generator{
+		sim:    sim,
+		stacks: stacks,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		rate:   cfg.Load * float64(cfg.LinkBps) / 8 / cfg.Dist.Mean(),
+	}
+	return g, nil
+}
+
+// Rate returns the per-source flow arrival rate in flows/second.
+func (g *Generator) Rate() float64 { return g.rate }
+
+// Start schedules the first arrival of every source.
+func (g *Generator) Start() {
+	for _, src := range g.cfg.Sources {
+		g.scheduleNext(src)
+	}
+}
+
+// scheduleNext draws the next exponential interarrival for one source.
+func (g *Generator) scheduleNext(src types.HostID) {
+	gap := types.Time(g.rng.ExpFloat64() / g.rate * float64(types.Second))
+	at := g.sim.Now() + gap
+	if at > g.cfg.Until {
+		return
+	}
+	g.sim.At(at, func() {
+		g.launch(src)
+		g.scheduleNext(src)
+	})
+}
+
+// launch starts one flow from src to a random destination.
+func (g *Generator) launch(src types.HostID) {
+	topoSrc := g.sim.Topo.Host(src)
+	var dst *topology.Host
+	for tries := 0; tries < 32; tries++ {
+		cand := g.cfg.Dests[g.rng.Intn(len(g.cfg.Dests))]
+		if cand != src {
+			dst = g.sim.Topo.Host(cand)
+			break
+		}
+	}
+	if dst == nil {
+		return
+	}
+	g.Started++
+	size := g.cfg.Dist.Sample(g.rng)
+	f := types.FlowID{
+		SrcIP:   topoSrc.IP,
+		DstIP:   dst.IP,
+		SrcPort: g.cfg.PortBase + uint16(g.Started),
+		DstPort: 80,
+		Proto:   types.ProtoTCP,
+	}
+	g.stacks[src].StartFlow(f, size, size, g.cfg.OnDone)
+}

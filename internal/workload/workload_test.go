@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pathdump/internal/cherrypick"
+	"pathdump/internal/netsim"
+	"pathdump/internal/tcp"
+	"pathdump/internal/topology"
+	"pathdump/internal/types"
+)
+
+func TestEmpiricalValidation(t *testing.T) {
+	cases := [][][2]float64{
+		{{1e3, 1}},               // too few points
+		{{1e3, 0.5}, {1e4, 0.4}}, // decreasing CDF
+		{{1e3, 0.5}, {1e3, 1}},   // non-ascending sizes
+		{{1e3, 0.5}, {1e4, 0.9}}, // does not end at 1
+		{{-5, 0.5}, {1e4, 1}},    // negative size
+	}
+	for i, pts := range cases {
+		if _, err := NewEmpirical("bad", pts); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestEmpiricalSampling(t *testing.T) {
+	for _, d := range []*Empirical{WebSearch(), DataMining()} {
+		rng := rand.New(rand.NewSource(1))
+		lo, hi := d.sizes[0], d.sizes[len(d.sizes)-1]
+		var sum float64
+		n := 20000
+		for i := 0; i < n; i++ {
+			v := float64(d.Sample(rng))
+			if v < lo-1 || v > hi+1 {
+				t.Fatalf("%s: sample %v outside [%v, %v]", d.Name(), v, lo, hi)
+			}
+			sum += v
+		}
+		got := sum / float64(n)
+		if math.Abs(got-d.Mean())/d.Mean() > 0.25 {
+			t.Errorf("%s: empirical mean %.0f vs analytic %.0f", d.Name(), got, d.Mean())
+		}
+	}
+}
+
+func TestEmpiricalHeavyTailShape(t *testing.T) {
+	d := WebSearch()
+	rng := rand.New(rand.NewSource(2))
+	small, big := 0, 0
+	for i := 0; i < 10000; i++ {
+		v := d.Sample(rng)
+		if v < 100_000 {
+			small++
+		}
+		if v >= 1_000_000 {
+			big++
+		}
+	}
+	if small < 5000 {
+		t.Errorf("web-search should be mostly small flows; small=%d/10000", small)
+	}
+	if big == 0 {
+		t.Error("web-search should produce elephants")
+	}
+}
+
+func TestFixedDist(t *testing.T) {
+	d := Fixed(5000)
+	if d.Sample(nil) != 5000 || d.Mean() != 5000 {
+		t.Error("Fixed distribution broken")
+	}
+	if d.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	topo, _ := topology.FatTree(4)
+	scheme, _ := cherrypick.New(topo)
+	sim := netsim.New(topo, scheme, netsim.Config{})
+	stacks := map[types.HostID]*tcp.Stack{}
+	if _, err := NewGenerator(sim, stacks, GenConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := NewGenerator(sim, stacks, GenConfig{
+		Sources: []types.HostID{0}, Dests: []types.HostID{1},
+		Load: 0.5, LinkBps: 1e9, Dist: Fixed(1000),
+	}); err == nil {
+		t.Error("missing stack accepted")
+	}
+}
+
+func TestGeneratorDrivesTraffic(t *testing.T) {
+	topo, _ := topology.FatTree(4)
+	scheme, _ := cherrypick.New(topo)
+	sim := netsim.New(topo, scheme, netsim.Config{BandwidthBps: 100e6, Seed: 5})
+	stacks := map[types.HostID]*tcp.Stack{}
+	var srcs, dsts []types.HostID
+	for _, h := range topo.Hosts() {
+		st := tcp.NewStack(sim, h.ID, tcp.Config{})
+		stacks[h.ID] = st
+		sim.SetReceiver(h.ID, st)
+		if h.Pod == 0 {
+			srcs = append(srcs, h.ID)
+		} else {
+			dsts = append(dsts, h.ID)
+		}
+	}
+	completed := 0
+	g, err := NewGenerator(sim, stacks, GenConfig{
+		Sources: srcs, Dests: dsts,
+		Load: 0.3, LinkBps: 100e6, Dist: Fixed(20_000),
+		Until: 2 * types.Second, Seed: 9,
+		OnDone: func(*tcp.Sender) { completed++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected rate: 0.3*100e6/8/20000 = 187.5 flows/s per source.
+	if math.Abs(g.Rate()-187.5) > 1e-6 {
+		t.Errorf("Rate = %v, want 187.5", g.Rate())
+	}
+	g.Start()
+	sim.RunAll()
+	if g.Started == 0 {
+		t.Fatal("no flows started")
+	}
+	// 4 sources × 187.5 × 2 s = 1500 expected arrivals; allow slack.
+	if g.Started < 1000 || g.Started > 2000 {
+		t.Errorf("Started = %d, want ≈1500", g.Started)
+	}
+	if completed < g.Started*9/10 {
+		t.Errorf("completed %d of %d flows", completed, g.Started)
+	}
+}
