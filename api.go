@@ -102,6 +102,16 @@ func (c *Cluster) InstallQuery(hosts []HostID, q Query, period Time) (map[HostID
 // UninstallQuery removes previously installed queries.
 func (c *Cluster) UninstallQuery(ids map[HostID]int) error { return c.Ctrl.Uninstall(ids) }
 
+// SetQueryParallelism re-bounds the controller's concurrent per-host
+// request fan-out (<= 0 means unlimited). Each execution captures the
+// bound once at its start, so this applies to the next
+// Execute/ExecuteTree/InstallQuery call; do not call it concurrently
+// with in-flight queries.
+func (c *Cluster) SetQueryParallelism(n int) { c.Ctrl.Parallelism = n }
+
+// QueryParallelism reports the current fan-out bound (0 = unlimited).
+func (c *Cluster) QueryParallelism() int { return c.Ctrl.Parallelism }
+
 // ---- Debugging-application wrappers (§4) ----
 
 // InstallTCPMonitor installs the active monitoring query at every host:

@@ -15,11 +15,21 @@ import (
 
 // Config bundles the knobs of every layer; the zero value selects
 // sensible defaults throughout (1 Gbps links, 5 µs propagation, NetFlow
-// 5 s record timeout, 200 ms TCP monitoring granularity).
+// 5 s record timeout, 200 ms TCP monitoring granularity, unlimited query
+// fan-out parallelism).
 type Config struct {
 	Net   NetConfig
 	Agent AgentConfig
 	TCP   TCPConfig
+	Query QueryConfig
+}
+
+// QueryConfig tunes distributed query execution at the controller.
+type QueryConfig struct {
+	// Parallelism bounds the number of concurrently outstanding per-host
+	// requests during Execute/ExecuteTree/InstallQuery fan-out (<= 0
+	// means unlimited). The §5.2 response-time model mirrors the bound.
+	Parallelism int
 }
 
 // Cluster is one fully wired PathDump deployment over a simulated fabric:
@@ -70,6 +80,7 @@ func newCluster(topo *topology.Topology, cfg Config) (*Cluster, error) {
 		nextPort: 10000,
 	}
 	c.Ctrl = controller.New(topo, controller.Local{Agents: c.Agents}, sim)
+	c.Ctrl.Parallelism = cfg.Query.Parallelism
 	for _, h := range topo.Hosts() {
 		st := tcp.NewStack(sim, h.ID, cfg.TCP)
 		c.Stacks[h.ID] = st

@@ -30,12 +30,13 @@ import (
 )
 
 func main() {
-	agents := flag.String("agents", "", "comma-separated hostID=URL pairs")
+	agents := flag.String("agents", "", "comma-separated hostID=URL pairs (several hosts may share one URL for batched daemons)")
 	arity := flag.Int("k", 4, "fat-tree arity of the ground-truth topology")
+	parallel := flag.Int("parallel", 0, "max concurrently outstanding per-host requests (0 = unlimited)")
 	flag.Parse()
 	args := flag.Args()
 	if *agents == "" || len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: pathdumpctl -agents id=url[,id=url...] {topk|flows|paths|count|conformance|matrix|poor|install|uninstall} [flags]")
+		fmt.Fprintln(os.Stderr, "usage: pathdumpctl -agents id=url[,id=url...] [-parallel n] {topk|flows|paths|count|conformance|matrix|poor|install|uninstall} [flags]")
 		os.Exit(2)
 	}
 	urls, hosts := parseAgents(*agents)
@@ -44,6 +45,7 @@ func main() {
 		log.Fatal(err)
 	}
 	ctrl := controller.New(topo, &rpc.HTTPTransport{URLs: urls}, nil)
+	ctrl.Parallelism = *parallel
 
 	cmd, rest := args[0], args[1:]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)

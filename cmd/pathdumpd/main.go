@@ -6,6 +6,10 @@
 //	# serve host 12 of a 4-ary fat-tree with demo traffic, on :8412
 //	pathdumpd -host 12 -listen :8412 -demo
 //
+//	# serve several co-located hosts from one daemon, with the batched
+//	# /batchquery endpoint the controller's fan-out collapses into
+//	pathdumpd -hosts 0,1,2,3 -listen :8400 -demo
+//
 //	# serve a TIB snapshot produced elsewhere
 //	pathdumpd -host 3 -listen :8403 -tib host3.gob
 //
@@ -20,9 +24,14 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 
 	"pathdump"
+	"pathdump/internal/agent"
 	"pathdump/internal/rpc"
+	"pathdump/internal/tib"
+	"pathdump/internal/types"
 	"pathdump/internal/workload"
 )
 
@@ -30,8 +39,10 @@ func main() {
 	var (
 		listen   = flag.String("listen", ":8400", "HTTP listen address")
 		hostID   = flag.Uint("host", 0, "host ID within the topology")
+		hostIDs  = flag.String("hosts", "", "comma-separated host IDs to serve from one multi-agent daemon (overrides -host)")
 		arity    = flag.Int("k", 4, "fat-tree arity of the ground-truth topology")
-		tibPath  = flag.String("tib", "", "TIB snapshot to load (gob)")
+		parallel = flag.Int("parallel", 0, "max concurrent per-host executions of a /batchquery (0 = unlimited)")
+		tibPath  = flag.String("tib", "", "TIB snapshot to load (gob; single-host mode only)")
 		demo     = flag.Bool("demo", false, "populate the TIB with a simulated demo workload")
 		alarmURL = flag.String("controller", "", "controller URL for alarms (optional)")
 	)
@@ -41,22 +52,52 @@ func main() {
 	if err != nil {
 		log.Fatalf("pathdumpd: %v", err)
 	}
-	agent, ok := c.Agents[pathdump.HostID(*hostID)]
-	if !ok {
-		log.Fatalf("pathdumpd: host %d not in a %d-ary fat tree (%d hosts)",
-			*hostID, *arity, len(c.Agents))
+
+	served := make(map[types.HostID]*agent.Agent)
+	if *hostIDs != "" {
+		for _, part := range strings.Split(*hostIDs, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				log.Fatalf("pathdumpd: bad -hosts entry %q: %v", part, err)
+			}
+			a, ok := c.Agents[pathdump.HostID(n)]
+			if !ok {
+				log.Fatalf("pathdumpd: host %d not in a %d-ary fat tree (%d hosts)",
+					n, *arity, len(c.Agents))
+			}
+			served[pathdump.HostID(n)] = a
+		}
+	} else {
+		a, ok := c.Agents[pathdump.HostID(*hostID)]
+		if !ok {
+			log.Fatalf("pathdumpd: host %d not in a %d-ary fat tree (%d hosts)",
+				*hostID, *arity, len(c.Agents))
+		}
+		served[pathdump.HostID(*hostID)] = a
 	}
 
 	switch {
 	case *tibPath != "":
+		if len(served) != 1 || *hostIDs != "" {
+			log.Fatal("pathdumpd: -tib requires single-host mode (-host)")
+		}
+		// A snapshot has no live agent behind it: serve it as a bare
+		// store so ops needing agent runtime (poor_tcp) answer 501
+		// instead of a silently empty result.
+		store := tib.NewStore()
 		f, err := os.Open(*tibPath)
 		if err != nil {
 			log.Fatalf("pathdumpd: %v", err)
 		}
-		if err := agent.Store.LoadSnapshot(f); err != nil {
+		if err := store.LoadSnapshot(f); err != nil {
 			log.Fatalf("pathdumpd: loading %s: %v", *tibPath, err)
 		}
 		f.Close()
+		srv := &rpc.AgentServer{T: rpc.SnapshotTarget{Store: store}}
+		log.Printf("pathdumpd: snapshot %s serving on %s, %d TIB records",
+			*tibPath, *listen, store.Len())
+		fmt.Println("endpoints: POST /query /install /uninstall, GET /stats")
+		log.Fatal(http.ListenAndServe(*listen, srv.Handler()))
 	case *demo:
 		hosts := c.HostIDs()
 		gen, err := workload.NewGenerator(c.Sim, c.Stacks, workload.GenConfig{
@@ -70,8 +111,12 @@ func main() {
 		}
 		gen.Start()
 		c.Run(30 * pathdump.Second)
-		log.Printf("pathdumpd: demo workload ran %d flows; TIB has %d records",
-			gen.Started, agent.Store.Len())
+		records := 0
+		for _, a := range served {
+			records += a.Store.Len()
+		}
+		log.Printf("pathdumpd: demo workload ran %d flows; served TIBs hold %d records",
+			gen.Started, records)
 	}
 
 	if *alarmURL != "" {
@@ -79,9 +124,22 @@ func main() {
 		_ = rpc.AlarmClient{URL: *alarmURL}
 	}
 
-	srv := &rpc.AgentServer{T: agent}
-	log.Printf("pathdumpd: host %v (%v) serving on %s, %d TIB records",
-		agent.Host.ID, agent.Host.IP, *listen, agent.Store.Len())
-	fmt.Println("endpoints: POST /query /install /uninstall, GET /stats")
-	log.Fatal(http.ListenAndServe(*listen, srv.Handler()))
+	var handler http.Handler
+	if len(served) == 1 && *hostIDs == "" {
+		for _, a := range served {
+			handler = (&rpc.AgentServer{T: a}).Handler()
+			log.Printf("pathdumpd: host %v (%v) serving on %s, %d TIB records",
+				a.Host.ID, a.Host.IP, *listen, a.Store.Len())
+		}
+		fmt.Println("endpoints: POST /query /install /uninstall, GET /stats")
+	} else {
+		targets := make(map[types.HostID]rpc.Target, len(served))
+		for id, a := range served {
+			targets[id] = a
+		}
+		handler = (&rpc.MultiAgentServer{Targets: targets, Parallelism: *parallel}).Handler()
+		log.Printf("pathdumpd: %d hosts serving on %s", len(served), *listen)
+		fmt.Println("endpoints: POST /query /batchquery /install /uninstall, GET /stats")
+	}
+	log.Fatal(http.ListenAndServe(*listen, handler))
 }

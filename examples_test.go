@@ -1,0 +1,219 @@
+// Table-driven smoke tests for the examples/* scenarios: the same logic
+// the example mains print is exercised here through the public pathdump
+// API with assertions, so the walkthroughs can't rot silently.
+package pathdump_test
+
+import (
+	"testing"
+
+	"pathdump"
+	"pathdump/internal/netsim"
+	"pathdump/internal/types"
+	"pathdump/internal/workload"
+)
+
+func TestExampleScenarios(t *testing.T) {
+	scenarios := []struct {
+		name string
+		run  func(t *testing.T)
+	}{
+		{"quickstart", quickstartScenario},
+		{"routingloop", routingLoopScenario},
+		{"silentdrops", silentDropsScenario},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) { sc.run(t) })
+	}
+}
+
+// quickstartScenario mirrors examples/quickstart: flows across a fat
+// tree, the Table-1 host API at the destination TIB, and a cluster-wide
+// top-k through the aggregation tree.
+func quickstartScenario(t *testing.T) {
+	c, err := pathdump.NewFatTree(4, pathdump.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := c.HostIDs()
+	src, dst := hosts[0], hosts[12]
+
+	sizes := []int64{50_000, 400_000, 1_500_000}
+	var flows []pathdump.FlowID
+	for i, size := range sizes {
+		f, err := c.StartFlow(src, dst, uint16(8080+i), size, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flows = append(flows, f)
+	}
+	c.RunAll()
+
+	for i, f := range flows {
+		paths := c.GetPaths(dst, f, pathdump.AnyLink, pathdump.AllTime)
+		if len(paths) == 0 {
+			t.Fatalf("flow %d: no recorded trajectory", i)
+		}
+		var total uint64
+		for _, p := range paths {
+			if err := c.Validate(f.SrcIP, f.DstIP, p); err != nil {
+				t.Fatalf("flow %d: trajectory failed ground-truth validation: %v", i, err)
+			}
+			bytes, pkts := c.GetCount(dst, pathdump.Flow{ID: f, Path: p}, pathdump.AllTime)
+			if pkts == 0 {
+				t.Fatalf("flow %d: zero packets on recorded path", i)
+			}
+			total += bytes
+		}
+		if total < uint64(sizes[i]) {
+			t.Errorf("flow %d: TIB counted %d bytes, sent %d", i, total, sizes[i])
+		}
+		if d := c.GetDuration(dst, pathdump.Flow{ID: f}, pathdump.AllTime); d <= 0 {
+			t.Errorf("flow %d: non-positive duration %v", i, d)
+		}
+	}
+
+	// getFlows with a wildcard link: everything entering the host's ToR.
+	tor := c.Topo.Host(dst).ToR
+	incoming := c.GetFlows(dst, pathdump.LinkID{A: pathdump.WildcardSwitch, B: tor}, pathdump.AllTime)
+	if len(incoming) < len(flows) {
+		t.Errorf("wildcard getFlows saw %d flows, want >= %d", len(incoming), len(flows))
+	}
+
+	// Cluster-wide top-3 through the multi-level aggregation tree: the
+	// biggest flow must rank first.
+	top, stats, err := c.TopK(3, pathdump.AllTime, []int{4, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 3 {
+		t.Fatalf("top-k returned %d entries", len(top))
+	}
+	if top[0].Flow != flows[2] {
+		t.Errorf("top flow = %v, want the 1.5 MB flow %v", top[0].Flow, flows[2])
+	}
+	if stats.Hosts != len(hosts) {
+		t.Errorf("query covered %d hosts, want %d", stats.Hosts, len(hosts))
+	}
+	if stats.ResponseTime <= 0 || stats.WireBytes <= 0 {
+		t.Errorf("degenerate stats %+v", stats)
+	}
+}
+
+// routingLoopScenario mirrors examples/routingloop: a misconfigured
+// aggregation switch bounces a flow between pods; the VLAN-stack overflow
+// punts to the controller, which must conclude the loop within two punt
+// rounds (§4.5).
+func routingLoopScenario(t *testing.T) {
+	c, err := pathdump.NewFatTree(4, pathdump.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := c.Topo
+	hosts := c.HostIDs()
+	src, dst := hosts[0], hosts[8]
+
+	var detected []pathdump.LoopEvent
+	c.OnLoop(func(ev pathdump.LoopEvent) { detected = append(detected, ev) })
+
+	f, err := c.StartFlow(src, dst, 9000, 1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunAll()
+	paths := c.GetPaths(dst, f, pathdump.AnyLink, pathdump.AllTime)
+	if len(paths) == 0 {
+		t.Fatal("probe flow left no trajectory")
+	}
+	path := paths[0]
+
+	core, aggD := path[2], path[3]
+	group := topo.CoreGroup(topo.Switch(core).Index)
+	aggOther := topo.AggID(3, group)
+	loopFlow := c.FlowBetween(src, dst, 9001)
+	hook := func(next pathdump.SwitchID) func(*netsim.Packet, []types.SwitchID, netsim.NodeID) (types.SwitchID, bool) {
+		return func(pkt *netsim.Packet, _ []types.SwitchID, _ netsim.NodeID) (types.SwitchID, bool) {
+			if pkt.Flow == loopFlow {
+				return next, true
+			}
+			return 0, false
+		}
+	}
+	c.Sim.SetNextHopOverride(aggD, hook(core))
+	c.Sim.SetNextHopOverride(aggOther, hook(core))
+	c.Sim.SetNextHopOverride(core, func(pkt *netsim.Packet, _ []types.SwitchID, ingress netsim.NodeID) (types.SwitchID, bool) {
+		if pkt.Flow != loopFlow {
+			return 0, false
+		}
+		if ingress == netsim.SwitchNode(aggD) {
+			return aggOther, true
+		}
+		return aggD, true
+	})
+
+	start := c.Now()
+	if err := c.SendPacket(src, &netsim.Packet{Flow: loopFlow, Size: 100}); err != nil {
+		t.Fatal(err)
+	}
+	c.RunAll()
+
+	if len(detected) != 1 {
+		t.Fatalf("detected %d loops, want 1", len(detected))
+	}
+	ev := detected[0]
+	if ev.Flow != loopFlow {
+		t.Errorf("loop reported for %v, want %v", ev.Flow, loopFlow)
+	}
+	if latency := ev.DetectedAt - start; latency <= 0 || latency > 500*pathdump.Millisecond {
+		t.Errorf("detection latency %v out of range", latency)
+	}
+	if ev.Rounds < 1 || ev.Rounds > 2 {
+		t.Errorf("loop needed %d punt rounds, paper bound is 2", ev.Rounds)
+	}
+	if len(c.Alarms()) == 0 {
+		t.Error("no LOOP alarm raised")
+	}
+}
+
+// silentDropsScenario mirrors examples/silentdrops at reduced scale: a
+// faulty interface drops packets silently, TCP monitors raise POOR_PERF
+// alarms, and MAX-COVERAGE must localise the injected link from the
+// accumulated failure signatures.
+func silentDropsScenario(t *testing.T) {
+	c, err := pathdump.NewFatTree(4, pathdump.Config{
+		Net: pathdump.NetConfig{BandwidthBps: 20e6, Seed: 11},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := c.Topo
+	faulty := pathdump.LinkID{A: topo.AggID(0, 0), B: topo.CoreID(0)}
+	c.SetSilentDrop(faulty.A, faulty.B, 0.03)
+
+	dbg := c.NewSilentDropDebugger()
+	if _, err := c.InstallTCPMonitor(3, 200*pathdump.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	hosts := c.HostIDs()
+	gen, err := workload.NewGenerator(c.Sim, c.Stacks, workload.GenConfig{
+		Sources: hosts, Dests: hosts,
+		Load: 0.7, LinkBps: 20e6, Dist: workload.WebSearch(),
+		Until: 120 * pathdump.Second, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen.Start()
+
+	for tm := 10 * pathdump.Second; tm <= 120*pathdump.Second; tm += 10 * pathdump.Second {
+		c.Run(tm)
+		if recall, precision := dbg.Accuracy([]pathdump.LinkID{faulty}); recall == 1 && precision == 1 {
+			if dbg.Signatures() == 0 {
+				t.Fatal("localised with zero signatures?")
+			}
+			return
+		}
+	}
+	t.Fatalf("failed to localise %v: %d signatures, hypothesis %v",
+		faulty, dbg.Signatures(), dbg.Localize())
+}

@@ -1,0 +1,3 @@
+module pathdump
+
+go 1.24

@@ -8,6 +8,7 @@ package agent
 
 import (
 	"fmt"
+	"sync"
 
 	"pathdump/internal/cherrypick"
 	"pathdump/internal/netsim"
@@ -38,6 +39,10 @@ type Config struct {
 	// granularity (the paper's §2.2 future-work extension); zero keeps
 	// the shipped per-path aggregation only.
 	PacketLog int
+	// StoreShards stripes the TIB store's locks so concurrent ingest and
+	// query scans do not serialise (default tib.DefaultShards; 1 yields
+	// a single-lock store).
+	StoreShards int
 }
 
 func (c Config) withDefaults() Config {
@@ -48,6 +53,13 @@ func (c Config) withDefaults() Config {
 		c.SweepPeriod = types.Second
 	}
 	return c
+}
+
+func (c Config) storeShards() int {
+	if c.StoreShards > 0 {
+		return c.StoreShards
+	}
+	return tib.DefaultShards
 }
 
 // Installed is one query installed by the controller (§2.1): periodic when
@@ -75,6 +87,10 @@ type Agent struct {
 	stack *tcp.Stack
 	sink  AlarmSink
 
+	// instMu guards the installed-query registry: HTTP daemons serve
+	// /install and /uninstall on concurrent handler goroutines, and the
+	// controller fans installs out concurrently on non-serial transports.
+	instMu    sync.Mutex
 	installed map[int]*Installed
 	nextID    int
 	sweeping  bool
@@ -100,7 +116,7 @@ func New(sim *netsim.Sim, h *topology.Host, stack *tcp.Stack, sink AlarmSink, cf
 		cfg:       cfg,
 		Mem:       tib.NewMemory(cfg.IdleTimeout),
 		Cache:     tib.NewCache(cfg.CacheSize),
-		Store:     tib.NewStore(),
+		Store:     tib.NewStoreShards(cfg.storeShards()),
 		stack:     stack,
 		sink:      sink,
 		installed: make(map[int]*Installed),
@@ -194,11 +210,19 @@ func (a *Agent) export(e *tib.MemEntry) {
 	}
 	a.Store.Add(rec)
 	a.RecordsStored++
-	// Event-triggered installed queries run as new records appear.
+	// Event-triggered installed queries run as new records appear. The
+	// matching set is captured under the lock; execution (which may
+	// raise alarms) happens outside it.
+	a.instMu.Lock()
+	var triggered []*Installed
 	for _, inst := range a.installed {
 		if inst.Period == 0 {
-			a.runInstalled(inst, &rec)
+			triggered = append(triggered, inst)
 		}
+	}
+	a.instMu.Unlock()
+	for _, inst := range triggered {
+		a.runInstalled(inst, &rec)
 	}
 }
 
@@ -219,13 +243,19 @@ func (a *Agent) Execute(q query.Query) query.Result {
 }
 
 // Install registers a query; period 0 means event-triggered (§2.1). The
-// returned ID is used to uninstall.
+// returned ID is used to uninstall. The registry itself is
+// concurrency-safe, but periodic installs register timers on the agent's
+// simulator, so callers installing concurrently at agents that share one
+// Sim must serialise — the rpc servers and the sim-backed Local transport
+// (via SerialControl) both do.
 func (a *Agent) Install(q query.Query, period types.Time) int {
+	a.instMu.Lock()
 	a.nextID++
 	inst := &Installed{ID: a.nextID, Query: q, Period: period}
 	a.installed[inst.ID] = inst
+	gen := inst.gen
+	a.instMu.Unlock()
 	if period > 0 {
-		gen := inst.gen
 		a.sim.After(period, func() { a.periodic(inst, gen) })
 	}
 	return inst.ID
@@ -233,6 +263,8 @@ func (a *Agent) Install(q query.Query, period types.Time) int {
 
 // Uninstall removes an installed query.
 func (a *Agent) Uninstall(id int) error {
+	a.instMu.Lock()
+	defer a.instMu.Unlock()
 	inst, ok := a.installed[id]
 	if !ok {
 		return fmt.Errorf("agent %v: no installed query %d", a.Host.ID, id)
@@ -244,6 +276,8 @@ func (a *Agent) Uninstall(id int) error {
 
 // InstalledQueries returns the currently installed query IDs.
 func (a *Agent) InstalledQueries() []int {
+	a.instMu.Lock()
+	defer a.instMu.Unlock()
 	out := make([]int, 0, len(a.installed))
 	for id := range a.installed {
 		out = append(out, id)
@@ -253,7 +287,11 @@ func (a *Agent) InstalledQueries() []int {
 
 // periodic runs one installed query and reschedules itself.
 func (a *Agent) periodic(inst *Installed, gen uint64) {
-	if cur, ok := a.installed[inst.ID]; !ok || cur.gen != gen {
+	a.instMu.Lock()
+	cur, ok := a.installed[inst.ID]
+	live := ok && cur.gen == gen
+	a.instMu.Unlock()
+	if !live {
 		return
 	}
 	a.runInstalled(inst, nil)

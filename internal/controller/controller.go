@@ -35,6 +35,31 @@ type Transport interface {
 	Uninstall(host types.HostID, id int) error
 }
 
+// BatchReply is one host's answer within a batched multi-host query.
+type BatchReply struct {
+	Host   types.HostID
+	Result query.Result
+	Meta   QueryMeta
+	Err    error
+}
+
+// BatchTransport is an optional Transport extension: QueryMany executes
+// one query at several hosts in a single round trip per daemon (the
+// batched request path of internal/rpc). The controller routes the leaf
+// fan-out of Execute/ExecuteTree through it when available. Replies must
+// align with the hosts argument; parallel bounds the transport's internal
+// concurrency (<= 0 means unlimited).
+type BatchTransport interface {
+	Transport
+	QueryMany(hosts []types.HostID, q query.Query, parallel int) ([]BatchReply, error)
+}
+
+// SerialControl marks transports whose Install/Uninstall must not be
+// invoked concurrently — the sim-backed Local transport schedules periodic
+// queries on a single-threaded virtual-time event loop. Query fan-out is
+// always concurrent; only control-plane installs are serialised.
+type SerialControl interface{ SerialControl() }
+
 // Local is the in-process Transport over a set of agents.
 type Local struct {
 	Agents map[types.HostID]*agent.Agent
@@ -67,6 +92,10 @@ func (l Local) Uninstall(host types.HostID, id int) error {
 	}
 	return a.Uninstall(id)
 }
+
+// SerialControl marks the in-process transport's installs as serial: they
+// register timers on the shared single-threaded simulator.
+func (l Local) SerialControl() {}
 
 // CostModel parameterises the query response-time accounting used by the
 // §5.2 experiments. It mirrors the paper's testbed: a management network
@@ -114,6 +143,14 @@ type Controller struct {
 	Topo *topology.Topology
 	T    Transport
 	Cost CostModel
+
+	// Parallelism bounds the number of concurrently outstanding per-host
+	// transport requests during Execute/ExecuteTree/Install/Uninstall
+	// fan-out (<= 0 means unlimited). The response-time model mirrors the
+	// bound: children of an aggregation node are dispatched onto
+	// Parallelism modelled workers, so max-over-parallel-children latency
+	// degrades gracefully toward sum-latency as the bound tightens.
+	Parallelism int
 
 	mu       sync.Mutex
 	alarms   []types.Alarm
@@ -204,28 +241,85 @@ func (c *Controller) ExecuteTree(hosts []types.HostID, q query.Query, fanouts []
 }
 
 // Install installs a query at each listed host (§2.1 controller API).
-// It returns per-host installation IDs for Uninstall.
+// It returns per-host installation IDs for Uninstall. Installation fans
+// out concurrently (bounded by Parallelism) unless the transport declares
+// SerialControl; on error the partial ID map is returned alongside the
+// first failure so callers can roll back.
 func (c *Controller) Install(hosts []types.HostID, q query.Query, period types.Time) (map[types.HostID]int, error) {
 	out := make(map[types.HostID]int, len(hosts))
-	for _, h := range hosts {
+	if _, serial := c.T.(SerialControl); serial || len(hosts) < 2 {
+		for _, h := range hosts {
+			id, err := c.T.Install(h, q, period)
+			if err != nil {
+				return out, err
+			}
+			out[h] = id
+		}
+		return out, nil
+	}
+	var mu sync.Mutex
+	err := c.forEachHost(hosts, true, func(h types.HostID) error {
 		id, err := c.T.Install(h, q, period)
 		if err != nil {
-			return out, err
+			return err
 		}
+		mu.Lock()
 		out[h] = id
-	}
-	return out, nil
+		mu.Unlock()
+		return nil
+	})
+	return out, err
 }
 
-// Uninstall removes previously installed queries.
+// Uninstall removes previously installed queries. Every host is attempted
+// (best effort, concurrently unless the transport declares SerialControl);
+// the first failure in deterministic host order is returned.
 func (c *Controller) Uninstall(ids map[types.HostID]int) error {
-	var first error
-	for h, id := range ids {
-		if err := c.T.Uninstall(h, id); err != nil && first == nil {
-			first = err
-		}
+	hosts := make([]types.HostID, 0, len(ids))
+	for h := range ids {
+		hosts = append(hosts, h)
 	}
-	return first
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+	if _, serial := c.T.(SerialControl); serial || len(hosts) < 2 {
+		var first error
+		for _, h := range hosts {
+			if err := c.T.Uninstall(h, ids[h]); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	return c.forEachHost(hosts, false, func(h types.HostID) error {
+		return c.T.Uninstall(h, ids[h])
+	})
+}
+
+// forEachHost runs fn once per host concurrently under a fresh bounded
+// fan-out pool. With abortOnErr the first failure latches and pending
+// hosts are skipped (Install); without it every host is attempted
+// (Uninstall's best effort). The reported error is deterministic in host
+// order regardless of goroutine timing.
+func (c *Controller) forEachHost(hosts []types.HostID, abortOnErr bool, fn func(h types.HostID) error) error {
+	fo := newFanout(c.Parallelism)
+	errs := make([]error, len(hosts))
+	var wg sync.WaitGroup
+	for i, h := range hosts {
+		wg.Add(1)
+		go func(i int, h types.HostID) {
+			defer wg.Done()
+			if err := fo.acquire(); err != nil {
+				errs[i] = err
+				return
+			}
+			defer fo.release()
+			errs[i] = fn(h)
+			if errs[i] != nil && abortOnErr {
+				fo.abort()
+			}
+		}(i, h)
+	}
+	wg.Wait()
+	return firstError(errs)
 }
 
 // treeNode is one aggregation-tree position; the root has no host.
@@ -275,60 +369,143 @@ func buildLevels(hosts []types.HostID, fanouts []int) []*treeNode {
 // run executes the query over the tree, merging bottom-up, and computes
 // the modelled response time:
 //
-//	T(node) = max(execLocal, max over children(RTT + T(child) + xfer))
+//	T(node) = max(execLocal, max over children(start + RTT + T(child) + xfer))
 //	        + Σ children items·MergePerItem
 //
-// Children proceed in parallel; merging at a node is serial. Wire bytes
-// count the query going down and each (partial) result coming up.
+// Children genuinely proceed in parallel — every level of the tree fans
+// out onto goroutines, with at most Parallelism transport requests
+// outstanding at once — and merging at a node is serial. The model
+// mirrors the bound: child dispatch start times come from a greedy
+// schedule over Parallelism modelled workers (all zero when unlimited,
+// reducing to pure max-over-children). Wire bytes count the query going
+// down and each (partial) result coming up.
 func (c *Controller) run(n *treeNode, q query.Query) (query.Result, ExecStats, error) {
 	qBytes, err := json.Marshal(q)
 	if err != nil {
 		return query.Result{}, ExecStats{}, err
 	}
-	res, t, bytes, hosts, err := c.runNode(n, q, int64(len(qBytes)))
+	res, t, bytes, hosts, err := c.runNode(n, q, int64(len(qBytes)), newFanout(c.Parallelism))
 	if err != nil {
 		return query.Result{}, ExecStats{}, err
 	}
 	return res, ExecStats{Hosts: hosts, ResponseTime: t, WireBytes: bytes}, nil
 }
 
-func (c *Controller) runNode(n *treeNode, q query.Query, qWire int64) (query.Result, types.Time, int64, int, error) {
-	var (
-		res    query.Result
-		localT types.Time
-		wire   int64
-		hosts  int
-	)
+// childOut is one child subtree's outcome, slotted by child index so the
+// merge remains deterministic regardless of goroutine completion order.
+type childOut struct {
+	res   query.Result
+	t     types.Time
+	wire  int64
+	hosts int
+	err   error
+}
+
+func (c *Controller) runNode(n *treeNode, q query.Query, qWire int64, fo *fanout) (query.Result, types.Time, int64, int, error) {
+	var res query.Result
 	res.Op = q.Op
-	if n.isHost {
-		r, meta, err := c.T.Query(n.host, q)
-		if err != nil {
-			return res, 0, 0, 0, err
+
+	outs := make([]childOut, len(n.children))
+	var wg sync.WaitGroup
+
+	// Leaf children can ride one batched transport round; subtrees (and
+	// leaves on plain transports) recurse on their own goroutines.
+	var batchIdx []int
+	if bt, ok := c.T.(BatchTransport); ok {
+		for i, ch := range n.children {
+			if ch.isHost && len(ch.children) == 0 {
+				batchIdx = append(batchIdx, i)
+			}
 		}
-		res = r
-		localT = c.Cost.ExecBase + types.Time(meta.RecordsScanned)*c.Cost.ExecPerRecord
-		hosts = 1
+		if len(batchIdx) >= 2 {
+			wg.Add(1)
+			go c.runBatch(bt, n, q, batchIdx, outs, fo, &wg)
+		} else {
+			batchIdx = nil
+		}
+	}
+	inBatch := make([]bool, len(n.children))
+	for _, i := range batchIdx {
+		inBatch[i] = true
+	}
+	for i, ch := range n.children {
+		if inBatch[i] {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, ch *treeNode) {
+			defer wg.Done()
+			r, t, b, h, err := c.runNode(ch, q, qWire, fo)
+			outs[i] = childOut{res: r, t: t, wire: b, hosts: h, err: err}
+		}(i, ch)
+	}
+
+	// The node's own host executes on this goroutine, concurrently with
+	// its children (an aggregation host scans its TIB while waiting).
+	var (
+		localT   types.Time
+		localErr error
+		hosts    int
+	)
+	if n.isHost {
+		r, meta, err := c.queryOne(n.host, q, fo)
+		if err != nil {
+			localErr = err
+		} else {
+			res = r
+			res.Op = q.Op
+			localT = c.Cost.ExecBase + types.Time(meta.RecordsScanned)*c.Cost.ExecPerRecord
+			hosts = 1
+		}
+	}
+	wg.Wait()
+
+	errs := make([]error, 0, len(outs)+1)
+	errs = append(errs, localErr)
+	for i := range outs {
+		errs = append(errs, outs[i].err)
+	}
+	if err := firstError(errs); err != nil {
+		return res, 0, 0, 0, err
+	}
+
+	// Modelled schedule: children are dispatched in index order onto
+	// Parallelism workers (nil slice = unlimited, start always 0). The
+	// bound was captured at execution start so model and semaphore agree.
+	var workers []types.Time
+	if fo.parallelism > 0 {
+		workers = make([]types.Time, fo.parallelism)
 	}
 	childT := localT
+	var wire int64
 	type part struct {
 		res   query.Result
 		avail types.Time
 	}
 	parts := make([]part, 0, len(n.children))
-	for _, ch := range n.children {
-		r, t, b, h, err := c.runNode(ch, q, qWire)
-		if err != nil {
-			return res, 0, 0, 0, err
-		}
-		size := int64(r.WireSize())
+	for i := range outs {
+		o := &outs[i]
+		size := int64(o.res.WireSize())
 		xfer := types.Time((size + qWire) * 8 * int64(types.Second) / c.Cost.BandwidthBps)
-		avail := c.Cost.RTT + t + xfer
+		service := c.Cost.RTT + o.t + xfer
+		var start types.Time
+		if workers != nil {
+			wi := 0
+			for j := range workers {
+				if workers[j] < workers[wi] {
+					wi = j
+				}
+			}
+			start = workers[wi]
+			workers[wi] = start + service
+		}
+		avail := start + service
 		if avail > childT {
 			childT = avail
 		}
-		wire += b + size + qWire
-		hosts += h
-		parts = append(parts, part{res: r, avail: avail})
+		wire += o.wire + size + qWire
+		hosts += o.hosts
+		parts = append(parts, part{res: o.res, avail: avail})
 	}
 	// Merge serially in arrival order.
 	sort.SliceStable(parts, func(i, j int) bool { return parts[i].avail < parts[j].avail })
@@ -338,6 +515,77 @@ func (c *Controller) runNode(n *treeNode, q query.Query, qWire int64) (query.Res
 		total += types.Time(itemCount(&parts[i].res)) * c.Cost.MergePerItem
 	}
 	return res, total, wire, hosts, nil
+}
+
+// runBatch resolves the leaf children listed in batchIdx through one
+// BatchTransport round, filling their childOut slots. The batch draws
+// real slots from the shared fan-out pool: one blocking acquire
+// guarantees progress, then it widens greedily up to the batch size, and
+// the transport's internal concurrency is capped at the slots actually
+// held — so batched and per-host requests together never exceed the
+// global Parallelism bound.
+func (c *Controller) runBatch(bt BatchTransport, n *treeNode, q query.Query, batchIdx []int, outs []childOut, fo *fanout, wg *sync.WaitGroup) {
+	defer wg.Done()
+	hosts := make([]types.HostID, len(batchIdx))
+	for j, i := range batchIdx {
+		hosts[j] = n.children[i].host
+	}
+	if err := fo.acquire(); err != nil {
+		for _, i := range batchIdx {
+			outs[i].err = err
+		}
+		return
+	}
+	held := 1
+	for held < len(hosts) && fo.tryAcquire() {
+		held++
+	}
+	defer func() {
+		for i := 0; i < held; i++ {
+			fo.release()
+		}
+	}()
+	parallel := held
+	if fo.sem == nil {
+		parallel = 0 // unlimited pool: let the transport fan out freely
+	}
+	replies, err := bt.QueryMany(hosts, q, parallel)
+	if err == nil && len(replies) != len(hosts) {
+		err = fmt.Errorf("controller: batch query returned %d replies for %d hosts", len(replies), len(hosts))
+	}
+	if err != nil {
+		fo.abort()
+		for _, i := range batchIdx {
+			outs[i].err = err
+		}
+		return
+	}
+	for j, i := range batchIdx {
+		rep := replies[j]
+		if rep.Err != nil {
+			fo.abort()
+			outs[i].err = rep.Err
+			continue
+		}
+		outs[i] = childOut{
+			res:   rep.Result,
+			t:     c.Cost.ExecBase + types.Time(rep.Meta.RecordsScanned)*c.Cost.ExecPerRecord,
+			hosts: 1,
+		}
+	}
+}
+
+// queryOne issues one host query through the bounded fan-out pool.
+func (c *Controller) queryOne(host types.HostID, q query.Query, fo *fanout) (query.Result, QueryMeta, error) {
+	if err := fo.acquire(); err != nil {
+		return query.Result{}, QueryMeta{}, err
+	}
+	defer fo.release()
+	r, meta, err := c.T.Query(host, q)
+	if err != nil {
+		fo.abort()
+	}
+	return r, meta, err
 }
 
 // itemCount estimates the number of key-value items merged from a partial

@@ -1,0 +1,107 @@
+package controller
+
+import (
+	"errors"
+	"sync"
+)
+
+// errAborted is the sentinel returned by fan-out slots acquired after an
+// earlier request already failed: the distributed execution is being torn
+// down and the remaining hosts are skipped (errgroup-style first-error
+// semantics).
+var errAborted = errors.New("controller: fan-out aborted after earlier error")
+
+// fanout tracks one distributed execution: a bounded slot pool over
+// outstanding transport requests plus a first-failure latch. The pool is
+// acquired only for the duration of a transport call — never while
+// waiting on children — so recursive tree fan-out cannot deadlock and the
+// bound applies to total outstanding requests across all tree levels.
+type fanout struct {
+	// parallelism is the bound captured once at execution start, so the
+	// semaphore, the batch-slot accounting and the modelled worker
+	// schedule all see one consistent value even if the controller's
+	// knob is retuned mid-flight.
+	parallelism int
+	sem         chan struct{} // nil means unlimited
+	quit        chan struct{}
+	once        sync.Once
+}
+
+func newFanout(parallelism int) *fanout {
+	fo := &fanout{parallelism: parallelism, quit: make(chan struct{})}
+	if parallelism > 0 {
+		fo.sem = make(chan struct{}, parallelism)
+	}
+	return fo
+}
+
+// abort latches the first failure; pending acquires fail fast.
+func (fo *fanout) abort() { fo.once.Do(func() { close(fo.quit) }) }
+
+// err reports whether the fan-out has been aborted.
+func (fo *fanout) err() error {
+	select {
+	case <-fo.quit:
+		return errAborted
+	default:
+		return nil
+	}
+}
+
+// acquire blocks until a request slot frees up or the fan-out aborts.
+func (fo *fanout) acquire() error {
+	if err := fo.err(); err != nil {
+		return err
+	}
+	if fo.sem == nil {
+		return nil
+	}
+	select {
+	case fo.sem <- struct{}{}:
+		return nil
+	case <-fo.quit:
+		return errAborted
+	}
+}
+
+func (fo *fanout) release() {
+	if fo.sem != nil {
+		<-fo.sem
+	}
+}
+
+// tryAcquire grabs a slot only if one is free right now. Batched rounds
+// use it to widen beyond their one guaranteed slot without risking the
+// deadlock of several batches blocking on partially acquired slot sets.
+func (fo *fanout) tryAcquire() bool {
+	if fo.sem == nil || fo.err() != nil {
+		return false
+	}
+	select {
+	case fo.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// firstError returns the most useful failure from an index-ordered error
+// slice: the first real error if any (abort errors are just echoes of an
+// earlier failure elsewhere in the fan-out), otherwise the first abort.
+// Index order makes the reported error deterministic no matter which
+// goroutine lost the race.
+func firstError(errs []error) error {
+	var aborted error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, errAborted) {
+			return err
+		}
+		if aborted == nil {
+			aborted = err
+		}
+	}
+	return aborted
+}

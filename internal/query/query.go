@@ -7,11 +7,18 @@ package query
 
 import (
 	"encoding/json"
+	"errors"
+	"fmt"
 	"sort"
 
 	"pathdump/internal/tib"
 	"pathdump/internal/types"
 )
+
+// ErrUnsupported reports that a view cannot serve a query op at all (as
+// opposed to serving it with an empty result). A bare TIB store, for
+// example, has no TCP monitor behind getPoorTCPFlows.
+var ErrUnsupported = errors.New("query: op not supported by this view")
 
 // Op names a query operation.
 type Op string
@@ -145,8 +152,19 @@ type View interface {
 	EachRecord(link types.LinkID, tr types.TimeRange, fn func(*types.Record))
 }
 
+// OpSupport is an optional View extension: views that cannot serve some
+// ops declare it, so ExecuteE can distinguish "no matching data" from
+// "this view can never answer that".
+type OpSupport interface {
+	// Supports returns nil when the op is answerable, or an error
+	// wrapping ErrUnsupported when it is not.
+	Supports(op Op) error
+}
+
 // StoreView adapts a bare TIB store into a View with no TCP monitor —
-// used by tests and offline analysis of snapshots.
+// used by tests and offline analysis of snapshots. It cannot serve
+// OpPoorTCP (there is no monitor behind a snapshot); ExecuteE surfaces
+// that as ErrUnsupported instead of a silently empty result.
 type StoreView struct{ S *tib.Store }
 
 // Flows implements View.
@@ -163,15 +181,38 @@ func (v StoreView) Count(f types.Flow, tr types.TimeRange) (uint64, uint64) { re
 // Duration implements View.
 func (v StoreView) Duration(f types.Flow, tr types.TimeRange) types.Time { return v.S.Duration(f, tr) }
 
-// PoorTCPFlows implements View (no monitor: always empty).
+// PoorTCPFlows implements View. A bare store has no TCP monitor; use
+// ExecuteE (which consults Supports) to get an explicit ErrUnsupported
+// rather than mistaking this for "no poor flows".
 func (v StoreView) PoorTCPFlows(int) []types.FlowID { return nil }
+
+// Supports implements OpSupport.
+func (v StoreView) Supports(op Op) error {
+	if op == OpPoorTCP {
+		return fmt.Errorf("%w: %s needs the active TCP monitor, absent from a bare TIB store", ErrUnsupported, op)
+	}
+	return nil
+}
 
 // EachRecord implements View.
 func (v StoreView) EachRecord(l types.LinkID, tr types.TimeRange, fn func(*types.Record)) {
 	v.S.ForEach(l, tr, fn)
 }
 
+// ExecuteE runs a query against a host's view, reporting ErrUnsupported
+// when the view declares (via OpSupport) that it can never answer the op.
+func ExecuteE(q Query, v View) (Result, error) {
+	if s, ok := v.(OpSupport); ok {
+		if err := s.Supports(q.Op); err != nil {
+			return Result{Op: q.Op}, err
+		}
+	}
+	return Execute(q, v), nil
+}
+
 // Execute runs a query against a host's view and returns its local result.
+// Ops the view cannot serve come back empty; use ExecuteE to tell those
+// apart from genuinely empty answers.
 func Execute(q Query, v View) Result {
 	tr := q.normalRange()
 	res := Result{Op: q.Op}

@@ -1,0 +1,59 @@
+package query
+
+import (
+	"errors"
+	"testing"
+
+	"pathdump/internal/tib"
+	"pathdump/internal/types"
+)
+
+// TestStoreViewPoorTCPUnsupported is the regression test for the old
+// silent-nil behaviour: a bare TIB store has no TCP monitor, so asking it
+// for poor TCP flows must surface ErrUnsupported through ExecuteE rather
+// than masquerading as "no poor flows".
+func TestStoreViewPoorTCPUnsupported(t *testing.T) {
+	s := tib.NewStore()
+	s.Add(types.Record{
+		Flow:  types.FlowID{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 80, Proto: 6},
+		Path:  types.Path{0, 8, 16},
+		STime: 0, ETime: 10, Bytes: 500, Pkts: 5,
+	})
+	v := StoreView{S: s}
+
+	_, err := ExecuteE(Query{Op: OpPoorTCP, Threshold: 3}, v)
+	if !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("ExecuteE(OpPoorTCP) err = %v, want ErrUnsupported", err)
+	}
+
+	// Every op the store can serve still executes cleanly.
+	for _, op := range []Op{OpFlows, OpPaths, OpCount, OpDuration, OpFSD, OpTopK, OpConformance, OpMatrix, OpRecords} {
+		res, err := ExecuteE(Query{Op: op, Link: types.AnyLink}, v)
+		if err != nil {
+			t.Errorf("ExecuteE(%s) err = %v", op, err)
+		}
+		if res.Op != op {
+			t.Errorf("ExecuteE(%s) result op = %s", op, res.Op)
+		}
+	}
+
+	// The legacy Execute path keeps its lenient empty-result contract for
+	// views that execute all ops (agents), and for StoreView it still
+	// returns an empty result rather than panicking.
+	if got := Execute(Query{Op: OpPoorTCP}, v); len(got.FlowIDs) != 0 {
+		t.Errorf("Execute(OpPoorTCP) on a bare store = %v, want empty", got.FlowIDs)
+	}
+}
+
+// plainView has no OpSupport: ExecuteE must treat every op as supported.
+type plainView struct{ StoreView }
+
+func (plainView) Supports(op Op) error { return nil }
+
+func TestExecuteEWithoutOpSupport(t *testing.T) {
+	v := StoreView{S: tib.NewStore()}
+	// Wrapping in a type whose Supports always consents must execute.
+	if _, err := ExecuteE(Query{Op: OpPoorTCP}, plainView{v}); err != nil {
+		t.Fatalf("consenting view err = %v", err)
+	}
+}

@@ -1,0 +1,277 @@
+// Batched multi-host queries: a MultiAgentServer hosts several co-located
+// agents behind one listener (one daemon per server machine rather than
+// one per host), and HTTPTransport.QueryMany collapses the controller's
+// leaf fan-out into one /batchquery round trip per daemon. Hosts with
+// their own URLs keep using plain per-host /query, so mixed deployments
+// work; several hosts mapped onto one single-agent daemon is a
+// misconfiguration and reported as an explicit error, never answered
+// with one agent's data under many host labels.
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"pathdump/internal/controller"
+	"pathdump/internal/query"
+	"pathdump/internal/types"
+)
+
+// MultiAgentServer serves the host API for several co-located agents. All
+// per-host endpoints (/query, /install, /uninstall) require the request's
+// Host field; /batchquery executes one query across many hosts
+// server-side, fanning out concurrently. Install/uninstall handlers are
+// serialised across all hosts: co-located agents share one simulator,
+// whose timer heap is not safe for concurrent mutation.
+type MultiAgentServer struct {
+	Targets map[types.HostID]Target
+	// Parallelism bounds the server-side batch fan-out (<= 0 unlimited).
+	Parallelism int
+
+	instMu sync.Mutex
+}
+
+// target resolves one request's agent.
+func (s *MultiAgentServer) target(h *types.HostID) (Target, error) {
+	if h == nil {
+		return nil, errors.New("rpc: multi-agent server requires a host field")
+	}
+	t, ok := s.Targets[*h]
+	if !ok {
+		return nil, fmt.Errorf("rpc: host %v not served here", *h)
+	}
+	return t, nil
+}
+
+// Handler returns the daemon's HTTP mux.
+func (s *MultiAgentServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		var req QueryRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		t, err := s.target(req.Host)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		res, err := execute(t, req.Query)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotImplemented)
+			return
+		}
+		encode(w, QueryResponse{Result: res, RecordsScanned: t.TIBSize()})
+	})
+	mux.HandleFunc("/batchquery", func(w http.ResponseWriter, r *http.Request) {
+		var req BatchQueryRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		encode(w, BatchQueryResponse{Replies: s.runBatch(req)})
+	})
+	mux.HandleFunc("/install", func(w http.ResponseWriter, r *http.Request) {
+		var req InstallRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		t, err := s.target(req.Host)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		s.instMu.Lock()
+		id, err := install(t, req.Query, req.Period)
+		s.instMu.Unlock()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotImplemented)
+			return
+		}
+		encode(w, InstallResponse{ID: id})
+	})
+	mux.HandleFunc("/uninstall", func(w http.ResponseWriter, r *http.Request) {
+		var req UninstallRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		t, err := s.target(req.Host)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		s.instMu.Lock()
+		err = t.Uninstall(req.ID)
+		s.instMu.Unlock()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		encode(w, struct{}{})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		total := 0
+		for _, t := range s.Targets {
+			total += t.TIBSize()
+		}
+		encode(w, map[string]int{"records": total, "hosts": len(s.Targets)})
+	})
+	return mux
+}
+
+// runBatch executes one query at every requested host concurrently and
+// returns replies aligned with the request order. The effective bound is
+// the tighter of the daemon's own Parallelism and the one the request
+// carries from the controller.
+func (s *MultiAgentServer) runBatch(req BatchQueryRequest) []BatchQueryReply {
+	replies := make([]BatchQueryReply, len(req.Hosts))
+	bound := s.Parallelism
+	if req.Parallel > 0 && (bound <= 0 || req.Parallel < bound) {
+		bound = req.Parallel
+	}
+	var sem chan struct{}
+	if bound > 0 {
+		sem = make(chan struct{}, bound)
+	}
+	var wg sync.WaitGroup
+	for i, h := range req.Hosts {
+		wg.Add(1)
+		go func(i int, h types.HostID) {
+			defer wg.Done()
+			if sem != nil {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+			}
+			replies[i].Host = h
+			t, ok := s.Targets[h]
+			if !ok {
+				replies[i].Error = fmt.Sprintf("rpc: host %v not served here", h)
+				return
+			}
+			res, err := execute(t, req.Query)
+			if err != nil {
+				replies[i].Error = err.Error()
+				return
+			}
+			replies[i].Result = res
+			replies[i].RecordsScanned = t.TIBSize()
+		}(i, h)
+	}
+	wg.Wait()
+	return replies
+}
+
+// QueryMany implements controller.BatchTransport: hosts sharing a daemon
+// URL ride one /batchquery round trip (the request carries `parallel` so
+// the daemon's server-side fan-out honours the controller's bound), and
+// lone hosts use plain per-host /query. At most `parallel` HTTP requests
+// are outstanding at once (<= 0 means unlimited). Several hosts mapped
+// to one single-agent daemon is reported as an error per slot.
+func (t *HTTPTransport) QueryMany(hosts []types.HostID, q query.Query, parallel int) ([]controller.BatchReply, error) {
+	replies := make([]controller.BatchReply, len(hosts))
+	type group struct {
+		url string
+		idx []int
+	}
+	byURL := make(map[string]int)
+	var groups []group
+	for i, h := range hosts {
+		replies[i].Host = h
+		base, ok := t.URLs[h]
+		if !ok {
+			replies[i].Err = fmt.Errorf("rpc: no URL for host %v", h)
+			continue
+		}
+		gi, seen := byURL[base]
+		if !seen {
+			gi = len(groups)
+			byURL[base] = gi
+			groups = append(groups, group{url: base})
+		}
+		groups[gi].idx = append(groups[gi].idx, i)
+	}
+	if len(groups) == 0 {
+		// Every requested host lacked a URL; the per-slot errors above
+		// already say so.
+		return replies, nil
+	}
+	// Carve the caller's bound across daemon groups so that total
+	// concurrent per-host executions — server-side batch fan-outs plus
+	// per-host requests — stay within `parallel`: at most min(G, P)
+	// requests are outstanding (one semaphore slot each) and each batch
+	// carries a share of at most max(1, P/G), whose product never
+	// exceeds P.
+	share := 0
+	var sem chan struct{}
+	if parallel > 0 {
+		sem = make(chan struct{}, parallel)
+		share = parallel / len(groups)
+		if share < 1 {
+			share = 1
+		}
+	}
+	var wg sync.WaitGroup
+	for gi := range groups {
+		wg.Add(1)
+		go func(g *group) {
+			defer wg.Done()
+			t.queryGroup(g.url, hosts, g.idx, q, replies, sem, share)
+		}(&groups[gi])
+	}
+	wg.Wait()
+	return replies, nil
+}
+
+// queryGroup resolves all of one daemon's hosts, batching when possible.
+// share is this group's slice of the caller's parallelism bound (0 =
+// unlimited), forwarded to the daemon's server-side fan-out.
+func (t *HTTPTransport) queryGroup(url string, hosts []types.HostID, idx []int, q query.Query, replies []controller.BatchReply, sem chan struct{}, share int) {
+	single := func(i int) {
+		if sem != nil {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+		}
+		r, meta, err := t.Query(hosts[i], q)
+		replies[i] = controller.BatchReply{Host: hosts[i], Result: r, Meta: meta, Err: err}
+	}
+	if len(idx) == 1 {
+		single(idx[0])
+		return
+	}
+	batch := make([]types.HostID, len(idx))
+	for j, i := range idx {
+		batch[j] = hosts[i]
+	}
+	var resp BatchQueryResponse
+	status, err := t.postStatus(url, "/batchquery", BatchQueryRequest{Hosts: batch, Query: q, Parallel: share}, &resp, sem)
+	if status == http.StatusNotFound || status == http.StatusMethodNotAllowed {
+		// Only single-agent daemons lack /batchquery, and a single-agent
+		// daemon answers /query for whichever one agent it wraps — it
+		// cannot tell hosts apart. Falling back per-host here would
+		// return that one agent's records once per requested host
+		// (silently duplicated data), so fail loudly instead.
+		err = fmt.Errorf("rpc: %s serves a single agent (no /batchquery) but %d hosts map to it — run a multi-host daemon (pathdumpd -hosts) or give each host its own URL", url, len(idx))
+		for _, i := range idx {
+			replies[i].Err = err
+		}
+		return
+	}
+	if err == nil && len(resp.Replies) != len(idx) {
+		err = fmt.Errorf("rpc: %s/batchquery returned %d replies for %d hosts", url, len(resp.Replies), len(idx))
+	}
+	if err != nil {
+		for _, i := range idx {
+			replies[i].Err = err
+		}
+		return
+	}
+	for j, i := range idx {
+		rep := resp.Replies[j]
+		out := controller.BatchReply{Host: hosts[i], Result: rep.Result, Meta: controller.QueryMeta{RecordsScanned: rep.RecordsScanned}}
+		if rep.Error != "" {
+			out.Err = fmt.Errorf("rpc: host %v: %s", hosts[i], rep.Error)
+		}
+		replies[i] = out
+	}
+}

@@ -16,12 +16,15 @@ package rpc
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 
 	"pathdump/internal/controller"
 	"pathdump/internal/query"
+	"pathdump/internal/tib"
 	"pathdump/internal/types"
 )
 
@@ -34,9 +37,80 @@ type Target interface {
 	TIBSize() int
 }
 
-// QueryRequest is the /query body.
+// TargetE is an optional Target extension for backends that cannot serve
+// every op (a snapshot-backed store has no TCP monitor): ExecuteE
+// distinguishes "unsupported here" from "no matching data", and servers
+// answer 501 Not Implemented instead of a silently empty result.
+type TargetE interface {
+	ExecuteE(q query.Query) (query.Result, error)
+}
+
+// InstallerE is an optional Target extension for backends without an
+// installed-query engine: servers answer 501 instead of fabricating an
+// installation ID.
+type InstallerE interface {
+	InstallE(q query.Query, period types.Time) (int, error)
+}
+
+// execute runs a query on a target, using the explicit-error path when
+// the target provides one.
+func execute(t Target, q query.Query) (query.Result, error) {
+	if te, ok := t.(TargetE); ok {
+		return te.ExecuteE(q)
+	}
+	return t.Execute(q), nil
+}
+
+// install registers a query on a target, using the explicit-error path
+// when the target provides one.
+func install(t Target, q query.Query, period types.Time) (int, error) {
+	if te, ok := t.(InstallerE); ok {
+		return te.InstallE(q, period)
+	}
+	return t.Install(q, period), nil
+}
+
+// SnapshotTarget serves a bare TIB — a store loaded from a snapshot with
+// no live agent behind it. Ops needing the agent's runtime (the active
+// TCP monitor behind getPoorTCPFlows) report query.ErrUnsupported, and
+// there is no installed-query engine.
+type SnapshotTarget struct{ Store *tib.Store }
+
+func (t SnapshotTarget) view() query.StoreView { return query.StoreView{S: t.Store} }
+
+// Execute implements Target (unsupported ops yield empty results; the
+// servers prefer ExecuteE).
+func (t SnapshotTarget) Execute(q query.Query) query.Result { return query.Execute(q, t.view()) }
+
+// ExecuteE implements TargetE.
+func (t SnapshotTarget) ExecuteE(q query.Query) (query.Result, error) {
+	return query.ExecuteE(q, t.view())
+}
+
+// Install implements Target; snapshots accept no installed queries, so
+// the returned ID is never valid for Uninstall. Servers use InstallE and
+// answer 501 instead.
+func (t SnapshotTarget) Install(query.Query, types.Time) int { return -1 }
+
+// InstallE implements InstallerE.
+func (t SnapshotTarget) InstallE(query.Query, types.Time) (int, error) {
+	return 0, errors.New("rpc: snapshot target has no installed-query engine")
+}
+
+// Uninstall implements Target.
+func (t SnapshotTarget) Uninstall(int) error {
+	return errors.New("rpc: snapshot target has no installed-query engine")
+}
+
+// TIBSize implements Target.
+func (t SnapshotTarget) TIBSize() int { return t.Store.Len() }
+
+// QueryRequest is the /query body. Host is required by multi-host
+// daemons (MultiAgentServer) to pick the agent; single-agent servers
+// ignore it.
 type QueryRequest struct {
-	Query query.Query `json:"query"`
+	Host  *types.HostID `json:"host,omitempty"`
+	Query query.Query   `json:"query"`
 }
 
 // QueryResponse is the /query reply.
@@ -47,8 +121,9 @@ type QueryResponse struct {
 
 // InstallRequest is the /install body; Period is virtual nanoseconds.
 type InstallRequest struct {
-	Query  query.Query `json:"query"`
-	Period types.Time  `json:"period"`
+	Host   *types.HostID `json:"host,omitempty"`
+	Query  query.Query   `json:"query"`
+	Period types.Time    `json:"period"`
 }
 
 // InstallResponse is the /install reply.
@@ -58,7 +133,32 @@ type InstallResponse struct {
 
 // UninstallRequest is the /uninstall body.
 type UninstallRequest struct {
-	ID int `json:"id"`
+	Host *types.HostID `json:"host,omitempty"`
+	ID   int           `json:"id"`
+}
+
+// BatchQueryRequest is the /batchquery body: one query fanned out to
+// several co-located hosts in a single round trip. Parallel carries the
+// caller's concurrency bound so the daemon's server-side fan-out honours
+// the controller's Parallelism knob (<= 0 defers to the daemon's own
+// limit).
+type BatchQueryRequest struct {
+	Hosts    []types.HostID `json:"hosts"`
+	Query    query.Query    `json:"query"`
+	Parallel int            `json:"parallel,omitempty"`
+}
+
+// BatchQueryReply is one host's slot in a /batchquery response.
+type BatchQueryReply struct {
+	Host           types.HostID `json:"host"`
+	Result         query.Result `json:"result"`
+	RecordsScanned int          `json:"records_scanned"`
+	Error          string       `json:"error,omitempty"`
+}
+
+// BatchQueryResponse is the /batchquery reply, aligned with request hosts.
+type BatchQueryResponse struct {
+	Replies []BatchQueryReply `json:"replies"`
 }
 
 // AlarmRequest is the controller's /alarm body.
@@ -66,9 +166,13 @@ type AlarmRequest struct {
 	Alarm types.Alarm `json:"alarm"`
 }
 
-// AgentServer serves one agent's host API.
+// AgentServer serves one agent's host API. Install/uninstall handlers
+// are serialised: agent installs register timers on the agent's
+// simulator, whose event heap is not safe for concurrent mutation.
 type AgentServer struct {
 	T Target
+
+	instMu sync.Mutex
 }
 
 // Handler returns the agent's HTTP mux.
@@ -79,25 +183,36 @@ func (s *AgentServer) Handler() http.Handler {
 		if !decode(w, r, &req) {
 			return
 		}
-		resp := QueryResponse{
-			Result:         s.T.Execute(req.Query),
-			RecordsScanned: s.T.TIBSize(),
+		res, err := execute(s.T, req.Query)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotImplemented)
+			return
 		}
-		encode(w, resp)
+		encode(w, QueryResponse{Result: res, RecordsScanned: s.T.TIBSize()})
 	})
 	mux.HandleFunc("/install", func(w http.ResponseWriter, r *http.Request) {
 		var req InstallRequest
 		if !decode(w, r, &req) {
 			return
 		}
-		encode(w, InstallResponse{ID: s.T.Install(req.Query, req.Period)})
+		s.instMu.Lock()
+		id, err := install(s.T, req.Query, req.Period)
+		s.instMu.Unlock()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotImplemented)
+			return
+		}
+		encode(w, InstallResponse{ID: id})
 	})
 	mux.HandleFunc("/uninstall", func(w http.ResponseWriter, r *http.Request) {
 		var req UninstallRequest
 		if !decode(w, r, &req) {
 			return
 		}
-		if err := s.T.Uninstall(req.ID); err != nil {
+		s.instMu.Lock()
+		err := s.T.Uninstall(req.ID)
+		s.instMu.Unlock()
+		if err != nil {
 			http.Error(w, err.Error(), http.StatusNotFound)
 			return
 		}
@@ -175,26 +290,37 @@ func (t *HTTPTransport) post(host types.HostID, path string, in, out interface{}
 	if !ok {
 		return fmt.Errorf("rpc: no URL for host %v", host)
 	}
+	_, err := t.postStatus(base, path, in, out, nil)
+	return err
+}
+
+// postStatus posts to an explicit base URL, optionally throttled by sem,
+// and reports the HTTP status so callers can detect missing endpoints.
+func (t *HTTPTransport) postStatus(base, path string, in, out interface{}, sem chan struct{}) (int, error) {
+	if sem != nil {
+		sem <- struct{}{}
+		defer func() { <-sem }()
+	}
 	body, err := json.Marshal(in)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	resp, err := t.client().Post(base+path, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("rpc: %s%s: %s: %s", base, path, resp.Status, bytes.TrimSpace(msg))
+		return resp.StatusCode, fmt.Errorf("rpc: %s%s: %s: %s", base, path, resp.Status, bytes.TrimSpace(msg))
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
 }
 
 // Query implements controller.Transport.
 func (t *HTTPTransport) Query(host types.HostID, q query.Query) (query.Result, controller.QueryMeta, error) {
 	var resp QueryResponse
-	if err := t.post(host, "/query", QueryRequest{Query: q}, &resp); err != nil {
+	if err := t.post(host, "/query", QueryRequest{Host: &host, Query: q}, &resp); err != nil {
 		return query.Result{}, controller.QueryMeta{}, err
 	}
 	return resp.Result, controller.QueryMeta{RecordsScanned: resp.RecordsScanned}, nil
@@ -203,7 +329,7 @@ func (t *HTTPTransport) Query(host types.HostID, q query.Query) (query.Result, c
 // Install implements controller.Transport.
 func (t *HTTPTransport) Install(host types.HostID, q query.Query, period types.Time) (int, error) {
 	var resp InstallResponse
-	if err := t.post(host, "/install", InstallRequest{Query: q, Period: period}, &resp); err != nil {
+	if err := t.post(host, "/install", InstallRequest{Host: &host, Query: q, Period: period}, &resp); err != nil {
 		return 0, err
 	}
 	return resp.ID, nil
@@ -212,7 +338,7 @@ func (t *HTTPTransport) Install(host types.HostID, q query.Query, period types.T
 // Uninstall implements controller.Transport.
 func (t *HTTPTransport) Uninstall(host types.HostID, id int) error {
 	var out struct{}
-	return t.post(host, "/uninstall", UninstallRequest{ID: id}, &out)
+	return t.post(host, "/uninstall", UninstallRequest{Host: &host, ID: id}, &out)
 }
 
 // decode parses a JSON request body, writing a 400 on failure.

@@ -1,0 +1,67 @@
+package rpc
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pathdump/internal/query"
+	"pathdump/internal/tib"
+	"pathdump/internal/types"
+)
+
+// TestSnapshotTargetUnsupportedOp: a daemon serving a bare TIB snapshot
+// must answer data queries normally but reply 501 to ops that need the
+// live agent runtime (the regression surface behind query.ErrUnsupported).
+func TestSnapshotTargetUnsupportedOp(t *testing.T) {
+	store := tib.NewStore()
+	store.Add(types.Record{
+		Flow:  types.FlowID{SrcIP: 1, DstIP: 2, SrcPort: 9, DstPort: 80, Proto: 6},
+		Path:  types.Path{0, 8, 16},
+		STime: 0, ETime: 5, Bytes: 700, Pkts: 7,
+	})
+	srv := httptest.NewServer((&AgentServer{T: SnapshotTarget{Store: store}}).Handler())
+	defer srv.Close()
+	tr := &HTTPTransport{URLs: map[types.HostID]string{1: srv.URL}}
+
+	res, meta, err := tr.Query(1, query.Query{Op: query.OpFlows, Link: types.AnyLink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Flows) != 1 || meta.RecordsScanned != 1 {
+		t.Fatalf("snapshot data query = %+v, meta %+v", res, meta)
+	}
+
+	_, _, err = tr.Query(1, query.Query{Op: query.OpPoorTCP, Threshold: 3})
+	if err == nil {
+		t.Fatal("poor_tcp against a snapshot store did not error")
+	}
+	if !strings.Contains(err.Error(), "501") || !strings.Contains(err.Error(), "not supported") {
+		t.Errorf("err = %v, want a 501 naming the unsupported op", err)
+	}
+
+	// The same explicit error flows through batched replies.
+	ms := httptest.NewServer((&MultiAgentServer{Targets: map[types.HostID]Target{
+		1: SnapshotTarget{Store: store},
+	}}).Handler())
+	defer ms.Close()
+	trb := &HTTPTransport{URLs: map[types.HostID]string{1: ms.URL, 2: ms.URL}}
+	replies, err := trb.QueryMany([]types.HostID{1, 2}, query.Query{Op: query.OpPoorTCP}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replies[0].Err == nil || !strings.Contains(replies[0].Err.Error(), "not supported") {
+		t.Errorf("batched reply err = %v, want unsupported", replies[0].Err)
+	}
+
+	// Control plane: snapshots accept no installed queries — install
+	// must answer 501, not fabricate an ID.
+	if _, err := tr.Install(1, query.Query{Op: query.OpConformance, MaxPathLen: 4}, types.Second); err == nil {
+		t.Error("install against a snapshot store did not error")
+	} else if !strings.Contains(err.Error(), "501") {
+		t.Errorf("install err = %v, want 501", err)
+	}
+	if err := tr.Uninstall(1, 5); err == nil {
+		t.Error("uninstall against a snapshot store did not error")
+	}
+}

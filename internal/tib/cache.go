@@ -2,14 +2,17 @@ package tib
 
 import (
 	"container/list"
+	"sync"
 
 	"pathdump/internal/types"
 )
 
 // Cache is the trajectory cache of Figure 2: an LRU memoising
 // ⟨srcIP, link IDs⟩ → end-to-end path so that the construction sub-module
-// only consults the topology on a miss.
+// only consults the topology on a miss. Methods are safe for concurrent
+// use: Get reorders the LRU list, so even lookups mutate shared state.
 type Cache struct {
+	mu  sync.Mutex
 	cap int
 	ll  *list.List
 	m   map[cacheKey]*list.Element
@@ -37,10 +40,16 @@ func NewCache(capacity int) *Cache {
 }
 
 // Len returns the number of cached trajectories.
-func (c *Cache) Len() int { return c.ll.Len() }
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
 
 // Get looks up the path for ⟨src, header key⟩.
 func (c *Cache) Get(src types.IP, hdrKey string) (types.Path, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	k := cacheKey{src, hdrKey}
 	if el, ok := c.m[k]; ok {
 		c.ll.MoveToFront(el)
@@ -54,6 +63,8 @@ func (c *Cache) Get(src types.IP, hdrKey string) (types.Path, bool) {
 // Put inserts a constructed path, evicting the least recently used entry
 // when full.
 func (c *Cache) Put(src types.IP, hdrKey string, p types.Path) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	k := cacheKey{src, hdrKey}
 	if el, ok := c.m[k]; ok {
 		c.ll.MoveToFront(el)
@@ -71,6 +82,8 @@ func (c *Cache) Put(src types.IP, hdrKey string, p types.Path) {
 
 // HitRate returns the fraction of lookups served from the cache.
 func (c *Cache) HitRate() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	total := c.Hits + c.Misses
 	if total == 0 {
 		return 0

@@ -1,0 +1,167 @@
+package tib
+
+import (
+	"sync"
+	"testing"
+
+	"pathdump/internal/types"
+)
+
+// stressRecord builds a deterministic record for writer w, iteration i.
+func stressRecord(w, i int) types.Record {
+	f := types.FlowID{
+		SrcIP: types.IP(w<<16 | i), DstIP: 99,
+		SrcPort: uint16(i), DstPort: 80, Proto: 6,
+	}
+	return types.Record{
+		Flow:  f,
+		Path:  types.Path{types.SwitchID(i % 8), types.SwitchID(8 + i%8), types.SwitchID(16 + i%4)},
+		STime: types.Time(i), ETime: types.Time(i + 10),
+		Bytes: uint64(100 + i), Pkts: 1,
+	}
+}
+
+// TestStoreConcurrentAddAndScan hammers one store with parallel ingest and
+// every flavour of concurrent read — the exact interleaving the sharded
+// TIB exists to make safe. Run under -race this proves the striped locks
+// cover the full read surface; afterwards the contents must be complete.
+func TestStoreConcurrentAddAndScan(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		store *Store
+	}{
+		{"indexed", NewStore()},
+		{"unindexed", NewUnindexedStore()},
+		{"single-shard", NewStoreShards(1)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.store
+			const (
+				writers   = 8
+				perWriter = 2000
+				readers   = 8
+			)
+			var readGroup, writeGroup sync.WaitGroup
+			stop := make(chan struct{})
+			for r := 0; r < readers; r++ {
+				readGroup.Add(1)
+				go func(r int) {
+					defer readGroup.Done()
+					link := types.LinkID{A: types.SwitchID(r % 8), B: types.SwitchID(8 + r%8)}
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						_ = s.Flows(link, types.AllTime)
+						_ = s.Len()
+						_, _ = s.Count(types.Flow{ID: stressRecord(r, 7).Flow}, types.AllTime)
+						prev := uint64(0)
+						s.ForEach(types.AnyLink, types.AllTime, func(rec *types.Record) {
+							// Global insertion order must hold even
+							// mid-ingest: bytes encode per-writer order
+							// only, so just touch the record.
+							prev += rec.Pkts
+						})
+						_ = prev
+					}
+				}(r)
+			}
+			for w := 0; w < writers; w++ {
+				writeGroup.Add(1)
+				go func(w int) {
+					defer writeGroup.Done()
+					for i := 0; i < perWriter; i++ {
+						s.Add(stressRecord(w, i))
+					}
+				}(w)
+			}
+			writeGroup.Wait()
+			close(stop)
+			readGroup.Wait()
+
+			if got := s.Len(); got != writers*perWriter {
+				t.Fatalf("Len = %d, want %d", got, writers*perWriter)
+			}
+			// Every record is queryable afterwards.
+			for w := 0; w < writers; w++ {
+				f := stressRecord(w, 123).Flow
+				if b, k := s.Count(types.Flow{ID: f}, types.AllTime); b != 223 || k != 1 {
+					t.Fatalf("writer %d record lost: count=%d/%d", w, b, k)
+				}
+			}
+		})
+	}
+}
+
+// TestShardCountsAgree feeds identical records into stores of different
+// shard counts and requires byte-identical query results: sharding is a
+// locking strategy, not a semantics change. Sequential inserts must come
+// back in exact insertion order from every configuration.
+func TestShardCountsAgree(t *testing.T) {
+	stores := map[string]*Store{
+		"1":  NewStoreShards(1),
+		"4":  NewStoreShards(4),
+		"16": NewStoreShards(16),
+		"64": NewStoreShards(64),
+	}
+	var recs []types.Record
+	for i := 0; i < 700; i++ {
+		recs = append(recs, stressRecord(i%5, i))
+	}
+	for _, s := range stores {
+		for _, r := range recs {
+			s.Add(r)
+		}
+	}
+	ref := stores["1"]
+	refFlows := ref.Flows(types.AnyLink, types.AllTime)
+	refLink := ref.Flows(types.LinkID{A: 2, B: 10}, types.AllTime)
+	var refScan []types.Record
+	ref.ForEach(types.AnyLink, types.AllTime, func(r *types.Record) { refScan = append(refScan, *r) })
+
+	for name, s := range stores {
+		if name == "1" {
+			continue
+		}
+		flows := s.Flows(types.AnyLink, types.AllTime)
+		if len(flows) != len(refFlows) {
+			t.Fatalf("shards=%s: %d flows, want %d", name, len(flows), len(refFlows))
+		}
+		for i := range flows {
+			if flows[i].ID != refFlows[i].ID || !flows[i].Path.Equal(refFlows[i].Path) {
+				t.Fatalf("shards=%s: flow %d = %v, want %v (insertion order broken)",
+					name, i, flows[i], refFlows[i])
+			}
+		}
+		link := s.Flows(types.LinkID{A: 2, B: 10}, types.AllTime)
+		for i := range link {
+			if link[i].ID != refLink[i].ID {
+				t.Fatalf("shards=%s: indexed link scan order differs at %d", name, i)
+			}
+		}
+		i := 0
+		s.ForEach(types.AnyLink, types.AllTime, func(r *types.Record) {
+			if i < len(refScan) && (r.Flow != refScan[i].Flow || r.Bytes != refScan[i].Bytes) {
+				t.Fatalf("shards=%s: ForEach order differs at %d", name, i)
+			}
+			i++
+		})
+		if i != len(refScan) {
+			t.Fatalf("shards=%s: ForEach visited %d records, want %d", name, i, len(refScan))
+		}
+		// Per-flow iteration and aggregates agree too.
+		f := recs[3].Flow
+		p1 := ref.Paths(f, types.AnyLink, types.AllTime)
+		p2 := s.Paths(f, types.AnyLink, types.AllTime)
+		if len(p1) != len(p2) {
+			t.Fatalf("shards=%s: Paths disagree", name)
+		}
+		b1, k1 := ref.Count(types.Flow{ID: f}, types.AllTime)
+		b2, k2 := s.Count(types.Flow{ID: f}, types.AllTime)
+		if b1 != b2 || k1 != k2 {
+			t.Fatalf("shards=%s: Count = %d/%d, want %d/%d", name, b2, k2, b1, k1)
+		}
+	}
+}

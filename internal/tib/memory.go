@@ -15,6 +15,8 @@
 package tib
 
 import (
+	"sync"
+
 	"pathdump/internal/cherrypick"
 	"pathdump/internal/types"
 )
@@ -64,8 +66,10 @@ type memKey struct {
 }
 
 // Memory is the trajectory memory: the OVS-side aggregation stage of
-// Figure 2. It is sized by active flows, not by packets.
+// Figure 2. It is sized by active flows, not by packets. Methods are safe
+// for concurrent use so queries (Live) can run while the datapath updates.
 type Memory struct {
+	mu      sync.RWMutex
 	idle    types.Time
 	entries map[memKey]*MemEntry
 	// order keeps keys in insertion order for deterministic sweeps.
@@ -82,12 +86,18 @@ func NewMemory(idle types.Time) *Memory {
 }
 
 // Len returns the number of live per-path flow records.
-func (m *Memory) Len() int { return len(m.entries) }
+func (m *Memory) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.entries)
+}
 
 // Update creates or updates the per-path flow record for one packet and
 // returns it. fin marks FIN/RST packets, which make the record eligible
 // for immediate eviction.
 func (m *Memory) Update(now types.Time, flow types.FlowID, hdr cherrypick.Header, size int, fin bool) *MemEntry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	k := memKey{flow: flow, hdr: makeHdrKey(hdr)}
 	e := m.entries[k]
 	if e == nil {
@@ -107,6 +117,8 @@ func (m *Memory) Update(now types.Time, flow types.FlowID, hdr cherrypick.Header
 // EvictFlow removes and returns every record of one flow (invoked when a
 // FIN or RST is seen).
 func (m *Memory) EvictFlow(flow types.FlowID) []*MemEntry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	var out []*MemEntry
 	kept := m.order[:0]
 	for _, k := range m.order {
@@ -125,6 +137,8 @@ func (m *Memory) EvictFlow(flow types.FlowID) []*MemEntry {
 
 // EvictIdle removes and returns every record idle since before now−idle.
 func (m *Memory) EvictIdle(now types.Time) []*MemEntry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	var out []*MemEntry
 	kept := m.order[:0]
 	for _, k := range m.order {
@@ -145,6 +159,8 @@ func (m *Memory) EvictIdle(now types.Time) []*MemEntry {
 
 // Flush removes and returns everything (end of run).
 func (m *Memory) Flush() []*MemEntry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	out := make([]*MemEntry, 0, len(m.entries))
 	for _, k := range m.order {
 		if e, ok := m.entries[k]; ok {
@@ -156,13 +172,17 @@ func (m *Memory) Flush() []*MemEntry {
 	return out
 }
 
-// Live returns the current records without evicting them — the IPC lookup
-// path that lets queries see data not yet exported to the TIB (§3.2).
-func (m *Memory) Live() []*MemEntry {
-	out := make([]*MemEntry, 0, len(m.entries))
+// Live returns a snapshot of the current records without evicting them —
+// the IPC lookup path that lets queries see data not yet exported to the
+// TIB (§3.2). Entries are copied so readers never race with datapath
+// updates to the live records.
+func (m *Memory) Live() []MemEntry {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]MemEntry, 0, len(m.entries))
 	for _, k := range m.order {
 		if e, ok := m.entries[k]; ok {
-			out = append(out, e)
+			out = append(out, *e)
 		}
 	}
 	return out

@@ -4,30 +4,80 @@ import (
 	"encoding/gob"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"pathdump/internal/types"
 )
 
+// DefaultShards is the stripe count of a Store built with NewStore. Powers
+// of two keep the shard-selection mask cheap; 16 stripes are enough to
+// keep a host's ingest path and a handful of concurrent query scans off
+// each other's locks without bloating small stores.
+const DefaultShards = 16
+
 // Store is one host's Trajectory Information Base: an append-mostly record
-// log with flow, directed-link and switch indexes. All methods are safe
-// for concurrent use (the HTTP agent serves queries while the datapath
+// log with flow and directed-link indexes, striped into independently
+// locked shards so that concurrent ingest (Add) and query scans
+// (ForEach/ForFlow) do not serialise on a single mutex.
+//
+// Records are assigned to shards by flow hash — every record of one flow
+// lives in one shard — and each record carries a global arrival sequence
+// number. Iteration merges shards by that sequence, so all query results
+// appear in exact global insertion order, indistinguishable from the
+// previous single-lock implementation. All methods are safe for
+// concurrent use (the HTTP agent serves queries while the datapath
 // appends).
 type Store struct {
-	mu      sync.RWMutex
-	records []types.Record
-	byFlow  map[types.FlowID][]int
-	byLink  map[types.LinkID][]int
+	shards []storeShard
+	mask   uint32
+	// seq hands out global arrival sequence numbers; count tracks the
+	// total record count without summing shard lengths under locks.
+	seq   atomic.Uint64
+	count atomic.Int64
 	// indexing can be disabled for the ablation benchmark
 	indexed bool
 }
 
-// NewStore builds an empty, indexed TIB.
-func NewStore() *Store {
-	return &Store{
-		byFlow:  make(map[types.FlowID][]int),
-		byLink:  make(map[types.LinkID][]int),
+// storeShard is one lock stripe: a slice of sequence-stamped records plus
+// that stripe's slice of the flow and link indexes. Entries are append-only
+// and never mutated in place, so readers may hold *types.Record pointers
+// after releasing the shard lock.
+type storeShard struct {
+	mu      sync.RWMutex
+	entries []entry
+	byFlow  map[types.FlowID][]int
+	byLink  map[types.LinkID][]int
+}
+
+type entry struct {
+	seq uint64
+	rec types.Record
+}
+
+// NewStore builds an empty, indexed TIB with DefaultShards stripes.
+func NewStore() *Store { return NewStoreShards(DefaultShards) }
+
+// NewStoreShards builds an empty, indexed TIB striped into n lock shards
+// (rounded up to a power of two; n <= 1 yields a single-lock store that
+// behaves exactly like the pre-sharding implementation).
+func NewStoreShards(n int) *Store {
+	if n < 1 {
+		n = 1
+	}
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	s := &Store{
+		shards:  make([]storeShard, pow),
+		mask:    uint32(pow - 1),
 		indexed: true,
 	}
+	for i := range s.shards {
+		s.shards[i].byFlow = make(map[types.FlowID][]int)
+		s.shards[i].byLink = make(map[types.LinkID][]int)
+	}
+	return s
 }
 
 // NewUnindexedStore builds a TIB that answers every query by scanning the
@@ -38,58 +88,150 @@ func NewUnindexedStore() *Store {
 	return s
 }
 
-// Add appends one TIB record.
+// shardFor hashes a flow onto its stripe (FNV-1a over the 5-tuple).
+func (s *Store) shardFor(f types.FlowID) *storeShard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	mix := func(v uint32) {
+		h ^= v & 0xff
+		h *= prime32
+		h ^= (v >> 8) & 0xff
+		h *= prime32
+		h ^= (v >> 16) & 0xff
+		h *= prime32
+		h ^= v >> 24
+		h *= prime32
+	}
+	mix(uint32(f.SrcIP))
+	mix(uint32(f.DstIP))
+	mix(uint32(f.SrcPort)<<16 | uint32(f.DstPort))
+	mix(uint32(f.Proto))
+	return &s.shards[h&s.mask]
+}
+
+// Add appends one TIB record. Only the record's shard is locked, so
+// concurrent ingest of distinct flows proceeds in parallel.
 func (s *Store) Add(rec types.Record) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	idx := len(s.records)
-	s.records = append(s.records, rec)
-	if !s.indexed {
-		return
+	sh := s.shardFor(rec.Flow)
+	sh.mu.Lock()
+	idx := len(sh.entries)
+	// The sequence number is assigned under the shard lock so each
+	// shard's entries are sequence-monotonic, which the merge in forEach
+	// relies on.
+	sh.entries = append(sh.entries, entry{seq: s.seq.Add(1), rec: rec})
+	if s.indexed {
+		sh.byFlow[rec.Flow] = append(sh.byFlow[rec.Flow], idx)
+		for _, l := range rec.Path.Links() {
+			sh.byLink[l] = append(sh.byLink[l], idx)
+		}
 	}
-	s.byFlow[rec.Flow] = append(s.byFlow[rec.Flow], idx)
-	for _, l := range rec.Path.Links() {
-		s.byLink[l] = append(s.byLink[l], idx)
-	}
+	sh.mu.Unlock()
+	s.count.Add(1)
 }
 
 // Len returns the record count.
-func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.records)
+func (s *Store) Len() int { return int(s.count.Load()) }
+
+// cursor walks one shard's matching entries in sequence order during a
+// cross-shard merge. Entry and posting slices are append-only, so the
+// headers captured under the shard RLock stay valid (and their elements
+// immutable) after the lock is released.
+type cursor struct {
+	entries []entry
+	post    []int // posting list into entries; nil means "every entry"
+	i       int
 }
 
-// ForEach visits records matching the link pattern and time range. A
-// wildcard-free link uses the link index; everything else scans.
+func (c *cursor) head() *entry {
+	if c.post != nil {
+		if c.i >= len(c.post) {
+			return nil
+		}
+		return &c.entries[c.post[c.i]]
+	}
+	if c.i >= len(c.entries) {
+		return nil
+	}
+	return &c.entries[c.i]
+}
+
+// merge visits every cursor's entries in ascending global sequence order.
+func merge(cursors []cursor, fn func(*types.Record)) {
+	for {
+		var best *entry
+		bi := -1
+		for i := range cursors {
+			if e := cursors[i].head(); e != nil && (best == nil || e.seq < best.seq) {
+				best, bi = e, i
+			}
+		}
+		if best == nil {
+			return
+		}
+		cursors[bi].i++
+		fn(&best.rec)
+	}
+}
+
+// snapshotCursors captures a consistent read view of every shard: the
+// committed prefix of each entries slice plus (optionally) one posting
+// list per shard. All shard read-locks are held simultaneously while the
+// slice headers are captured — sequence numbers are assigned under the
+// shard write lock, so a moment with every lock held observes a
+// downward-closed prefix of the global arrival order, exactly like the
+// old single-lock store. Capture is just header copies, so writers are
+// stalled only momentarily.
+func (s *Store) snapshotCursors(link *types.LinkID) []cursor {
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+	}
+	out := make([]cursor, 0, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		c := cursor{entries: sh.entries}
+		if link != nil {
+			c.post = sh.byLink[*link]
+		}
+		if link == nil || len(c.post) > 0 {
+			out = append(out, c)
+		}
+	}
+	for i := range s.shards {
+		s.shards[i].mu.RUnlock()
+	}
+	return out
+}
+
+// ForEach visits records matching the link pattern and time range in
+// global insertion order. A wildcard-free link uses the link index;
+// everything else scans.
 func (s *Store) ForEach(link types.LinkID, tr types.TimeRange, fn func(*types.Record)) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	if s.indexed && !link.IsWildcard() {
-		for _, i := range s.byLink[link] {
-			rec := &s.records[i]
+		merge(s.snapshotCursors(&link), func(rec *types.Record) {
 			if rec.Overlaps(tr) {
 				fn(rec)
 			}
-		}
+		})
 		return
 	}
 	all := link == types.AnyLink
-	for i := range s.records {
-		rec := &s.records[i]
+	merge(s.snapshotCursors(nil), func(rec *types.Record) {
 		if !rec.Overlaps(tr) {
-			continue
+			return
 		}
 		if all || rec.Path.ContainsLink(link) {
 			fn(rec)
 		}
-	}
+	})
 }
 
-// ForFlow visits records of one flow matching the link pattern and range.
+// ForFlow visits records of one flow matching the link pattern and range,
+// in insertion order. All records of a flow live in one shard, so only
+// that stripe is touched.
 func (s *Store) ForFlow(f types.FlowID, link types.LinkID, tr types.TimeRange, fn func(*types.Record)) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	visit := func(rec *types.Record) {
 		if !rec.Overlaps(tr) {
 			return
@@ -99,15 +241,23 @@ func (s *Store) ForFlow(f types.FlowID, link types.LinkID, tr types.TimeRange, f
 		}
 		fn(rec)
 	}
+	sh := s.shardFor(f)
+	sh.mu.RLock()
+	entries := sh.entries
+	var post []int
 	if s.indexed {
-		for _, i := range s.byFlow[f] {
-			visit(&s.records[i])
+		post = sh.byFlow[f]
+	}
+	sh.mu.RUnlock()
+	if s.indexed {
+		for _, i := range post {
+			visit(&entries[i].rec)
 		}
 		return
 	}
-	for i := range s.records {
-		if s.records[i].Flow == f {
-			visit(&s.records[i])
+	for i := range entries {
+		if entries[i].rec.Flow == f {
+			visit(&entries[i].rec)
 		}
 	}
 }
@@ -181,27 +331,45 @@ func (s *Store) Duration(f types.Flow, tr types.TimeRange) types.Time {
 }
 
 // Snapshot serialises the record log with gob (the stand-in for the
-// paper's MongoDB persistence).
+// paper's MongoDB persistence). Records are written in global insertion
+// order, so the wire format is identical to the single-lock store's.
 func (s *Store) Snapshot(w io.Writer) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return gob.NewEncoder(w).Encode(s.records)
+	recs := make([]types.Record, 0, s.Len())
+	merge(s.snapshotCursors(nil), func(rec *types.Record) {
+		recs = append(recs, *rec)
+	})
+	return gob.NewEncoder(w).Encode(recs)
 }
 
 // LoadSnapshot replaces the store contents from a snapshot and rebuilds
-// the indexes.
+// the indexes. The replacement is atomic: the new contents are staged in
+// a private store (same shard count, so the flow→shard mapping matches),
+// then swapped in under every shard lock at once, so concurrent readers
+// see either the old store or the new one — never a half-cleared mix —
+// and the sequence counter is only ever reset while no Add can be in
+// flight.
 func (s *Store) LoadSnapshot(r io.Reader) error {
 	var recs []types.Record
 	if err := gob.NewDecoder(r).Decode(&recs); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	s.records = nil
-	s.byFlow = make(map[types.FlowID][]int)
-	s.byLink = make(map[types.LinkID][]int)
-	s.mu.Unlock()
+	staged := NewStoreShards(len(s.shards))
+	staged.indexed = s.indexed
 	for _, rec := range recs {
-		s.Add(rec)
+		staged.Add(rec)
+	}
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+	for i := range s.shards {
+		s.shards[i].entries = staged.shards[i].entries
+		s.shards[i].byFlow = staged.shards[i].byFlow
+		s.shards[i].byLink = staged.shards[i].byLink
+	}
+	s.seq.Store(staged.seq.Load())
+	s.count.Store(staged.count.Load())
+	for i := range s.shards {
+		s.shards[i].mu.Unlock()
 	}
 	return nil
 }
