@@ -1,6 +1,7 @@
 package pathdump
 
 import (
+	"context"
 	"fmt"
 
 	"pathdump/internal/apps"
@@ -86,6 +87,14 @@ func (c *Cluster) Execute(hosts []HostID, q Query) (Result, ExecStats, error) {
 	return c.Ctrl.Execute(hosts, q)
 }
 
+// ExecuteContext is Execute under a caller context: cancellation (or an
+// expired deadline, via context.WithTimeout) aborts the in-flight
+// fan-out promptly — a slow or dead host cannot pin the whole query —
+// and ExecStats.Skipped reports how many hosts were cut off.
+func (c *Cluster) ExecuteContext(ctx context.Context, hosts []HostID, q Query) (Result, ExecStats, error) {
+	return c.Ctrl.ExecuteContext(ctx, hosts, q)
+}
+
 // ExecuteTree runs a query through a multi-level aggregation tree with
 // the given per-level fan-outs (§3.2; the paper uses [7,4,4] over 112
 // hosts).
@@ -93,14 +102,39 @@ func (c *Cluster) ExecuteTree(hosts []HostID, q Query, fanouts []int) (Result, E
 	return c.Ctrl.ExecuteTree(hosts, q, fanouts)
 }
 
+// ExecuteTreeContext is ExecuteTree under a caller context (see
+// ExecuteContext for cancellation semantics).
+func (c *Cluster) ExecuteTreeContext(ctx context.Context, hosts []HostID, q Query, fanouts []int) (Result, ExecStats, error) {
+	return c.Ctrl.ExecuteTreeContext(ctx, hosts, q, fanouts)
+}
+
 // InstallQuery installs a query at each host for periodic execution
 // (period 0 = event-triggered). The returned handle uninstalls it.
+// Installation is atomic at the fleet level: on the first failure every
+// already-installed ID is rolled back before the error returns.
 func (c *Cluster) InstallQuery(hosts []HostID, q Query, period Time) (map[HostID]int, error) {
 	return c.Ctrl.Install(hosts, q, period)
 }
 
+// InstallQueryContext is InstallQuery under a caller context; a partial
+// installation is rolled back even when the context is already cancelled.
+func (c *Cluster) InstallQueryContext(ctx context.Context, hosts []HostID, q Query, period Time) (map[HostID]int, error) {
+	return c.Ctrl.InstallContext(ctx, hosts, q, period)
+}
+
 // UninstallQuery removes previously installed queries.
 func (c *Cluster) UninstallQuery(ids map[HostID]int) error { return c.Ctrl.Uninstall(ids) }
+
+// UninstallQueryContext is UninstallQuery under a caller context.
+func (c *Cluster) UninstallQueryContext(ctx context.Context, ids map[HostID]int) error {
+	return c.Ctrl.UninstallContext(ctx, ids)
+}
+
+// QueryHostContext executes one query at one host (the direct query
+// primitive) under a caller context.
+func (c *Cluster) QueryHostContext(ctx context.Context, host HostID, q Query) (Result, error) {
+	return c.Ctrl.QueryHostContext(ctx, host, q)
+}
 
 // SetQueryParallelism re-bounds the controller's concurrent per-host
 // request fan-out (<= 0 means unlimited). Each execution captures the

@@ -30,6 +30,12 @@ type QueryConfig struct {
 	// requests during Execute/ExecuteTree/InstallQuery fan-out (<= 0
 	// means unlimited). The §5.2 response-time model mirrors the bound.
 	Parallelism int
+	// Deadline is the modelled per-query response deadline fed into the
+	// §5.2 cost model (0 = none): modelled response times cap at it,
+	// because the controller returns whatever has arrived by then. Real
+	// wall-clock deadlines are per call — pass a context.WithTimeout to
+	// ExecuteContext/ExecuteTreeContext.
+	Deadline Time
 }
 
 // Cluster is one fully wired PathDump deployment over a simulated fabric:
@@ -81,6 +87,7 @@ func newCluster(topo *topology.Topology, cfg Config) (*Cluster, error) {
 	}
 	c.Ctrl = controller.New(topo, controller.Local{Agents: c.Agents}, sim)
 	c.Ctrl.Parallelism = cfg.Query.Parallelism
+	c.Ctrl.Cost.Deadline = cfg.Query.Deadline
 	for _, h := range topo.Hosts() {
 		st := tcp.NewStack(sim, h.ID, cfg.TCP)
 		c.Stacks[h.ID] = st

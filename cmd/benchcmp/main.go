@@ -1,0 +1,162 @@
+// Command benchcmp is the CI benchmark-regression gate: it parses two Go
+// benchmark output files (a committed baseline and a fresh run, each
+// produced with -count N so medians are meaningful), compares per-benchmark
+// median ns/op, and exits non-zero when any benchmark slowed down beyond
+// the allowed percentage.
+//
+//	go test -run '^$' -bench BenchmarkParallelFanout -count 6 ./internal/controller > new.txt
+//	benchcmp -old BENCH_BASELINE.txt -new new.txt -max-regression 25
+//
+// benchstat gives the human-readable statistical summary in the CI job;
+// this tool is the deterministic pass/fail decision (medians, explicit
+// threshold, no external dependency), so the gate can be exercised and
+// tested offline.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		oldPath = flag.String("old", "", "baseline benchmark output file")
+		newPath = flag.String("new", "", "fresh benchmark output file")
+		maxReg  = flag.Float64("max-regression", 25, "fail when a benchmark's median ns/op slows down by more than this percentage")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp -old baseline.txt -new fresh.txt [-max-regression pct]")
+		os.Exit(2)
+	}
+	oldRuns, err := parseFile(*oldPath)
+	check(err)
+	newRuns, err := parseFile(*newPath)
+	check(err)
+	rows, failed := compare(oldRuns, newRuns, *maxReg)
+	if len(rows) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcmp: no benchmarks in common between the two files")
+		os.Exit(2)
+	}
+	for _, r := range rows {
+		fmt.Println(r)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchcmp: FAIL — regression beyond %.0f%%\n", *maxReg)
+		os.Exit(1)
+	}
+	fmt.Printf("benchcmp: ok (threshold %.0f%%)\n", *maxReg)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+}
+
+// parseFile reads a Go benchmark output file into name → ns/op samples.
+func parseFile(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	runs, err := parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark result lines", path)
+	}
+	return runs, nil
+}
+
+// parse collects ns/op samples per benchmark name from `go test -bench`
+// output. Lines look like:
+//
+//	BenchmarkParallelFanout/parallelism-1-8   45   26180273 ns/op
+//
+// Anything else (headers, PASS, ok, b.Log noise) is skipped.
+func parse(r io.Reader) (map[string][]float64, error) {
+	out := make(map[string][]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// Find the "ns/op" column; its left neighbour is the value.
+		for i := 2; i < len(fields); i++ {
+			if fields[i] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad ns/op value in %q", sc.Text())
+			}
+			out[fields[0]] = append(out[fields[0]], v)
+			break
+		}
+	}
+	return out, sc.Err()
+}
+
+// median of a non-empty sample set.
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// compare builds one report row per benchmark present in both runs and
+// reports whether any exceeded the allowed regression percentage.
+// Benchmarks present on only one side are reported but never fail the
+// gate (renames should not brick CI; the baseline refresh catches them).
+func compare(oldRuns, newRuns map[string][]float64, maxRegressionPct float64) ([]string, bool) {
+	names := make([]string, 0, len(oldRuns))
+	for name := range oldRuns {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var rows []string
+	failed := false
+	matched := 0
+	for _, name := range names {
+		nw, ok := newRuns[name]
+		if !ok {
+			rows = append(rows, fmt.Sprintf("%-50s baseline only (skipped)", name))
+			continue
+		}
+		matched++
+		om, nm := median(oldRuns[name]), median(nw)
+		deltaPct := (nm - om) / om * 100
+		verdict := "ok"
+		if deltaPct > maxRegressionPct {
+			verdict = "REGRESSION"
+			failed = true
+		}
+		rows = append(rows, fmt.Sprintf("%-50s %14.0f ns/op → %14.0f ns/op  %+7.2f%%  %s",
+			name, om, nm, deltaPct, verdict))
+	}
+	for name := range newRuns {
+		if _, ok := oldRuns[name]; !ok {
+			rows = append(rows, fmt.Sprintf("%-50s new only (skipped)", name))
+		}
+	}
+	sort.Strings(rows[len(names):]) // keep "new only" rows deterministic
+	if matched == 0 {
+		return nil, true
+	}
+	return rows, failed
+}

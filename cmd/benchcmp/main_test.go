@@ -1,0 +1,116 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const baselineSample = `goos: linux
+goarch: amd64
+pkg: pathdump/internal/controller
+cpu: some cpu
+BenchmarkParallelFanout/parallelism-1-8         	      45	  26180273 ns/op
+BenchmarkParallelFanout/parallelism-1-8         	      44	  26002110 ns/op
+BenchmarkParallelFanout/parallelism-1-8         	      45	  26411807 ns/op
+BenchmarkParallelFanout/parallelism-8-8         	     355	   3361102 ns/op
+BenchmarkParallelFanout/parallelism-8-8         	     352	   3398210 ns/op
+BenchmarkParallelFanout/parallelism-8-8         	     350	   3340955 ns/op
+PASS
+ok  	pathdump/internal/controller	12.3s
+`
+
+func parsed(t *testing.T, s string) map[string][]float64 {
+	t.Helper()
+	runs, err := parse(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return runs
+}
+
+func TestParseCollectsSamples(t *testing.T) {
+	runs := parsed(t, baselineSample)
+	if len(runs) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(runs))
+	}
+	if got := runs["BenchmarkParallelFanout/parallelism-1-8"]; len(got) != 3 {
+		t.Fatalf("p1 samples = %v", got)
+	}
+	if got := runs["BenchmarkParallelFanout/parallelism-8-8"]; len(got) != 3 {
+		t.Fatalf("p8 samples = %v", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %v", got)
+	}
+	if got := median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Errorf("even median = %v", got)
+	}
+}
+
+// TestGatePassesOnNoise: run-to-run noise well inside the threshold does
+// not fail the gate.
+func TestGatePassesOnNoise(t *testing.T) {
+	oldRuns := parsed(t, baselineSample)
+	noisy := strings.ReplaceAll(baselineSample, "26180273", "27100000")
+	noisy = strings.ReplaceAll(noisy, "3361102", "3500000")
+	rows, failed := compare(oldRuns, parsed(t, noisy), 25)
+	if failed {
+		t.Fatalf("gate failed on ~4%% noise:\n%s", strings.Join(rows, "\n"))
+	}
+}
+
+// TestGateFailsOnInjected2xSlowdown is the acceptance check for the CI
+// job: doubling the parallel fan-out's ns/op must trip the 25% gate.
+func TestGateFailsOnInjected2xSlowdown(t *testing.T) {
+	oldRuns := parsed(t, baselineSample)
+	slowed := baselineSample
+	for _, pair := range [][2]string{
+		{"3361102", "6722204"},
+		{"3398210", "6796420"},
+		{"3340955", "6681910"},
+	} {
+		slowed = strings.ReplaceAll(slowed, pair[0], pair[1])
+	}
+	rows, failed := compare(oldRuns, parsed(t, slowed), 25)
+	if !failed {
+		t.Fatalf("2x slowdown of the parallel path did not fail the gate:\n%s", strings.Join(rows, "\n"))
+	}
+	found := false
+	for _, r := range rows {
+		if strings.Contains(r, "parallelism-8") && strings.Contains(r, "REGRESSION") {
+			found = true
+		}
+		if strings.Contains(r, "parallelism-1") && strings.Contains(r, "REGRESSION") {
+			t.Errorf("unchanged benchmark flagged: %s", r)
+		}
+	}
+	if !found {
+		t.Fatalf("no REGRESSION row for the slowed benchmark:\n%s", strings.Join(rows, "\n"))
+	}
+}
+
+// TestGateHandlesRenames: benchmarks present on only one side are
+// reported but never fail the gate; zero overlap does.
+func TestGateHandlesRenames(t *testing.T) {
+	oldRuns := parsed(t, baselineSample)
+	renamed := strings.ReplaceAll(baselineSample, "parallelism-8", "parallelism-16")
+	rows, failed := compare(oldRuns, parsed(t, renamed), 25)
+	if failed {
+		t.Fatalf("rename failed the gate:\n%s", strings.Join(rows, "\n"))
+	}
+	var only int
+	for _, r := range rows {
+		if strings.Contains(r, "only (skipped)") {
+			only++
+		}
+	}
+	if only != 2 {
+		t.Errorf("%d 'only' rows, want 2 (one baseline-only, one new-only)", only)
+	}
+	if rows, failed := compare(oldRuns, map[string][]float64{"BenchmarkOther-8": {1}}, 25); !failed || rows != nil {
+		t.Error("zero overlapping benchmarks must fail loudly")
+	}
+}

@@ -13,6 +13,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -33,10 +35,11 @@ func main() {
 	agents := flag.String("agents", "", "comma-separated hostID=URL pairs (several hosts may share one URL for batched daemons)")
 	arity := flag.Int("k", 4, "fat-tree arity of the ground-truth topology")
 	parallel := flag.Int("parallel", 0, "max concurrently outstanding per-host requests (0 = unlimited)")
+	timeout := flag.Duration("timeout", 0, "per-query deadline (0 = none): a slow or dead agent aborts the whole fan-out at the deadline instead of pinning it")
 	flag.Parse()
 	args := flag.Args()
 	if *agents == "" || len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: pathdumpctl -agents id=url[,id=url...] [-parallel n] {topk|flows|paths|count|conformance|matrix|poor|install|uninstall} [flags]")
+		fmt.Fprintln(os.Stderr, "usage: pathdumpctl -agents id=url[,id=url...] [-parallel n] [-timeout d] {topk|flows|paths|count|conformance|matrix|poor|install|uninstall} [flags]")
 		os.Exit(2)
 	}
 	urls, hosts := parseAgents(*agents)
@@ -46,6 +49,12 @@ func main() {
 	}
 	ctrl := controller.New(topo, &rpc.HTTPTransport{URLs: urls}, nil)
 	ctrl.Parallelism = *parallel
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	cmd, rest := args[0], args[1:]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
@@ -66,54 +75,54 @@ func main() {
 
 	switch cmd {
 	case "topk":
-		res, stats, err := ctrl.Execute(hosts, query.Query{Op: query.OpTopK, K: *k})
-		check(err)
+		res, stats, err := ctrl.ExecuteContext(ctx, hosts, query.Query{Op: query.OpTopK, K: *k})
+		checkExec(stats, err)
 		for i, fb := range res.Top {
 			fmt.Printf("#%-3d %-44s %12d bytes\n", i+1, fb.Flow, fb.Bytes)
 		}
 		fmt.Printf("(%d hosts, modelled response %v)\n", stats.Hosts, stats.ResponseTime)
 	case "flows":
-		res, _, err := ctrl.Execute(hosts, query.Query{Op: query.OpFlows, Link: parseLink(*link)})
-		check(err)
+		res, stats, err := ctrl.ExecuteContext(ctx, hosts, query.Query{Op: query.OpFlows, Link: parseLink(*link)})
+		checkExec(stats, err)
 		for _, fl := range res.Flows {
 			fmt.Printf("%-44s via %v\n", fl.ID, fl.Path)
 		}
 	case "paths":
-		res, _, err := ctrl.Execute(hosts, query.Query{Op: query.OpPaths, Flow: parseFlow(*flowStr), Link: types.AnyLink})
-		check(err)
+		res, stats, err := ctrl.ExecuteContext(ctx, hosts, query.Query{Op: query.OpPaths, Flow: parseFlow(*flowStr), Link: types.AnyLink})
+		checkExec(stats, err)
 		for _, p := range res.Paths {
 			fmt.Println(p)
 		}
 	case "count":
-		res, _, err := ctrl.Execute(hosts, query.Query{Op: query.OpCount, Flow: parseFlow(*flowStr)})
-		check(err)
+		res, stats, err := ctrl.ExecuteContext(ctx, hosts, query.Query{Op: query.OpCount, Flow: parseFlow(*flowStr)})
+		checkExec(stats, err)
 		fmt.Printf("%d bytes, %d packets\n", res.Bytes, res.Pkts)
 	case "conformance":
 		q := query.Query{Op: query.OpConformance, MaxPathLen: *maxlen}
 		if *avoid >= 0 {
 			q.Avoid = []types.SwitchID{types.SwitchID(*avoid)}
 		}
-		res, _, err := ctrl.Execute(hosts, q)
-		check(err)
+		res, stats, err := ctrl.ExecuteContext(ctx, hosts, q)
+		checkExec(stats, err)
 		for _, v := range res.Violations {
 			fmt.Printf("VIOLATION %-44s via %v\n", v.Flow, v.Path)
 		}
 		fmt.Printf("%d violations\n", len(res.Violations))
 	case "matrix":
-		res, _, err := ctrl.Execute(hosts, query.Query{Op: query.OpMatrix})
-		check(err)
+		res, stats, err := ctrl.ExecuteContext(ctx, hosts, query.Query{Op: query.OpMatrix})
+		checkExec(stats, err)
 		for _, cell := range res.Matrix {
 			fmt.Printf("%v -> %v  %12d bytes\n", cell.SrcToR, cell.DstToR, cell.Bytes)
 		}
 	case "poor":
-		res, _, err := ctrl.Execute(hosts, query.Query{Op: query.OpPoorTCP, Threshold: *threshold})
-		check(err)
+		res, stats, err := ctrl.ExecuteContext(ctx, hosts, query.Query{Op: query.OpPoorTCP, Threshold: *threshold})
+		checkExec(stats, err)
 		for _, f := range res.FlowIDs {
 			fmt.Println(f)
 		}
 		fmt.Printf("%d poor flows\n", len(res.FlowIDs))
 	case "install":
-		ids, err := ctrl.Install(hosts, query.Query{Op: query.Op(*op), Threshold: *threshold}, pathdump.Time(period.Nanoseconds()))
+		ids, err := ctrl.InstallContext(ctx, hosts, query.Query{Op: query.Op(*op), Threshold: *threshold}, pathdump.Time(period.Nanoseconds()))
 		check(err)
 		for h, installID := range ids {
 			fmt.Printf("host %v: id %d\n", h, installID)
@@ -123,7 +132,7 @@ func main() {
 		for _, h := range hosts {
 			ids[h] = *id
 		}
-		check(ctrl.Uninstall(ids))
+		check(ctrl.UninstallContext(ctx, ids))
 		fmt.Println("uninstalled")
 	default:
 		log.Fatalf("unknown command %q", cmd)
@@ -131,9 +140,25 @@ func main() {
 }
 
 func check(err error) {
-	if err != nil {
-		log.Fatal(err)
+	if err == nil {
+		return
 	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		log.Fatalf("query deadline exceeded (-timeout): %v", err)
+	}
+	log.Fatal(err)
+}
+
+// checkExec is check for distributed executions: on failure it reports
+// how far the fan-out got before it was cut off.
+func checkExec(stats controller.ExecStats, err error) {
+	if err == nil {
+		return
+	}
+	if stats.Skipped > 0 {
+		log.Printf("fan-out cut short: %d hosts answered, %d skipped", stats.Hosts, stats.Skipped)
+	}
+	check(err)
 }
 
 func parseAgents(s string) (map[types.HostID]string, []types.HostID) {

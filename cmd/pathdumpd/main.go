@@ -19,13 +19,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"pathdump"
 	"pathdump/internal/agent"
@@ -35,6 +39,10 @@ import (
 	"pathdump/internal/workload"
 )
 
+// drainTimeout bounds graceful shutdown: in-flight requests get this long
+// to finish after SIGINT/SIGTERM before the daemon exits anyway.
+const drainTimeout = 5 * time.Second
+
 func main() {
 	var (
 		listen   = flag.String("listen", ":8400", "HTTP listen address")
@@ -42,6 +50,7 @@ func main() {
 		hostIDs  = flag.String("hosts", "", "comma-separated host IDs to serve from one multi-agent daemon (overrides -host)")
 		arity    = flag.Int("k", 4, "fat-tree arity of the ground-truth topology")
 		parallel = flag.Int("parallel", 0, "max concurrent per-host executions of a /batchquery (0 = unlimited)")
+		timeout  = flag.Duration("timeout", 0, "per-request deadline (0 = none): the request context is cancelled at the deadline, aborting TIB scans and batch fan-outs mid-flight")
 		tibPath  = flag.String("tib", "", "TIB snapshot to load (gob; single-host mode only)")
 		demo     = flag.Bool("demo", false, "populate the TIB with a simulated demo workload")
 		alarmURL = flag.String("controller", "", "controller URL for alarms (optional)")
@@ -97,7 +106,10 @@ func main() {
 		log.Printf("pathdumpd: snapshot %s serving on %s, %d TIB records",
 			*tibPath, *listen, store.Len())
 		fmt.Println("endpoints: POST /query /install /uninstall, GET /stats")
-		log.Fatal(http.ListenAndServe(*listen, srv.Handler()))
+		if err := serve(*listen, srv.Handler(), *timeout); err != nil {
+			log.Fatal(err)
+		}
+		return
 	case *demo:
 		hosts := c.HostIDs()
 		gen, err := workload.NewGenerator(c.Sim, c.Stacks, workload.GenConfig{
@@ -141,5 +153,37 @@ func main() {
 		log.Printf("pathdumpd: %d hosts serving on %s", len(served), *listen)
 		fmt.Println("endpoints: POST /query /batchquery /install /uninstall, GET /stats")
 	}
-	log.Fatal(http.ListenAndServe(*listen, handler))
+	if err := serve(*listen, handler, *timeout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// serve runs the daemon with per-request deadlines and a graceful
+// shutdown path: reqTimeout > 0 cancels each request's context at the
+// deadline (aborting agent-side TIB scans mid-merge and answering 503),
+// and SIGINT/SIGTERM drains in-flight requests for up to drainTimeout
+// before the listener closes.
+func serve(listen string, h http.Handler, reqTimeout time.Duration) error {
+	if reqTimeout > 0 {
+		h = http.TimeoutHandler(h, reqTimeout, "pathdumpd: request deadline exceeded")
+	}
+	srv := &http.Server{Addr: listen, Handler: h}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		stop()
+		log.Printf("pathdumpd: shutting down, draining in-flight requests for up to %v", drainTimeout)
+		sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			return err
+		}
+		log.Print("pathdumpd: drained cleanly")
+		return nil
+	}
 }

@@ -5,8 +5,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"pathdump"
 	"pathdump/internal/workload"
@@ -54,6 +56,25 @@ func main() {
 	fmt.Println("\n-- execution strategies --")
 	fmt.Printf("direct      : %8v response, %7d wire bytes\n", dstats.ResponseTime, dstats.WireBytes)
 	fmt.Printf("multi-level : %8v response, %7d wire bytes (tree fan-out 4×2)\n", tstats.ResponseTime, tstats.WireBytes)
+
+	// Deadlines keep queries interactive in both senses. A real wall-clock
+	// deadline (context.WithTimeout) aborts the fan-out if agents stall;
+	// here everything is in-process, so it completes well inside it.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, stats, err := c.ExecuteContext(ctx, hosts, q); err != nil {
+		log.Fatalf("deadline-bounded query failed (%d hosts skipped): %v", stats.Skipped, err)
+	}
+	// And a modelled per-query deadline (§5.2 cost model) caps the
+	// modelled response time: the controller hands back whatever arrived.
+	c.Ctrl.Cost.Deadline = dstats.ResponseTime / 2
+	_, capped, err := c.Execute(hosts, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with a modelled deadline of %v the direct query reports %v\n",
+		c.Ctrl.Cost.Deadline, capped.ResponseTime)
+
 	fmt.Println("\nat small scale direct wins; the tree's advantage appears as host")
 	fmt.Println("count and per-host result size grow (run cmd/experiments fig12).")
 }

@@ -7,6 +7,7 @@
 package agent
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -240,6 +241,15 @@ func (a *Agent) raise(al types.Alarm) {
 // memory plus the TCP monitor) — the host side of the controller API.
 func (a *Agent) Execute(q query.Query) query.Result {
 	return query.Execute(q, a.view())
+}
+
+// ExecuteContext is Execute under a caller context: the evaluation loop
+// polls cancellation as it merges TIB shards and stops early, returning
+// the context's error instead of a partial result. This is what the HTTP
+// servers call with the request context, so a disconnected client or an
+// expired controller deadline releases the host promptly.
+func (a *Agent) ExecuteContext(ctx context.Context, q query.Query) (query.Result, error) {
+	return query.ExecuteContext(ctx, q, a.view())
 }
 
 // Install registers a query; period 0 means event-triggered (§2.1). The

@@ -1,6 +1,8 @@
 package agent
 
 import (
+	"context"
+
 	"pathdump/internal/query"
 	"pathdump/internal/types"
 )
@@ -8,9 +10,27 @@ import (
 // view materialises the host's queryable state: the TIB store plus the
 // per-path flow records still in the trajectory memory (the paper's IPC
 // lookup that lets queries see data not yet exported, §3.2).
+//
+// ctx, when non-nil, makes the evaluation loop cancellation-aware: scans
+// over the sharded TIB poll the context every query.CancelCheckEvery
+// records of the cross-shard merge and stop early once it is cancelled,
+// so a caller that hung up (or a controller deadline that fired) does not
+// pin this host on a full scan.
 type agentView struct {
 	a    *Agent
 	live []types.Record
+	ctx  context.Context
+}
+
+// WithContext implements query.ContextView.
+func (v agentView) WithContext(ctx context.Context) query.View {
+	v.ctx = ctx
+	return v
+}
+
+// cancelled reports whether the view's context (if any) is done.
+func (v agentView) cancelled() bool {
+	return v.ctx != nil && v.ctx.Err() != nil
 }
 
 func (a *Agent) view() query.View {
@@ -29,9 +49,18 @@ func (a *Agent) view() query.View {
 	return v
 }
 
-// EachRecord implements query.View over store + live records.
+// EachRecord implements query.View over store + live records. With a
+// context attached, the TIB scan aborts between merged shard records once
+// the context is cancelled.
 func (v agentView) EachRecord(link types.LinkID, tr types.TimeRange, fn func(*types.Record)) {
-	v.a.Store.ForEach(link, tr, fn)
+	if v.ctx == nil {
+		v.a.Store.ForEach(link, tr, fn)
+	} else {
+		v.a.Store.ForEachWhile(link, tr, query.PollCancel(v.ctx, fn))
+		if v.cancelled() {
+			return
+		}
+	}
 	all := link == types.AnyLink
 	for i := range v.live {
 		rec := &v.live[i]
@@ -44,7 +73,10 @@ func (v agentView) EachRecord(link types.LinkID, tr types.TimeRange, fn func(*ty
 	}
 }
 
-// Flows implements query.View (getFlows).
+// Flows implements query.View (getFlows). A scan cut off by cancellation
+// returns nil, not a partial list — the caller's result is discarded by
+// ExecuteContext, so truncated output must not feed downstream per-flow
+// loops.
 func (v agentView) Flows(link types.LinkID, tr types.TimeRange) []types.Flow {
 	type key struct {
 		f types.FlowID
@@ -59,6 +91,9 @@ func (v agentView) Flows(link types.LinkID, tr types.TimeRange) []types.Flow {
 			out = append(out, types.Flow{ID: rec.Flow, Path: rec.Path})
 		}
 	})
+	if v.cancelled() {
+		return nil
+	}
 	return out
 }
 
@@ -117,6 +152,11 @@ func (v agentView) PoorTCPFlows(threshold int) []types.FlowID {
 }
 
 func (v agentView) eachFlowRecord(f types.FlowID, tr types.TimeRange, fn func(*types.Record)) {
+	// Per-flow lookups touch a single shard's posting list; an entry
+	// check bounds cancellation latency at one flow's records.
+	if v.cancelled() {
+		return
+	}
 	v.a.Store.ForFlow(f, types.AnyLink, tr, fn)
 	for i := range v.live {
 		rec := &v.live[i]

@@ -4,9 +4,17 @@
 // or through a Dremel/iMR-style multi-level aggregation tree — receives
 // alarms from agents' active monitors, and traps packets whose VLAN stack
 // overflowed (suspiciously long paths and routing loops, §4.5).
+//
+// Every distributed operation is context-aware end to end: the public
+// Execute/ExecuteTree/Install/Uninstall/QueryHost entry points have
+// *Context variants, the Transport carries the context to the wire, and a
+// cancelled or expired context aborts in-flight fan-out waves promptly —
+// a slow or dead host can no longer pin down a whole query (§5.2's
+// interactivity argument).
 package controller
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -28,11 +36,13 @@ type QueryMeta struct {
 
 // Transport moves queries between the controller and host agents. The
 // in-process implementation backs simulations; the HTTP implementation in
-// internal/rpc backs real deployments.
+// internal/rpc backs real deployments. Every method takes the execution's
+// context first and must return promptly once it is cancelled — the
+// controller relies on that to abort fan-out waves.
 type Transport interface {
-	Query(host types.HostID, q query.Query) (query.Result, QueryMeta, error)
-	Install(host types.HostID, q query.Query, period types.Time) (int, error)
-	Uninstall(host types.HostID, id int) error
+	Query(ctx context.Context, host types.HostID, q query.Query) (query.Result, QueryMeta, error)
+	Install(ctx context.Context, host types.HostID, q query.Query, period types.Time) (int, error)
+	Uninstall(ctx context.Context, host types.HostID, id int) error
 }
 
 // BatchReply is one host's answer within a batched multi-host query.
@@ -48,10 +58,11 @@ type BatchReply struct {
 // batched request path of internal/rpc). The controller routes the leaf
 // fan-out of Execute/ExecuteTree through it when available. Replies must
 // align with the hosts argument; parallel bounds the transport's internal
-// concurrency (<= 0 means unlimited).
+// concurrency (<= 0 means unlimited). Cancelling ctx must abort the
+// round trip and any server-side fan-out it carries.
 type BatchTransport interface {
 	Transport
-	QueryMany(hosts []types.HostID, q query.Query, parallel int) ([]BatchReply, error)
+	QueryMany(ctx context.Context, hosts []types.HostID, q query.Query, parallel int) ([]BatchReply, error)
 }
 
 // SerialControl marks transports whose Install/Uninstall must not be
@@ -65,18 +76,25 @@ type Local struct {
 	Agents map[types.HostID]*agent.Agent
 }
 
-// Query implements Transport.
-func (l Local) Query(host types.HostID, q query.Query) (query.Result, QueryMeta, error) {
+// Query implements Transport. The context is honoured mid-scan: the
+// agent's evaluation loop polls cancellation as it merges TIB shards.
+func (l Local) Query(ctx context.Context, host types.HostID, q query.Query) (query.Result, QueryMeta, error) {
 	a, ok := l.Agents[host]
 	if !ok {
 		return query.Result{}, QueryMeta{}, fmt.Errorf("controller: unknown host %v", host)
 	}
-	res := a.Execute(q)
+	res, err := a.ExecuteContext(ctx, q)
+	if err != nil {
+		return query.Result{}, QueryMeta{}, err
+	}
 	return res, QueryMeta{RecordsScanned: a.Store.Len() + a.Mem.Len()}, nil
 }
 
 // Install implements Transport.
-func (l Local) Install(host types.HostID, q query.Query, period types.Time) (int, error) {
+func (l Local) Install(ctx context.Context, host types.HostID, q query.Query, period types.Time) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	a, ok := l.Agents[host]
 	if !ok {
 		return 0, fmt.Errorf("controller: unknown host %v", host)
@@ -85,7 +103,10 @@ func (l Local) Install(host types.HostID, q query.Query, period types.Time) (int
 }
 
 // Uninstall implements Transport.
-func (l Local) Uninstall(host types.HostID, id int) error {
+func (l Local) Uninstall(ctx context.Context, host types.HostID, id int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	a, ok := l.Agents[host]
 	if !ok {
 		return fmt.Errorf("controller: unknown host %v", host)
@@ -115,9 +136,15 @@ type CostModel struct {
 	// node merges (default 4 µs — the paper's controller-side key-value
 	// processing dominates large direct queries, §5.2).
 	MergePerItem types.Time
+	// Deadline is the modelled per-query response deadline (0 = none).
+	// The controller returns whatever has arrived by the deadline, so the
+	// modelled response time is capped at it: a deadline of roughly one
+	// slow-host round trip keeps a 64-host direct query interactive even
+	// when the model would otherwise charge the full serial wall-clock.
+	Deadline types.Time
 }
 
-// DefaultCostModel returns the defaults above.
+// DefaultCostModel returns the defaults above (no deadline).
 func DefaultCostModel() CostModel {
 	return CostModel{
 		RTT:           types.Millisecond,
@@ -130,8 +157,15 @@ func DefaultCostModel() CostModel {
 
 // ExecStats summarises one distributed query execution.
 type ExecStats struct {
+	// Hosts is how many hosts actually answered. On a fully successful
+	// execution it equals the number of requested hosts.
 	Hosts int
-	// ResponseTime is the modelled end-to-end latency.
+	// Skipped is how many of the requested hosts were never (or not
+	// successfully) queried because the execution was cancelled, timed
+	// out, or aborted on first error mid-fan-out.
+	Skipped int
+	// ResponseTime is the modelled end-to-end latency, capped at the cost
+	// model's Deadline when one is set.
 	ResponseTime types.Time
 	// WireBytes is the total bytes moved over the management network
 	// (queries down plus results up, Figs. 11b/12b).
@@ -217,7 +251,13 @@ func (c *Controller) AlarmsFor(r types.Reason) []types.Alarm {
 
 // QueryHost executes one query at one host (the direct query primitive).
 func (c *Controller) QueryHost(host types.HostID, q query.Query) (query.Result, error) {
-	res, _, err := c.T.Query(host, q)
+	return c.QueryHostContext(context.Background(), host, q)
+}
+
+// QueryHostContext is QueryHost with a caller-supplied context; a
+// cancelled or expired context aborts the request.
+func (c *Controller) QueryHostContext(ctx context.Context, host types.HostID, q query.Query) (query.Result, error) {
+	res, _, err := c.T.Query(ctx, host, q)
 	return res, err
 }
 
@@ -225,56 +265,99 @@ func (c *Controller) QueryHost(host types.HostID, q query.Query) (query.Result, 
 // contacted straight from the controller, results folded at the
 // controller — and returns the merged result with modelled cost (§3.2).
 func (c *Controller) Execute(hosts []types.HostID, q query.Query) (query.Result, ExecStats, error) {
+	return c.ExecuteContext(context.Background(), hosts, q)
+}
+
+// ExecuteContext is Execute with a caller-supplied context. Cancellation
+// (or an expired deadline) aborts the in-flight fan-out wave promptly:
+// pending host requests are skipped, in-flight ones are cut off at the
+// transport, and the returned ExecStats reports how many hosts were
+// skipped. The error is the context's.
+func (c *Controller) ExecuteContext(ctx context.Context, hosts []types.HostID, q query.Query) (query.Result, ExecStats, error) {
 	root := &treeNode{children: leafNodes(hosts)}
-	return c.run(root, q)
+	return c.run(ctx, root, q)
 }
 
 // ExecuteTree runs a query through a multi-level aggregation tree with the
 // given per-level fan-outs (e.g. [7,4,4] builds the paper's 4-level tree
 // over 112 hosts). Hosts double as interior aggregation nodes.
 func (c *Controller) ExecuteTree(hosts []types.HostID, q query.Query, fanouts []int) (query.Result, ExecStats, error) {
+	return c.ExecuteTreeContext(context.Background(), hosts, q, fanouts)
+}
+
+// ExecuteTreeContext is ExecuteTree with a caller-supplied context (see
+// ExecuteContext for cancellation semantics).
+func (c *Controller) ExecuteTreeContext(ctx context.Context, hosts []types.HostID, q query.Query, fanouts []int) (query.Result, ExecStats, error) {
 	if len(fanouts) == 0 {
-		return c.Execute(hosts, q)
+		return c.ExecuteContext(ctx, hosts, q)
 	}
 	root := &treeNode{children: buildLevels(hosts, fanouts)}
-	return c.run(root, q)
+	return c.run(ctx, root, q)
 }
 
 // Install installs a query at each listed host (§2.1 controller API).
 // It returns per-host installation IDs for Uninstall. Installation fans
 // out concurrently (bounded by Parallelism) unless the transport declares
-// SerialControl; on error the partial ID map is returned alongside the
-// first failure so callers can roll back.
+// SerialControl. Install is atomic at the fleet level: on the first
+// failure every already-installed ID is rolled back (best effort) before
+// the error is returned, so no host is left running a query the caller
+// never got a handle to.
 func (c *Controller) Install(hosts []types.HostID, q query.Query, period types.Time) (map[types.HostID]int, error) {
+	return c.InstallContext(context.Background(), hosts, q, period)
+}
+
+// InstallContext is Install with a caller-supplied context. The rollback
+// of a partial installation runs even when ctx is already cancelled (it
+// detaches via context.WithoutCancel): cancellation must not orphan
+// installed queries.
+func (c *Controller) InstallContext(ctx context.Context, hosts []types.HostID, q query.Query, period types.Time) (map[types.HostID]int, error) {
 	out := make(map[types.HostID]int, len(hosts))
+	var err error
 	if _, serial := c.T.(SerialControl); serial || len(hosts) < 2 {
 		for _, h := range hosts {
-			id, err := c.T.Install(h, q, period)
-			if err != nil {
-				return out, err
+			if err = ctx.Err(); err != nil {
+				break
+			}
+			var id int
+			if id, err = c.T.Install(ctx, h, q, period); err != nil {
+				break
 			}
 			out[h] = id
 		}
-		return out, nil
+	} else {
+		var mu sync.Mutex
+		err = c.forEachHost(ctx, hosts, true, func(ctx context.Context, h types.HostID) error {
+			id, err := c.T.Install(ctx, h, q, period)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			out[h] = id
+			mu.Unlock()
+			return nil
+		})
 	}
-	var mu sync.Mutex
-	err := c.forEachHost(hosts, true, func(h types.HostID) error {
-		id, err := c.T.Install(h, q, period)
-		if err != nil {
-			return err
+	if err != nil {
+		if len(out) > 0 {
+			// Best-effort rollback so the partial fleet is not left
+			// running an orphaned query; ignore rollback failures — the
+			// install error is the one the caller must see.
+			_ = c.UninstallContext(context.WithoutCancel(ctx), out)
 		}
-		mu.Lock()
-		out[h] = id
-		mu.Unlock()
-		return nil
-	})
-	return out, err
+		return nil, err
+	}
+	return out, nil
 }
 
 // Uninstall removes previously installed queries. Every host is attempted
 // (best effort, concurrently unless the transport declares SerialControl);
 // the first failure in deterministic host order is returned.
 func (c *Controller) Uninstall(ids map[types.HostID]int) error {
+	return c.UninstallContext(context.Background(), ids)
+}
+
+// UninstallContext is Uninstall with a caller-supplied context.
+func (c *Controller) UninstallContext(ctx context.Context, ids map[types.HostID]int) error {
 	hosts := make([]types.HostID, 0, len(ids))
 	for h := range ids {
 		hosts = append(hosts, h)
@@ -283,24 +366,30 @@ func (c *Controller) Uninstall(ids map[types.HostID]int) error {
 	if _, serial := c.T.(SerialControl); serial || len(hosts) < 2 {
 		var first error
 		for _, h := range hosts {
-			if err := c.T.Uninstall(h, ids[h]); err != nil && first == nil {
+			if err := ctx.Err(); err != nil {
+				if first == nil {
+					first = err
+				}
+				break
+			}
+			if err := c.T.Uninstall(ctx, h, ids[h]); err != nil && first == nil {
 				first = err
 			}
 		}
 		return first
 	}
-	return c.forEachHost(hosts, false, func(h types.HostID) error {
-		return c.T.Uninstall(h, ids[h])
+	return c.forEachHost(ctx, hosts, false, func(ctx context.Context, h types.HostID) error {
+		return c.T.Uninstall(ctx, h, ids[h])
 	})
 }
 
 // forEachHost runs fn once per host concurrently under a fresh bounded
-// fan-out pool. With abortOnErr the first failure latches and pending
-// hosts are skipped (Install); without it every host is attempted
-// (Uninstall's best effort). The reported error is deterministic in host
-// order regardless of goroutine timing.
-func (c *Controller) forEachHost(hosts []types.HostID, abortOnErr bool, fn func(h types.HostID) error) error {
-	fo := newFanout(c.Parallelism)
+// fan-out pool carrying ctx. With abortOnErr the first failure latches and
+// pending hosts are skipped (Install); without it every host is attempted
+// (Uninstall's best effort) unless ctx is cancelled. The reported error is
+// deterministic in host order regardless of goroutine timing.
+func (c *Controller) forEachHost(ctx context.Context, hosts []types.HostID, abortOnErr bool, fn func(ctx context.Context, h types.HostID) error) error {
+	fo := newFanout(ctx, c.Parallelism)
 	errs := make([]error, len(hosts))
 	var wg sync.WaitGroup
 	for i, h := range hosts {
@@ -312,7 +401,7 @@ func (c *Controller) forEachHost(hosts []types.HostID, abortOnErr bool, fn func(
 				return
 			}
 			defer fo.release()
-			errs[i] = fn(h)
+			errs[i] = fn(fo.ctx, h)
 			if errs[i] != nil && abortOnErr {
 				fo.abort()
 			}
@@ -366,6 +455,19 @@ func buildLevels(hosts []types.HostID, fanouts []int) []*treeNode {
 	return out
 }
 
+// countHosts returns the number of host positions in the tree (leaf and
+// interior aggregation hosts alike) — the denominator for Skipped.
+func countHosts(n *treeNode) int {
+	total := 0
+	if n.isHost {
+		total++
+	}
+	for _, ch := range n.children {
+		total += countHosts(ch)
+	}
+	return total
+}
+
 // run executes the query over the tree, merging bottom-up, and computes
 // the modelled response time:
 //
@@ -379,14 +481,26 @@ func buildLevels(hosts []types.HostID, fanouts []int) []*treeNode {
 // schedule over Parallelism modelled workers (all zero when unlimited,
 // reducing to pure max-over-children). Wire bytes count the query going
 // down and each (partial) result coming up.
-func (c *Controller) run(n *treeNode, q query.Query) (query.Result, ExecStats, error) {
+//
+// On failure — including ctx cancellation — the stats still report how
+// many hosts had answered versus how many were skipped, so callers can
+// tell a near-complete cancelled query from one cut off at the start.
+func (c *Controller) run(ctx context.Context, n *treeNode, q query.Query) (query.Result, ExecStats, error) {
 	qBytes, err := json.Marshal(q)
 	if err != nil {
 		return query.Result{}, ExecStats{}, err
 	}
-	res, t, bytes, hosts, err := c.runNode(n, q, int64(len(qBytes)), newFanout(c.Parallelism))
+	fo := newFanout(ctx, c.Parallelism)
+	res, t, bytes, hosts, err := c.runNode(n, q, int64(len(qBytes)), fo)
 	if err != nil {
-		return query.Result{}, ExecStats{}, err
+		answered := int(fo.queried.Load())
+		return query.Result{}, ExecStats{Hosts: answered, Skipped: countHosts(n) - answered}, err
+	}
+	if d := c.Cost.Deadline; d > 0 && t > d {
+		// The modelled controller hands back whatever has arrived once the
+		// per-query deadline fires; stragglers past it are simply not
+		// waited for, so the modelled response time caps at the deadline.
+		t = d
 	}
 	return res, ExecStats{Hosts: hosts, ResponseTime: t, WireBytes: bytes}, nil
 }
@@ -549,7 +663,7 @@ func (c *Controller) runBatch(bt BatchTransport, n *treeNode, q query.Query, bat
 	if fo.sem == nil {
 		parallel = 0 // unlimited pool: let the transport fan out freely
 	}
-	replies, err := bt.QueryMany(hosts, q, parallel)
+	replies, err := bt.QueryMany(fo.ctx, hosts, q, parallel)
 	if err == nil && len(replies) != len(hosts) {
 		err = fmt.Errorf("controller: batch query returned %d replies for %d hosts", len(replies), len(hosts))
 	}
@@ -567,6 +681,7 @@ func (c *Controller) runBatch(bt BatchTransport, n *treeNode, q query.Query, bat
 			outs[i].err = rep.Err
 			continue
 		}
+		fo.queried.Add(1)
 		outs[i] = childOut{
 			res:   rep.Result,
 			t:     c.Cost.ExecBase + types.Time(rep.Meta.RecordsScanned)*c.Cost.ExecPerRecord,
@@ -575,17 +690,20 @@ func (c *Controller) runBatch(bt BatchTransport, n *treeNode, q query.Query, bat
 	}
 }
 
-// queryOne issues one host query through the bounded fan-out pool.
+// queryOne issues one host query through the bounded fan-out pool, handing
+// the transport the execution's context.
 func (c *Controller) queryOne(host types.HostID, q query.Query, fo *fanout) (query.Result, QueryMeta, error) {
 	if err := fo.acquire(); err != nil {
 		return query.Result{}, QueryMeta{}, err
 	}
 	defer fo.release()
-	r, meta, err := c.T.Query(host, q)
+	r, meta, err := c.T.Query(fo.ctx, host, q)
 	if err != nil {
 		fo.abort()
+		return r, meta, err
 	}
-	return r, meta, err
+	fo.queried.Add(1)
+	return r, meta, nil
 }
 
 // itemCount estimates the number of key-value items merged from a partial

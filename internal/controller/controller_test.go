@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"context"
 	"encoding/json"
 	"testing"
 
@@ -103,7 +104,7 @@ type cannedTransport struct {
 	records int
 }
 
-func (c cannedTransport) Query(host types.HostID, q query.Query) (query.Result, QueryMeta, error) {
+func (c cannedTransport) Query(ctx context.Context, host types.HostID, q query.Query) (query.Result, QueryMeta, error) {
 	res := query.Result{Op: q.Op}
 	for i := 0; i < c.k; i++ {
 		res.Top = append(res.Top, query.FlowBytes{
@@ -114,8 +115,10 @@ func (c cannedTransport) Query(host types.HostID, q query.Query) (query.Result, 
 	return res, QueryMeta{RecordsScanned: c.records}, nil
 }
 
-func (c cannedTransport) Install(types.HostID, query.Query, types.Time) (int, error) { return 0, nil }
-func (c cannedTransport) Uninstall(types.HostID, int) error                          { return nil }
+func (c cannedTransport) Install(context.Context, types.HostID, query.Query, types.Time) (int, error) {
+	return 0, nil
+}
+func (c cannedTransport) Uninstall(context.Context, types.HostID, int) error { return nil }
 
 func TestDirectResponseGrowsWithHostsTreeStaysFlat(t *testing.T) {
 	// The §5.2 shape at reduced paper scale (240 K records/host, k=2000):

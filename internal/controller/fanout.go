@@ -1,8 +1,10 @@
 package controller
 
 import (
+	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 )
 
 // errAborted is the sentinel returned by fan-out slots acquired after an
@@ -12,23 +14,32 @@ import (
 var errAborted = errors.New("controller: fan-out aborted after earlier error")
 
 // fanout tracks one distributed execution: a bounded slot pool over
-// outstanding transport requests plus a first-failure latch. The pool is
-// acquired only for the duration of a transport call — never while
-// waiting on children — so recursive tree fan-out cannot deadlock and the
-// bound applies to total outstanding requests across all tree levels.
+// outstanding transport requests plus a first-failure latch and the
+// execution's context. The pool is acquired only for the duration of a
+// transport call — never while waiting on children — so recursive tree
+// fan-out cannot deadlock and the bound applies to total outstanding
+// requests across all tree levels. Cancelling the context latches the
+// abort too: pending acquires fail fast with the context's error, and
+// in-flight transport calls observe it through the ctx they were handed.
 type fanout struct {
 	// parallelism is the bound captured once at execution start, so the
 	// semaphore, the batch-slot accounting and the modelled worker
 	// schedule all see one consistent value even if the controller's
 	// knob is retuned mid-flight.
 	parallelism int
+	ctx         context.Context
 	sem         chan struct{} // nil means unlimited
 	quit        chan struct{}
 	once        sync.Once
+
+	// queried counts hosts whose query completed successfully, so a
+	// cancelled execution can report how many of the requested hosts were
+	// skipped (ExecStats.Skipped).
+	queried atomic.Int64
 }
 
-func newFanout(parallelism int) *fanout {
-	fo := &fanout{parallelism: parallelism, quit: make(chan struct{})}
+func newFanout(ctx context.Context, parallelism int) *fanout {
+	fo := &fanout{parallelism: parallelism, ctx: ctx, quit: make(chan struct{})}
 	if parallelism > 0 {
 		fo.sem = make(chan struct{}, parallelism)
 	}
@@ -38,8 +49,13 @@ func newFanout(parallelism int) *fanout {
 // abort latches the first failure; pending acquires fail fast.
 func (fo *fanout) abort() { fo.once.Do(func() { close(fo.quit) }) }
 
-// err reports whether the fan-out has been aborted.
+// err reports whether the fan-out has been cancelled or aborted. A
+// cancelled context wins: it is the caller's own deadline or cancel, and
+// more useful to report than the abort echo.
 func (fo *fanout) err() error {
+	if err := fo.ctx.Err(); err != nil {
+		return err
+	}
 	select {
 	case <-fo.quit:
 		return errAborted
@@ -48,7 +64,8 @@ func (fo *fanout) err() error {
 	}
 }
 
-// acquire blocks until a request slot frees up or the fan-out aborts.
+// acquire blocks until a request slot frees up, the context is cancelled,
+// or the fan-out aborts.
 func (fo *fanout) acquire() error {
 	if err := fo.err(); err != nil {
 		return err
@@ -59,6 +76,8 @@ func (fo *fanout) acquire() error {
 	select {
 	case fo.sem <- struct{}{}:
 		return nil
+	case <-fo.ctx.Done():
+		return fo.ctx.Err()
 	case <-fo.quit:
 		return errAborted
 	}
@@ -87,21 +106,29 @@ func (fo *fanout) tryAcquire() bool {
 
 // firstError returns the most useful failure from an index-ordered error
 // slice: the first real error if any (abort errors are just echoes of an
-// earlier failure elsewhere in the fan-out), otherwise the first abort.
-// Index order makes the reported error deterministic no matter which
-// goroutine lost the race.
+// earlier failure elsewhere in the fan-out, and cancellation errors are
+// echoes of the caller's own ctx), otherwise the first cancellation,
+// otherwise the first abort. Index order makes the reported error
+// deterministic no matter which goroutine lost the race.
 func firstError(errs []error) error {
-	var aborted error
+	var aborted, cancelled error
 	for _, err := range errs {
-		if err == nil {
-			continue
-		}
-		if !errors.Is(err, errAborted) {
+		switch {
+		case err == nil:
+		case errors.Is(err, errAborted):
+			if aborted == nil {
+				aborted = err
+			}
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			if cancelled == nil {
+				cancelled = err
+			}
+		default:
 			return err
 		}
-		if aborted == nil {
-			aborted = err
-		}
+	}
+	if cancelled != nil {
+		return cancelled
 	}
 	return aborted
 }

@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -16,7 +17,8 @@ import (
 // slowTransport answers every query after a fixed real-time delay — the
 // stand-in for a remote agent on a management network. It counts the
 // maximum number of concurrently outstanding requests so tests can verify
-// the fan-out bound.
+// the fan-out bound, and honours ctx like a real wire transport would:
+// cancellation cuts the in-flight delay short.
 type slowTransport struct {
 	delay time.Duration
 
@@ -25,7 +27,7 @@ type slowTransport struct {
 	calls    atomic.Int64
 }
 
-func (s *slowTransport) Query(host types.HostID, q query.Query) (query.Result, QueryMeta, error) {
+func (s *slowTransport) Query(ctx context.Context, host types.HostID, q query.Query) (query.Result, QueryMeta, error) {
 	cur := s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
 	for {
@@ -35,7 +37,13 @@ func (s *slowTransport) Query(host types.HostID, q query.Query) (query.Result, Q
 		}
 	}
 	s.calls.Add(1)
-	time.Sleep(s.delay)
+	timer := time.NewTimer(s.delay)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-ctx.Done():
+		return query.Result{}, QueryMeta{}, ctx.Err()
+	}
 	res := query.Result{Op: q.Op}
 	res.Top = []query.FlowBytes{{
 		Flow:  types.FlowID{SrcIP: types.IP(host), DstIP: 1, SrcPort: 80, DstPort: 80, Proto: 6},
@@ -44,8 +52,10 @@ func (s *slowTransport) Query(host types.HostID, q query.Query) (query.Result, Q
 	return res, QueryMeta{RecordsScanned: 100}, nil
 }
 
-func (s *slowTransport) Install(types.HostID, query.Query, types.Time) (int, error) { return 1, nil }
-func (s *slowTransport) Uninstall(types.HostID, int) error                          { return nil }
+func (s *slowTransport) Install(context.Context, types.HostID, query.Query, types.Time) (int, error) {
+	return 1, nil
+}
+func (s *slowTransport) Uninstall(context.Context, types.HostID, int) error { return nil }
 
 func hostRange(n int) []types.HostID {
 	hosts := make([]types.HostID, n)
@@ -127,11 +137,11 @@ type failTransport struct {
 	bad types.HostID
 }
 
-func (f *failTransport) Query(host types.HostID, q query.Query) (query.Result, QueryMeta, error) {
+func (f *failTransport) Query(ctx context.Context, host types.HostID, q query.Query) (query.Result, QueryMeta, error) {
 	if host == f.bad {
 		return query.Result{}, QueryMeta{}, fmt.Errorf("host %v exploded", host)
 	}
-	return f.slowTransport.Query(host, q)
+	return f.slowTransport.Query(ctx, host, q)
 }
 
 // TestFanoutFirstErrorSemantics: a failing host aborts the fan-out, the
@@ -207,10 +217,14 @@ type batchTransport struct {
 	batched    atomic.Int64
 }
 
-func (b *batchTransport) QueryMany(hosts []types.HostID, q query.Query, parallel int) ([]BatchReply, error) {
+func (b *batchTransport) QueryMany(ctx context.Context, hosts []types.HostID, q query.Query, parallel int) ([]BatchReply, error) {
 	b.batchCalls.Add(1)
 	b.batched.Add(int64(len(hosts)))
-	time.Sleep(b.delay)
+	select {
+	case <-time.After(b.delay):
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 	out := make([]BatchReply, len(hosts))
 	var wg sync.WaitGroup
 	for i, h := range hosts {
@@ -321,7 +335,7 @@ var errBoom = errors.New("boom")
 
 type failingInstall struct{ slowTransport }
 
-func (f *failingInstall) Install(h types.HostID, q query.Query, p types.Time) (int, error) {
+func (f *failingInstall) Install(ctx context.Context, h types.HostID, q query.Query, p types.Time) (int, error) {
 	if h == 7 {
 		return 0, errBoom
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 
 	"pathdump"
@@ -59,12 +60,14 @@ type synthTransport struct {
 	records int
 }
 
-func (t synthTransport) Query(host types.HostID, q query.Query) (query.Result, controller.QueryMeta, error) {
+func (t synthTransport) Query(ctx context.Context, host types.HostID, q query.Query) (query.Result, controller.QueryMeta, error) {
 	return query.Execute(q, t.view), controller.QueryMeta{RecordsScanned: t.records}, nil
 }
 
-func (t synthTransport) Install(types.HostID, query.Query, types.Time) (int, error) { return 0, nil }
-func (t synthTransport) Uninstall(types.HostID, int) error                          { return nil }
+func (t synthTransport) Install(context.Context, types.HostID, query.Query, types.Time) (int, error) {
+	return 0, nil
+}
+func (t synthTransport) Uninstall(context.Context, types.HostID, int) error { return nil }
 
 // ScaleConfig parameterises the Fig. 11/12 host-count sweeps.
 type ScaleConfig struct {

@@ -1,0 +1,135 @@
+// Context-aware query evaluation: a cancelled caller (HTTP client gone,
+// controller deadline expired) must not pin a host's CPU on a pointless
+// full TIB scan. Views that can thread a context into their scans declare
+// ContextView; ExecuteContext wires the caller's context through and
+// reports its error instead of a partial result.
+package query
+
+import (
+	"context"
+
+	"pathdump/internal/types"
+)
+
+// CancelCheckEvery is how many records a context-aware scan visits
+// between cancellation polls. Polling ctx.Err() is an atomic load, but
+// doing it per record would still dominate tight merge loops over
+// millions of records; every few thousand keeps the abort latency in the
+// microseconds while costing nothing measurable.
+const CancelCheckEvery = 4096
+
+// ContextView is an optional View extension: WithContext returns a view
+// whose scans poll ctx and stop early once it is cancelled. Views that
+// cannot interrupt their scans simply don't implement it — ExecuteContext
+// still checks the context between operations.
+type ContextView interface {
+	WithContext(ctx context.Context) View
+}
+
+// ExecuteContext runs a query against a host's view under a context. A
+// context cancelled before or during evaluation yields the context's
+// error and no result (partial scans are discarded, never returned as if
+// complete). Views implementing ContextView abort mid-scan; all views get
+// at least entry/exit checks.
+func ExecuteContext(ctx context.Context, q Query, v View) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{Op: q.Op}, err
+	}
+	if cv, ok := v.(ContextView); ok {
+		v = cv.WithContext(ctx)
+	}
+	res, err := ExecuteE(q, v)
+	if err != nil {
+		return res, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{Op: q.Op}, err
+	}
+	return res, nil
+}
+
+// WithContext implements ContextView for bare-store views.
+func (v StoreView) WithContext(ctx context.Context) View {
+	return ctxStoreView{StoreView: v, ctx: ctx}
+}
+
+// ctxStoreView is a StoreView whose record scans poll cancellation. The
+// full-store scans (EachRecord, and Flows built on it) abort between
+// records of the cross-shard merge; per-flow lookups (Paths, Count,
+// Duration) touch one shard's posting list and just check on entry.
+type ctxStoreView struct {
+	StoreView
+	ctx context.Context
+}
+
+// PollCancel adapts a record visitor into an early-stopping one for
+// tib.Store.ForEachWhile: the returned callback polls ctx every
+// CancelCheckEvery records and stops the scan once it is cancelled. It
+// is the one shared definition of the in-scan poll policy — every
+// context-aware view (the bare-store view here, the agent's live view)
+// wraps its scans with it.
+func PollCancel(ctx context.Context, fn func(*types.Record)) func(*types.Record) bool {
+	n := 0
+	return func(rec *types.Record) bool {
+		n++
+		if n%CancelCheckEvery == 0 && ctx.Err() != nil {
+			return false
+		}
+		fn(rec)
+		return true
+	}
+}
+
+// EachRecord implements View with periodic cancellation checks.
+func (v ctxStoreView) EachRecord(l types.LinkID, tr types.TimeRange, fn func(*types.Record)) {
+	v.S.ForEachWhile(l, tr, PollCancel(v.ctx, fn))
+}
+
+// Flows implements View over the cancellable scan (same dedup as the
+// store's own Flows). A scan cut off by cancellation returns nil, not a
+// partial list: ExecuteContext discards the result anyway, and handing a
+// truncated flow set to downstream per-flow loops (top-k's count phase)
+// would only buy pointless post-processing.
+func (v ctxStoreView) Flows(link types.LinkID, tr types.TimeRange) []types.Flow {
+	type key struct {
+		f types.FlowID
+		p string
+	}
+	seen := make(map[key]bool)
+	var out []types.Flow
+	v.EachRecord(link, tr, func(rec *types.Record) {
+		k := key{rec.Flow, rec.Path.Key()}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, types.Flow{ID: rec.Flow, Path: rec.Path})
+		}
+	})
+	if v.ctx.Err() != nil {
+		return nil
+	}
+	return out
+}
+
+// Paths implements View (entry check; single-flow lookups are cheap).
+func (v ctxStoreView) Paths(f types.FlowID, l types.LinkID, tr types.TimeRange) []types.Path {
+	if v.ctx.Err() != nil {
+		return nil
+	}
+	return v.StoreView.Paths(f, l, tr)
+}
+
+// Count implements View (entry check).
+func (v ctxStoreView) Count(f types.Flow, tr types.TimeRange) (uint64, uint64) {
+	if v.ctx.Err() != nil {
+		return 0, 0
+	}
+	return v.StoreView.Count(f, tr)
+}
+
+// Duration implements View (entry check).
+func (v ctxStoreView) Duration(f types.Flow, tr types.TimeRange) types.Time {
+	if v.ctx.Err() != nil {
+		return 0
+	}
+	return v.StoreView.Duration(f, tr)
+}

@@ -363,6 +363,26 @@ func sortFlowBytes(s []FlowBytes) {
 		if s[i].Bytes != s[j].Bytes {
 			return s[i].Bytes > s[j].Bytes
 		}
-		return s[i].Flow.String() < s[j].Flow.String()
+		return flowLess(s[i].Flow, s[j].Flow)
 	})
+}
+
+// flowLess is the deterministic tie-break order for equal byte counts:
+// field-wise over the 5-tuple, never formatting strings per comparison
+// (ties are common in degenerate inputs, and the tie-break must not
+// dominate the sort).
+func flowLess(a, b types.FlowID) bool {
+	if a.SrcIP != b.SrcIP {
+		return a.SrcIP < b.SrcIP
+	}
+	if a.SrcPort != b.SrcPort {
+		return a.SrcPort < b.SrcPort
+	}
+	if a.DstIP != b.DstIP {
+		return a.DstIP < b.DstIP
+	}
+	if a.DstPort != b.DstPort {
+		return a.DstPort < b.DstPort
+	}
+	return a.Proto < b.Proto
 }

@@ -9,6 +9,7 @@
 package rpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -58,9 +59,9 @@ func (s *MultiAgentServer) Handler() http.Handler {
 			http.Error(w, err.Error(), http.StatusNotFound)
 			return
 		}
-		res, err := execute(t, req.Query)
+		res, err := execute(r.Context(), t, req.Query)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusNotImplemented)
+			writeExecuteError(w, err)
 			return
 		}
 		encode(w, QueryResponse{Result: res, RecordsScanned: t.TIBSize()})
@@ -70,7 +71,12 @@ func (s *MultiAgentServer) Handler() http.Handler {
 		if !decode(w, r, &req) {
 			return
 		}
-		encode(w, BatchQueryResponse{Replies: s.runBatch(req)})
+		replies, err := s.runBatch(r.Context(), req)
+		if err != nil {
+			writeExecuteError(w, err)
+			return
+		}
+		encode(w, BatchQueryResponse{Replies: replies})
 	})
 	mux.HandleFunc("/install", func(w http.ResponseWriter, r *http.Request) {
 		var req InstallRequest
@@ -123,8 +129,12 @@ func (s *MultiAgentServer) Handler() http.Handler {
 // runBatch executes one query at every requested host concurrently and
 // returns replies aligned with the request order. The effective bound is
 // the tighter of the daemon's own Parallelism and the one the request
-// carries from the controller.
-func (s *MultiAgentServer) runBatch(req BatchQueryRequest) []BatchQueryReply {
+// carries from the controller. A cancelled request context (the
+// controller hung up, or its deadline fired mid-batch) stops the fan-out:
+// hosts not yet started are skipped, in-flight evaluations abort at their
+// next shard-merge poll, and the context error is returned so the handler
+// drops the connection instead of fabricating a complete-looking reply.
+func (s *MultiAgentServer) runBatch(ctx context.Context, req BatchQueryRequest) ([]BatchQueryReply, error) {
 	replies := make([]BatchQueryReply, len(req.Hosts))
 	bound := s.Parallelism
 	if req.Parallel > 0 && (bound <= 0 || req.Parallel < bound) {
@@ -140,8 +150,14 @@ func (s *MultiAgentServer) runBatch(req BatchQueryRequest) []BatchQueryReply {
 		go func(i int, h types.HostID) {
 			defer wg.Done()
 			if sem != nil {
-				sem <- struct{}{}
-				defer func() { <-sem }()
+				select {
+				case sem <- struct{}{}:
+					defer func() { <-sem }()
+				case <-ctx.Done():
+					replies[i].Host = h
+					replies[i].Error = ctx.Err().Error()
+					return
+				}
 			}
 			replies[i].Host = h
 			t, ok := s.Targets[h]
@@ -149,7 +165,7 @@ func (s *MultiAgentServer) runBatch(req BatchQueryRequest) []BatchQueryReply {
 				replies[i].Error = fmt.Sprintf("rpc: host %v not served here", h)
 				return
 			}
-			res, err := execute(t, req.Query)
+			res, err := execute(ctx, t, req.Query)
 			if err != nil {
 				replies[i].Error = err.Error()
 				return
@@ -159,7 +175,10 @@ func (s *MultiAgentServer) runBatch(req BatchQueryRequest) []BatchQueryReply {
 		}(i, h)
 	}
 	wg.Wait()
-	return replies
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return replies, nil
 }
 
 // QueryMany implements controller.BatchTransport: hosts sharing a daemon
@@ -167,8 +186,10 @@ func (s *MultiAgentServer) runBatch(req BatchQueryRequest) []BatchQueryReply {
 // the daemon's server-side fan-out honours the controller's bound), and
 // lone hosts use plain per-host /query. At most `parallel` HTTP requests
 // are outstanding at once (<= 0 means unlimited). Several hosts mapped
-// to one single-agent daemon is reported as an error per slot.
-func (t *HTTPTransport) QueryMany(hosts []types.HostID, q query.Query, parallel int) ([]controller.BatchReply, error) {
+// to one single-agent daemon is reported as an error per slot. The
+// context rides every HTTP request, so cancellation aborts in-flight
+// round trips and the daemons' server-side fan-outs with them.
+func (t *HTTPTransport) QueryMany(ctx context.Context, hosts []types.HostID, q query.Query, parallel int) ([]controller.BatchReply, error) {
 	replies := make([]controller.BatchReply, len(hosts))
 	type group struct {
 		url string
@@ -216,7 +237,7 @@ func (t *HTTPTransport) QueryMany(hosts []types.HostID, q query.Query, parallel 
 		wg.Add(1)
 		go func(g *group) {
 			defer wg.Done()
-			t.queryGroup(g.url, hosts, g.idx, q, replies, sem, share)
+			t.queryGroup(ctx, g.url, hosts, g.idx, q, replies, sem, share)
 		}(&groups[gi])
 	}
 	wg.Wait()
@@ -226,13 +247,18 @@ func (t *HTTPTransport) QueryMany(hosts []types.HostID, q query.Query, parallel 
 // queryGroup resolves all of one daemon's hosts, batching when possible.
 // share is this group's slice of the caller's parallelism bound (0 =
 // unlimited), forwarded to the daemon's server-side fan-out.
-func (t *HTTPTransport) queryGroup(url string, hosts []types.HostID, idx []int, q query.Query, replies []controller.BatchReply, sem chan struct{}, share int) {
+func (t *HTTPTransport) queryGroup(ctx context.Context, url string, hosts []types.HostID, idx []int, q query.Query, replies []controller.BatchReply, sem chan struct{}, share int) {
 	single := func(i int) {
 		if sem != nil {
-			sem <- struct{}{}
-			defer func() { <-sem }()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				replies[i] = controller.BatchReply{Host: hosts[i], Err: ctx.Err()}
+				return
+			}
 		}
-		r, meta, err := t.Query(hosts[i], q)
+		r, meta, err := t.Query(ctx, hosts[i], q)
 		replies[i] = controller.BatchReply{Host: hosts[i], Result: r, Meta: meta, Err: err}
 	}
 	if len(idx) == 1 {
@@ -244,7 +270,7 @@ func (t *HTTPTransport) queryGroup(url string, hosts []types.HostID, idx []int, 
 		batch[j] = hosts[i]
 	}
 	var resp BatchQueryResponse
-	status, err := t.postStatus(url, "/batchquery", BatchQueryRequest{Hosts: batch, Query: q, Parallel: share}, &resp, sem)
+	status, err := t.postStatus(ctx, url, "/batchquery", BatchQueryRequest{Hosts: batch, Query: q, Parallel: share}, &resp, sem)
 	if status == http.StatusNotFound || status == http.StatusMethodNotAllowed {
 		// Only single-agent daemons lack /batchquery, and a single-agent
 		// daemon answers /query for whichever one agent it wraps — it

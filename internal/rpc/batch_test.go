@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"net/http/httptest"
 	"testing"
 
@@ -67,14 +68,14 @@ func TestBatchedQueryMatchesPerHost(t *testing.T) {
 
 	// Per-host endpoints on the multi-agent daemon work too (host field
 	// routing), including install/uninstall.
-	id, err := batched.Install(hosts[0], query.Query{Op: query.OpPoorTCP, Threshold: 3}, types.Second)
+	id, err := batched.Install(context.Background(), hosts[0], query.Query{Op: query.OpPoorTCP, Threshold: 3}, types.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := batched.Uninstall(hosts[0], id); err != nil {
+	if err := batched.Uninstall(context.Background(), hosts[0], id); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := batched.Install(types.HostID(4242), query.Query{}, 0); err == nil {
+	if _, err := batched.Install(context.Background(), types.HostID(4242), query.Query{}, 0); err == nil {
 		t.Error("multi-agent daemon accepted an unknown host")
 	}
 }
@@ -93,7 +94,7 @@ func TestQueryManyRejectsSharedSingleAgentURL(t *testing.T) {
 	}
 	// Lone hosts on their own single-agent daemons: per-host path, no
 	// batch endpoint needed.
-	replies, err := tr.QueryMany(hosts[:2], query.Query{Op: query.OpFlows, Link: types.AnyLink}, 2)
+	replies, err := tr.QueryMany(context.Background(), hosts[:2], query.Query{Op: query.OpFlows, Link: types.AnyLink}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestQueryManyRejectsSharedSingleAgentURL(t *testing.T) {
 	orig := tr.URLs[hosts[1]]
 	tr.URLs[hosts[1]] = tr.URLs[hosts[0]]
 	defer func() { tr.URLs[hosts[1]] = orig }()
-	replies, err = tr.QueryMany(hosts[:2], query.Query{Op: query.OpFlows, Link: types.AnyLink}, 2)
+	replies, err = tr.QueryMany(context.Background(), hosts[:2], query.Query{Op: query.OpFlows, Link: types.AnyLink}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestQueryManyRejectsSharedSingleAgentURL(t *testing.T) {
 	}
 
 	// Unknown host in the batch yields a per-slot error, not a hang.
-	replies, err = tr.QueryMany([]types.HostID{hosts[0], 4242}, query.Query{Op: query.OpFlows}, 0)
+	replies, err = tr.QueryMany(context.Background(), []types.HostID{hosts[0], 4242}, query.Query{Op: query.OpFlows}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestQueryManyRejectsSharedSingleAgentURL(t *testing.T) {
 
 	// All hosts unknown with a positive bound: per-slot errors, no
 	// divide-by-zero on the empty group set.
-	replies, err = tr.QueryMany([]types.HostID{4242, 4243}, query.Query{Op: query.OpFlows}, 4)
+	replies, err = tr.QueryMany(context.Background(), []types.HostID{4242, 4243}, query.Query{Op: query.OpFlows}, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,6 +15,7 @@ package rpc
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -45,6 +46,15 @@ type TargetE interface {
 	ExecuteE(q query.Query) (query.Result, error)
 }
 
+// ContextTarget is an optional Target extension for backends whose query
+// evaluation can abort mid-scan (*agent.Agent polls cancellation between
+// merged TIB shard records). Servers prefer it, passing the request
+// context, so a disconnected client or expired deadline releases the
+// host promptly instead of finishing a pointless scan.
+type ContextTarget interface {
+	ExecuteContext(ctx context.Context, q query.Query) (query.Result, error)
+}
+
 // InstallerE is an optional Target extension for backends without an
 // installed-query engine: servers answer 501 instead of fabricating an
 // installation ID.
@@ -52,13 +62,34 @@ type InstallerE interface {
 	InstallE(q query.Query, period types.Time) (int, error)
 }
 
-// execute runs a query on a target, using the explicit-error path when
-// the target provides one.
-func execute(t Target, q query.Query) (query.Result, error) {
+// execute runs a query on a target under the request context, using the
+// most capable path the target provides.
+func execute(ctx context.Context, t Target, q query.Query) (query.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return query.Result{}, err
+	}
+	if tc, ok := t.(ContextTarget); ok {
+		return tc.ExecuteContext(ctx, q)
+	}
 	if te, ok := t.(TargetE); ok {
 		return te.ExecuteE(q)
 	}
 	return t.Execute(q), nil
+}
+
+// writeExecuteError maps a query-execution failure onto the right HTTP
+// answer: a cancelled request writes nothing (the client hung up), an
+// expired per-request deadline is 504, and everything else — notably
+// query.ErrUnsupported — stays 501 Not Implemented.
+func writeExecuteError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		// Client gone; any body would be discarded.
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+	default:
+		http.Error(w, err.Error(), http.StatusNotImplemented)
+	}
 }
 
 // install registers a query on a target, using the explicit-error path
@@ -85,6 +116,12 @@ func (t SnapshotTarget) Execute(q query.Query) query.Result { return query.Execu
 // ExecuteE implements TargetE.
 func (t SnapshotTarget) ExecuteE(q query.Query) (query.Result, error) {
 	return query.ExecuteE(q, t.view())
+}
+
+// ExecuteContext implements ContextTarget: snapshot scans poll the
+// request context and abort once the caller is gone.
+func (t SnapshotTarget) ExecuteContext(ctx context.Context, q query.Query) (query.Result, error) {
+	return query.ExecuteContext(ctx, q, t.view())
 }
 
 // Install implements Target; snapshots accept no installed queries, so
@@ -183,9 +220,9 @@ func (s *AgentServer) Handler() http.Handler {
 		if !decode(w, r, &req) {
 			return
 		}
-		res, err := execute(s.T, req.Query)
+		res, err := execute(r.Context(), s.T, req.Query)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusNotImplemented)
+			writeExecuteError(w, err)
 			return
 		}
 		encode(w, QueryResponse{Result: res, RecordsScanned: s.T.TIBSize()})
@@ -285,27 +322,39 @@ func (t *HTTPTransport) client() *http.Client {
 	return http.DefaultClient
 }
 
-func (t *HTTPTransport) post(host types.HostID, path string, in, out interface{}) error {
+func (t *HTTPTransport) post(ctx context.Context, host types.HostID, path string, in, out interface{}) error {
 	base, ok := t.URLs[host]
 	if !ok {
 		return fmt.Errorf("rpc: no URL for host %v", host)
 	}
-	_, err := t.postStatus(base, path, in, out, nil)
+	_, err := t.postStatus(ctx, base, path, in, out, nil)
 	return err
 }
 
 // postStatus posts to an explicit base URL, optionally throttled by sem,
 // and reports the HTTP status so callers can detect missing endpoints.
-func (t *HTTPTransport) postStatus(base, path string, in, out interface{}, sem chan struct{}) (int, error) {
+// The request carries ctx (http.NewRequestWithContext), so cancelling it
+// aborts the dial, the in-flight request, and the response read; waiting
+// on a semaphore slot is interruptible too.
+func (t *HTTPTransport) postStatus(ctx context.Context, base, path string, in, out interface{}, sem chan struct{}) (int, error) {
 	if sem != nil {
-		sem <- struct{}{}
-		defer func() { <-sem }()
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
 	}
 	body, err := json.Marshal(in)
 	if err != nil {
 		return 0, err
 	}
-	resp, err := t.client().Post(base+path, "application/json", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.client().Do(req)
 	if err != nil {
 		return 0, err
 	}
@@ -318,27 +367,27 @@ func (t *HTTPTransport) postStatus(base, path string, in, out interface{}, sem c
 }
 
 // Query implements controller.Transport.
-func (t *HTTPTransport) Query(host types.HostID, q query.Query) (query.Result, controller.QueryMeta, error) {
+func (t *HTTPTransport) Query(ctx context.Context, host types.HostID, q query.Query) (query.Result, controller.QueryMeta, error) {
 	var resp QueryResponse
-	if err := t.post(host, "/query", QueryRequest{Host: &host, Query: q}, &resp); err != nil {
+	if err := t.post(ctx, host, "/query", QueryRequest{Host: &host, Query: q}, &resp); err != nil {
 		return query.Result{}, controller.QueryMeta{}, err
 	}
 	return resp.Result, controller.QueryMeta{RecordsScanned: resp.RecordsScanned}, nil
 }
 
 // Install implements controller.Transport.
-func (t *HTTPTransport) Install(host types.HostID, q query.Query, period types.Time) (int, error) {
+func (t *HTTPTransport) Install(ctx context.Context, host types.HostID, q query.Query, period types.Time) (int, error) {
 	var resp InstallResponse
-	if err := t.post(host, "/install", InstallRequest{Host: &host, Query: q, Period: period}, &resp); err != nil {
+	if err := t.post(ctx, host, "/install", InstallRequest{Host: &host, Query: q, Period: period}, &resp); err != nil {
 		return 0, err
 	}
 	return resp.ID, nil
 }
 
 // Uninstall implements controller.Transport.
-func (t *HTTPTransport) Uninstall(host types.HostID, id int) error {
+func (t *HTTPTransport) Uninstall(ctx context.Context, host types.HostID, id int) error {
 	var out struct{}
-	return t.post(host, "/uninstall", UninstallRequest{Host: &host, ID: id}, &out)
+	return t.post(ctx, host, "/uninstall", UninstallRequest{Host: &host, ID: id}, &out)
 }
 
 // decode parses a JSON request body, writing a 400 on failure.

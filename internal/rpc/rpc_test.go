@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"net/http/httptest"
 	"testing"
 
@@ -103,23 +104,23 @@ func TestHTTPInstallUninstall(t *testing.T) {
 		anyHost = id
 		break
 	}
-	id, err := tr.Install(anyHost, query.Query{Op: query.OpPoorTCP, Threshold: 3}, types.Second)
+	id, err := tr.Install(context.Background(), anyHost, query.Query{Op: query.OpPoorTCP, Threshold: 3}, types.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(agents[anyHost].InstalledQueries()) != 1 {
 		t.Fatal("install did not reach the agent")
 	}
-	if err := tr.Uninstall(anyHost, id); err != nil {
+	if err := tr.Uninstall(context.Background(), anyHost, id); err != nil {
 		t.Fatal(err)
 	}
 	if len(agents[anyHost].InstalledQueries()) != 0 {
 		t.Fatal("uninstall did not reach the agent")
 	}
-	if err := tr.Uninstall(anyHost, 777); err == nil {
+	if err := tr.Uninstall(context.Background(), anyHost, 777); err == nil {
 		t.Error("uninstalling unknown id should fail")
 	}
-	if _, err := tr.Install(types.HostID(4242), query.Query{}, 0); err == nil {
+	if _, err := tr.Install(context.Background(), types.HostID(4242), query.Query{}, 0); err == nil {
 		t.Error("unknown host should fail")
 	}
 }
@@ -144,7 +145,7 @@ func TestAlarmRoundTrip(t *testing.T) {
 func TestHTTPErrors(t *testing.T) {
 	_, _, tr, cleanup := buildCluster(t)
 	defer cleanup()
-	if _, _, err := tr.Query(types.HostID(4242), query.Query{Op: query.OpFlows}); err == nil {
+	if _, _, err := tr.Query(context.Background(), types.HostID(4242), query.Query{Op: query.OpFlows}); err == nil {
 		t.Error("query to unknown host should fail")
 	}
 	// GET on a POST endpoint.

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -24,7 +25,7 @@ func TestSnapshotTargetUnsupportedOp(t *testing.T) {
 	defer srv.Close()
 	tr := &HTTPTransport{URLs: map[types.HostID]string{1: srv.URL}}
 
-	res, meta, err := tr.Query(1, query.Query{Op: query.OpFlows, Link: types.AnyLink})
+	res, meta, err := tr.Query(context.Background(), 1, query.Query{Op: query.OpFlows, Link: types.AnyLink})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +33,7 @@ func TestSnapshotTargetUnsupportedOp(t *testing.T) {
 		t.Fatalf("snapshot data query = %+v, meta %+v", res, meta)
 	}
 
-	_, _, err = tr.Query(1, query.Query{Op: query.OpPoorTCP, Threshold: 3})
+	_, _, err = tr.Query(context.Background(), 1, query.Query{Op: query.OpPoorTCP, Threshold: 3})
 	if err == nil {
 		t.Fatal("poor_tcp against a snapshot store did not error")
 	}
@@ -46,7 +47,7 @@ func TestSnapshotTargetUnsupportedOp(t *testing.T) {
 	}}).Handler())
 	defer ms.Close()
 	trb := &HTTPTransport{URLs: map[types.HostID]string{1: ms.URL, 2: ms.URL}}
-	replies, err := trb.QueryMany([]types.HostID{1, 2}, query.Query{Op: query.OpPoorTCP}, 0)
+	replies, err := trb.QueryMany(context.Background(), []types.HostID{1, 2}, query.Query{Op: query.OpPoorTCP}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,12 +57,12 @@ func TestSnapshotTargetUnsupportedOp(t *testing.T) {
 
 	// Control plane: snapshots accept no installed queries — install
 	// must answer 501, not fabricate an ID.
-	if _, err := tr.Install(1, query.Query{Op: query.OpConformance, MaxPathLen: 4}, types.Second); err == nil {
+	if _, err := tr.Install(context.Background(), 1, query.Query{Op: query.OpConformance, MaxPathLen: 4}, types.Second); err == nil {
 		t.Error("install against a snapshot store did not error")
 	} else if !strings.Contains(err.Error(), "501") {
 		t.Errorf("install err = %v, want 501", err)
 	}
-	if err := tr.Uninstall(1, 5); err == nil {
+	if err := tr.Uninstall(context.Background(), 1, 5); err == nil {
 		t.Error("uninstall against a snapshot store did not error")
 	}
 }

@@ -160,6 +160,17 @@ func (c *cursor) head() *entry {
 
 // merge visits every cursor's entries in ascending global sequence order.
 func merge(cursors []cursor, fn func(*types.Record)) {
+	mergeWhile(cursors, func(rec *types.Record) bool {
+		fn(rec)
+		return true
+	})
+}
+
+// mergeWhile is merge with early termination: iteration stops as soon as
+// fn returns false. Cancellation-aware scans (a query whose caller hung
+// up mid-evaluation) use this to bail out between records of the
+// cross-shard merge instead of finishing a pointless full scan.
+func mergeWhile(cursors []cursor, fn func(*types.Record) bool) {
 	for {
 		var best *entry
 		bi := -1
@@ -172,7 +183,9 @@ func merge(cursors []cursor, fn func(*types.Record)) {
 			return
 		}
 		cursors[bi].i++
-		fn(&best.rec)
+		if !fn(&best.rec) {
+			return
+		}
 	}
 }
 
@@ -209,22 +222,35 @@ func (s *Store) snapshotCursors(link *types.LinkID) []cursor {
 // global insertion order. A wildcard-free link uses the link index;
 // everything else scans.
 func (s *Store) ForEach(link types.LinkID, tr types.TimeRange, fn func(*types.Record)) {
+	s.ForEachWhile(link, tr, func(rec *types.Record) bool {
+		fn(rec)
+		return true
+	})
+}
+
+// ForEachWhile is ForEach with early termination: the scan stops as soon
+// as fn returns false. Context-aware query evaluation polls cancellation
+// every few thousand records through this, so a caller that hung up does
+// not pin a shard-merge over a large TIB.
+func (s *Store) ForEachWhile(link types.LinkID, tr types.TimeRange, fn func(*types.Record) bool) {
 	if s.indexed && !link.IsWildcard() {
-		merge(s.snapshotCursors(&link), func(rec *types.Record) {
+		mergeWhile(s.snapshotCursors(&link), func(rec *types.Record) bool {
 			if rec.Overlaps(tr) {
-				fn(rec)
+				return fn(rec)
 			}
+			return true
 		})
 		return
 	}
 	all := link == types.AnyLink
-	merge(s.snapshotCursors(nil), func(rec *types.Record) {
+	mergeWhile(s.snapshotCursors(nil), func(rec *types.Record) bool {
 		if !rec.Overlaps(tr) {
-			return
+			return true
 		}
 		if all || rec.Path.ContainsLink(link) {
-			fn(rec)
+			return fn(rec)
 		}
+		return true
 	})
 }
 
