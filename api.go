@@ -3,6 +3,7 @@ package pathdump
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"pathdump/internal/apps"
 	"pathdump/internal/query"
@@ -90,7 +91,12 @@ func (c *Cluster) Execute(hosts []HostID, q Query) (Result, ExecStats, error) {
 // ExecuteContext is Execute under a caller context: cancellation (or an
 // expired deadline, via context.WithTimeout) aborts the in-flight
 // fan-out promptly — a slow or dead host cannot pin the whole query —
-// and ExecStats.Skipped reports how many hosts were cut off.
+// and ExecStats.Skipped reports how many hosts were cut off. With
+// Config.Query.PartialOnDeadline set, an expired deadline instead
+// returns the merged partial result (ExecStats.Partial, nil error); with
+// Config.Query.PerHostTimeout/HedgeAfter set, individual stragglers are
+// dropped or hedged without failing the query (ExecStats.Hedged counts
+// the duplicates issued).
 func (c *Cluster) ExecuteContext(ctx context.Context, hosts []HostID, q Query) (Result, ExecStats, error) {
 	return c.Ctrl.ExecuteContext(ctx, hosts, q)
 }
@@ -145,6 +151,20 @@ func (c *Cluster) SetQueryParallelism(n int) { c.Ctrl.Parallelism = n }
 
 // QueryParallelism reports the current fan-out bound (0 = unlimited).
 func (c *Cluster) QueryParallelism() int { return c.Ctrl.Parallelism }
+
+// SetStragglerPolicy retunes the controller's straggler tolerance for
+// subsequent queries: hedgeAfter issues a duplicate request to a host
+// that has not answered in time, perHostTimeout drops a host that
+// exhausts its budget (marking the result Partial), and
+// partialOnDeadline returns the merged partial result when the
+// whole-query deadline expires instead of an error. Each execution
+// captures the policy once at its start; do not call concurrently with
+// in-flight queries.
+func (c *Cluster) SetStragglerPolicy(hedgeAfter, perHostTimeout time.Duration, partialOnDeadline bool) {
+	c.Ctrl.HedgeAfter = hedgeAfter
+	c.Ctrl.PerHostTimeout = perHostTimeout
+	c.Ctrl.PartialOnDeadline = partialOnDeadline
+}
 
 // ---- Debugging-application wrappers (§4) ----
 

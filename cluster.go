@@ -3,6 +3,7 @@ package pathdump
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"pathdump/internal/agent"
 	"pathdump/internal/cherrypick"
@@ -36,6 +37,23 @@ type QueryConfig struct {
 	// wall-clock deadlines are per call — pass a context.WithTimeout to
 	// ExecuteContext/ExecuteTreeContext.
 	Deadline Time
+	// PerHostTimeout (wall-clock) bounds any single host's query,
+	// including a hedged duplicate; a host that exhausts it is dropped
+	// from the execution and the merged result is marked
+	// ExecStats.Partial (0 = wait indefinitely, subject to the
+	// whole-query context). Setting it is the straggler-tolerance opt-in.
+	// It also caps the modelled per-host service time, keeping the §5.2
+	// model honest about what the controller actually waits for.
+	PerHostTimeout time.Duration
+	// HedgeAfter (wall-clock) issues a duplicate request to a host whose
+	// primary has not answered after this long; first response wins, the
+	// loser is cancelled (0 = never hedge). Hedges hold their own
+	// Parallelism slot. ExecStats.Hedged counts duplicates issued.
+	HedgeAfter time.Duration
+	// PartialOnDeadline makes a whole-query deadline expiry return the
+	// merged partial result (ExecStats.Partial) instead of an error;
+	// explicit cancellation and real host failures still error.
+	PartialOnDeadline bool
 }
 
 // Cluster is one fully wired PathDump deployment over a simulated fabric:
@@ -88,6 +106,9 @@ func newCluster(topo *topology.Topology, cfg Config) (*Cluster, error) {
 	c.Ctrl = controller.New(topo, controller.Local{Agents: c.Agents}, sim)
 	c.Ctrl.Parallelism = cfg.Query.Parallelism
 	c.Ctrl.Cost.Deadline = cfg.Query.Deadline
+	c.Ctrl.PerHostTimeout = cfg.Query.PerHostTimeout
+	c.Ctrl.HedgeAfter = cfg.Query.HedgeAfter
+	c.Ctrl.PartialOnDeadline = cfg.Query.PartialOnDeadline
 	for _, h := range topo.Hosts() {
 		st := tcp.NewStack(sim, h.ID, cfg.TCP)
 		c.Stacks[h.ID] = st

@@ -36,10 +36,13 @@ func main() {
 	arity := flag.Int("k", 4, "fat-tree arity of the ground-truth topology")
 	parallel := flag.Int("parallel", 0, "max concurrently outstanding per-host requests (0 = unlimited)")
 	timeout := flag.Duration("timeout", 0, "per-query deadline (0 = none): a slow or dead agent aborts the whole fan-out at the deadline instead of pinning it")
+	partial := flag.Bool("partial", false, "on a -timeout expiry, print the merged partial result (partial=true in the stats line) instead of failing")
+	hedgeAfter := flag.Duration("hedge-after", 0, "issue a duplicate request to an agent that has not answered after this long; first response wins (0 = never hedge)")
+	hostTimeout := flag.Duration("host-timeout", 0, "per-agent budget: an agent (including its hedge) slower than this is dropped and the result marked partial (0 = no per-agent budget)")
 	flag.Parse()
 	args := flag.Args()
 	if *agents == "" || len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: pathdumpctl -agents id=url[,id=url...] [-parallel n] [-timeout d] {topk|flows|paths|count|conformance|matrix|poor|install|uninstall} [flags]")
+		fmt.Fprintln(os.Stderr, "usage: pathdumpctl -agents id=url[,id=url...] [-parallel n] [-timeout d] [-partial] [-hedge-after d] [-host-timeout d] {topk|flows|paths|count|conformance|matrix|poor|install|uninstall} [flags]")
 		os.Exit(2)
 	}
 	urls, hosts := parseAgents(*agents)
@@ -49,6 +52,9 @@ func main() {
 	}
 	ctrl := controller.New(topo, &rpc.HTTPTransport{URLs: urls}, nil)
 	ctrl.Parallelism = *parallel
+	ctrl.PartialOnDeadline = *partial
+	ctrl.HedgeAfter = *hedgeAfter
+	ctrl.PerHostTimeout = *hostTimeout
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -80,23 +86,26 @@ func main() {
 		for i, fb := range res.Top {
 			fmt.Printf("#%-3d %-44s %12d bytes\n", i+1, fb.Flow, fb.Bytes)
 		}
-		fmt.Printf("(%d hosts, modelled response %v)\n", stats.Hosts, stats.ResponseTime)
+		printStats(stats)
 	case "flows":
 		res, stats, err := ctrl.ExecuteContext(ctx, hosts, query.Query{Op: query.OpFlows, Link: parseLink(*link)})
 		checkExec(stats, err)
 		for _, fl := range res.Flows {
 			fmt.Printf("%-44s via %v\n", fl.ID, fl.Path)
 		}
+		printStats(stats)
 	case "paths":
 		res, stats, err := ctrl.ExecuteContext(ctx, hosts, query.Query{Op: query.OpPaths, Flow: parseFlow(*flowStr), Link: types.AnyLink})
 		checkExec(stats, err)
 		for _, p := range res.Paths {
 			fmt.Println(p)
 		}
+		printStats(stats)
 	case "count":
 		res, stats, err := ctrl.ExecuteContext(ctx, hosts, query.Query{Op: query.OpCount, Flow: parseFlow(*flowStr)})
 		checkExec(stats, err)
 		fmt.Printf("%d bytes, %d packets\n", res.Bytes, res.Pkts)
+		printStats(stats)
 	case "conformance":
 		q := query.Query{Op: query.OpConformance, MaxPathLen: *maxlen}
 		if *avoid >= 0 {
@@ -108,12 +117,14 @@ func main() {
 			fmt.Printf("VIOLATION %-44s via %v\n", v.Flow, v.Path)
 		}
 		fmt.Printf("%d violations\n", len(res.Violations))
+		printStats(stats)
 	case "matrix":
 		res, stats, err := ctrl.ExecuteContext(ctx, hosts, query.Query{Op: query.OpMatrix})
 		checkExec(stats, err)
 		for _, cell := range res.Matrix {
 			fmt.Printf("%v -> %v  %12d bytes\n", cell.SrcToR, cell.DstToR, cell.Bytes)
 		}
+		printStats(stats)
 	case "poor":
 		res, stats, err := ctrl.ExecuteContext(ctx, hosts, query.Query{Op: query.OpPoorTCP, Threshold: *threshold})
 		checkExec(stats, err)
@@ -121,6 +132,7 @@ func main() {
 			fmt.Println(f)
 		}
 		fmt.Printf("%d poor flows\n", len(res.FlowIDs))
+		printStats(stats)
 	case "install":
 		ids, err := ctrl.InstallContext(ctx, hosts, query.Query{Op: query.Op(*op), Threshold: *threshold}, pathdump.Time(period.Nanoseconds()))
 		check(err)
@@ -159,6 +171,15 @@ func checkExec(stats controller.ExecStats, err error) {
 		log.Printf("fan-out cut short: %d hosts answered, %d skipped", stats.Hosts, stats.Skipped)
 	}
 	check(err)
+}
+
+// printStats summarises the execution: how many agents answered, how many
+// were dropped/skipped, how many requests were hedged, whether the merged
+// result is partial, and the modelled §5.2 response time. The e2e smoke
+// script asserts on this line.
+func printStats(stats controller.ExecStats) {
+	fmt.Printf("(%d hosts answered, %d skipped, %d hedged, partial=%v, modelled response %v)\n",
+		stats.Hosts, stats.Skipped, stats.Hedged, stats.Partial, stats.ResponseTime)
 }
 
 func parseAgents(s string) (map[types.HostID]string, []types.HostID) {

@@ -28,11 +28,13 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"pathdump"
 	"pathdump/internal/agent"
+	"pathdump/internal/query"
 	"pathdump/internal/rpc"
 	"pathdump/internal/tib"
 	"pathdump/internal/types"
@@ -54,6 +56,9 @@ func main() {
 		tibPath  = flag.String("tib", "", "TIB snapshot to load (gob; single-host mode only)")
 		demo     = flag.Bool("demo", false, "populate the TIB with a simulated demo workload")
 		alarmURL = flag.String("controller", "", "controller URL for alarms (optional)")
+		slowHost = flag.Int("slow-host", -1, "fault injection: queries at this served host stall for -slow-delay before answering (e2e straggler testing)")
+		slowDly  = flag.Duration("slow-delay", 30*time.Second, "how long the injected-slow host stalls (the stall honours the request context)")
+		slowOnce = flag.Bool("slow-first-only", false, "only the first query at -slow-host stalls; later ones (e.g. a hedged retry) answer at full speed")
 	)
 	flag.Parse()
 
@@ -85,6 +90,35 @@ func main() {
 		served[pathdump.HostID(*hostID)] = a
 	}
 
+	// The daemon's lifetime context: SIGINT/SIGTERM cancels it, which
+	// drains the HTTP server and cuts off in-flight alarm forwarding. The
+	// first signal starts the graceful drain; restoring the default
+	// disposition right then lets a second signal force-kill a hung one.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
+	if *alarmURL != "" {
+		// Alarms raised at the in-process controller (the agents' sink) —
+		// including ones fired while the demo workload below runs — are
+		// forwarded to the remote controller under the daemon's lifetime
+		// context plus a per-POST timeout: a wedged controller costs a
+		// bounded goroutine, never a leaked one.
+		ac := &rpc.AlarmClient{URL: strings.TrimSuffix(*alarmURL, "/")}
+		c.Ctrl.SetAlarmContext(ctx)
+		c.OnAlarm(func(a pathdump.Alarm) {
+			go func() {
+				fctx, cancel := context.WithTimeout(ctx, rpc.DefaultAlarmTimeout)
+				defer cancel()
+				ac.RaiseAlarmContext(fctx, a)
+			}()
+		})
+		log.Printf("pathdumpd: forwarding alarms to %s", *alarmURL)
+	}
+
 	switch {
 	case *tibPath != "":
 		if len(served) != 1 || *hostIDs != "" {
@@ -106,7 +140,7 @@ func main() {
 		log.Printf("pathdumpd: snapshot %s serving on %s, %d TIB records",
 			*tibPath, *listen, store.Len())
 		fmt.Println("endpoints: POST /query /install /uninstall, GET /stats")
-		if err := serve(*listen, srv.Handler(), *timeout); err != nil {
+		if err := serve(ctx, *listen, srv.Handler(), *timeout); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -131,15 +165,18 @@ func main() {
 			gen.Started, records)
 	}
 
-	if *alarmURL != "" {
-		// Future alarms from installed monitors go to the controller.
-		_ = rpc.AlarmClient{URL: *alarmURL}
+	target := func(id types.HostID, a *agent.Agent) rpc.Target {
+		if *slowHost >= 0 && types.HostID(*slowHost) == id {
+			log.Printf("pathdumpd: host %v injected slow (%v, first-only=%v)", id, *slowDly, *slowOnce)
+			return &slowTarget{Agent: a, delay: *slowDly, once: *slowOnce}
+		}
+		return a
 	}
 
 	var handler http.Handler
 	if len(served) == 1 && *hostIDs == "" {
-		for _, a := range served {
-			handler = (&rpc.AgentServer{T: a}).Handler()
+		for id, a := range served {
+			handler = (&rpc.AgentServer{T: target(id, a)}).Handler()
 			log.Printf("pathdumpd: host %v (%v) serving on %s, %d TIB records",
 				a.Host.ID, a.Host.IP, *listen, a.Store.Len())
 		}
@@ -147,36 +184,67 @@ func main() {
 	} else {
 		targets := make(map[types.HostID]rpc.Target, len(served))
 		for id, a := range served {
-			targets[id] = a
+			targets[id] = target(id, a)
 		}
 		handler = (&rpc.MultiAgentServer{Targets: targets, Parallelism: *parallel}).Handler()
 		log.Printf("pathdumpd: %d hosts serving on %s", len(served), *listen)
 		fmt.Println("endpoints: POST /query /batchquery /install /uninstall, GET /stats")
 	}
-	if err := serve(*listen, handler, *timeout); err != nil {
+	if err := serve(ctx, *listen, handler, *timeout); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// slowTarget injects a stall into one served host's query path so e2e
+// runs can exercise hedging and partial results against real binaries.
+// The stall honours the request context: a hung-up or deadline-expired
+// caller releases the handler immediately.
+type slowTarget struct {
+	*agent.Agent
+	delay time.Duration
+	once  bool
+	hit   atomic.Bool
+}
+
+func (s *slowTarget) stall(ctx context.Context) error {
+	if s.once && s.hit.Swap(true) {
+		return nil
+	}
+	t := time.NewTimer(s.delay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ExecuteContext implements rpc.ContextTarget — the path the servers
+// prefer — so the stall is both injected and cancellable.
+func (s *slowTarget) ExecuteContext(ctx context.Context, q query.Query) (query.Result, error) {
+	if err := s.stall(ctx); err != nil {
+		return query.Result{}, err
+	}
+	return s.Agent.ExecuteContext(ctx, q)
 }
 
 // serve runs the daemon with per-request deadlines and a graceful
 // shutdown path: reqTimeout > 0 cancels each request's context at the
 // deadline (aborting agent-side TIB scans mid-merge and answering 503),
-// and SIGINT/SIGTERM drains in-flight requests for up to drainTimeout
-// before the listener closes.
-func serve(listen string, h http.Handler, reqTimeout time.Duration) error {
+// and cancelling ctx (SIGINT/SIGTERM) drains in-flight requests for up
+// to drainTimeout before the listener closes.
+func serve(ctx context.Context, listen string, h http.Handler, reqTimeout time.Duration) error {
 	if reqTimeout > 0 {
 		h = http.TimeoutHandler(h, reqTimeout, "pathdumpd: request deadline exceeded")
 	}
 	srv := &http.Server{Addr: listen, Handler: h}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	select {
 	case err := <-errCh:
 		return err
 	case <-ctx.Done():
-		stop()
 		log.Printf("pathdumpd: shutting down, draining in-flight requests for up to %v", drainTimeout)
 		sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 		defer cancel()

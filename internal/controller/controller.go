@@ -11,14 +11,25 @@
 // cancelled or expired context aborts in-flight fan-out waves promptly —
 // a slow or dead host can no longer pin down a whole query (§5.2's
 // interactivity argument).
+//
+// Queries are additionally straggler-tolerant: HedgeAfter issues a
+// duplicate request to a host that has not answered in time (first
+// response wins, the loser is cancelled), PerHostTimeout drops a host
+// that exhausts its own budget so the rest of the fleet's data still
+// comes back (ExecStats.Partial), and PartialOnDeadline turns a
+// whole-query deadline expiry into a merged partial result instead of an
+// error. Interior aggregation nodes merge child results as they land
+// (query.StreamMerger) rather than barriering on the slowest child.
 package controller
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"pathdump/internal/agent"
 	"pathdump/internal/netsim"
@@ -136,6 +147,18 @@ type CostModel struct {
 	// node merges (default 4 µs — the paper's controller-side key-value
 	// processing dominates large direct queries, §5.2).
 	MergePerItem types.Time
+	// PerHostTimeout is the modelled per-host budget (0 = none): a child
+	// whose modelled service time exceeds it is charged exactly the
+	// budget, because the real controller stops waiting then and drops
+	// the straggler (Controller.PerHostTimeout). Hosts that were actually
+	// dropped occupy a modelled worker for the budget and contribute no
+	// merge cost. When unset but the controller has a wall-clock
+	// PerHostTimeout, that value is used (both are nanosecond-granular).
+	// Hedging needs no model knob of its own: modelled service times are
+	// deterministic, so a duplicate request started HedgeAfter later can
+	// never beat the original — hedging only wins against real-world
+	// latency variance, which the §5.2 model deliberately excludes.
+	PerHostTimeout types.Time
 	// Deadline is the modelled per-query response deadline (0 = none).
 	// The controller returns whatever has arrived by the deadline, so the
 	// modelled response time is capped at it: a deadline of roughly one
@@ -160,10 +183,20 @@ type ExecStats struct {
 	// Hosts is how many hosts actually answered. On a fully successful
 	// execution it equals the number of requested hosts.
 	Hosts int
-	// Skipped is how many of the requested hosts were never (or not
-	// successfully) queried because the execution was cancelled, timed
-	// out, or aborted on first error mid-fan-out.
+	// Skipped is how many of the requested hosts' answers are missing:
+	// on a failed execution, hosts never (or not successfully) queried
+	// before the abort; on a successful partial one, stragglers dropped
+	// by PerHostTimeout or cut off by the expired query deadline.
 	Skipped int
+	// Partial is set on a successful execution whose merged result is
+	// missing some requested hosts' data (Skipped > 0): stragglers were
+	// dropped by the per-host budget, or the whole-query deadline expired
+	// under PartialOnDeadline. A non-partial success has every host's
+	// data; a failed execution returns no result at all.
+	Partial bool
+	// Hedged is how many duplicate (hedged) per-host requests were
+	// actually issued because a primary outlived HedgeAfter.
+	Hedged int
 	// ResponseTime is the modelled end-to-end latency, capped at the cost
 	// model's Deadline when one is set.
 	ResponseTime types.Time
@@ -186,9 +219,36 @@ type Controller struct {
 	// degrades gracefully toward sum-latency as the bound tightens.
 	Parallelism int
 
+	// PerHostTimeout bounds how long any single host's query — including
+	// a hedged duplicate — may take before the host is dropped from the
+	// execution and the result is marked partial (0 = wait indefinitely,
+	// subject to the whole-query context). Wall-clock; captured once per
+	// execution. Setting it is the opt-in: a query with a per-host budget
+	// prefers partial data over waiting on a dead host.
+	PerHostTimeout time.Duration
+
+	// HedgeAfter issues a duplicate request to a host whose primary has
+	// not answered after this long (0 = never hedge). The duplicate stays
+	// inside the global Parallelism bound: it races the primary on a free
+	// slot when one exists, and otherwise cancels the primary and retries
+	// on the slot the host already holds (so hedging cannot starve when
+	// stalled primaries hold the whole pool). The first response wins and
+	// the loser's context is cancelled. One hedge per host per execution.
+	// Hedging is per-host by nature, so when it is enabled leaf fan-out
+	// skips the batched transport path.
+	HedgeAfter time.Duration
+
+	// PartialOnDeadline makes ExecuteContext/ExecuteTreeContext return
+	// whatever has been merged when the whole-query deadline expires —
+	// ExecStats.Partial set, error nil — instead of failing with
+	// DeadlineExceeded. Explicit cancellation (the caller is gone) and
+	// real host failures still error.
+	PartialOnDeadline bool
+
 	mu       sync.Mutex
 	alarms   []types.Alarm
 	handlers []func(types.Alarm)
+	alarmCtx context.Context // base context for alarm dispatch (nil = Background)
 
 	sim       *netsim.Sim
 	loopState map[loopKey][]types.LinkID
@@ -213,15 +273,50 @@ func New(topo *topology.Topology, t Transport, sim *netsim.Sim) *Controller {
 }
 
 // RaiseAlarm implements agent.AlarmSink: it logs the alarm and dispatches
-// registered handlers (the event-driven debugging path of Figure 3).
+// registered handlers (the event-driven debugging path of Figure 3). It
+// runs under the controller's alarm context (SetAlarmContext).
 func (c *Controller) RaiseAlarm(a types.Alarm) {
+	c.RaiseAlarmContext(c.alarmContext(), a)
+}
+
+// RaiseAlarmContext is RaiseAlarm under a caller context — the HTTP
+// /alarm handler passes its request context, so an agent that hung up
+// does not have its alarm dispatched to nobody, and a shutting-down
+// controller (alarm context cancelled) stops dispatching between
+// handlers instead of running the full chain.
+func (c *Controller) RaiseAlarmContext(ctx context.Context, a types.Alarm) {
+	if ctx.Err() != nil {
+		return
+	}
 	c.mu.Lock()
 	c.alarms = append(c.alarms, a)
 	handlers := append(make([]func(types.Alarm), 0, len(c.handlers)), c.handlers...)
 	c.mu.Unlock()
 	for _, fn := range handlers {
+		if ctx.Err() != nil {
+			return
+		}
 		fn(a)
 	}
+}
+
+// SetAlarmContext installs the base context under which the alarm path —
+// RaiseAlarm, trap handling, loop dispatch — runs. A daemon passes its
+// lifetime context so a shutdown stops alarm work promptly; nil restores
+// context.Background.
+func (c *Controller) SetAlarmContext(ctx context.Context) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.alarmCtx = ctx
+}
+
+func (c *Controller) alarmContext() context.Context {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.alarmCtx != nil {
+		return c.alarmCtx
+	}
+	return context.Background()
 }
 
 // OnAlarm registers an alarm handler.
@@ -468,33 +563,82 @@ func countHosts(n *treeNode) int {
 	return total
 }
 
+// newQueryFanout builds the fan-out pool for one query execution,
+// capturing the straggler policy alongside the parallelism bound.
+// Control-plane fan-outs (Install/Uninstall) use plain newFanout: hedging
+// would double-install and partial installs are rolled back, not kept.
+func (c *Controller) newQueryFanout(ctx context.Context) *fanout {
+	fo := newFanout(ctx, c.Parallelism)
+	fo.perHostTimeout = c.PerHostTimeout
+	fo.hedgeAfter = c.HedgeAfter
+	fo.partial = c.PartialOnDeadline
+	return fo
+}
+
+// dropHost decides whether a per-host failure drops the host from the
+// execution (straggler tolerance) rather than failing it. Two cases drop:
+// the host's own PerHostTimeout budget expired while the query as a whole
+// was still live, and the whole-query deadline expired with partial mode
+// on. Explicit cancellation and real transport errors never drop.
+func (c *Controller) dropHost(fo *fanout, err error) bool {
+	if !errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	qerr := fo.ctx.Err()
+	if qerr == nil {
+		// The query is still live, so the deadline that fired was the
+		// host's own budget.
+		return fo.perHostTimeout > 0
+	}
+	return fo.partial && errors.Is(qerr, context.DeadlineExceeded)
+}
+
+// modelPerHostCap is the modelled time charged for a host the controller
+// stopped waiting on: the cost model's own PerHostTimeout when set,
+// otherwise the wall-clock budget mapped onto modelled nanoseconds (both
+// are nanosecond-granular), otherwise zero.
+func (c *Controller) modelPerHostCap() types.Time {
+	if c.Cost.PerHostTimeout > 0 {
+		return c.Cost.PerHostTimeout
+	}
+	if c.PerHostTimeout > 0 {
+		return types.Time(c.PerHostTimeout.Nanoseconds())
+	}
+	return 0
+}
+
 // run executes the query over the tree, merging bottom-up, and computes
-// the modelled response time:
+// the modelled response time. At each node children are dispatched onto
+// goroutines (at most Parallelism transport requests outstanding across
+// the whole tree) and merged as they land: child i folds in the moment
+// children 0..i-1 have folded and i has arrived, so merge work overlaps
+// waiting on stragglers while the output stays identical to an
+// index-order merge. The model mirrors both halves:
 //
-//	T(node) = max(execLocal, max over children(start + RTT + T(child) + xfer))
-//	        + Σ children items·MergePerItem
+//	avail(child) = start + RTT + T(child) + xfer   (greedy schedule over
+//	                                                Parallelism workers)
+//	mergeEnd(i)  = max(mergeEnd(i-1), avail(i)) + items(i)·MergePerItem
+//	T(node)      = max(execLocal, max avail, mergeEnd(last))
 //
-// Children genuinely proceed in parallel — every level of the tree fans
-// out onto goroutines, with at most Parallelism transport requests
-// outstanding at once — and merging at a node is serial. The model
-// mirrors the bound: child dispatch start times come from a greedy
-// schedule over Parallelism modelled workers (all zero when unlimited,
-// reducing to pure max-over-children). Wire bytes count the query going
-// down and each (partial) result coming up.
-//
-// On failure — including ctx cancellation — the stats still report how
-// many hosts had answered versus how many were skipped, so callers can
-// tell a near-complete cancelled query from one cut off at the start.
+// Wire bytes count the query going down and each (partial) result coming
+// up. On failure — including ctx cancellation — the stats still report
+// how many hosts had answered versus how many were skipped, so callers
+// can tell a near-complete cancelled query from one cut off at the start.
+// A successful execution that is missing dropped stragglers' data sets
+// Partial instead.
 func (c *Controller) run(ctx context.Context, n *treeNode, q query.Query) (query.Result, ExecStats, error) {
 	qBytes, err := json.Marshal(q)
 	if err != nil {
 		return query.Result{}, ExecStats{}, err
 	}
-	fo := newFanout(ctx, c.Parallelism)
+	fo := c.newQueryFanout(ctx)
 	res, t, bytes, hosts, err := c.runNode(n, q, int64(len(qBytes)), fo)
+	total := countHosts(n)
+	stats := ExecStats{Hedged: int(fo.hedged.Load())}
 	if err != nil {
-		answered := int(fo.queried.Load())
-		return query.Result{}, ExecStats{Hosts: answered, Skipped: countHosts(n) - answered}, err
+		stats.Hosts = int(fo.queried.Load())
+		stats.Skipped = total - stats.Hosts
+		return query.Result{}, stats, err
 	}
 	if d := c.Cost.Deadline; d > 0 && t > d {
 		// The modelled controller hands back whatever has arrived once the
@@ -502,11 +646,18 @@ func (c *Controller) run(ctx context.Context, n *treeNode, q query.Query) (query
 		// waited for, so the modelled response time caps at the deadline.
 		t = d
 	}
-	return res, ExecStats{Hosts: hosts, ResponseTime: t, WireBytes: bytes}, nil
+	stats.Hosts = hosts
+	stats.Skipped = total - hosts
+	stats.Partial = stats.Skipped > 0
+	stats.ResponseTime = t
+	stats.WireBytes = bytes
+	return res, stats, nil
 }
 
 // childOut is one child subtree's outcome, slotted by child index so the
 // merge remains deterministic regardless of goroutine completion order.
+// err==nil with hosts==0 marks a dropped straggler (or a subtree whose
+// every host was dropped): it contributes nothing to the merge.
 type childOut struct {
 	res   query.Result
 	t     types.Time
@@ -516,29 +667,28 @@ type childOut struct {
 }
 
 func (c *Controller) runNode(n *treeNode, q query.Query, qWire int64, fo *fanout) (query.Result, types.Time, int64, int, error) {
-	var res query.Result
-	res.Op = q.Op
-
-	outs := make([]childOut, len(n.children))
-	var wg sync.WaitGroup
+	nc := len(n.children)
+	outs := make([]childOut, nc)
+	done := make(chan int, nc)
 
 	// Leaf children can ride one batched transport round; subtrees (and
-	// leaves on plain transports) recurse on their own goroutines.
+	// leaves on plain transports) recurse on their own goroutines. With
+	// hedging on, leaves stay per-host: a hedge duplicates one host's
+	// request, not a whole daemon's round.
 	var batchIdx []int
-	if bt, ok := c.T.(BatchTransport); ok {
+	if bt, ok := c.T.(BatchTransport); ok && fo.hedgeAfter <= 0 {
 		for i, ch := range n.children {
 			if ch.isHost && len(ch.children) == 0 {
 				batchIdx = append(batchIdx, i)
 			}
 		}
 		if len(batchIdx) >= 2 {
-			wg.Add(1)
-			go c.runBatch(bt, n, q, batchIdx, outs, fo, &wg)
+			go c.runBatch(bt, n, q, batchIdx, outs, fo, done)
 		} else {
 			batchIdx = nil
 		}
 	}
-	inBatch := make([]bool, len(n.children))
+	inBatch := make([]bool, nc)
 	for _, i := range batchIdx {
 		inBatch[i] = true
 	}
@@ -546,38 +696,61 @@ func (c *Controller) runNode(n *treeNode, q query.Query, qWire int64, fo *fanout
 		if inBatch[i] {
 			continue
 		}
-		wg.Add(1)
 		go func(i int, ch *treeNode) {
-			defer wg.Done()
 			r, t, b, h, err := c.runNode(ch, q, qWire, fo)
 			outs[i] = childOut{res: r, t: t, wire: b, hosts: h, err: err}
+			done <- i
 		}(i, ch)
 	}
 
 	// The node's own host executes on this goroutine, concurrently with
-	// its children (an aggregation host scans its TIB while waiting).
+	// its children (an aggregation host scans its TIB while waiting); its
+	// result is the merge base.
+	var res query.Result
+	res.Op = q.Op
 	var (
 		localT   types.Time
 		localErr error
 		hosts    int
 	)
 	if n.isHost {
-		r, meta, err := c.queryOne(n.host, q, fo)
-		if err != nil {
-			localErr = err
-		} else {
+		r, meta, err := c.queryHost(n.host, q, fo)
+		switch {
+		case err == nil:
 			res = r
 			res.Op = q.Op
 			localT = c.Cost.ExecBase + types.Time(meta.RecordsScanned)*c.Cost.ExecPerRecord
 			hosts = 1
+		case c.dropHost(fo, err):
+			// Straggler dropped: the node aggregates without its own data,
+			// having waited (in the model's view) the per-host budget.
+			localT = c.modelPerHostCap()
+		default:
+			fo.abort()
+			localErr = err
 		}
 	}
-	wg.Wait()
 
-	errs := make([]error, 0, len(outs)+1)
-	errs = append(errs, localErr)
-	for i := range outs {
-		errs = append(errs, outs[i].err)
+	// Streaming interior merge: drain the completion channel and fold
+	// each child in the moment the index prefix allows, so merging
+	// overlaps waiting on the remaining children.
+	sm := query.NewStreamMerger(q, &res, nc)
+	errs := make([]error, 1, nc+1)
+	errs[0] = localErr
+	for drained := 0; drained < nc; drained++ {
+		i := <-done
+		o := &outs[i]
+		if o.err != nil {
+			errs = append(errs, o.err)
+			sm.Add(i, nil)
+			continue
+		}
+		if o.hosts == 0 {
+			// Dropped straggler(s): nothing arrived to merge.
+			sm.Add(i, nil)
+			continue
+		}
+		sm.Add(i, &o.res)
 	}
 	if err := firstError(errs); err != nil {
 		return res, 0, 0, 0, err
@@ -586,22 +759,29 @@ func (c *Controller) runNode(n *treeNode, q query.Query, qWire int64, fo *fanout
 	// Modelled schedule: children are dispatched in index order onto
 	// Parallelism workers (nil slice = unlimited, start always 0). The
 	// bound was captured at execution start so model and semaphore agree.
+	// The merge frontier mirrors the streaming merge above: child i's
+	// merge starts once it has arrived and children before it merged.
 	var workers []types.Time
 	if fo.parallelism > 0 {
 		workers = make([]types.Time, fo.parallelism)
 	}
+	perHostCap := c.modelPerHostCap()
 	childT := localT
+	mergeEnd := localT
 	var wire int64
-	type part struct {
-		res   query.Result
-		avail types.Time
-	}
-	parts := make([]part, 0, len(n.children))
 	for i := range outs {
 		o := &outs[i]
 		size := int64(o.res.WireSize())
 		xfer := types.Time((size + qWire) * 8 * int64(types.Second) / c.Cost.BandwidthBps)
 		service := c.Cost.RTT + o.t + xfer
+		leaf := n.children[i].isHost && len(n.children[i].children) == 0
+		if leaf && perHostCap > 0 && service > perHostCap {
+			// The budget bounds individual host requests, not whole
+			// subtrees: a leaf's modelled service caps at it because the
+			// real controller stops waiting then — the host either
+			// answered within the budget or was dropped at it.
+			service = perHostCap
+		}
 		var start types.Time
 		if workers != nil {
 			wi := 0
@@ -619,34 +799,42 @@ func (c *Controller) runNode(n *treeNode, q query.Query, qWire int64, fo *fanout
 		}
 		wire += o.wire + size + qWire
 		hosts += o.hosts
-		parts = append(parts, part{res: o.res, avail: avail})
+		if o.hosts > 0 {
+			if avail > mergeEnd {
+				mergeEnd = avail
+			}
+			mergeEnd += types.Time(itemCount(&o.res)) * c.Cost.MergePerItem
+		}
 	}
-	// Merge serially in arrival order.
-	sort.SliceStable(parts, func(i, j int) bool { return parts[i].avail < parts[j].avail })
-	total := childT
-	for i := range parts {
-		res.Merge(&parts[i].res, q)
-		total += types.Time(itemCount(&parts[i].res)) * c.Cost.MergePerItem
+	total := mergeEnd
+	if childT > total {
+		total = childT
 	}
 	return res, total, wire, hosts, nil
 }
 
 // runBatch resolves the leaf children listed in batchIdx through one
-// BatchTransport round, filling their childOut slots. The batch draws
-// real slots from the shared fan-out pool: one blocking acquire
-// guarantees progress, then it widens greedily up to the batch size, and
-// the transport's internal concurrency is capped at the slots actually
-// held — so batched and per-host requests together never exceed the
-// global Parallelism bound.
-func (c *Controller) runBatch(bt BatchTransport, n *treeNode, q query.Query, batchIdx []int, outs []childOut, fo *fanout, wg *sync.WaitGroup) {
-	defer wg.Done()
+// BatchTransport round, filling their childOut slots and reporting each
+// on the done channel. The batch draws real slots from the shared fan-out
+// pool: one blocking acquire guarantees progress, then it widens greedily
+// up to the batch size, and the transport's internal concurrency is
+// capped at the slots actually held — so batched and per-host requests
+// together never exceed the global Parallelism bound. A PerHostTimeout
+// budgets the whole round: the round trip is the per-host unit here, and
+// a round that exhausts it drops every host it carried.
+func (c *Controller) runBatch(bt BatchTransport, n *treeNode, q query.Query, batchIdx []int, outs []childOut, fo *fanout, done chan<- int) {
+	defer func() {
+		for _, i := range batchIdx {
+			done <- i
+		}
+	}()
 	hosts := make([]types.HostID, len(batchIdx))
 	for j, i := range batchIdx {
 		hosts[j] = n.children[i].host
 	}
 	if err := fo.acquire(); err != nil {
 		for _, i := range batchIdx {
-			outs[i].err = err
+			c.finishBatchSlot(&outs[i], err, fo)
 		}
 		return
 	}
@@ -663,22 +851,26 @@ func (c *Controller) runBatch(bt BatchTransport, n *treeNode, q query.Query, bat
 	if fo.sem == nil {
 		parallel = 0 // unlimited pool: let the transport fan out freely
 	}
-	replies, err := bt.QueryMany(fo.ctx, hosts, q, parallel)
+	batchCtx := fo.ctx
+	if fo.perHostTimeout > 0 {
+		var cancel context.CancelFunc
+		batchCtx, cancel = context.WithTimeout(fo.ctx, fo.perHostTimeout)
+		defer cancel()
+	}
+	replies, err := bt.QueryMany(batchCtx, hosts, q, parallel)
 	if err == nil && len(replies) != len(hosts) {
 		err = fmt.Errorf("controller: batch query returned %d replies for %d hosts", len(replies), len(hosts))
 	}
 	if err != nil {
-		fo.abort()
 		for _, i := range batchIdx {
-			outs[i].err = err
+			c.finishBatchSlot(&outs[i], err, fo)
 		}
 		return
 	}
 	for j, i := range batchIdx {
 		rep := replies[j]
 		if rep.Err != nil {
-			fo.abort()
-			outs[i].err = rep.Err
+			c.finishBatchSlot(&outs[i], rep.Err, fo)
 			continue
 		}
 		fo.queried.Add(1)
@@ -690,20 +882,137 @@ func (c *Controller) runBatch(bt BatchTransport, n *treeNode, q query.Query, bat
 	}
 }
 
-// queryOne issues one host query through the bounded fan-out pool, handing
-// the transport the execution's context.
-func (c *Controller) queryOne(host types.HostID, q query.Query, fo *fanout) (query.Result, QueryMeta, error) {
+// finishBatchSlot classifies one batched host's failure: a dropped
+// straggler keeps its zero childOut (no result, no error), anything else
+// records the error and aborts the fan-out.
+func (c *Controller) finishBatchSlot(o *childOut, err error, fo *fanout) {
+	if c.dropHost(fo, err) {
+		*o = childOut{t: c.modelPerHostCap()}
+		return
+	}
+	fo.abort()
+	o.err = err
+}
+
+// queryHost issues one host's query through the bounded fan-out pool
+// under the execution's context, applying the per-host budget and — when
+// hedging is on — racing a duplicate request against a slow primary.
+// Errors are classified by the caller (dropHost): failing versus dropping
+// a host is a policy decision made where the result slot lives.
+func (c *Controller) queryHost(host types.HostID, q query.Query, fo *fanout) (query.Result, QueryMeta, error) {
 	if err := fo.acquire(); err != nil {
 		return query.Result{}, QueryMeta{}, err
 	}
 	defer fo.release()
-	r, meta, err := c.T.Query(fo.ctx, host, q)
-	if err != nil {
-		fo.abort()
+
+	hostCtx := fo.ctx
+	if fo.perHostTimeout > 0 {
+		var cancel context.CancelFunc
+		hostCtx, cancel = context.WithTimeout(fo.ctx, fo.perHostTimeout)
+		defer cancel()
+	}
+	if fo.hedgeAfter <= 0 {
+		r, meta, err := c.T.Query(hostCtx, host, q)
+		if err == nil {
+			fo.queried.Add(1)
+		}
 		return r, meta, err
 	}
-	fo.queried.Add(1)
-	return r, meta, nil
+	return c.queryHedged(hostCtx, host, q, fo)
+}
+
+// hostReply is one attempt's answer inside a hedged host query.
+type hostReply struct {
+	res  query.Result
+	meta QueryMeta
+	err  error
+}
+
+// queryHedged races a primary request against a duplicate issued after
+// fo.hedgeAfter of silence. The first success wins and the other
+// attempt's context is cancelled; a primary that fails before the hedge
+// fires returns its error immediately (hedging masks slowness, not
+// failure); if both attempts fail, the most useful error is reported.
+//
+// The duplicate stays inside the global Parallelism bound. When a free
+// slot exists at hedge time it takes one and genuinely races the
+// primary. When the pool is exhausted — typically by stalled primaries
+// exactly like this one — waiting for a second slot could starve
+// forever (this host's own slot is held for the whole race), so the
+// hedge falls back from racing to retrying: the primary is cancelled
+// and the duplicate reissues on the slot this host already holds, once
+// the primary has vacated it. Either way at most one transport request
+// per held slot is in flight.
+func (c *Controller) queryHedged(hostCtx context.Context, host types.HostID, q query.Query, fo *fanout) (query.Result, QueryMeta, error) {
+	ctx, cancel := context.WithCancel(hostCtx)
+	defer cancel() // cut off the losing (or still-pending) attempt
+	primCtx, primCancel := context.WithCancel(ctx)
+	defer primCancel()
+
+	replies := make(chan hostReply, 2) // every launched attempt delivers
+	go func() {
+		r, m, err := c.T.Query(primCtx, host, q)
+		replies <- hostReply{res: r, meta: m, err: err}
+	}()
+
+	// launchHedge issues the duplicate; with ownSlot it holds (and must
+	// release) a freshly acquired pool slot, otherwise it reuses the slot
+	// queryHost already holds for this host.
+	launchHedge := func(ownSlot bool) {
+		go func() {
+			if ownSlot {
+				defer fo.release()
+			}
+			if ctx.Err() != nil {
+				replies <- hostReply{err: ctx.Err()}
+				return
+			}
+			fo.hedged.Add(1)
+			r, m, err := c.T.Query(ctx, host, q)
+			replies <- hostReply{res: r, meta: m, err: err}
+		}()
+	}
+
+	timer := time.NewTimer(fo.hedgeAfter)
+	defer timer.Stop()
+
+	inFlight := 1
+	retryOnPrimaryReturn := false
+	var errs []error
+	for {
+		select {
+		case rep := <-replies:
+			inFlight--
+			if rep.err == nil {
+				fo.queried.Add(1)
+				return rep.res, rep.meta, nil
+			}
+			if retryOnPrimaryReturn {
+				// The cancelled primary has vacated this host's slot; the
+				// duplicate takes its place. Our own cancellation echo is
+				// not a reportable failure, but a real primary error is.
+				retryOnPrimaryReturn = false
+				if !errors.Is(rep.err, context.Canceled) {
+					errs = append(errs, rep.err)
+				}
+				inFlight++
+				launchHedge(false)
+				continue
+			}
+			errs = append(errs, rep.err)
+			if inFlight == 0 {
+				return query.Result{}, QueryMeta{}, firstError(errs)
+			}
+		case <-timer.C:
+			if fo.sem == nil || fo.tryAcquire() {
+				inFlight++
+				launchHedge(fo.sem != nil)
+				continue
+			}
+			primCancel()
+			retryOnPrimaryReturn = true
+		}
+	}
 }
 
 // itemCount estimates the number of key-value items merged from a partial

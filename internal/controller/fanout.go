@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // errAborted is the sentinel returned by fan-out slots acquired after an
@@ -32,10 +33,21 @@ type fanout struct {
 	quit        chan struct{}
 	once        sync.Once
 
+	// Straggler policy, captured once at execution start (see
+	// Controller.PerHostTimeout/HedgeAfter/PartialOnDeadline). Control-
+	// plane fan-outs (Install/Uninstall) leave all three zero: a hedged
+	// install could double-install, and a partial install is a rollback,
+	// not a result.
+	perHostTimeout time.Duration
+	hedgeAfter     time.Duration
+	partial        bool
+
 	// queried counts hosts whose query completed successfully, so a
 	// cancelled execution can report how many of the requested hosts were
 	// skipped (ExecStats.Skipped).
 	queried atomic.Int64
+	// hedged counts duplicate requests actually issued (ExecStats.Hedged).
+	hedged atomic.Int64
 }
 
 func newFanout(ctx context.Context, parallelism int) *fanout {

@@ -50,6 +50,13 @@ func (c *Controller) OnLongPath(fn func(at types.SwitchID, pkt *netsim.Packet)) 
 // looping packet returns with fresh tags whose links overlap the stored
 // ones, revealing loops of any size (§4.5).
 func (c *Controller) Trap(at types.SwitchID, pkt *netsim.Packet) {
+	// The trap path runs under the controller's alarm context: a
+	// shutting-down controller must neither dispatch new alarms nor
+	// schedule reinjections it will never see complete.
+	ctx := c.alarmContext()
+	if ctx.Err() != nil {
+		return
+	}
 	k := loopKey{flow: pkt.Flow, seq: pkt.Seq, ack: pkt.Ack}
 	c.mu.Lock()
 	prev, seen := c.loopState[k]
@@ -69,8 +76,11 @@ func (c *Controller) Trap(at types.SwitchID, pkt *netsim.Packet) {
 			Flow: pkt.Flow, Seq: pkt.Seq, At: at,
 			DetectedAt: c.now(), Repeated: dup, Rounds: rounds,
 		}
-		c.RaiseAlarm(types.Alarm{Flow: pkt.Flow, Reason: types.ReasonLoop, At: ev.DetectedAt})
+		c.RaiseAlarmContext(ctx, types.Alarm{Flow: pkt.Flow, Reason: types.ReasonLoop, At: ev.DetectedAt})
 		for _, fn := range fns {
+			if ctx.Err() != nil {
+				return
+			}
 			fn(ev)
 		}
 		return
@@ -82,11 +92,14 @@ func (c *Controller) Trap(at types.SwitchID, pkt *netsim.Packet) {
 	c.loopState[k] = append(append([]types.LinkID(nil), prev...), cur...)
 	longFns := append(make([]func(types.SwitchID, *netsim.Packet), 0, len(c.longFns)), c.longFns...)
 	c.mu.Unlock()
-	c.RaiseAlarm(types.Alarm{Flow: pkt.Flow, Reason: types.ReasonLongPath, At: c.now(), Paths: nil})
+	c.RaiseAlarmContext(ctx, types.Alarm{Flow: pkt.Flow, Reason: types.ReasonLongPath, At: c.now(), Paths: nil})
 	for _, fn := range longFns {
+		if ctx.Err() != nil {
+			return
+		}
 		fn(at, pkt)
 	}
-	if c.sim != nil {
+	if c.sim != nil && ctx.Err() == nil {
 		pkt.Hdr.VLANs = nil
 		c.sim.After(c.sim.Config().PuntDelay/2, func() { c.sim.Reinject(at, pkt) })
 	}

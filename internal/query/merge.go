@@ -41,6 +41,80 @@ func (r *Result) Merge(o *Result, q Query) {
 	}
 }
 
+// Partial is one child's indexed contribution to a streaming merge. A
+// nil Res marks a child that contributes nothing — a dropped straggler, a
+// host cut off by the query deadline — so the merge can advance past its
+// slot without waiting.
+type Partial struct {
+	Index int
+	Res   *Result
+}
+
+// StreamMerger folds per-child partial results into a single result
+// incrementally: child i is merged the moment children 0..i-1 have been
+// merged and child i has arrived, so merge work overlaps waiting on
+// stragglers instead of barriering on the full wave. Out-of-order
+// arrivals are buffered, which keeps the output identical to a
+// sequential index-order merge no matter the arrival order — the
+// determinism the controller's partial-result accounting relies on.
+//
+// A StreamMerger is single-consumer: feed Add from one goroutine,
+// typically the one draining a completion channel (see MergeStream).
+type StreamMerger struct {
+	q       Query
+	dst     *Result
+	pending []*Result
+	arrived []bool
+	next    int
+	merged  int
+}
+
+// NewStreamMerger prepares a streaming merge of n children into dst
+// (whose current contents — e.g. the aggregating host's own result — are
+// the merge base).
+func NewStreamMerger(q Query, dst *Result, n int) *StreamMerger {
+	dst.Op = q.Op
+	return &StreamMerger{q: q, dst: dst, pending: make([]*Result, n), arrived: make([]bool, n)}
+}
+
+// Add hands child i's result (nil = no contribution) to the merger and
+// folds in as much of the now-contiguous prefix as possible. Duplicate
+// indices are ignored.
+func (m *StreamMerger) Add(i int, r *Result) {
+	if m.arrived[i] {
+		return
+	}
+	m.arrived[i] = true
+	m.pending[i] = r
+	for m.next < len(m.arrived) && m.arrived[m.next] {
+		if r := m.pending[m.next]; r != nil {
+			m.dst.Merge(r, m.q)
+			m.merged++
+		}
+		m.pending[m.next] = nil
+		m.next++
+	}
+}
+
+// Merged reports how many non-nil contributions have been folded in.
+func (m *StreamMerger) Merged() int { return m.merged }
+
+// Done reports whether every child slot has been consumed.
+func (m *StreamMerger) Done() bool { return m.next == len(m.arrived) }
+
+// MergeStream is the channel-fed streaming merge: it drains exactly n
+// indexed contributions from ch into dst, merging each one as soon as the
+// index order allows, and returns how many were non-nil. Producers send
+// each child's Partial once, from any goroutine, as results land.
+func MergeStream(q Query, dst *Result, n int, ch <-chan Partial) int {
+	m := NewStreamMerger(q, dst, n)
+	for i := 0; i < n; i++ {
+		p := <-ch
+		m.Add(p.Index, p.Res)
+	}
+	return m.merged
+}
+
 func mergeFlows(a, b []types.Flow) []types.Flow {
 	seen := make(map[string]bool, len(a))
 	for _, f := range a {

@@ -22,6 +22,7 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"time"
 
 	"pathdump/internal/controller"
 	"pathdump/internal/query"
@@ -266,7 +267,9 @@ type ControllerServer struct {
 	C *controller.Controller
 }
 
-// Handler returns the controller's HTTP mux.
+// Handler returns the controller's HTTP mux. Alarm dispatch runs under
+// the request context: an agent that hung up (or whose POST deadline
+// expired) stops the handler chain instead of dispatching into the void.
 func (s *ControllerServer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/alarm", func(w http.ResponseWriter, r *http.Request) {
@@ -274,27 +277,56 @@ func (s *ControllerServer) Handler() http.Handler {
 		if !decode(w, r, &req) {
 			return
 		}
-		s.C.RaiseAlarm(req.Alarm)
+		s.C.RaiseAlarmContext(r.Context(), req.Alarm)
 		encode(w, struct{}{})
 	})
 	return mux
 }
+
+// DefaultAlarmTimeout bounds each alarm POST when RaiseAlarm is called
+// without a caller context: alarms are advisory and the monitor fires
+// again, so a wedged controller must cost the agent a few seconds of one
+// goroutine, never a goroutine forever.
+const DefaultAlarmTimeout = 5 * time.Second
 
 // AlarmClient forwards agent alarms to a controller URL; it implements
 // agent.AlarmSink.
 type AlarmClient struct {
 	URL    string
 	Client *http.Client
+	// Timeout bounds each contextless RaiseAlarm POST
+	// (default DefaultAlarmTimeout).
+	Timeout time.Duration
 }
 
-// RaiseAlarm posts the alarm; delivery failures are dropped (alarms are
-// advisory, the monitor will fire again).
+// RaiseAlarm posts the alarm under the client's own bounded context;
+// delivery failures are dropped (alarms are advisory, the monitor will
+// fire again).
 func (c *AlarmClient) RaiseAlarm(a types.Alarm) {
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = DefaultAlarmTimeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	c.RaiseAlarmContext(ctx, a)
+}
+
+// RaiseAlarmContext posts the alarm under the caller's context — a
+// daemon passes its lifetime context so shutdown (or the context's
+// deadline) aborts the dial, the in-flight request and the response read
+// instead of leaking the goroutine against a wedged controller.
+func (c *AlarmClient) RaiseAlarmContext(ctx context.Context, a types.Alarm) {
 	body, err := json.Marshal(AlarmRequest{Alarm: a})
 	if err != nil {
 		return
 	}
-	resp, err := c.client().Post(c.URL+"/alarm", "application/json", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.URL+"/alarm", bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client().Do(req)
 	if err != nil {
 		return
 	}

@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# End-to-end smoke test against the real binaries: build pathdumpd and
+# pathdumpctl, boot multi-host daemons (two of them with an injected-slow
+# host), run real queries over HTTP and assert on the output.
+#
+# Covered scenarios:
+#   1. healthy batched query — every host answers, stats line says so;
+#   2. hedged query — a host whose *first* request stalls is rescued by
+#      the duplicate request issued after -hedge-after, so the query still
+#      returns every host's data (and reports the hedge);
+#   3. -partial deadline run — a host that stalls forever is cut off by
+#      the whole-query -timeout and the merged partial result of the
+#      remaining hosts comes back with partial=true instead of an error.
+#
+# Runs standalone (bash scripts/e2e_smoke.sh) and as the CI e2e job.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT_A="${E2E_PORT_A:-8471}"   # healthy daemon, hosts 0,1
+PORT_B="${E2E_PORT_B:-8472}"   # host 3 stalls forever
+PORT_C="${E2E_PORT_C:-8473}"   # host 5 stalls on its first query only
+BIN="$(mktemp -d)"
+LOGS="$(mktemp -d)"
+
+cleanup() {
+  status=$?
+  kill $(jobs -p) 2>/dev/null || true
+  wait 2>/dev/null || true
+  if [ "$status" -ne 0 ]; then
+    echo "=== daemon logs (failure) ==="
+    tail -n 40 "$LOGS"/*.log 2>/dev/null || true
+  fi
+  rm -rf "$BIN" "$LOGS"
+  exit "$status"
+}
+trap cleanup EXIT
+
+echo "== build real binaries =="
+go build -o "$BIN/pathdumpd" ./cmd/pathdumpd
+go build -o "$BIN/pathdumpctl" ./cmd/pathdumpctl
+
+echo "== boot daemons =="
+"$BIN/pathdumpd" -hosts 0,1 -listen "127.0.0.1:$PORT_A" -demo \
+  >"$LOGS/a.log" 2>&1 &
+"$BIN/pathdumpd" -hosts 2,3 -listen "127.0.0.1:$PORT_B" -demo \
+  -slow-host 3 -slow-delay 60s \
+  >"$LOGS/b.log" 2>&1 &
+"$BIN/pathdumpd" -hosts 4,5 -listen "127.0.0.1:$PORT_C" -demo \
+  -slow-host 5 -slow-delay 60s -slow-first-only \
+  >"$LOGS/c.log" 2>&1 &
+
+for port in "$PORT_A" "$PORT_B" "$PORT_C"; do
+  ready=0
+  for _ in $(seq 1 150); do # demo workload simulation needs a moment
+    if curl -fs "http://127.0.0.1:$port/stats" >/dev/null 2>&1; then
+      ready=1
+      break
+    fi
+    sleep 0.2
+  done
+  if [ "$ready" -ne 1 ]; then
+    echo "FAIL: daemon on :$port never became ready"
+    exit 1
+  fi
+done
+echo "daemons ready"
+
+A="http://127.0.0.1:$PORT_A"
+B="http://127.0.0.1:$PORT_B"
+C="http://127.0.0.1:$PORT_C"
+
+echo
+echo "== 1. healthy batched query (hosts 0,1,2 — no straggler in the set) =="
+out="$("$BIN/pathdumpctl" -agents "0=$A,1=$A,2=$B" -timeout 30s topk -k 5)"
+echo "$out"
+grep -q "^#1 " <<<"$out" || { echo "FAIL: no top-k rows"; exit 1; }
+grep -q "(3 hosts answered, 0 skipped, 0 hedged, partial=false" <<<"$out" \
+  || { echo "FAIL: healthy query stats line wrong"; exit 1; }
+
+echo
+echo "== 2. hedged query beats the slow-first-only host (hosts 4,5) =="
+start=$(date +%s)
+out="$("$BIN/pathdumpctl" -agents "4=$C,5=$C" \
+  -hedge-after 1s -timeout 30s topk -k 5)"
+took=$(( $(date +%s) - start ))
+echo "$out"
+echo "(took ${took}s wall-clock)"
+grep -q "(2 hosts answered, 0 skipped, 1 hedged, partial=false" <<<"$out" \
+  || { echo "FAIL: hedged query did not report full data + one hedge"; exit 1; }
+# ~1 hedged round trip: the 60s stall must not show up in the wall clock.
+[ "$took" -le 15 ] || { echo "FAIL: hedged query took ${took}s"; exit 1; }
+
+echo
+echo "== 3. -partial deadline run against the always-slow host (hosts 0,1,2,3) =="
+start=$(date +%s)
+out="$("$BIN/pathdumpctl" -agents "0=$A,1=$A,2=$B,3=$B" \
+  -timeout 5s -partial topk -k 5)"
+took=$(( $(date +%s) - start ))
+echo "$out"
+echo "(took ${took}s wall-clock)"
+grep -q "partial=true" <<<"$out" \
+  || { echo "FAIL: deadline run not marked partial"; exit 1; }
+grep -qE "\([12] hosts answered, [23] skipped" <<<"$out" \
+  || { echo "FAIL: partial run host accounting wrong"; exit 1; }
+[ "$took" -le 20 ] || { echo "FAIL: partial run took ${took}s"; exit 1; }
+
+echo
+echo "== 4. without -partial the same deadline run fails loudly =="
+if out="$("$BIN/pathdumpctl" -agents "0=$A,1=$A,2=$B,3=$B" \
+    -timeout 5s topk -k 5 2>&1)"; then
+  echo "$out"
+  echo "FAIL: deadline run without -partial exited 0"
+  exit 1
+fi
+grep -q "deadline exceeded" <<<"$out" \
+  || { echo "FAIL: expected a deadline error, got: $out"; exit 1; }
+echo "failed as expected: $(tail -n 1 <<<"$out")"
+
+echo
+echo "e2e smoke: PASS"
