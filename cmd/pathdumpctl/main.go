@@ -10,6 +10,10 @@
 //	pathdumpctl -agents ... paths -flow 10.0.0.2:1234-10.2.0.2:80
 //	pathdumpctl -agents ... conformance -maxlen 6
 //	pathdumpctl -agents ... install -op poor_tcp -threshold 3 -period 200ms
+//
+//	# capture a live daemon's TIB for offline analysis, then serve it
+//	pathdumpctl -agents 3=http://h3:8403 -pull-snapshot host3.tib
+//	pathdumpd -host 3 -listen :9403 -tib host3.tib
 package main
 
 import (
@@ -39,10 +43,13 @@ func main() {
 	partial := flag.Bool("partial", false, "on a -timeout expiry, print the merged partial result (partial=true in the stats line) instead of failing")
 	hedgeAfter := flag.Duration("hedge-after", 0, "issue a duplicate request to an agent that has not answered after this long; first response wins (0 = never hedge)")
 	hostTimeout := flag.Duration("host-timeout", 0, "per-agent budget: an agent (including its hedge) slower than this is dropped and the result marked partial (0 = no per-agent budget)")
+	retries := flag.Int("retries", 0, "re-issue a request up to this many extra times on real transport errors (connection refused/reset), with jittered backoff; ignored when -hedge-after is set (the hedge race owns the slow/failed path then)")
+	retryBackoff := flag.Duration("retry-backoff", 0, "base backoff before the first retry (default 50ms; doubles per attempt, jittered)")
+	pullSnapshot := flag.String("pull-snapshot", "", "capture the agent's TIB snapshot (GET /snapshot) into this file and exit; requires exactly one -agents entry. Serve it offline with pathdumpd -tib")
 	flag.Parse()
 	args := flag.Args()
-	if *agents == "" || len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: pathdumpctl -agents id=url[,id=url...] [-parallel n] [-timeout d] [-partial] [-hedge-after d] [-host-timeout d] {topk|flows|paths|count|conformance|matrix|poor|install|uninstall} [flags]")
+	if *agents == "" || (len(args) == 0 && *pullSnapshot == "") {
+		fmt.Fprintln(os.Stderr, "usage: pathdumpctl -agents id=url[,id=url...] [-parallel n] [-timeout d] [-partial] [-hedge-after d] [-host-timeout d] [-retries n] [-pull-snapshot file] {topk|flows|paths|count|conformance|matrix|poor|install|uninstall} [flags]")
 		os.Exit(2)
 	}
 	urls, hosts := parseAgents(*agents)
@@ -50,16 +57,35 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ctrl := controller.New(topo, &rpc.HTTPTransport{URLs: urls}, nil)
+	transport := &rpc.HTTPTransport{URLs: urls}
+	ctrl := controller.New(topo, transport, nil)
 	ctrl.Parallelism = *parallel
 	ctrl.PartialOnDeadline = *partial
 	ctrl.HedgeAfter = *hedgeAfter
 	ctrl.PerHostTimeout = *hostTimeout
+	ctrl.RetryAttempts = *retries
+	ctrl.RetryBackoff = *retryBackoff
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *pullSnapshot != "" {
+		if len(hosts) != 1 {
+			log.Fatalf("-pull-snapshot captures one agent's TIB; -agents lists %d", len(hosts))
+		}
+		f, err := os.Create(*pullSnapshot)
+		check(err)
+		n, err := transport.PullSnapshot(ctx, hosts[0], f)
+		if err != nil {
+			os.Remove(*pullSnapshot)
+			check(err)
+		}
+		check(f.Close())
+		fmt.Printf("pulled %d snapshot bytes from host %v into %s\n", n, hosts[0], *pullSnapshot)
+		return
 	}
 
 	cmd, rest := args[0], args[1:]
@@ -178,8 +204,9 @@ func checkExec(stats controller.ExecStats, err error) {
 // result is partial, and the modelled §5.2 response time. The e2e smoke
 // script asserts on this line.
 func printStats(stats controller.ExecStats) {
-	fmt.Printf("(%d hosts answered, %d skipped, %d hedged, partial=%v, modelled response %v)\n",
-		stats.Hosts, stats.Skipped, stats.Hedged, stats.Partial, stats.ResponseTime)
+	fmt.Printf("(%d hosts answered, %d skipped, %d hedged, partial=%v, %d retried, segments %d scanned/%d pruned, modelled response %v)\n",
+		stats.Hosts, stats.Skipped, stats.Hedged, stats.Partial, stats.Retried,
+		stats.SegmentsScanned, stats.SegmentsPruned, stats.ResponseTime)
 }
 
 func parseAgents(s string) (map[types.HostID]string, []types.HostID) {

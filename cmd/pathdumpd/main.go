@@ -53,7 +53,9 @@ func main() {
 		arity    = flag.Int("k", 4, "fat-tree arity of the ground-truth topology")
 		parallel = flag.Int("parallel", 0, "max concurrent per-host executions of a /batchquery (0 = unlimited)")
 		timeout  = flag.Duration("timeout", 0, "per-request deadline (0 = none): the request context is cancelled at the deadline, aborting TIB scans and batch fan-outs mid-flight")
-		tibPath  = flag.String("tib", "", "TIB snapshot to load (gob; single-host mode only)")
+		tibPath  = flag.String("tib", "", "TIB snapshot to load (v2 segment-wise or legacy v1 gob; single-host mode only)")
+		segSpan  = flag.Duration("segment-span", 0, "seal a TIB segment once it covers this much virtual time (0 = seal by record count; default retention/8 when -retention is set)")
+		retain   = flag.Duration("retention", 0, "TIB retention: whole sealed segments older than this (virtual time) are evicted as records arrive — the paper's fixed per-host storage budget (0 = keep everything)")
 		demo     = flag.Bool("demo", false, "populate the TIB with a simulated demo workload")
 		alarmURL = flag.String("controller", "", "controller URL for alarms (optional)")
 		slowHost = flag.Int("slow-host", -1, "fault injection: queries at this served host stall for -slow-delay before answering (e2e straggler testing)")
@@ -62,7 +64,10 @@ func main() {
 	)
 	flag.Parse()
 
-	c, err := pathdump.NewFatTree(*arity, pathdump.Config{})
+	c, err := pathdump.NewFatTree(*arity, pathdump.Config{Agent: pathdump.AgentConfig{
+		SegmentSpan: pathdump.Time(segSpan.Nanoseconds()),
+		Retention:   pathdump.Time(retain.Nanoseconds()),
+	}})
 	if err != nil {
 		log.Fatalf("pathdumpd: %v", err)
 	}
@@ -137,9 +142,9 @@ func main() {
 		}
 		f.Close()
 		srv := &rpc.AgentServer{T: rpc.SnapshotTarget{Store: store}}
-		log.Printf("pathdumpd: snapshot %s serving on %s, %d TIB records",
-			*tibPath, *listen, store.Len())
-		fmt.Println("endpoints: POST /query /install /uninstall, GET /stats")
+		log.Printf("pathdumpd: snapshot %s serving on %s, %d TIB records in %d segments",
+			*tibPath, *listen, store.Len(), store.Segments())
+		fmt.Println("endpoints: POST /query /install /uninstall, GET /stats /snapshot")
 		if err := serve(ctx, *listen, srv.Handler(), *timeout); err != nil {
 			log.Fatal(err)
 		}
@@ -177,10 +182,10 @@ func main() {
 	if len(served) == 1 && *hostIDs == "" {
 		for id, a := range served {
 			handler = (&rpc.AgentServer{T: target(id, a)}).Handler()
-			log.Printf("pathdumpd: host %v (%v) serving on %s, %d TIB records",
-				a.Host.ID, a.Host.IP, *listen, a.Store.Len())
+			log.Printf("pathdumpd: host %v (%v) serving on %s, %d TIB records in %d segments",
+				a.Host.ID, a.Host.IP, *listen, a.Store.Len(), a.Store.Segments())
 		}
-		fmt.Println("endpoints: POST /query /install /uninstall, GET /stats")
+		fmt.Println("endpoints: POST /query /install /uninstall, GET /stats /snapshot")
 	} else {
 		targets := make(map[types.HostID]rpc.Target, len(served))
 		for id, a := range served {
@@ -188,7 +193,7 @@ func main() {
 		}
 		handler = (&rpc.MultiAgentServer{Targets: targets, Parallelism: *parallel}).Handler()
 		log.Printf("pathdumpd: %d hosts serving on %s", len(served), *listen)
-		fmt.Println("endpoints: POST /query /batchquery /install /uninstall, GET /stats")
+		fmt.Println("endpoints: POST /query /batchquery /install /uninstall, GET /stats /snapshot?host=N")
 	}
 	if err := serve(ctx, *listen, handler, *timeout); err != nil {
 		log.Fatal(err)

@@ -9,6 +9,7 @@ package agent
 import (
 	"context"
 	"fmt"
+	"io"
 	"sync"
 
 	"pathdump/internal/cherrypick"
@@ -44,6 +45,19 @@ type Config struct {
 	// query scans do not serialise (default tib.DefaultShards; 1 yields
 	// a single-lock store).
 	StoreShards int
+	// SegmentSpan seals a TIB segment once it covers this much time
+	// (default: Retention/8 when Retention is set, otherwise seal by
+	// record count only). Tighter segments prune harder on range queries
+	// and evict at finer granularity.
+	SegmentSpan types.Time
+	// SegmentRecords seals a TIB segment at this many records
+	// (default tib.DefaultSegmentRecords; negative = never seal by count).
+	SegmentRecords int
+	// Retention bounds the TIB: as records are exported, whole sealed
+	// segments whose newest record is older than now−Retention are
+	// evicted — the paper's fixed per-host storage budget (§5.3). 0 keeps
+	// everything.
+	Retention types.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -53,14 +67,20 @@ func (c Config) withDefaults() Config {
 	if c.SweepPeriod == 0 {
 		c.SweepPeriod = types.Second
 	}
+	if c.SegmentSpan == 0 && c.Retention > 0 {
+		c.SegmentSpan = c.Retention / 8
+	}
 	return c
 }
 
-func (c Config) storeShards() int {
-	if c.StoreShards > 0 {
-		return c.StoreShards
+// storeConfig maps the agent knobs onto the TIB store's configuration.
+func (c Config) storeConfig() tib.Config {
+	return tib.Config{
+		Shards:         c.StoreShards,
+		SegmentSpan:    c.SegmentSpan,
+		SegmentRecords: c.SegmentRecords,
+		Retention:      c.Retention,
 	}
-	return tib.DefaultShards
 }
 
 // Installed is one query installed by the controller (§2.1): periodic when
@@ -98,10 +118,11 @@ type Agent struct {
 	plog      *packetRing
 
 	// Counters exposed for the overhead experiments (§5.3).
-	PacketsSeen   uint64
-	BytesSeen     uint64
-	RecordsStored uint64
-	InvalidTraj   uint64
+	PacketsSeen    uint64
+	BytesSeen      uint64
+	RecordsStored  uint64
+	RecordsEvicted uint64
+	InvalidTraj    uint64
 }
 
 // New builds an agent for host h and registers it as the host's packet
@@ -117,7 +138,7 @@ func New(sim *netsim.Sim, h *topology.Host, stack *tcp.Stack, sink AlarmSink, cf
 		cfg:       cfg,
 		Mem:       tib.NewMemory(cfg.IdleTimeout),
 		Cache:     tib.NewCache(cfg.CacheSize),
-		Store:     tib.NewStoreShards(cfg.storeShards()),
+		Store:     tib.NewStoreConfig(cfg.storeConfig()),
 		stack:     stack,
 		sink:      sink,
 		installed: make(map[int]*Installed),
@@ -211,6 +232,14 @@ func (a *Agent) export(e *tib.MemEntry) {
 	}
 	a.Store.Add(rec)
 	a.RecordsStored++
+	if a.cfg.Retention > 0 {
+		// Bounded retention (§5.3): expired sealed segments go as new
+		// records arrive. EvictBefore self-throttles — cutoffs that cannot
+		// free a segment yet return without touching a lock — so this is
+		// safe to call per export.
+		_, n := a.Store.EvictBefore(a.sim.Now() - a.cfg.Retention)
+		a.RecordsEvicted += uint64(n)
+	}
 	// Event-triggered installed queries run as new records appear. The
 	// matching set is captured under the lock; execution (which may
 	// raise alarms) happens outside it.
@@ -340,6 +369,16 @@ func (a *Agent) runInstalled(inst *Installed, rec *types.Record) {
 // TIBSize reports the number of queryable records (TIB plus trajectory
 // memory) — the cost-model input for response-time accounting.
 func (a *Agent) TIBSize() int { return a.Store.Len() + a.Mem.Len() }
+
+// SegmentStats reports the TIB's cumulative scan telemetry (segments
+// walked versus pruned); the rpc servers attribute per-query deltas.
+func (a *Agent) SegmentStats() (scanned, pruned uint64) { return a.Store.SegmentStats() }
+
+// WriteSnapshot streams the host's TIB in the segment-wise v2 snapshot
+// format — the /snapshot endpoint and offline analysis both read it. The
+// capture is consistent and momentary; ingest continues while the
+// snapshot streams.
+func (a *Agent) WriteSnapshot(w io.Writer) error { return a.Store.Snapshot(w) }
 
 // PoorTCPFlows implements getPoorTCPFlows over the host's TCP monitor.
 func (a *Agent) PoorTCPFlows(threshold int) []types.FlowID {

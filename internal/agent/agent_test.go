@@ -273,3 +273,50 @@ func TestPerPacketLogExtension(t *testing.T) {
 		t.Error("packet log should be off by default")
 	}
 }
+
+func TestIngestRetentionBoundsStore(t *testing.T) {
+	// Bounded retention (§5.3): the agent's ingest path evicts whole
+	// expired TIB segments as records arrive, so per-host storage tracks
+	// the retention window instead of growing without bound.
+	const (
+		retention = 10 * types.Second
+		spacing   = 500 * types.Millisecond
+		flows     = 100
+	)
+	r := newRig(t, netsim.Config{}, Config{Retention: retention})
+	src := r.sim.Topo.Hosts()[0]
+	dst := r.sim.Topo.HostsAt(r.sim.Topo.ToRID(1, 0))[0]
+	for i := 0; i < flows; i++ {
+		f := r.flow(src, dst, uint16(2000+i))
+		// FIN-carrying raw packet: exported at arrival, timestamped now.
+		r.sim.Send(src.ID, &netsim.Packet{Flow: f, Size: 400, Fin: true})
+		r.sim.Run(types.Time(i+1) * spacing)
+	}
+	a := r.agents[dst.ID]
+	if a.RecordsStored != flows {
+		t.Fatalf("stored %d records, want %d", a.RecordsStored, flows)
+	}
+	if a.RecordsEvicted == 0 {
+		t.Fatal("50s of ingest under a 10s retention evicted nothing")
+	}
+	if a.Store.Len() != int(a.RecordsStored-a.RecordsEvicted) {
+		t.Fatalf("Len = %d, stored %d, evicted %d", a.Store.Len(), a.RecordsStored, a.RecordsEvicted)
+	}
+	if a.Store.Len() >= flows {
+		t.Fatalf("store not bounded: %d records", a.Store.Len())
+	}
+	// Survivors all sit inside the retention window (one segment-span of
+	// slack at the boundary — eviction granularity is a whole segment).
+	cutoff := r.sim.Now() - retention
+	slack := retention / 8 * 2 // default SegmentSpan is Retention/8
+	a.Store.ForEach(types.AnyLink, types.AllTime, func(rec *types.Record) {
+		if rec.ETime < cutoff-slack {
+			t.Fatalf("expired record survived: %v (cutoff %v)", rec, cutoff)
+		}
+	})
+	// And the recent window is intact: the last flows are queryable.
+	f := r.flow(src, dst, uint16(2000+flows-1))
+	if got := a.Store.Paths(f, types.AnyLink, types.AllTime); len(got) != 1 {
+		t.Fatalf("freshest record missing: %v", got)
+	}
+}

@@ -49,25 +49,24 @@ func (a *Agent) view() query.View {
 	return v
 }
 
-// EachRecord implements query.View over store + live records. With a
-// context attached, the TIB scan aborts between merged shard records once
-// the context is cancelled.
-func (v agentView) EachRecord(link types.LinkID, tr types.TimeRange, fn func(*types.Record)) {
+// ScanRecords implements query.View over store + live records: the
+// predicate is pushed down into the segmented store (whole-segment time
+// pruning, index postings), and the handful of not-yet-exported live
+// records are filtered by Predicate.Match. With a context attached, the
+// TIB scan aborts between merged shard records once the context is
+// cancelled.
+func (v agentView) ScanRecords(p query.Predicate, fn func(*types.Record)) {
 	if v.ctx == nil {
-		v.a.Store.ForEach(link, tr, fn)
+		v.a.Store.Scan(p.Flow, p.Link, p.Range, fn)
 	} else {
-		v.a.Store.ForEachWhile(link, tr, query.PollCancel(v.ctx, fn))
+		v.a.Store.ScanWhile(p.Flow, p.Link, p.Range, query.PollCancel(v.ctx, fn))
 		if v.cancelled() {
 			return
 		}
 	}
-	all := link == types.AnyLink
 	for i := range v.live {
 		rec := &v.live[i]
-		if !rec.Overlaps(tr) {
-			continue
-		}
-		if all || rec.Path.ContainsLink(link) {
+		if p.Match(rec) {
 			fn(rec)
 		}
 	}
@@ -84,7 +83,7 @@ func (v agentView) Flows(link types.LinkID, tr types.TimeRange) []types.Flow {
 	}
 	seen := make(map[key]bool)
 	var out []types.Flow
-	v.EachRecord(link, tr, func(rec *types.Record) {
+	v.ScanRecords(query.Predicate{Link: link, Range: tr}, func(rec *types.Record) {
 		k := key{rec.Flow, rec.Path.Key()}
 		if !seen[k] {
 			seen[k] = true
@@ -216,13 +215,9 @@ func (v recordView) Duration(f types.Flow, tr types.TimeRange) types.Time {
 // PoorTCPFlows implements query.View.
 func (v recordView) PoorTCPFlows(int) []types.FlowID { return nil }
 
-// EachRecord implements query.View.
-func (v recordView) EachRecord(link types.LinkID, tr types.TimeRange, fn func(*types.Record)) {
-	if !v.rec.Overlaps(tr) {
-		return
+// ScanRecords implements query.View.
+func (v recordView) ScanRecords(p query.Predicate, fn func(*types.Record)) {
+	if p.Match(v.rec) {
+		fn(v.rec)
 	}
-	if link != types.AnyLink && !v.rec.Path.ContainsLink(link) {
-		return
-	}
-	fn(v.rec)
 }

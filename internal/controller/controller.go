@@ -43,6 +43,12 @@ import (
 type QueryMeta struct {
 	// RecordsScanned is how many TIB records the host touched.
 	RecordsScanned int
+	// SegmentsScanned/SegmentsPruned report the host store's segment
+	// telemetry for this query: partitions walked versus skipped whole by
+	// time-bound intersection. They feed ExecStats and the §5.2 cost
+	// model's pruned-fraction term.
+	SegmentsScanned int
+	SegmentsPruned  int
 }
 
 // Transport moves queries between the controller and host agents. The
@@ -89,16 +95,25 @@ type Local struct {
 
 // Query implements Transport. The context is honoured mid-scan: the
 // agent's evaluation loop polls cancellation as it merges TIB shards.
+// Segment telemetry is attributed by delta around the execution (queries
+// racing on one agent may swap shares — the counts feed modelled stats,
+// not correctness).
 func (l Local) Query(ctx context.Context, host types.HostID, q query.Query) (query.Result, QueryMeta, error) {
 	a, ok := l.Agents[host]
 	if !ok {
 		return query.Result{}, QueryMeta{}, fmt.Errorf("controller: unknown host %v", host)
 	}
+	sc0, sp0 := a.Store.SegmentStats()
 	res, err := a.ExecuteContext(ctx, q)
 	if err != nil {
 		return query.Result{}, QueryMeta{}, err
 	}
-	return res, QueryMeta{RecordsScanned: a.Store.Len() + a.Mem.Len()}, nil
+	sc1, sp1 := a.Store.SegmentStats()
+	return res, QueryMeta{
+		RecordsScanned:  a.Store.Len() + a.Mem.Len(),
+		SegmentsScanned: int(sc1 - sc0),
+		SegmentsPruned:  int(sp1 - sp0),
+	}, nil
 }
 
 // Install implements Transport.
@@ -165,6 +180,13 @@ type CostModel struct {
 	// slow-host round trip keeps a 64-host direct query interactive even
 	// when the model would otherwise charge the full serial wall-clock.
 	Deadline types.Time
+	// SegmentCheck is the per-segment bound-intersection cost of the
+	// host's time-partitioned TIB (0 = free). When a host reports segment
+	// telemetry, its modelled scan cost charges ExecPerRecord only for
+	// the un-pruned fraction of its records plus one SegmentCheck per
+	// segment considered — the §5.2 term that makes narrow time windows
+	// over large TIBs model as cheap as they now run.
+	SegmentCheck types.Time
 }
 
 // DefaultCostModel returns the defaults above (no deadline).
@@ -197,6 +219,17 @@ type ExecStats struct {
 	// Hedged is how many duplicate (hedged) per-host requests were
 	// actually issued because a primary outlived HedgeAfter.
 	Hedged int
+	// Retried is how many per-host (or batched-round) requests were
+	// re-issued after a real transport error under the retry policy
+	// (Controller.RetryAttempts) — distinct from Hedged, which duplicates
+	// slow-but-healthy requests.
+	Retried int
+	// SegmentsScanned/SegmentsPruned total the hosts' TIB partition
+	// telemetry: segments walked versus skipped whole by time-bound
+	// intersection. A range-heavy query over segmented stores should show
+	// Pruned ≫ Scanned.
+	SegmentsScanned int
+	SegmentsPruned  int
 	// ResponseTime is the modelled end-to-end latency, capped at the cost
 	// model's Deadline when one is set.
 	ResponseTime types.Time
@@ -244,6 +277,23 @@ type Controller struct {
 	// DeadlineExceeded. Explicit cancellation (the caller is gone) and
 	// real host failures still error.
 	PartialOnDeadline bool
+
+	// RetryAttempts re-issues a failed per-host request (or batched
+	// round) up to this many extra times on real transport errors —
+	// connection refused, reset, EOF — with jittered exponential backoff.
+	// It is distinct from hedging: a hedge duplicates a request that is
+	// merely slow, a retry replaces one the transport already failed.
+	// Context expiry, fan-out aborts and authoritative server answers
+	// (HTTP status errors) are never retried, and when hedging is active
+	// the hedge race owns the slow/failed path instead. 0 disables.
+	RetryAttempts int
+
+	// RetryBackoff is the base delay before the first retry (default
+	// 50 ms when RetryAttempts > 0); each further attempt doubles it,
+	// jittered to [d/2, d). The retrying host keeps its Parallelism slot
+	// while it backs off — the bound is on outstanding work, and a host
+	// mid-retry is still work in progress.
+	RetryBackoff time.Duration
 
 	mu       sync.Mutex
 	alarms   []types.Alarm
@@ -572,6 +622,8 @@ func (c *Controller) newQueryFanout(ctx context.Context) *fanout {
 	fo.perHostTimeout = c.PerHostTimeout
 	fo.hedgeAfter = c.HedgeAfter
 	fo.partial = c.PartialOnDeadline
+	fo.retryAttempts = c.RetryAttempts
+	fo.retryBackoff = c.RetryBackoff
 	return fo
 }
 
@@ -591,6 +643,21 @@ func (c *Controller) dropHost(fo *fanout, err error) bool {
 		return fo.perHostTimeout > 0
 	}
 	return fo.partial && errors.Is(qerr, context.DeadlineExceeded)
+}
+
+// modelHostExec is the modelled execution time at one host. Without
+// segment telemetry it is the classic §5.2 linear scan charge. With it,
+// only the un-pruned fraction of the host's records is charged at
+// ExecPerRecord, plus one SegmentCheck per partition considered — the
+// cost-model mirror of whole-segment time pruning.
+func (c *Controller) modelHostExec(meta QueryMeta) types.Time {
+	t := c.Cost.ExecBase
+	records := types.Time(meta.RecordsScanned)
+	if total := meta.SegmentsScanned + meta.SegmentsPruned; total > 0 {
+		records = records * types.Time(meta.SegmentsScanned) / types.Time(total)
+		t += types.Time(total) * c.Cost.SegmentCheck
+	}
+	return t + records*c.Cost.ExecPerRecord
 }
 
 // modelPerHostCap is the modelled time charged for a host the controller
@@ -632,41 +699,46 @@ func (c *Controller) run(ctx context.Context, n *treeNode, q query.Query) (query
 		return query.Result{}, ExecStats{}, err
 	}
 	fo := c.newQueryFanout(ctx)
-	res, t, bytes, hosts, err := c.runNode(n, q, int64(len(qBytes)), fo)
+	out := c.runNode(n, q, int64(len(qBytes)), fo)
 	total := countHosts(n)
-	stats := ExecStats{Hedged: int(fo.hedged.Load())}
-	if err != nil {
+	stats := ExecStats{Hedged: int(fo.hedged.Load()), Retried: int(fo.retried.Load())}
+	if out.err != nil {
 		stats.Hosts = int(fo.queried.Load())
 		stats.Skipped = total - stats.Hosts
-		return query.Result{}, stats, err
+		return query.Result{}, stats, out.err
 	}
+	t := out.t
 	if d := c.Cost.Deadline; d > 0 && t > d {
 		// The modelled controller hands back whatever has arrived once the
 		// per-query deadline fires; stragglers past it are simply not
 		// waited for, so the modelled response time caps at the deadline.
 		t = d
 	}
-	stats.Hosts = hosts
-	stats.Skipped = total - hosts
+	stats.Hosts = out.hosts
+	stats.Skipped = total - out.hosts
 	stats.Partial = stats.Skipped > 0
 	stats.ResponseTime = t
-	stats.WireBytes = bytes
-	return res, stats, nil
+	stats.WireBytes = out.wire
+	stats.SegmentsScanned = out.segScanned
+	stats.SegmentsPruned = out.segPruned
+	return out.res, stats, nil
 }
 
 // childOut is one child subtree's outcome, slotted by child index so the
 // merge remains deterministic regardless of goroutine completion order.
 // err==nil with hosts==0 marks a dropped straggler (or a subtree whose
 // every host was dropped): it contributes nothing to the merge.
+// segScanned/segPruned total the subtree's TIB partition telemetry.
 type childOut struct {
-	res   query.Result
-	t     types.Time
-	wire  int64
-	hosts int
-	err   error
+	res                   query.Result
+	t                     types.Time
+	wire                  int64
+	hosts                 int
+	segScanned, segPruned int
+	err                   error
 }
 
-func (c *Controller) runNode(n *treeNode, q query.Query, qWire int64, fo *fanout) (query.Result, types.Time, int64, int, error) {
+func (c *Controller) runNode(n *treeNode, q query.Query, qWire int64, fo *fanout) childOut {
 	nc := len(n.children)
 	outs := make([]childOut, nc)
 	done := make(chan int, nc)
@@ -697,8 +769,7 @@ func (c *Controller) runNode(n *treeNode, q query.Query, qWire int64, fo *fanout
 			continue
 		}
 		go func(i int, ch *treeNode) {
-			r, t, b, h, err := c.runNode(ch, q, qWire, fo)
-			outs[i] = childOut{res: r, t: t, wire: b, hosts: h, err: err}
+			outs[i] = c.runNode(ch, q, qWire, fo)
 			done <- i
 		}(i, ch)
 	}
@@ -706,21 +777,22 @@ func (c *Controller) runNode(n *treeNode, q query.Query, qWire int64, fo *fanout
 	// The node's own host executes on this goroutine, concurrently with
 	// its children (an aggregation host scans its TIB while waiting); its
 	// result is the merge base.
-	var res query.Result
-	res.Op = q.Op
+	var out childOut
+	out.res.Op = q.Op
 	var (
 		localT   types.Time
 		localErr error
-		hosts    int
 	)
 	if n.isHost {
 		r, meta, err := c.queryHost(n.host, q, fo)
 		switch {
 		case err == nil:
-			res = r
-			res.Op = q.Op
-			localT = c.Cost.ExecBase + types.Time(meta.RecordsScanned)*c.Cost.ExecPerRecord
-			hosts = 1
+			out.res = r
+			out.res.Op = q.Op
+			localT = c.modelHostExec(meta)
+			out.hosts = 1
+			out.segScanned += meta.SegmentsScanned
+			out.segPruned += meta.SegmentsPruned
 		case c.dropHost(fo, err):
 			// Straggler dropped: the node aggregates without its own data,
 			// having waited (in the model's view) the per-host budget.
@@ -734,7 +806,7 @@ func (c *Controller) runNode(n *treeNode, q query.Query, qWire int64, fo *fanout
 	// Streaming interior merge: drain the completion channel and fold
 	// each child in the moment the index prefix allows, so merging
 	// overlaps waiting on the remaining children.
-	sm := query.NewStreamMerger(q, &res, nc)
+	sm := query.NewStreamMerger(q, &out.res, nc)
 	errs := make([]error, 1, nc+1)
 	errs[0] = localErr
 	for drained := 0; drained < nc; drained++ {
@@ -753,7 +825,7 @@ func (c *Controller) runNode(n *treeNode, q query.Query, qWire int64, fo *fanout
 		sm.Add(i, &o.res)
 	}
 	if err := firstError(errs); err != nil {
-		return res, 0, 0, 0, err
+		return childOut{res: out.res, err: err}
 	}
 
 	// Modelled schedule: children are dispatched in index order onto
@@ -768,7 +840,6 @@ func (c *Controller) runNode(n *treeNode, q query.Query, qWire int64, fo *fanout
 	perHostCap := c.modelPerHostCap()
 	childT := localT
 	mergeEnd := localT
-	var wire int64
 	for i := range outs {
 		o := &outs[i]
 		size := int64(o.res.WireSize())
@@ -797,8 +868,10 @@ func (c *Controller) runNode(n *treeNode, q query.Query, qWire int64, fo *fanout
 		if avail > childT {
 			childT = avail
 		}
-		wire += o.wire + size + qWire
-		hosts += o.hosts
+		out.wire += o.wire + size + qWire
+		out.hosts += o.hosts
+		out.segScanned += o.segScanned
+		out.segPruned += o.segPruned
 		if o.hosts > 0 {
 			if avail > mergeEnd {
 				mergeEnd = avail
@@ -806,11 +879,11 @@ func (c *Controller) runNode(n *treeNode, q query.Query, qWire int64, fo *fanout
 			mergeEnd += types.Time(itemCount(&o.res)) * c.Cost.MergePerItem
 		}
 	}
-	total := mergeEnd
-	if childT > total {
-		total = childT
+	out.t = mergeEnd
+	if childT > out.t {
+		out.t = childT
 	}
-	return res, total, wire, hosts, nil
+	return out
 }
 
 // runBatch resolves the leaf children listed in batchIdx through one
@@ -858,6 +931,15 @@ func (c *Controller) runBatch(bt BatchTransport, n *treeNode, q query.Query, bat
 		defer cancel()
 	}
 	replies, err := bt.QueryMany(batchCtx, hosts, q, parallel)
+	// A whole-round transport failure is retried like a per-host one: the
+	// round trip is this path's request unit.
+	for attempt := 0; attempt < fo.retryAttempts && retryableTransportError(err); attempt++ {
+		if !sleepCtx(batchCtx, fo.retryDelay(attempt)) || fo.err() != nil {
+			break
+		}
+		fo.retried.Add(1)
+		replies, err = bt.QueryMany(batchCtx, hosts, q, parallel)
+	}
 	if err == nil && len(replies) != len(hosts) {
 		err = fmt.Errorf("controller: batch query returned %d replies for %d hosts", len(replies), len(hosts))
 	}
@@ -875,9 +957,11 @@ func (c *Controller) runBatch(bt BatchTransport, n *treeNode, q query.Query, bat
 		}
 		fo.queried.Add(1)
 		outs[i] = childOut{
-			res:   rep.Result,
-			t:     c.Cost.ExecBase + types.Time(rep.Meta.RecordsScanned)*c.Cost.ExecPerRecord,
-			hosts: 1,
+			res:        rep.Result,
+			t:          c.modelHostExec(rep.Meta),
+			hosts:      1,
+			segScanned: rep.Meta.SegmentsScanned,
+			segPruned:  rep.Meta.SegmentsPruned,
 		}
 	}
 }
@@ -913,6 +997,16 @@ func (c *Controller) queryHost(host types.HostID, q query.Query, fo *fanout) (qu
 	}
 	if fo.hedgeAfter <= 0 {
 		r, meta, err := c.T.Query(hostCtx, host, q)
+		// Bounded retry on real transport errors (never on context expiry,
+		// aborts, or authoritative HTTP answers). The host keeps its pool
+		// slot across the backoff: it is still outstanding work.
+		for attempt := 0; attempt < fo.retryAttempts && retryableTransportError(err); attempt++ {
+			if !sleepCtx(hostCtx, fo.retryDelay(attempt)) || fo.err() != nil {
+				break
+			}
+			fo.retried.Add(1)
+			r, meta, err = c.T.Query(hostCtx, host, q)
+		}
 		if err == nil {
 			fo.queried.Add(1)
 		}

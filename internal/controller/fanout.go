@@ -3,6 +3,9 @@ package controller
 import (
 	"context"
 	"errors"
+	"io"
+	"math/rand"
+	"net"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,6 +44,8 @@ type fanout struct {
 	perHostTimeout time.Duration
 	hedgeAfter     time.Duration
 	partial        bool
+	retryAttempts  int
+	retryBackoff   time.Duration
 
 	// queried counts hosts whose query completed successfully, so a
 	// cancelled execution can report how many of the requested hosts were
@@ -48,6 +53,9 @@ type fanout struct {
 	queried atomic.Int64
 	// hedged counts duplicate requests actually issued (ExecStats.Hedged).
 	hedged atomic.Int64
+	// retried counts re-issued requests after real transport errors
+	// (ExecStats.Retried).
+	retried atomic.Int64
 }
 
 func newFanout(ctx context.Context, parallelism int) *fanout {
@@ -112,6 +120,61 @@ func (fo *fanout) tryAcquire() bool {
 	case fo.sem <- struct{}{}:
 		return true
 	default:
+		return false
+	}
+}
+
+// retryableTransportError classifies a per-host failure for the retry
+// policy: only real transport errors — the dial failed, the connection
+// reset, the stream cut off — are worth re-asking, so the check is a
+// whitelist of network-level failures (net.Error somewhere in the chain,
+// or an EOF mid-stream). Everything else is permanent for this
+// execution: context expiry is the caller's decision, an abort echoes
+// someone else's failure, an HTTP status error means the server answered
+// authoritatively (a 501 will be a 501 the second time too), and
+// configuration errors (unknown host, no URL) or response-decode
+// failures cannot heal by re-asking.
+func retryableTransportError(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, errAborted) {
+		return false
+	}
+	var status interface{ HTTPStatus() int }
+	if errors.As(err, &status) {
+		return false
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
+
+// retryDelay is the jittered exponential backoff before retry attempt n
+// (0-based): base·2ⁿ jittered down to [d/2, d), so synchronised failures
+// across a fan-out do not re-converge on the failed host in lockstep.
+func (fo *fanout) retryDelay(attempt int) time.Duration {
+	d := fo.retryBackoff
+	if d <= 0 {
+		d = 50 * time.Millisecond
+	}
+	for i := 0; i < attempt && d < 10*time.Second; i++ {
+		d *= 2
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// sleepCtx waits d or until ctx is done, reporting whether the full wait
+// elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
 		return false
 	}
 }

@@ -54,9 +54,9 @@ func (v StoreView) WithContext(ctx context.Context) View {
 }
 
 // ctxStoreView is a StoreView whose record scans poll cancellation. The
-// full-store scans (EachRecord, and Flows built on it) abort between
+// full-store scans (ScanRecords, and Flows built on it) abort between
 // records of the cross-shard merge; per-flow lookups (Paths, Count,
-// Duration) touch one shard's posting list and just check on entry.
+// Duration) touch one shard's posting lists and just check on entry.
 type ctxStoreView struct {
 	StoreView
 	ctx context.Context
@@ -80,9 +80,11 @@ func PollCancel(ctx context.Context, fn func(*types.Record)) func(*types.Record)
 	}
 }
 
-// EachRecord implements View with periodic cancellation checks.
-func (v ctxStoreView) EachRecord(l types.LinkID, tr types.TimeRange, fn func(*types.Record)) {
-	v.S.ForEachWhile(l, tr, PollCancel(v.ctx, fn))
+// ScanRecords implements View with periodic cancellation checks: the
+// predicate is pushed down into the store's scan, and the visitor polls
+// the context between records of the cross-shard merge.
+func (v ctxStoreView) ScanRecords(p Predicate, fn func(*types.Record)) {
+	v.S.ScanWhile(p.Flow, p.Link, p.Range, PollCancel(v.ctx, fn))
 }
 
 // Flows implements View over the cancellable scan (same dedup as the
@@ -97,7 +99,7 @@ func (v ctxStoreView) Flows(link types.LinkID, tr types.TimeRange) []types.Flow 
 	}
 	seen := make(map[key]bool)
 	var out []types.Flow
-	v.EachRecord(link, tr, func(rec *types.Record) {
+	v.ScanRecords(Predicate{Link: link, Range: tr}, func(rec *types.Record) {
 		k := key{rec.Flow, rec.Path.Key()}
 		if !seen[k] {
 			seen[k] = true

@@ -148,8 +148,11 @@ type View interface {
 	Duration(f types.Flow, tr types.TimeRange) types.Time
 	// PoorTCPFlows is getPoorTCPFlows from the active monitor.
 	PoorTCPFlows(threshold int) []types.FlowID
-	// EachRecord visits raw records (for matrix/records/conformance ops).
-	EachRecord(link types.LinkID, tr types.TimeRange, fn func(*types.Record))
+	// ScanRecords visits raw records matching the predicate in insertion
+	// order (for matrix/records ops and everything built on raw scans).
+	// Views over an indexed store push the predicate down — segment
+	// pruning plus index postings — instead of filtering a full scan.
+	ScanRecords(p Predicate, fn func(*types.Record))
 }
 
 // OpSupport is an optional View extension: views that cannot serve some
@@ -194,9 +197,10 @@ func (v StoreView) Supports(op Op) error {
 	return nil
 }
 
-// EachRecord implements View.
-func (v StoreView) EachRecord(l types.LinkID, tr types.TimeRange, fn func(*types.Record)) {
-	v.S.ForEach(l, tr, fn)
+// ScanRecords implements View: the predicate goes straight down into the
+// segmented store's scan (whole-segment time pruning, index postings).
+func (v StoreView) ScanRecords(p Predicate, fn func(*types.Record)) {
+	v.S.Scan(p.Flow, p.Link, p.Range, fn)
 }
 
 // ExecuteE runs a query against a host's view, reporting ErrUnsupported
@@ -236,7 +240,7 @@ func Execute(q Query, v View) Result {
 	case OpMatrix:
 		res.Matrix = executeMatrix(q, v, tr)
 	case OpRecords:
-		v.EachRecord(q.Link, tr, func(rec *types.Record) {
+		v.ScanRecords(PredicateOf(q), func(rec *types.Record) {
 			res.Records = append(res.Records, *rec)
 		})
 	}
@@ -338,7 +342,7 @@ func violates(q Query, p types.Path) bool {
 func executeMatrix(q Query, v View, tr types.TimeRange) []MatrixCell {
 	type key struct{ s, d types.SwitchID }
 	cells := make(map[key]uint64)
-	v.EachRecord(types.AnyLink, tr, func(rec *types.Record) {
+	v.ScanRecords(Predicate{Link: types.AnyLink, Range: tr}, func(rec *types.Record) {
 		if len(rec.Path) == 0 {
 			return
 		}

@@ -181,10 +181,10 @@ func (emptyView) Flows(types.LinkID, types.TimeRange) []types.Flow { return nil 
 func (emptyView) Paths(types.FlowID, types.LinkID, types.TimeRange) []types.Path {
 	return nil
 }
-func (emptyView) Count(types.Flow, types.TimeRange) (uint64, uint64)            { return 0, 0 }
-func (emptyView) Duration(types.Flow, types.TimeRange) types.Time               { return 0 }
-func (emptyView) PoorTCPFlows(int) []types.FlowID                               { return nil }
-func (emptyView) EachRecord(types.LinkID, types.TimeRange, func(*types.Record)) {}
+func (emptyView) Count(types.Flow, types.TimeRange) (uint64, uint64) { return 0, 0 }
+func (emptyView) Duration(types.Flow, types.TimeRange) types.Time    { return 0 }
+func (emptyView) PoorTCPFlows(int) []types.FlowID                    { return nil }
+func (emptyView) ScanRecords(Predicate, func(*types.Record))         {}
 
 func sortFlows(fs []types.Flow) {
 	for i := 1; i < len(fs); i++ {

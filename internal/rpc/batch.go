@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 
 	"pathdump/internal/controller"
@@ -59,12 +60,12 @@ func (s *MultiAgentServer) Handler() http.Handler {
 			http.Error(w, err.Error(), http.StatusNotFound)
 			return
 		}
-		res, err := execute(r.Context(), t, req.Query)
+		res, sc, sp, err := executeMeta(r.Context(), t, req.Query)
 		if err != nil {
 			writeExecuteError(w, err)
 			return
 		}
-		encode(w, QueryResponse{Result: res, RecordsScanned: t.TIBSize()})
+		encode(w, QueryResponse{Result: res, RecordsScanned: t.TIBSize(), SegmentsScanned: sc, SegmentsPruned: sp})
 	})
 	mux.HandleFunc("/batchquery", func(w http.ResponseWriter, r *http.Request) {
 		var req BatchQueryRequest
@@ -78,6 +79,14 @@ func (s *MultiAgentServer) Handler() http.Handler {
 		}
 		encode(w, BatchQueryResponse{Replies: replies})
 	})
+	mux.HandleFunc("/snapshot", snapshotHandler(func(r *http.Request) (Target, error) {
+		n, err := strconv.Atoi(r.URL.Query().Get("host"))
+		if err != nil {
+			return nil, fmt.Errorf("rpc: /snapshot needs a numeric ?host parameter: %w", err)
+		}
+		h := types.HostID(n)
+		return s.target(&h)
+	}))
 	mux.HandleFunc("/install", func(w http.ResponseWriter, r *http.Request) {
 		var req InstallRequest
 		if !decode(w, r, &req) {
@@ -165,13 +174,15 @@ func (s *MultiAgentServer) runBatch(ctx context.Context, req BatchQueryRequest) 
 				replies[i].Error = fmt.Sprintf("rpc: host %v not served here", h)
 				return
 			}
-			res, err := execute(ctx, t, req.Query)
+			res, sc, sp, err := executeMeta(ctx, t, req.Query)
 			if err != nil {
 				replies[i].Error = err.Error()
 				return
 			}
 			replies[i].Result = res
 			replies[i].RecordsScanned = t.TIBSize()
+			replies[i].SegmentsScanned = sc
+			replies[i].SegmentsPruned = sp
 		}(i, h)
 	}
 	wg.Wait()
@@ -294,7 +305,11 @@ func (t *HTTPTransport) queryGroup(ctx context.Context, url string, hosts []type
 	}
 	for j, i := range idx {
 		rep := resp.Replies[j]
-		out := controller.BatchReply{Host: hosts[i], Result: rep.Result, Meta: controller.QueryMeta{RecordsScanned: rep.RecordsScanned}}
+		out := controller.BatchReply{Host: hosts[i], Result: rep.Result, Meta: controller.QueryMeta{
+			RecordsScanned:  rep.RecordsScanned,
+			SegmentsScanned: rep.SegmentsScanned,
+			SegmentsPruned:  rep.SegmentsPruned,
+		}}
 		if rep.Error != "" {
 			out.Err = fmt.Errorf("rpc: host %v: %s", hosts[i], rep.Error)
 		}

@@ -6,10 +6,11 @@
 //
 // Endpoints (all JSON over POST unless noted):
 //
-//	agent:      /query      {query}          → {result, records_scanned}
+//	agent:      /query      {query}          → {result, records_scanned, segments_*}
 //	            /install    {query, period}  → {id}
 //	            /uninstall  {id}             → {}
 //	            /stats      (GET)            → {records, packets, invalid}
+//	            /snapshot   (GET, ?host=N)   → segment-wise TIB snapshot stream
 //	controller: /alarm      {alarm}          → {}
 package rpc
 
@@ -61,6 +62,40 @@ type ContextTarget interface {
 // installation ID.
 type InstallerE interface {
 	InstallE(q query.Query, period types.Time) (int, error)
+}
+
+// Snapshotter is an optional Target extension for backends that can
+// stream their TIB in the segment-wise snapshot format; servers expose it
+// as GET /snapshot, and pathdumpctl -pull-snapshot captures it from a
+// live daemon for offline analysis.
+type Snapshotter interface {
+	WriteSnapshot(w io.Writer) error
+}
+
+// SegmentStatser is an optional Target extension reporting the backing
+// store's cumulative segment telemetry (partitions scanned versus pruned
+// by time bounds); servers attribute per-query deltas onto the wire for
+// the controller's ExecStats and cost model.
+type SegmentStatser interface {
+	SegmentStats() (scanned, pruned uint64)
+}
+
+// executeMeta runs a query like execute and additionally attributes the
+// target's segment telemetry to it by delta. Queries racing on one
+// target may swap shares — the counts feed modelled stats, not
+// correctness.
+func executeMeta(ctx context.Context, t Target, q query.Query) (res query.Result, segScanned, segPruned int, err error) {
+	ss, ok := t.(SegmentStatser)
+	var sc0, sp0 uint64
+	if ok {
+		sc0, sp0 = ss.SegmentStats()
+	}
+	res, err = execute(ctx, t, q)
+	if err == nil && ok {
+		sc1, sp1 := ss.SegmentStats()
+		segScanned, segPruned = int(sc1-sc0), int(sp1-sp0)
+	}
+	return res, segScanned, segPruned, err
 }
 
 // execute runs a query on a target under the request context, using the
@@ -143,6 +178,13 @@ func (t SnapshotTarget) Uninstall(int) error {
 // TIBSize implements Target.
 func (t SnapshotTarget) TIBSize() int { return t.Store.Len() }
 
+// SegmentStats implements SegmentStatser.
+func (t SnapshotTarget) SegmentStats() (scanned, pruned uint64) { return t.Store.SegmentStats() }
+
+// WriteSnapshot implements Snapshotter: a restored store can be
+// re-snapshotted and served onward.
+func (t SnapshotTarget) WriteSnapshot(w io.Writer) error { return t.Store.Snapshot(w) }
+
 // QueryRequest is the /query body. Host is required by multi-host
 // daemons (MultiAgentServer) to pick the agent; single-agent servers
 // ignore it.
@@ -151,10 +193,14 @@ type QueryRequest struct {
 	Query query.Query   `json:"query"`
 }
 
-// QueryResponse is the /query reply.
+// QueryResponse is the /query reply. SegmentsScanned/SegmentsPruned
+// carry the host store's partition telemetry for this query (§5.2
+// pruned-fraction cost term).
 type QueryResponse struct {
-	Result         query.Result `json:"result"`
-	RecordsScanned int          `json:"records_scanned"`
+	Result          query.Result `json:"result"`
+	RecordsScanned  int          `json:"records_scanned"`
+	SegmentsScanned int          `json:"segments_scanned,omitempty"`
+	SegmentsPruned  int          `json:"segments_pruned,omitempty"`
 }
 
 // InstallRequest is the /install body; Period is virtual nanoseconds.
@@ -188,10 +234,12 @@ type BatchQueryRequest struct {
 
 // BatchQueryReply is one host's slot in a /batchquery response.
 type BatchQueryReply struct {
-	Host           types.HostID `json:"host"`
-	Result         query.Result `json:"result"`
-	RecordsScanned int          `json:"records_scanned"`
-	Error          string       `json:"error,omitempty"`
+	Host            types.HostID `json:"host"`
+	Result          query.Result `json:"result"`
+	RecordsScanned  int          `json:"records_scanned"`
+	SegmentsScanned int          `json:"segments_scanned,omitempty"`
+	SegmentsPruned  int          `json:"segments_pruned,omitempty"`
+	Error           string       `json:"error,omitempty"`
 }
 
 // BatchQueryResponse is the /batchquery reply, aligned with request hosts.
@@ -221,13 +269,14 @@ func (s *AgentServer) Handler() http.Handler {
 		if !decode(w, r, &req) {
 			return
 		}
-		res, err := execute(r.Context(), s.T, req.Query)
+		res, sc, sp, err := executeMeta(r.Context(), s.T, req.Query)
 		if err != nil {
 			writeExecuteError(w, err)
 			return
 		}
-		encode(w, QueryResponse{Result: res, RecordsScanned: s.T.TIBSize()})
+		encode(w, QueryResponse{Result: res, RecordsScanned: s.T.TIBSize(), SegmentsScanned: sc, SegmentsPruned: sp})
 	})
+	mux.HandleFunc("/snapshot", snapshotHandler(func(*http.Request) (Target, error) { return s.T, nil }))
 	mux.HandleFunc("/install", func(w http.ResponseWriter, r *http.Request) {
 		var req InstallRequest
 		if !decode(w, r, &req) {
@@ -393,7 +442,7 @@ func (t *HTTPTransport) postStatus(ctx context.Context, base, path string, in, o
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return resp.StatusCode, fmt.Errorf("rpc: %s%s: %s: %s", base, path, resp.Status, bytes.TrimSpace(msg))
+		return resp.StatusCode, &StatusError{Code: resp.StatusCode, URL: base + path, Status: resp.Status, Msg: string(bytes.TrimSpace(msg))}
 	}
 	return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
 }
@@ -404,7 +453,11 @@ func (t *HTTPTransport) Query(ctx context.Context, host types.HostID, q query.Qu
 	if err := t.post(ctx, host, "/query", QueryRequest{Host: &host, Query: q}, &resp); err != nil {
 		return query.Result{}, controller.QueryMeta{}, err
 	}
-	return resp.Result, controller.QueryMeta{RecordsScanned: resp.RecordsScanned}, nil
+	return resp.Result, controller.QueryMeta{
+		RecordsScanned:  resp.RecordsScanned,
+		SegmentsScanned: resp.SegmentsScanned,
+		SegmentsPruned:  resp.SegmentsPruned,
+	}, nil
 }
 
 // Install implements controller.Transport.
@@ -421,6 +474,84 @@ func (t *HTTPTransport) Uninstall(ctx context.Context, host types.HostID, id int
 	var out struct{}
 	return t.post(ctx, host, "/uninstall", UninstallRequest{Host: &host, ID: id}, &out)
 }
+
+// snapshotHandler builds the GET /snapshot handler over a target
+// resolver (single-agent servers always answer with their one target;
+// multi-agent daemons pick by the ?host query parameter). The snapshot
+// streams straight from the store's consistent capture to the socket —
+// ingest continues while it is written. Targets without snapshot support
+// answer 501.
+func snapshotHandler(resolve func(*http.Request) (Target, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		t, err := resolve(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		sn, ok := t.(Snapshotter)
+		if !ok {
+			http.Error(w, "rpc: target cannot stream snapshots", http.StatusNotImplemented)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		// The status line is already committed once bytes flow; a
+		// mid-stream failure surfaces to the puller as a truncated body,
+		// which the loader rejects (no terminator) without touching the
+		// store it would have replaced.
+		_ = sn.WriteSnapshot(w)
+	}
+}
+
+// PullSnapshot captures a live daemon's TIB snapshot for one host: GET
+// /snapshot, streamed into w. The byte count written is returned; a
+// non-200 answer surfaces as a *StatusError (501 = the target cannot
+// snapshot).
+func (t *HTTPTransport) PullSnapshot(ctx context.Context, host types.HostID, w io.Writer) (int64, error) {
+	base, ok := t.URLs[host]
+	if !ok {
+		return 0, fmt.Errorf("rpc: no URL for host %v", host)
+	}
+	url := fmt.Sprintf("%s/snapshot?host=%d", base, uint32(host))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return 0, &StatusError{Code: resp.StatusCode, URL: base + "/snapshot", Status: resp.Status, Msg: string(bytes.TrimSpace(msg))}
+	}
+	return io.Copy(w, resp.Body)
+}
+
+// StatusError is a non-2xx HTTP answer from an agent or daemon: the
+// server spoke, authoritatively — as opposed to a transport-level
+// failure (dial refused, connection reset) where nothing answered at
+// all. The controller's retry policy keys off the distinction via the
+// HTTPStatus method: status errors are never retried.
+type StatusError struct {
+	Code   int
+	URL    string
+	Status string
+	Msg    string
+}
+
+// Error formats like the transport's historic error strings (callers
+// grep for the status code).
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("rpc: %s: %s: %s", e.URL, e.Status, e.Msg)
+}
+
+// HTTPStatus reports the response code (see controller's retry policy).
+func (e *StatusError) HTTPStatus() int { return e.Code }
 
 // decode parses a JSON request body, writing a 400 on failure.
 func decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {

@@ -1,0 +1,146 @@
+package tib
+
+import (
+	"bytes"
+	"encoding/gob"
+	"runtime"
+	"sync"
+	"testing"
+
+	"pathdump/internal/types"
+)
+
+// benchRecord synthesises record i of a large time-ordered store: 100 K
+// distinct flows, 3-hop paths over a small switch set, 1 ms of activity
+// per record, one record per millisecond of virtual time.
+func benchRecord(i int) types.Record {
+	st := types.Time(i) * types.Millisecond
+	return types.Record{
+		Flow: types.FlowID{SrcIP: types.IP(i % 100_000), DstIP: 9, SrcPort: uint16(i), DstPort: 80, Proto: 6},
+		Path: types.Path{
+			types.SwitchID(i % 8),
+			types.SwitchID(8 + i%8),
+			types.SwitchID(16 + i%4),
+		},
+		STime: st, ETime: st + types.Millisecond,
+		Bytes: uint64(i), Pkts: 1,
+	}
+}
+
+const timeRangeStoreSize = 1_000_000
+
+var (
+	trsOnce sync.Once
+	trsSeg  *Store // default segmentation: prunes by bounds
+	trsFlat *Store // one unbounded segment per shard: the pre-refactor full-filter path
+)
+
+func buildTimeRangeStores() {
+	trsSeg = NewStore()
+	trsFlat = NewStoreConfig(Config{SegmentRecords: -1})
+	for i := 0; i < timeRangeStoreSize; i++ {
+		rec := benchRecord(i)
+		trsSeg.Add(rec)
+		trsFlat.Add(rec)
+	}
+}
+
+// BenchmarkTimeRangeScan: a 1% time window over a 1M-record store. The
+// segmented store prunes whole partitions by bound intersection before a
+// record is touched; the single-segment store reproduces the pre-refactor
+// path — filter all 1M records against the range. Gated in CI: the
+// pruned/fullscan gap is the storage engine's reason to exist.
+func BenchmarkTimeRangeScan(b *testing.B) {
+	trsOnce.Do(buildTimeRangeStores)
+	// The store spans 1000 s of virtual time; scan 10 s from the middle.
+	window := types.TimeRange{From: 500 * types.Second, To: 510 * types.Second}
+	for _, tc := range []struct {
+		name  string
+		store *Store
+	}{
+		{"pruned", trsSeg},
+		{"fullscan", trsFlat},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				n := 0
+				tc.store.ForEach(types.AnyLink, window, func(*types.Record) { n++ })
+				if n == 0 {
+					b.Fatal("empty window")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotRestore: restoring a large sharded store. v2 adopts
+// sealed segments with their indexes intact; v1 decodes a bare record
+// log and rebuilds segment indexes in parallel; readd-loop reproduces
+// the pre-refactor restore (one Add per record through the full ingest
+// path) as the baseline the ISSUE's acceptance compares against.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	const records = 200_000
+	src := NewStore()
+	for i := 0; i < records; i++ {
+		src.Add(benchRecord(i))
+	}
+	var v2 bytes.Buffer
+	if err := src.Snapshot(&v2); err != nil {
+		b.Fatal(err)
+	}
+	recs := make([]types.Record, 0, records)
+	src.ForEach(types.AnyLink, types.AllTime, func(r *types.Record) { recs = append(recs, *r) })
+	var v1 bytes.Buffer
+	if err := gob.NewEncoder(&v1).Encode(recs); err != nil {
+		b.Fatal(err)
+	}
+
+	// Each iteration materialises a fresh ~200 K-record store; collect
+	// between iterations so one restore's garbage is not billed to the
+	// next (heap-growth noise otherwise dominates the medians).
+	gcBetween := func(b *testing.B) {
+		b.StopTimer()
+		runtime.GC()
+		b.StartTimer()
+	}
+	b.Run("v2-segments", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			gcBetween(b)
+			s := NewStore()
+			if err := s.LoadSnapshot(bytes.NewReader(v2.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+			if s.Len() != records {
+				b.Fatal("short restore")
+			}
+		}
+	})
+	b.Run("v1-parallel-rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			gcBetween(b)
+			s := NewStore()
+			if err := s.LoadSnapshot(bytes.NewReader(v1.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+			if s.Len() != records {
+				b.Fatal("short restore")
+			}
+		}
+	})
+	b.Run("v1-readd-loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			gcBetween(b)
+			var decoded []types.Record
+			if err := gob.NewDecoder(bytes.NewReader(v1.Bytes())).Decode(&decoded); err != nil {
+				b.Fatal(err)
+			}
+			s := NewStore()
+			for _, rec := range decoded {
+				s.Add(rec)
+			}
+			if s.Len() != records {
+				b.Fatal("short restore")
+			}
+		}
+	})
+}

@@ -1,0 +1,75 @@
+package tib
+
+import "pathdump/internal/types"
+
+// segment is one time partition of a shard's record log: a slice of
+// sequence-stamped entries plus that partition's flow and directed-link
+// indexes, bracketed by the min/max record times it covers. The last
+// segment of a shard is the active append target; once sealed (by record
+// count or time span — see Store.shouldSeal) a segment is immutable:
+// entries, postings and bounds never change again, so readers and the
+// snapshot writer may hold references without locks.
+type segment struct {
+	sealed  bool
+	entries []entry
+	byFlow  map[types.FlowID][]int
+	byLink  map[types.LinkID][]int
+	// minTime/maxTime bracket [STime, ETime] over all entries; scans
+	// prune the whole segment when the query range misses the bracket.
+	minTime, maxTime types.Time
+}
+
+func newSegment(indexed bool) *segment {
+	seg := &segment{}
+	if indexed {
+		seg.byFlow = make(map[types.FlowID][]int)
+		seg.byLink = make(map[types.LinkID][]int)
+	}
+	return seg
+}
+
+// add appends one entry to the (active) segment, updating bounds and
+// postings. Caller holds the shard write lock.
+func (seg *segment) add(e entry, indexed bool) {
+	idx := len(seg.entries)
+	if idx == 0 {
+		seg.minTime, seg.maxTime = e.rec.STime, e.rec.ETime
+	} else {
+		if e.rec.STime < seg.minTime {
+			seg.minTime = e.rec.STime
+		}
+		if e.rec.ETime > seg.maxTime {
+			seg.maxTime = e.rec.ETime
+		}
+	}
+	seg.entries = append(seg.entries, e)
+	if indexed {
+		seg.byFlow[e.rec.Flow] = append(seg.byFlow[e.rec.Flow], idx)
+		for _, l := range e.rec.Path.Links() {
+			seg.byLink[l] = append(seg.byLink[l], idx)
+		}
+	}
+}
+
+// overlaps reports whether any record in the segment can intersect tr.
+// Empty segments overlap nothing.
+func (seg *segment) overlaps(tr types.TimeRange) bool {
+	if len(seg.entries) == 0 {
+		return false
+	}
+	return tr.Overlaps(seg.minTime, seg.maxTime)
+}
+
+// rebuildIndex recomputes the segment's postings from its entries — the
+// legacy-snapshot load path runs this per segment, in parallel.
+func (seg *segment) rebuildIndex() {
+	seg.byFlow = make(map[types.FlowID][]int, len(seg.entries))
+	seg.byLink = make(map[types.LinkID][]int)
+	for i := range seg.entries {
+		rec := &seg.entries[i].rec
+		seg.byFlow[rec.Flow] = append(seg.byFlow[rec.Flow], i)
+		for _, l := range rec.Path.Links() {
+			seg.byLink[l] = append(seg.byLink[l], i)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package tib
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pathdump/internal/types"
+)
+
+// recEqual compares records field-wise (Record holds a slice and is not
+// directly comparable).
+func recEqual(a, b types.Record) bool {
+	return a.Flow == b.Flow && a.Path.Equal(b.Path) &&
+		a.STime == b.STime && a.ETime == b.ETime &&
+		a.Bytes == b.Bytes && a.Pkts == b.Pkts
+}
+
+// TestSegmentPruning: a narrow time window over a time-bucketed store
+// must skip whole segments by bound intersection — telemetry shows
+// pruned ≫ scanned — while returning exactly the records an unsegmented
+// full filter would.
+func TestSegmentPruning(t *testing.T) {
+	seg := NewStoreConfig(Config{SegmentSpan: 10 * types.Second})
+	flat := NewStoreConfig(Config{SegmentRecords: -1}) // one unbounded segment per shard
+	for i := 0; i < 20_000; i++ {
+		rec := mkRecord(flowN(i%500), types.Path{1, 2, 3},
+			types.Time(i)*10*types.Millisecond, types.Time(i)*10*types.Millisecond+types.Millisecond,
+			uint64(i), 1)
+		seg.Add(rec)
+		flat.Add(rec)
+	}
+	if seg.Segments() <= len(seg.shards) {
+		t.Fatalf("store did not partition: %d segments over %d shards", seg.Segments(), len(seg.shards))
+	}
+
+	// 1% window in the middle of the store's 200 s of data.
+	tr := types.TimeRange{From: 100 * types.Second, To: 102 * types.Second}
+	var got, want []types.Record
+	seg.ForEach(types.AnyLink, tr, func(r *types.Record) { got = append(got, *r) })
+	flat.ForEach(types.AnyLink, tr, func(r *types.Record) { want = append(want, *r) })
+	if len(got) == 0 || len(got) != len(want) {
+		t.Fatalf("windowed scan = %d records, unsegmented reference = %d", len(got), len(want))
+	}
+	for i := range got {
+		if !recEqual(got[i], want[i]) {
+			t.Fatalf("record %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+
+	scanned, pruned := seg.SegmentStats()
+	if pruned == 0 || pruned < scanned*10 {
+		t.Errorf("segment pruning ineffective: %d scanned, %d pruned", scanned, pruned)
+	}
+	if fsc, fpr := flat.SegmentStats(); fpr != 0 {
+		t.Errorf("unsegmented store pruned %d of %d — nothing to prune", fpr, fsc)
+	}
+}
+
+// TestRetentionEviction: EvictBefore drops whole expired sealed segments
+// — and only those — reproducing the bounded per-host storage budget.
+func TestRetentionEviction(t *testing.T) {
+	s := NewStoreConfig(Config{SegmentSpan: types.Second, Retention: 10 * types.Second})
+	add := func(i int) {
+		s.Add(mkRecord(flowN(i%50), types.Path{1, 2}, types.Time(i)*100*types.Millisecond,
+			types.Time(i)*100*types.Millisecond+types.Millisecond, 1, 1))
+	}
+	for i := 0; i < 1000; i++ { // 100 s of data, 1 s segments
+		add(i)
+	}
+	before := s.Len()
+	now := types.Time(1000) * 100 * types.Millisecond
+	segs, recs := s.EvictBefore(now - s.Retention())
+	if segs == 0 || recs == 0 {
+		t.Fatalf("eviction freed nothing (%d segments, %d records)", segs, recs)
+	}
+	if s.Len() != before-recs {
+		t.Fatalf("Len = %d, want %d - %d", s.Len(), before, recs)
+	}
+	// Everything older than the cutoff is gone; the last Retention's worth
+	// (plus at most one segment of slack at the boundary) survives.
+	var minSeen types.Time = 1 << 62
+	n := 0
+	s.ForEach(types.AnyLink, types.AllTime, func(r *types.Record) {
+		n++
+		if r.STime < minSeen {
+			minSeen = r.STime
+		}
+	})
+	if n != s.Len() {
+		t.Fatalf("scan found %d records, Len says %d", n, s.Len())
+	}
+	cutoff := now - s.Retention()
+	if minSeen < cutoff-2*types.Second {
+		t.Errorf("record from %v survived a cutoff of %v", minSeen, cutoff)
+	}
+	// Queries over evicted history are simply empty.
+	if got := s.Flows(types.AnyLink, types.TimeRange{From: 0, To: 5 * types.Second}); len(got) != 0 {
+		t.Errorf("evicted window still answers %d flows", len(got))
+	}
+
+	// A cutoff that cannot free a new segment is a cheap no-op.
+	if segs, recs := s.EvictBefore(cutoff); segs != 0 || recs != 0 {
+		t.Errorf("repeat eviction freed %d segments / %d records", segs, recs)
+	}
+}
+
+// TestInsertionOrderAcrossSegments: segmentation must not disturb the
+// exact global insertion-order iteration, even when record timestamps
+// arrive out of order (so segment time bounds overlap).
+func TestInsertionOrderAcrossSegments(t *testing.T) {
+	s := NewStoreConfig(Config{SegmentRecords: 16})
+	rng := rand.New(rand.NewSource(9))
+	var want []types.Record
+	for i := 0; i < 2000; i++ {
+		st := types.Time(rng.Intn(1000)) * types.Millisecond
+		rec := mkRecord(flowN(rng.Intn(100)), types.Path{1, types.SwitchID(2 + rng.Intn(4)), 7},
+			st, st+types.Millisecond, uint64(i), 1)
+		s.Add(rec)
+		want = append(want, rec)
+	}
+	var got []types.Record
+	s.ForEach(types.AnyLink, types.AllTime, func(r *types.Record) { got = append(got, *r) })
+	if len(got) != len(want) {
+		t.Fatalf("scan = %d records, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !recEqual(got[i], want[i]) {
+			t.Fatalf("iteration order diverges at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSegmentedMatchesUnsegmentedProperty: for arbitrary records and
+// queries, a finely segmented store and a single-segment store must give
+// identical answers — segmentation is an optimisation, never a filter.
+func TestSegmentedMatchesUnsegmentedProperty(t *testing.T) {
+	seg := NewStoreConfig(Config{SegmentRecords: 8, SegmentSpan: 20})
+	flat := NewStoreConfig(Config{SegmentRecords: -1})
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 600; i++ {
+		f := flowN(rng.Intn(25))
+		p := types.Path{
+			types.SwitchID(rng.Intn(4)),
+			types.SwitchID(4 + rng.Intn(4)),
+			types.SwitchID(8 + rng.Intn(4)),
+		}
+		st := types.Time(rng.Intn(120))
+		rec := mkRecord(f, p, st, st+types.Time(rng.Intn(40)), uint64(rng.Intn(5000)), uint64(rng.Intn(8)))
+		seg.Add(rec)
+		flat.Add(rec)
+	}
+	check := func(a, b uint32) bool {
+		link := types.LinkID{A: types.SwitchID(a % 5), B: types.SwitchID(4 + b%5)}
+		if a%7 == 0 {
+			link.A = types.WildcardSwitch
+		}
+		if b%7 == 0 {
+			link.B = types.WildcardSwitch
+		}
+		tr := types.TimeRange{From: types.Time(a % 80), To: types.Time(a%80 + b%80)}
+		fa, fb := seg.Flows(link, tr), flat.Flows(link, tr)
+		if len(fa) != len(fb) {
+			return false
+		}
+		for i := range fa {
+			if fa[i].ID != fb[i].ID || !fa[i].Path.Equal(fb[i].Path) {
+				return false // same contents AND same (insertion) order
+			}
+		}
+		f := flowN(int(a % 25))
+		ba, ka := seg.Count(types.Flow{ID: f}, tr)
+		bb, kb := flat.Count(types.Flow{ID: f}, tr)
+		if ba != bb || ka != kb {
+			return false
+		}
+		pa, pb := seg.Paths(f, link, tr), flat.Paths(f, link, tr)
+		if len(pa) != len(pb) {
+			return false
+		}
+		for i := range pa {
+			if !pa[i].Equal(pb[i]) {
+				return false
+			}
+		}
+		return seg.Duration(types.Flow{ID: f}, tr) == flat.Duration(types.Flow{ID: f}, tr)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScanFlowPushdown: the flow-predicate path must honour link and time
+// filters identically to the generic scan.
+func TestScanFlowPushdown(t *testing.T) {
+	for _, indexed := range []bool{true, false} {
+		s := NewStoreConfig(Config{SegmentRecords: 4, Unindexed: !indexed})
+		f, other := flowN(1), flowN(2)
+		s.Add(mkRecord(f, types.Path{1, 2, 3}, 0, 10, 100, 1))
+		s.Add(mkRecord(other, types.Path{1, 2, 3}, 0, 10, 999, 1))
+		s.Add(mkRecord(f, types.Path{1, 4, 3}, 20, 30, 200, 2))
+		s.Add(mkRecord(f, types.Path{1, 2, 3}, 40, 50, 400, 4))
+
+		var got []uint64
+		s.Scan(&f, types.LinkID{A: 1, B: 2}, types.TimeRange{From: 0, To: 45}, func(r *types.Record) {
+			got = append(got, r.Bytes)
+		})
+		if len(got) != 2 || got[0] != 100 || got[1] != 400 {
+			t.Errorf("indexed=%v: flow scan = %v, want [100 400]", indexed, got)
+		}
+	}
+}

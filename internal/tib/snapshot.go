@@ -1,0 +1,414 @@
+// Snapshot/restore of the segmented TIB (the stand-in for the paper's
+// MongoDB persistence).
+//
+// Two wire formats coexist:
+//
+//   - v2 (written by Snapshot): a raw 8-byte magic prefix, then a gob
+//     stream of a header followed by one record per segment — entries
+//     with their original sequence stamps, time bounds, and (for sealed
+//     segments) the flow/link postings verbatim. Restore adopts segments
+//     wholesale: no per-record re-Add, and index rebuild only for the
+//     few segments written without postings (each shard's active
+//     segment, whose maps may be mutated mid-snapshot by concurrent
+//     ingest and are therefore not captured).
+//
+//   - v1 (legacy, no magic): a gob []types.Record in global insertion
+//     order. LoadSnapshot still accepts it, distributing records into
+//     segments and rebuilding every index — in parallel, one goroutine
+//     per segment, instead of the old single re-Add loop.
+//
+// Either way LoadSnapshot is atomic: the incoming stream is fully
+// decoded and validated into a staged store first, and only then swapped
+// in under every shard lock at once. A mid-stream decode error leaves
+// the prior contents untouched, and concurrent readers see either the
+// old store or the new one — never a half-cleared mix.
+package tib
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"pathdump/internal/types"
+)
+
+// snapshotMagic prefixes v2 snapshots; v1 blobs are bare gob streams and
+// cannot begin with these bytes (gob's first byte is a length, and a
+// stream this short is not a valid v1 blob anyway).
+const snapshotMagic = "PDTIBv2\n"
+
+// snapshotHeader opens the v2 gob stream.
+type snapshotHeader struct {
+	Version int
+	// Shards is the writing store's stripe count: a reader with the same
+	// count adopts segments directly, anything else redistributes by flow
+	// hash (the mapping depends on the stripe count).
+	Shards int
+	// Seq is the writer's global sequence counter at capture time, so
+	// appends after a restore extend the original arrival order.
+	Seq uint64
+	// Indexed records whether the writer maintained flow/link postings.
+	Indexed bool
+}
+
+// wireSegment is one segment on the wire. A Shard of -1 terminates the
+// stream (distinguishing a complete snapshot from one cut off mid-write).
+type wireSegment struct {
+	Shard int
+	Seqs  []uint64
+	Recs  []types.Record
+	// ByFlow/ByLink are the segment's postings, nil when the writer could
+	// not capture them immutably (the active segment); the loader rebuilds
+	// those.
+	ByFlow           map[types.FlowID][]int
+	ByLink           map[types.LinkID][]int
+	MinTime, MaxTime types.Time
+}
+
+// segView is one segment's immutable capture for the writer.
+type segView struct {
+	entries          []entry
+	byFlow           map[types.FlowID][]int
+	byLink           map[types.LinkID][]int
+	minTime, maxTime types.Time
+}
+
+// captureSegments snapshots every shard's segment chain under all shard
+// read-locks at once (a consistent, downward-closed prefix of the global
+// arrival order, like every scan). Sealed segments are captured by
+// reference — they are immutable. The active segment's entries slice is
+// append-only so its header is safe too, but its posting maps mutate in
+// place under the shard lock, so they are left nil and rebuilt on load.
+func (s *Store) captureSegments() (views [][]segView, seq uint64) {
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+	}
+	views = make([][]segView, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		for _, seg := range sh.segs {
+			if len(seg.entries) == 0 {
+				continue
+			}
+			v := segView{entries: seg.entries, minTime: seg.minTime, maxTime: seg.maxTime}
+			if seg.sealed {
+				v.byFlow, v.byLink = seg.byFlow, seg.byLink
+			}
+			views[i] = append(views[i], v)
+		}
+	}
+	seq = s.seq.Load() // exact: assignment happens under shard locks, all held
+	for i := range s.shards {
+		s.shards[i].mu.RUnlock()
+	}
+	return views, seq
+}
+
+// Snapshot serialises the store in the v2 segment-wise format. The
+// capture is a momentary all-shard lock hold (header copies only);
+// encoding streams outside the locks, so concurrent ingest proceeds
+// while a large snapshot is written.
+func (s *Store) Snapshot(w io.Writer) error {
+	views, seq := s.captureSegments()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	enc := gob.NewEncoder(bw)
+	if err := enc.Encode(snapshotHeader{Version: 2, Shards: len(s.shards), Seq: seq, Indexed: s.indexed}); err != nil {
+		return err
+	}
+	for si, segs := range views {
+		for _, v := range segs {
+			ws := wireSegment{
+				Shard:   si,
+				Seqs:    make([]uint64, len(v.entries)),
+				Recs:    make([]types.Record, len(v.entries)),
+				ByFlow:  v.byFlow,
+				ByLink:  v.byLink,
+				MinTime: v.minTime,
+				MaxTime: v.maxTime,
+			}
+			for i := range v.entries {
+				ws.Seqs[i] = v.entries[i].seq
+				ws.Recs[i] = v.entries[i].rec
+			}
+			if err := enc.Encode(ws); err != nil {
+				return err
+			}
+		}
+	}
+	if err := enc.Encode(wireSegment{Shard: -1}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadSnapshot replaces the store contents from a snapshot in either
+// format (v2 by magic prefix, bare gob = legacy v1). The replacement is
+// atomic — see the package comment at the top of this file.
+func (s *Store) LoadSnapshot(r io.Reader) error {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(len(snapshotMagic))
+	if err == nil && bytes.Equal(magic, []byte(snapshotMagic)) {
+		if _, err := br.Discard(len(snapshotMagic)); err != nil {
+			return err
+		}
+		return s.loadV2(br)
+	}
+	// Too short for the magic, or a different prefix: let the v1 decoder
+	// produce the authoritative result (or error) from the full stream.
+	return s.loadV1(br)
+}
+
+// emptyClone builds an empty store with this store's configuration.
+func (s *Store) emptyClone() *Store {
+	return NewStoreConfig(Config{
+		Shards:         len(s.shards),
+		SegmentSpan:    s.segSpan,
+		SegmentRecords: s.segRecords,
+		Retention:      s.retention,
+		Unindexed:      !s.indexed,
+	})
+}
+
+// loadV2 decodes the segment-wise stream into a staged store and swaps it
+// in. Segments from a writer with the same stripe count are adopted
+// wholesale (postings intact where present); a different stripe count
+// forces redistribution, because the flow→shard mapping changes.
+func (s *Store) loadV2(r io.Reader) error {
+	dec := gob.NewDecoder(r)
+	var hdr snapshotHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return fmt.Errorf("tib: snapshot header: %w", err)
+	}
+	if hdr.Version != 2 {
+		return fmt.Errorf("tib: unsupported snapshot version %d", hdr.Version)
+	}
+	if hdr.Shards < 1 {
+		return fmt.Errorf("tib: snapshot declares %d shards", hdr.Shards)
+	}
+	staged := s.emptyClone()
+	sameShape := hdr.Shards == len(staged.shards)
+	var (
+		total   int64
+		rebuild []*segment
+		flat    []entry // only for the reshape path
+	)
+	for {
+		var ws wireSegment
+		if err := dec.Decode(&ws); err != nil {
+			return fmt.Errorf("tib: snapshot cut off mid-stream: %w", err)
+		}
+		if ws.Shard == -1 {
+			break // terminator: the writer finished
+		}
+		if err := validateSegment(&ws, hdr.Shards); err != nil {
+			return err
+		}
+		total += int64(len(ws.Recs))
+		if !sameShape {
+			for i := range ws.Recs {
+				flat = append(flat, entry{seq: ws.Seqs[i], rec: ws.Recs[i]})
+			}
+			continue
+		}
+		seg := &segment{
+			sealed:  true,
+			entries: make([]entry, len(ws.Recs)),
+			byFlow:  ws.ByFlow,
+			byLink:  ws.ByLink,
+			minTime: ws.MinTime,
+			maxTime: ws.MaxTime,
+		}
+		for i := range ws.Recs {
+			seg.entries[i] = entry{seq: ws.Seqs[i], rec: ws.Recs[i]}
+		}
+		sh := &staged.shards[ws.Shard]
+		// Insert before the (empty) active segment, keeping the chain
+		// sequence-monotonic — the writer emitted each shard's segments in
+		// chain order.
+		if prev := sh.segs[:len(sh.segs)-1]; len(prev) > 0 {
+			if last := prev[len(prev)-1]; last.entries[len(last.entries)-1].seq >= seg.entries[0].seq {
+				return fmt.Errorf("tib: snapshot shard %d segments out of sequence order", ws.Shard)
+			}
+		}
+		sh.segs = append(sh.segs[:len(sh.segs)-1], seg, sh.segs[len(sh.segs)-1])
+		if staged.indexed && seg.byFlow == nil {
+			rebuild = append(rebuild, seg)
+		}
+		if !staged.indexed {
+			seg.byFlow, seg.byLink = nil, nil
+		}
+	}
+	if !sameShape {
+		sort.Slice(flat, func(i, j int) bool { return flat[i].seq < flat[j].seq })
+		var err error
+		if staged, err = s.buildFrom(flat); err != nil {
+			return err
+		}
+	} else {
+		rebuildIndexes(rebuild)
+	}
+	seq := hdr.Seq
+	if seq < uint64(total) {
+		seq = uint64(total) // corrupt-tolerant: never reuse live sequence space
+	}
+	staged.seq.Store(seq)
+	staged.count.Store(total)
+	s.swapFrom(staged)
+	return nil
+}
+
+// validateSegment bounds-checks one wire segment so corrupt input fails
+// with an error instead of an out-of-range panic — or, worse, silently
+// wrong pruning — at query time.
+func validateSegment(ws *wireSegment, shards int) error {
+	if ws.Shard < 0 || ws.Shard >= shards {
+		return fmt.Errorf("tib: snapshot segment names shard %d of %d", ws.Shard, shards)
+	}
+	if len(ws.Seqs) != len(ws.Recs) {
+		return fmt.Errorf("tib: snapshot segment has %d seqs for %d records", len(ws.Seqs), len(ws.Recs))
+	}
+	if len(ws.Recs) == 0 {
+		return fmt.Errorf("tib: snapshot contains an empty segment")
+	}
+	for i := 1; i < len(ws.Seqs); i++ {
+		if ws.Seqs[i] <= ws.Seqs[i-1] {
+			return fmt.Errorf("tib: snapshot segment sequence numbers not ascending")
+		}
+	}
+	for i := range ws.Recs {
+		// Declared time bounds must bracket every record: bounds
+		// narrower than the data would make scans prune records that
+		// exist — silent wrong answers, the worst failure mode.
+		if ws.Recs[i].STime < ws.MinTime || ws.Recs[i].ETime > ws.MaxTime {
+			return fmt.Errorf("tib: snapshot segment bounds [%v,%v] exclude record %d (%v..%v)",
+				ws.MinTime, ws.MaxTime, i, ws.Recs[i].STime, ws.Recs[i].ETime)
+		}
+	}
+	for _, idxs := range ws.ByFlow {
+		for _, i := range idxs {
+			if i < 0 || i >= len(ws.Recs) {
+				return fmt.Errorf("tib: snapshot flow posting out of range")
+			}
+		}
+	}
+	for _, idxs := range ws.ByLink {
+		for _, i := range idxs {
+			if i < 0 || i >= len(ws.Recs) {
+				return fmt.Errorf("tib: snapshot link posting out of range")
+			}
+		}
+	}
+	return nil
+}
+
+// loadV1 decodes a legacy []types.Record blob and rebuilds the segmented
+// store from it.
+func (s *Store) loadV1(r io.Reader) error {
+	var recs []types.Record
+	if err := gob.NewDecoder(r).Decode(&recs); err != nil {
+		return err
+	}
+	entries := make([]entry, len(recs))
+	for i, rec := range recs {
+		// v1 wrote global insertion order; reassigning 1..n preserves it.
+		entries[i] = entry{seq: uint64(i + 1), rec: rec}
+	}
+	staged, err := s.buildFrom(entries)
+	if err != nil {
+		return err
+	}
+	staged.seq.Store(uint64(len(entries)))
+	staged.count.Store(int64(len(entries)))
+	s.swapFrom(staged)
+	return nil
+}
+
+// buildFrom distributes entries (ascending global sequence order) into a
+// fresh staged store — flow-hashed onto shards, sealed into segments by
+// the store's own seal policy — and then rebuilds every segment's index
+// in parallel, one goroutine per segment up to GOMAXPROCS. This replaces
+// the old single-threaded re-Add loop: distribution is a cheap
+// sequential pass, and the expensive part (posting-map construction) is
+// what parallelises.
+func (s *Store) buildFrom(entries []entry) (*Store, error) {
+	staged := s.emptyClone()
+	for i := range entries {
+		if i > 0 && entries[i].seq <= entries[i-1].seq {
+			return nil, fmt.Errorf("tib: snapshot records out of sequence order")
+		}
+		sh := staged.shardFor(entries[i].rec.Flow)
+		seg := sh.active()
+		if staged.shouldSeal(seg, &entries[i].rec) {
+			seg.sealed = true
+			seg = newSegment(false)
+			sh.segs = append(sh.segs, seg)
+		}
+		seg.add(entries[i], false) // postings rebuilt below, in parallel
+	}
+	if staged.indexed {
+		var segs []*segment
+		for i := range staged.shards {
+			for _, seg := range staged.shards[i].segs {
+				if len(seg.entries) > 0 {
+					segs = append(segs, seg)
+				}
+			}
+		}
+		rebuildIndexes(segs)
+	}
+	return staged, nil
+}
+
+// rebuildIndexes recomputes postings for the given segments in parallel.
+func rebuildIndexes(segs []*segment) {
+	if len(segs) == 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(segs) {
+		workers = len(segs)
+	}
+	work := make(chan *segment)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seg := range work {
+				seg.rebuildIndex()
+			}
+		}()
+	}
+	for _, seg := range segs {
+		work <- seg
+	}
+	close(work)
+	wg.Wait()
+}
+
+// swapFrom installs the staged store's contents under every shard lock at
+// once, so concurrent readers see the old store or the new one — never a
+// mix — and the sequence counter is only ever reset while no Add can be
+// in flight.
+func (s *Store) swapFrom(staged *Store) {
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+	for i := range s.shards {
+		s.shards[i].segs = staged.shards[i].segs
+	}
+	s.seq.Store(staged.seq.Load())
+	s.count.Store(staged.count.Load())
+	s.evictFloor.Store(0)
+	for i := range s.shards {
+		s.shards[i].mu.Unlock()
+	}
+}

@@ -1,8 +1,6 @@
 package tib
 
 import (
-	"encoding/gob"
-	"io"
 	"sync"
 	"sync/atomic"
 
@@ -15,18 +13,60 @@ import (
 // each other's locks without bloating small stores.
 const DefaultShards = 16
 
+// DefaultSegmentRecords is the default seal threshold: the active segment
+// of a shard is sealed once it holds this many records. Small enough that
+// a narrow time window prunes most of a large store by segment bounds
+// alone, large enough that per-segment index maps and merge cursors stay
+// cheap.
+const DefaultSegmentRecords = 8192
+
+// Config parameterises a Store beyond the shard count. The zero value
+// selects the documented defaults.
+type Config struct {
+	// Shards is the lock-stripe count (rounded up to a power of two;
+	// default DefaultShards, 1 yields a single-lock store).
+	Shards int
+	// SegmentSpan seals the active segment of a shard once the time span
+	// covered by its records would exceed this (0 = seal by record count
+	// only). Time-bucketed segments give range queries the tightest
+	// pruning bounds and are the unit of Retention eviction.
+	SegmentSpan types.Time
+	// SegmentRecords seals the active segment once it holds this many
+	// records (0 = DefaultSegmentRecords; negative = never seal by count,
+	// which without SegmentSpan reproduces the pre-segmentation store: one
+	// unbounded segment per shard, every scan filters every record).
+	SegmentRecords int
+	// Retention bounds how far back sealed segments are kept: EvictBefore
+	// drops whole sealed segments strictly older than the cutoff the
+	// caller derives from it (the agent uses now−Retention). 0 keeps
+	// everything. Eviction granularity is a segment — pair Retention with
+	// a SegmentSpan a fraction of it, as the paper's fixed per-host
+	// storage budget intends (§5.3).
+	Retention types.Time
+	// Unindexed disables the per-segment flow/link indexes (the index
+	// ablation benchmark's baseline).
+	Unindexed bool
+}
+
 // Store is one host's Trajectory Information Base: an append-mostly record
 // log with flow and directed-link indexes, striped into independently
-// locked shards so that concurrent ingest (Add) and query scans
-// (ForEach/ForFlow) do not serialise on a single mutex.
+// locked shards so that concurrent ingest (Add) and query scans do not
+// serialise on a single mutex.
+//
+// Within a shard, records live in a chain of time-partitioned segments:
+// one active append segment plus sealed, immutable predecessors, each
+// carrying min/max time bounds and its own flow/link index. Range scans
+// intersect the query's time range with segment bounds and skip whole
+// segments without touching a record; Retention eviction drops whole
+// sealed segments, bounding the store (§5.3's fixed per-host budget).
 //
 // Records are assigned to shards by flow hash — every record of one flow
 // lives in one shard — and each record carries a global arrival sequence
-// number. Iteration merges shards by that sequence, so all query results
-// appear in exact global insertion order, indistinguishable from the
-// previous single-lock implementation. All methods are safe for
-// concurrent use (the HTTP agent serves queries while the datapath
-// appends).
+// number. Iteration merges shards (and their segment chains) by that
+// sequence, so all query results appear in exact global insertion order,
+// indistinguishable from the previous single-lock, single-segment
+// implementation. All methods are safe for concurrent use (the HTTP agent
+// serves queries while the datapath appends).
 type Store struct {
 	shards []storeShard
 	mask   uint32
@@ -36,57 +76,91 @@ type Store struct {
 	count atomic.Int64
 	// indexing can be disabled for the ablation benchmark
 	indexed bool
+
+	segSpan    types.Time
+	segRecords int
+	retention  types.Time
+
+	// evictFloor is the highest EvictBefore cutoff applied so far, so the
+	// agent can call EvictBefore per exported record and pay the shard
+	// sweep only when the cutoff has advanced far enough to possibly free
+	// a segment.
+	evictFloor atomicTime
+
+	// Scan telemetry: cumulative counts of segments walked versus skipped
+	// by bound intersection, across all scans. The rpc servers and the
+	// in-process transport report per-query deltas to the controller's
+	// ExecStats and its §5.2 pruned-fraction cost term.
+	segScanned atomic.Uint64
+	segPruned  atomic.Uint64
 }
 
-// storeShard is one lock stripe: a slice of sequence-stamped records plus
-// that stripe's slice of the flow and link indexes. Entries are append-only
-// and never mutated in place, so readers may hold *types.Record pointers
-// after releasing the shard lock.
+// atomicTime is an atomic types.Time (int64).
+type atomicTime struct{ v atomic.Int64 }
+
+func (a *atomicTime) Load() types.Time   { return types.Time(a.v.Load()) }
+func (a *atomicTime) Store(t types.Time) { a.v.Store(int64(t)) }
+
+// storeShard is one lock stripe: an ordered chain of segments. The last
+// segment is the active append target; all earlier ones are sealed and
+// immutable. Sequence numbers are assigned under the shard lock, so the
+// chain is sequence-monotonic: every entry of segs[i] precedes every
+// entry of segs[i+1] in global arrival order.
 type storeShard struct {
-	mu      sync.RWMutex
-	entries []entry
-	byFlow  map[types.FlowID][]int
-	byLink  map[types.LinkID][]int
+	mu   sync.RWMutex
+	segs []*segment
 }
+
+// active returns the shard's append segment.
+func (sh *storeShard) active() *segment { return sh.segs[len(sh.segs)-1] }
 
 type entry struct {
 	seq uint64
 	rec types.Record
 }
 
-// NewStore builds an empty, indexed TIB with DefaultShards stripes.
-func NewStore() *Store { return NewStoreShards(DefaultShards) }
+// NewStore builds an empty, indexed TIB with the default configuration.
+func NewStore() *Store { return NewStoreConfig(Config{}) }
 
 // NewStoreShards builds an empty, indexed TIB striped into n lock shards
-// (rounded up to a power of two; n <= 1 yields a single-lock store that
-// behaves exactly like the pre-sharding implementation).
-func NewStoreShards(n int) *Store {
+// (rounded up to a power of two; n <= 1 yields a single-lock store).
+func NewStoreShards(n int) *Store { return NewStoreConfig(Config{Shards: n}) }
+
+// NewUnindexedStore builds a TIB that answers every query by scanning the
+// record log — the baseline for the index ablation bench.
+func NewUnindexedStore() *Store { return NewStoreConfig(Config{Unindexed: true}) }
+
+// NewStoreConfig builds an empty TIB from an explicit configuration.
+func NewStoreConfig(cfg Config) *Store {
+	n := cfg.Shards
 	if n < 1 {
-		n = 1
+		n = DefaultShards
 	}
 	pow := 1
 	for pow < n {
 		pow <<= 1
 	}
+	segRecords := cfg.SegmentRecords
+	if segRecords == 0 {
+		segRecords = DefaultSegmentRecords
+	}
 	s := &Store{
-		shards:  make([]storeShard, pow),
-		mask:    uint32(pow - 1),
-		indexed: true,
+		shards:     make([]storeShard, pow),
+		mask:       uint32(pow - 1),
+		indexed:    !cfg.Unindexed,
+		segSpan:    cfg.SegmentSpan,
+		segRecords: segRecords,
+		retention:  cfg.Retention,
 	}
 	for i := range s.shards {
-		s.shards[i].byFlow = make(map[types.FlowID][]int)
-		s.shards[i].byLink = make(map[types.LinkID][]int)
+		s.shards[i].segs = []*segment{newSegment(s.indexed)}
 	}
 	return s
 }
 
-// NewUnindexedStore builds a TIB that answers every query by scanning the
-// record log — the baseline for the index ablation bench.
-func NewUnindexedStore() *Store {
-	s := NewStore()
-	s.indexed = false
-	return s
-}
+// Retention returns the configured retention window (0 = unbounded); the
+// agent's ingest path derives EvictBefore cutoffs from it.
+func (s *Store) Retention() types.Time { return s.retention }
 
 // shardFor hashes a flow onto its stripe (FNV-1a over the 5-tuple).
 func (s *Store) shardFor(f types.FlowID) *storeShard {
@@ -113,39 +187,147 @@ func (s *Store) shardFor(f types.FlowID) *storeShard {
 }
 
 // Add appends one TIB record. Only the record's shard is locked, so
-// concurrent ingest of distinct flows proceeds in parallel.
+// concurrent ingest of distinct flows proceeds in parallel. When the
+// shard's active segment is full (by record count) or the record would
+// stretch its time span past SegmentSpan, the segment is sealed — bounds
+// frozen, contents immutable from then on — and a fresh active segment
+// starts.
 func (s *Store) Add(rec types.Record) {
 	sh := s.shardFor(rec.Flow)
 	sh.mu.Lock()
-	idx := len(sh.entries)
-	// The sequence number is assigned under the shard lock so each
-	// shard's entries are sequence-monotonic, which the merge in forEach
-	// relies on.
-	sh.entries = append(sh.entries, entry{seq: s.seq.Add(1), rec: rec})
-	if s.indexed {
-		sh.byFlow[rec.Flow] = append(sh.byFlow[rec.Flow], idx)
-		for _, l := range rec.Path.Links() {
-			sh.byLink[l] = append(sh.byLink[l], idx)
-		}
+	seg := sh.active()
+	if s.shouldSeal(seg, &rec) {
+		seg.sealed = true
+		seg = newSegment(s.indexed)
+		sh.segs = append(sh.segs, seg)
 	}
+	// The sequence number is assigned under the shard lock so each
+	// shard's segment chain is sequence-monotonic, which the merge in
+	// ScanWhile relies on.
+	seg.add(entry{seq: s.seq.Add(1), rec: rec}, s.indexed)
 	sh.mu.Unlock()
 	s.count.Add(1)
+}
+
+// shouldSeal decides whether the active segment must be sealed before rec
+// is appended.
+func (s *Store) shouldSeal(seg *segment, rec *types.Record) bool {
+	if len(seg.entries) == 0 {
+		return false
+	}
+	if s.segRecords > 0 && len(seg.entries) >= s.segRecords {
+		return true
+	}
+	if s.segSpan > 0 {
+		lo, hi := seg.minTime, seg.maxTime
+		if rec.STime < lo {
+			lo = rec.STime
+		}
+		if rec.ETime > hi {
+			hi = rec.ETime
+		}
+		return hi-lo > s.segSpan
+	}
+	return false
 }
 
 // Len returns the record count.
 func (s *Store) Len() int { return int(s.count.Load()) }
 
+// Segments returns how many non-empty segments currently exist across
+// all shards (a shard's active segment counts once it holds a record).
+func (s *Store) Segments() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, seg := range sh.segs {
+			if len(seg.entries) > 0 {
+				n++
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// SegmentStats returns the cumulative scan telemetry: how many segments
+// scans have walked versus pruned by time-bound intersection. Callers
+// attribute a query's share by delta (capture before and after).
+func (s *Store) SegmentStats() (scanned, pruned uint64) {
+	return s.segScanned.Load(), s.segPruned.Load()
+}
+
+// EvictBefore drops every sealed segment whose newest record ended
+// strictly before cutoff, returning how many segments and records were
+// freed. The active segment is never evicted (seal it first by adding, or
+// accept that the freshest records always survive). Eviction is the
+// retention mechanism reproducing the paper's fixed per-host storage
+// budget: whole expired segments go at once, indexes and all.
+//
+// Repeated calls with slowly advancing cutoffs are cheap: cutoffs that
+// cannot free anything new (not a full SegmentSpan — or, spanless, not a
+// quarter of Retention — past the last effective one) return without
+// touching a lock.
+func (s *Store) EvictBefore(cutoff types.Time) (segments, records int) {
+	if cutoff <= 0 {
+		// Virtual time starts at 0: nothing can predate a non-positive
+		// cutoff, so the whole first retention window is lock-free here.
+		return 0, 0
+	}
+	floor := s.evictFloor.Load()
+	step := s.segSpan
+	if step == 0 {
+		step = s.retention / 4
+	}
+	if floor > 0 && cutoff < floor+step {
+		return 0, 0
+	}
+	s.evictFloor.Store(cutoff)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		keep := sh.segs[:0]
+		for _, seg := range sh.segs {
+			if seg.sealed && len(seg.entries) > 0 && seg.maxTime < cutoff {
+				segments++
+				records += len(seg.entries)
+				continue
+			}
+			keep = append(keep, seg)
+		}
+		// Clear the dropped tail so evicted segments are collectable.
+		for j := len(keep); j < len(sh.segs); j++ {
+			sh.segs[j] = nil
+		}
+		sh.segs = keep
+		sh.mu.Unlock()
+	}
+	if records > 0 {
+		s.count.Add(int64(-records))
+	}
+	return segments, records
+}
+
 // cursor walks one shard's matching entries in sequence order during a
-// cross-shard merge. Entry and posting slices are append-only, so the
-// headers captured under the shard RLock stay valid (and their elements
-// immutable) after the lock is released.
+// cross-shard merge: a chain of per-segment sub-cursors, consumed in
+// chain order (the chain is sequence-monotonic). Entry and posting slices
+// are append-only and sealed segments immutable, so the headers captured
+// under the shard RLock stay valid (and their elements immutable) after
+// the lock is released.
 type cursor struct {
+	segs []segCursor
+	si   int
+}
+
+// segCursor walks one segment's entries (or one posting list into them).
+type segCursor struct {
 	entries []entry
 	post    []int // posting list into entries; nil means "every entry"
 	i       int
 }
 
-func (c *cursor) head() *entry {
+func (c *segCursor) head() *entry {
 	if c.post != nil {
 		if c.i >= len(c.post) {
 			return nil
@@ -158,15 +340,20 @@ func (c *cursor) head() *entry {
 	return &c.entries[c.i]
 }
 
-// merge visits every cursor's entries in ascending global sequence order.
-func merge(cursors []cursor, fn func(*types.Record)) {
-	mergeWhile(cursors, func(rec *types.Record) bool {
-		fn(rec)
-		return true
-	})
+func (c *cursor) head() *entry {
+	for c.si < len(c.segs) {
+		if e := c.segs[c.si].head(); e != nil {
+			return e
+		}
+		c.si++
+	}
+	return nil
 }
 
-// mergeWhile is merge with early termination: iteration stops as soon as
+func (c *cursor) advance() { c.segs[c.si].i++ }
+
+// mergeWhile visits every cursor's entries in ascending global sequence
+// order, with early termination: iteration stops as soon as
 // fn returns false. Cancellation-aware scans (a query whose caller hung
 // up mid-evaluation) use this to bail out between records of the
 // cross-shard merge instead of finishing a pointless full scan.
@@ -182,59 +369,92 @@ func mergeWhile(cursors []cursor, fn func(*types.Record) bool) {
 		if best == nil {
 			return
 		}
-		cursors[bi].i++
+		cursors[bi].advance()
 		if !fn(&best.rec) {
 			return
 		}
 	}
 }
 
-// snapshotCursors captures a consistent read view of every shard: the
-// committed prefix of each entries slice plus (optionally) one posting
-// list per shard. All shard read-locks are held simultaneously while the
-// slice headers are captured — sequence numbers are assigned under the
-// shard write lock, so a moment with every lock held observes a
-// downward-closed prefix of the global arrival order, exactly like the
-// old single-lock store. Capture is just header copies, so writers are
-// stalled only momentarily.
-func (s *Store) snapshotCursors(link *types.LinkID) []cursor {
+// snapshotCursors captures a consistent read view of every shard: per
+// surviving segment, the committed prefix of its entries slice plus
+// (optionally) one posting list. Segments whose time bounds do not
+// intersect tr are pruned — skipped whole, before any record is touched.
+// All shard read-locks are held simultaneously while the slice headers
+// are captured — sequence numbers are assigned under the shard write
+// lock, so a moment with every lock held observes a downward-closed
+// prefix of the global arrival order, exactly like the old single-lock
+// store. Capture is just header copies, so writers are stalled only
+// momentarily.
+func (s *Store) snapshotCursors(link *types.LinkID, tr types.TimeRange) []cursor {
 	for i := range s.shards {
 		s.shards[i].mu.RLock()
 	}
+	var scanned, pruned uint64
 	out := make([]cursor, 0, len(s.shards))
 	for i := range s.shards {
 		sh := &s.shards[i]
-		c := cursor{entries: sh.entries}
-		if link != nil {
-			c.post = sh.byLink[*link]
+		var c cursor
+		for _, seg := range sh.segs {
+			if len(seg.entries) == 0 {
+				continue
+			}
+			if !seg.overlaps(tr) {
+				pruned++
+				continue
+			}
+			sc := segCursor{entries: seg.entries}
+			if link != nil {
+				sc.post = seg.byLink[*link]
+				if len(sc.post) == 0 {
+					scanned++ // bound check passed; the index answered "none"
+					continue
+				}
+			}
+			scanned++
+			c.segs = append(c.segs, sc)
 		}
-		if link == nil || len(c.post) > 0 {
+		if len(c.segs) > 0 {
 			out = append(out, c)
 		}
 	}
 	for i := range s.shards {
 		s.shards[i].mu.RUnlock()
 	}
+	s.segScanned.Add(scanned)
+	s.segPruned.Add(pruned)
 	return out
 }
 
-// ForEach visits records matching the link pattern and time range in
-// global insertion order. A wildcard-free link uses the link index;
-// everything else scans.
-func (s *Store) ForEach(link types.LinkID, tr types.TimeRange, fn func(*types.Record)) {
-	s.ForEachWhile(link, tr, func(rec *types.Record) bool {
+// Scan visits every record matching the predicate triple in global
+// insertion order — the pushed-down evaluation path behind the query
+// layer's Predicate. See ScanWhile.
+func (s *Store) Scan(flow *types.FlowID, link types.LinkID, tr types.TimeRange, fn func(*types.Record)) {
+	s.ScanWhile(flow, link, tr, func(rec *types.Record) bool {
 		fn(rec)
 		return true
 	})
 }
 
-// ForEachWhile is ForEach with early termination: the scan stops as soon
-// as fn returns false. Context-aware query evaluation polls cancellation
-// every few thousand records through this, so a caller that hung up does
-// not pin a shard-merge over a large TIB.
-func (s *Store) ForEachWhile(link types.LinkID, tr types.TimeRange, fn func(*types.Record) bool) {
+// ScanWhile is Scan with early termination: the scan stops as soon as fn
+// returns false. The predicate triple picks the cheapest access path —
+//
+//   - flow != nil: the flow's single shard, walking that flow's posting
+//     list inside each segment surviving time pruning;
+//   - concrete link: the link's posting lists inside surviving segments
+//     of every shard, merged by sequence;
+//   - otherwise: a full merge over surviving segments.
+//
+// In every case whole segments whose [min,max] time bounds miss tr are
+// skipped before a record is touched, and surviving records are filtered
+// by the remaining predicate terms.
+func (s *Store) ScanWhile(flow *types.FlowID, link types.LinkID, tr types.TimeRange, fn func(*types.Record) bool) {
+	if flow != nil {
+		s.scanFlowWhile(*flow, link, tr, fn)
+		return
+	}
 	if s.indexed && !link.IsWildcard() {
-		mergeWhile(s.snapshotCursors(&link), func(rec *types.Record) bool {
+		mergeWhile(s.snapshotCursors(&link, tr), func(rec *types.Record) bool {
 			if rec.Overlaps(tr) {
 				return fn(rec)
 			}
@@ -243,7 +463,7 @@ func (s *Store) ForEachWhile(link types.LinkID, tr types.TimeRange, fn func(*typ
 		return
 	}
 	all := link == types.AnyLink
-	mergeWhile(s.snapshotCursors(nil), func(rec *types.Record) bool {
+	mergeWhile(s.snapshotCursors(nil, tr), func(rec *types.Record) bool {
 		if !rec.Overlaps(tr) {
 			return true
 		}
@@ -254,38 +474,83 @@ func (s *Store) ForEachWhile(link types.LinkID, tr types.TimeRange, fn func(*typ
 	})
 }
 
+// scanFlowWhile is the single-shard flow path: all records of one flow
+// live in one shard, and inside it the flow's per-segment posting lists
+// (already in insertion order) are walked directly.
+func (s *Store) scanFlowWhile(f types.FlowID, link types.LinkID, tr types.TimeRange, fn func(*types.Record) bool) {
+	sh := s.shardFor(f)
+	sh.mu.RLock()
+	var scanned, pruned uint64
+	var segs []segCursor
+	for _, seg := range sh.segs {
+		if len(seg.entries) == 0 {
+			continue
+		}
+		if !seg.overlaps(tr) {
+			pruned++
+			continue
+		}
+		scanned++
+		sc := segCursor{entries: seg.entries}
+		if s.indexed {
+			sc.post = seg.byFlow[f]
+			if len(sc.post) == 0 {
+				continue
+			}
+		}
+		segs = append(segs, sc)
+	}
+	sh.mu.RUnlock()
+	s.segScanned.Add(scanned)
+	s.segPruned.Add(pruned)
+
+	visit := func(rec *types.Record) bool {
+		if !rec.Overlaps(tr) {
+			return true
+		}
+		if link != types.AnyLink && !rec.Path.ContainsLink(link) {
+			return true
+		}
+		return fn(rec)
+	}
+	for si := range segs {
+		sc := &segs[si]
+		if sc.post != nil {
+			for _, i := range sc.post {
+				if !visit(&sc.entries[i].rec) {
+					return
+				}
+			}
+			continue
+		}
+		for i := range sc.entries {
+			if sc.entries[i].rec.Flow == f && !visit(&sc.entries[i].rec) {
+				return
+			}
+		}
+	}
+}
+
+// ForEach visits records matching the link pattern and time range in
+// global insertion order. A wildcard-free link uses the link index;
+// everything else scans surviving segments.
+func (s *Store) ForEach(link types.LinkID, tr types.TimeRange, fn func(*types.Record)) {
+	s.Scan(nil, link, tr, fn)
+}
+
+// ForEachWhile is ForEach with early termination: the scan stops as soon
+// as fn returns false. Context-aware query evaluation polls cancellation
+// every few thousand records through this, so a caller that hung up does
+// not pin a shard-merge over a large TIB.
+func (s *Store) ForEachWhile(link types.LinkID, tr types.TimeRange, fn func(*types.Record) bool) {
+	s.ScanWhile(nil, link, tr, fn)
+}
+
 // ForFlow visits records of one flow matching the link pattern and range,
 // in insertion order. All records of a flow live in one shard, so only
 // that stripe is touched.
 func (s *Store) ForFlow(f types.FlowID, link types.LinkID, tr types.TimeRange, fn func(*types.Record)) {
-	visit := func(rec *types.Record) {
-		if !rec.Overlaps(tr) {
-			return
-		}
-		if link != types.AnyLink && !rec.Path.ContainsLink(link) {
-			return
-		}
-		fn(rec)
-	}
-	sh := s.shardFor(f)
-	sh.mu.RLock()
-	entries := sh.entries
-	var post []int
-	if s.indexed {
-		post = sh.byFlow[f]
-	}
-	sh.mu.RUnlock()
-	if s.indexed {
-		for _, i := range post {
-			visit(&entries[i].rec)
-		}
-		return
-	}
-	for i := range entries {
-		if entries[i].rec.Flow == f {
-			visit(&entries[i].rec)
-		}
-	}
+	s.Scan(&f, link, tr, fn)
 }
 
 // Flows returns the distinct ⟨flowID, path⟩ pairs that traversed the link
@@ -354,48 +619,4 @@ func (s *Store) Duration(f types.Flow, tr types.TimeRange) types.Time {
 		return 0
 	}
 	return hi - lo
-}
-
-// Snapshot serialises the record log with gob (the stand-in for the
-// paper's MongoDB persistence). Records are written in global insertion
-// order, so the wire format is identical to the single-lock store's.
-func (s *Store) Snapshot(w io.Writer) error {
-	recs := make([]types.Record, 0, s.Len())
-	merge(s.snapshotCursors(nil), func(rec *types.Record) {
-		recs = append(recs, *rec)
-	})
-	return gob.NewEncoder(w).Encode(recs)
-}
-
-// LoadSnapshot replaces the store contents from a snapshot and rebuilds
-// the indexes. The replacement is atomic: the new contents are staged in
-// a private store (same shard count, so the flow→shard mapping matches),
-// then swapped in under every shard lock at once, so concurrent readers
-// see either the old store or the new one — never a half-cleared mix —
-// and the sequence counter is only ever reset while no Add can be in
-// flight.
-func (s *Store) LoadSnapshot(r io.Reader) error {
-	var recs []types.Record
-	if err := gob.NewDecoder(r).Decode(&recs); err != nil {
-		return err
-	}
-	staged := NewStoreShards(len(s.shards))
-	staged.indexed = s.indexed
-	for _, rec := range recs {
-		staged.Add(rec)
-	}
-	for i := range s.shards {
-		s.shards[i].mu.Lock()
-	}
-	for i := range s.shards {
-		s.shards[i].entries = staged.shards[i].entries
-		s.shards[i].byFlow = staged.shards[i].byFlow
-		s.shards[i].byLink = staged.shards[i].byLink
-	}
-	s.seq.Store(staged.seq.Load())
-	s.count.Store(staged.count.Load())
-	for i := range s.shards {
-		s.shards[i].mu.Unlock()
-	}
-	return nil
 }
