@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"pathdump/internal/agent"
+	"pathdump/internal/alarms"
 	"pathdump/internal/cherrypick"
 	"pathdump/internal/controller"
 	"pathdump/internal/netsim"
@@ -19,10 +20,28 @@ import (
 // 5 s record timeout, 200 ms TCP monitoring granularity, unlimited query
 // fan-out parallelism).
 type Config struct {
-	Net   NetConfig
-	Agent AgentConfig
-	TCP   TCPConfig
-	Query QueryConfig
+	Net    NetConfig
+	Agent  AgentConfig
+	TCP    TCPConfig
+	Query  QueryConfig
+	Alarms AlarmConfig
+}
+
+// AlarmConfig tunes the controller-side alarm pipeline (see
+// internal/alarms): bounded history depth, per-⟨host, flow, reason⟩
+// suppression window folding repeated firings, and a token-bucket rate
+// limit on distinct new alarms. The zero value keeps every alarm
+// distinct in a default-depth ring.
+type AlarmConfig struct {
+	// History bounds the alarm ring buffer (0 = default depth).
+	History int
+	// Suppress folds repeats of one ⟨host, flow, reason⟩ arriving within
+	// this window into a single history entry (0 = no dedup).
+	Suppress time.Duration
+	// Rate caps distinct new alarms per second (0 = unlimited); Burst is
+	// the bucket depth (default ≈ Rate).
+	Rate  float64
+	Burst int
 }
 
 // QueryConfig tunes distributed query execution at the controller.
@@ -104,6 +123,14 @@ func newCluster(topo *topology.Topology, cfg Config) (*Cluster, error) {
 		nextPort: 10000,
 	}
 	c.Ctrl = controller.New(topo, controller.Local{Agents: c.Agents}, sim)
+	if cfg.Alarms != (AlarmConfig{}) {
+		c.Ctrl.SetAlarmPolicy(alarms.Config{
+			History:  cfg.Alarms.History,
+			Suppress: cfg.Alarms.Suppress,
+			Rate:     cfg.Alarms.Rate,
+			Burst:    cfg.Alarms.Burst,
+		})
+	}
 	c.Ctrl.Parallelism = cfg.Query.Parallelism
 	c.Ctrl.Cost.Deadline = cfg.Query.Deadline
 	c.Ctrl.PerHostTimeout = cfg.Query.PerHostTimeout
@@ -199,11 +226,28 @@ func (c *Cluster) SetSilentDrop(a, b SwitchID, p float64) { c.Sim.SetSilentDrop(
 // (§4.4).
 func (c *Cluster) SetBlackhole(a, b SwitchID, on bool) { c.Sim.SetBlackhole(a, b, on) }
 
-// OnAlarm registers a controller-side alarm handler.
+// OnAlarm registers a controller-side alarm handler. Handlers fire once
+// per admitted alarm: repeats folded by the suppression window do not
+// re-trigger them.
 func (c *Cluster) OnAlarm(fn func(Alarm)) { c.Ctrl.OnAlarm(fn) }
 
 // OnLoop registers a routing-loop handler (§4.5).
 func (c *Cluster) OnLoop(fn func(LoopEvent)) { c.Ctrl.OnLoop(fn) }
 
-// Alarms returns the controller's alarm log.
+// Alarms returns the controller's bounded alarm history (newest History
+// entries, oldest first).
 func (c *Cluster) Alarms() []Alarm { return c.Ctrl.Alarms() }
+
+// SubscribeAlarms opens a live feed of admitted alarms (dedup and rate
+// limiting applied): entries arrive in admission order on the
+// subscription's channel; a slow consumer loses the newest entries
+// rather than blocking the alarm path. Close the subscription when done.
+func (c *Cluster) SubscribeAlarms(buf int) *AlarmSubscription { return c.Ctrl.SubscribeAlarms(buf) }
+
+// AlarmHistory queries the bounded alarm history with filters (entry ID,
+// reason, host, receipt-time range, limit).
+func (c *Cluster) AlarmHistory(f AlarmFilter) []AlarmEntry { return c.Ctrl.AlarmHistory(f) }
+
+// AlarmStats reports the alarm pipeline's counters (received, admitted,
+// suppressed, rate-limited, stream drops, live subscribers).
+func (c *Cluster) AlarmStats() AlarmPipeStats { return c.Ctrl.AlarmStats() }

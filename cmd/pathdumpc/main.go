@@ -1,0 +1,98 @@
+// Command pathdumpc runs the PathDump controller's alarm plane as an
+// HTTP daemon — the aggregation point of the continuous-monitoring path
+// (§2.1's Alarm() sink, Figure 3's event-driven debugging). Agents (or
+// pathdumpd daemons started with -controller) POST alarms to it; the
+// built-in pipeline deduplicates repeated firings, rate-limits storms,
+// and keeps a bounded history that operators query or tail:
+//
+//	# run the controller, folding repeats within 30s, at most 100 new alarms/s
+//	pathdumpc -listen :8500 -suppress 30s -rate 100
+//
+//	# point daemons at it
+//	pathdumpd -hosts 0,1 -listen :8400 -controller http://localhost:8500
+//
+//	# query history / tail the live feed
+//	pathdumpctl -controller http://localhost:8500 -alarms -reason POOR_PERF
+//	pathdumpctl -controller http://localhost:8500 -watch
+//
+// Endpoints: POST /alarm (ingest), GET /alarms (filterable bounded
+// history), GET /alarms/stream (live SSE feed).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pathdump/internal/alarms"
+	"pathdump/internal/controller"
+	"pathdump/internal/rpc"
+	"pathdump/internal/topology"
+	"pathdump/internal/types"
+)
+
+// drainTimeout bounds graceful shutdown, mirroring pathdumpd.
+const drainTimeout = 5 * time.Second
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":8500", "HTTP listen address")
+		arity    = flag.Int("k", 4, "fat-tree arity of the ground-truth topology")
+		history  = flag.Int("alarm-history", alarms.DefaultHistory, "bounded alarm history depth (ring buffer; oldest entries fall off)")
+		suppress = flag.Duration("suppress", 0, "dedup window: repeats of one (host, flow, reason) within this window fold into a single history entry (0 = keep every firing distinct)")
+		rate     = flag.Float64("rate", 0, "token-bucket cap on distinct new alarms per second (0 = unlimited; suppressed repeats are never charged)")
+		burst    = flag.Int("burst", 0, "token-bucket depth for -rate (default ≈ rate)")
+		verbose  = flag.Bool("log-alarms", false, "log each admitted alarm to stderr")
+	)
+	flag.Parse()
+
+	topo, err := topology.FatTree(*arity)
+	if err != nil {
+		log.Fatalf("pathdumpc: %v", err)
+	}
+	ctrl := controller.New(topo, &rpc.HTTPTransport{}, nil)
+	ctrl.SetAlarmPolicy(alarms.Config{
+		History:  *history,
+		Suppress: *suppress,
+		Rate:     *rate,
+		Burst:    *burst,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop() // second signal force-kills a hung drain
+	}()
+	ctrl.SetAlarmContext(ctx)
+	if *verbose {
+		ctrl.OnAlarm(func(a types.Alarm) { log.Printf("pathdumpc: %v", a) })
+	}
+
+	srv := &http.Server{Addr: *listen, Handler: (&rpc.ControllerServer{C: ctrl}).Handler()}
+	log.Printf("pathdumpc: alarm plane on %s (history %d, suppress %v, rate %.0f/s)",
+		*listen, *history, *suppress, *rate)
+	fmt.Println("endpoints: POST /alarm, GET /alarms /alarms/stream")
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+		st := ctrl.AlarmStats()
+		log.Printf("pathdumpc: shutting down (%d alarms received, %d admitted, %d suppressed, %d rate-limited)",
+			st.Received, st.Admitted, st.Suppressed, st.RateLimited)
+		sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"pathdump"
+	"pathdump/internal/alarms"
 	"pathdump/internal/controller"
 	"pathdump/internal/query"
 	"pathdump/internal/rpc"
@@ -46,11 +47,29 @@ func main() {
 	retries := flag.Int("retries", 0, "re-issue a request up to this many extra times on real transport errors (connection refused/reset), with jittered backoff; ignored when -hedge-after is set (the hedge race owns the slow/failed path then)")
 	retryBackoff := flag.Duration("retry-backoff", 0, "base backoff before the first retry (default 50ms; doubles per attempt, jittered)")
 	pullSnapshot := flag.String("pull-snapshot", "", "capture the agent's TIB snapshot (GET /snapshot) into this file and exit; requires exactly one -agents entry. Serve it offline with pathdumpd -tib")
+	ctrlURL := flag.String("controller", "", "controller URL (pathdumpc) for the alarm-plane modes -alarms and -watch")
+	listAlarms := flag.Bool("alarms", false, "query the controller's bounded alarm history (GET /alarms) and exit; filter with -reason/-alarm-host/-since/-limit")
+	watch := flag.Bool("watch", false, "tail the controller's live alarm feed (GET /alarms/stream) until killed or -watch-for elapses; -since N replays history after entry N first")
+	watchFor := flag.Duration("watch-for", 0, "stop -watch after this long and exit 0 (0 = tail forever)")
+	sinceID := flag.Int64("since", -1, "alarm entry ID paging/replay cursor: -alarms lists entries after it; -watch replays history after it before going live (-1 = -alarms lists everything, -watch tails live only)")
+	reason := flag.String("reason", "", "alarm filter: reason code (e.g. POOR_PERF, PC_FAIL)")
+	alarmHost := flag.Int("alarm-host", -1, "alarm filter: host ID (-1 = all hosts)")
+	limit := flag.Int("limit", 0, "alarm history limit: keep only the newest N matches (0 = all)")
 	flag.Parse()
 	args := flag.Args()
-	if *agents == "" || (len(args) == 0 && *pullSnapshot == "") {
-		fmt.Fprintln(os.Stderr, "usage: pathdumpctl -agents id=url[,id=url...] [-parallel n] [-timeout d] [-partial] [-hedge-after d] [-host-timeout d] [-retries n] [-pull-snapshot file] {topk|flows|paths|count|conformance|matrix|poor|install|uninstall} [flags]")
+	alarmMode := *listAlarms || *watch
+	if alarmMode && *ctrlURL == "" {
+		fmt.Fprintln(os.Stderr, "pathdumpctl: -alarms/-watch need -controller URL")
 		os.Exit(2)
+	}
+	if !alarmMode && (*agents == "" || (len(args) == 0 && *pullSnapshot == "")) {
+		fmt.Fprintln(os.Stderr, "usage: pathdumpctl -agents id=url[,id=url...] [-parallel n] [-timeout d] [-partial] [-hedge-after d] [-host-timeout d] [-retries n] [-pull-snapshot file] {topk|flows|paths|count|conformance|matrix|poor|install|uninstall} [flags]\n       pathdumpctl -controller url {-alarms|-watch} [-reason r] [-alarm-host n] [-since id] [-limit n] [-watch-for d]")
+		os.Exit(2)
+	}
+
+	if alarmMode {
+		runAlarmMode(*ctrlURL, *listAlarms, *watch, *timeout, *watchFor, *sinceID, *reason, *alarmHost, *limit)
+		return
 	}
 	urls, hosts := parseAgents(*agents)
 	topo, err := topology.FatTree(*arity)
@@ -175,6 +194,59 @@ func main() {
 	default:
 		log.Fatalf("unknown command %q", cmd)
 	}
+}
+
+// runAlarmMode serves the alarm-plane modes: -alarms (bounded history
+// query, -timeout-bounded) and -watch (live tail, bounded by -watch-for
+// rather than -timeout — a tail is long-lived by design). Both talk to
+// a pathdumpc controller daemon.
+func runAlarmMode(ctrlURL string, list, watch bool, timeout, watchFor time.Duration, sinceID int64, reason string, alarmHost, limit int) {
+	base := strings.TrimSuffix(ctrlURL, "/")
+	f := alarms.Filter{Reason: types.Reason(reason), Limit: limit}
+	if sinceID > 0 {
+		f.SinceID = uint64(sinceID)
+	}
+	if alarmHost >= 0 {
+		h := types.HostID(alarmHost)
+		f.Host = &h
+	}
+	if list {
+		ctx := context.Background()
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+			defer cancel()
+		}
+		resp, err := rpc.FetchAlarms(ctx, nil, base, f)
+		check(err)
+		for _, e := range resp.Entries {
+			printEntry(e)
+		}
+		st := resp.Stats
+		fmt.Printf("(%d shown; pipeline: %d received, %d admitted, %d suppressed, %d rate-limited, %d evicted, %d subscribers)\n",
+			len(resp.Entries), st.Received, st.Admitted, st.Suppressed, st.RateLimited, st.Evicted, st.Subscribers)
+		return
+	}
+	ctx := context.Background()
+	if watchFor > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, watchFor)
+		defer cancel()
+	}
+	replay := sinceID >= 0
+	err := rpc.StreamAlarms(ctx, nil, base, f, replay, func(e alarms.Entry) error {
+		printEntry(e)
+		return nil
+	})
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+		check(err)
+	}
+}
+
+// printEntry renders one alarm-history entry; the e2e smoke script greps
+// these lines.
+func printEntry(e alarms.Entry) {
+	fmt.Printf("#%-4d %v x%d at %s\n", e.ID, e.Alarm, e.Count, e.LastAt.Format(time.RFC3339))
 }
 
 func check(err error) {

@@ -22,12 +22,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -56,17 +58,21 @@ func main() {
 		tibPath  = flag.String("tib", "", "TIB snapshot to load (v2 segment-wise or legacy v1 gob; single-host mode only)")
 		segSpan  = flag.Duration("segment-span", 0, "seal a TIB segment once it covers this much virtual time (0 = seal by record count; default retention/8 when -retention is set)")
 		retain   = flag.Duration("retention", 0, "TIB retention: whole sealed segments older than this (virtual time) are evicted as records arrive — the paper's fixed per-host storage budget (0 = keep everything)")
+		retainB  = flag.Int64("retention-bytes", 0, "TIB byte budget: once the store's estimated footprint exceeds this, the oldest sealed segments are evicted until it fits — §5.3's fixed MB-per-host budget (0 = no byte budget)")
 		demo     = flag.Bool("demo", false, "populate the TIB with a simulated demo workload")
 		alarmURL = flag.String("controller", "", "controller URL for alarms (optional)")
+		trigger  = flag.Duration("trigger-every", 200*time.Millisecond, "how often the daemon advances its virtual clock so installed (periodic) queries actually fire while serving; 0 freezes time after startup (installed queries then never run)")
 		slowHost = flag.Int("slow-host", -1, "fault injection: queries at this served host stall for -slow-delay before answering (e2e straggler testing)")
 		slowDly  = flag.Duration("slow-delay", 30*time.Second, "how long the injected-slow host stalls (the stall honours the request context)")
 		slowOnce = flag.Bool("slow-first-only", false, "only the first query at -slow-host stalls; later ones (e.g. a hedged retry) answer at full speed")
+		poorFlow = flag.Bool("inject-poor-flow", false, "fault injection: register one wedged TCP flow at the lowest served host so an installed poor_tcp monitor deterministically raises POOR_PERF every period (e2e alarm-path testing)")
 	)
 	flag.Parse()
 
 	c, err := pathdump.NewFatTree(*arity, pathdump.Config{Agent: pathdump.AgentConfig{
-		SegmentSpan: pathdump.Time(segSpan.Nanoseconds()),
-		Retention:   pathdump.Time(retain.Nanoseconds()),
+		SegmentSpan:    pathdump.Time(segSpan.Nanoseconds()),
+		Retention:      pathdump.Time(retain.Nanoseconds()),
+		RetentionBytes: *retainB,
 	}})
 	if err != nil {
 		log.Fatalf("pathdumpd: %v", err)
@@ -170,12 +176,66 @@ func main() {
 			gen.Started, records)
 	}
 
+	if *poorFlow {
+		// One wedged flow at the lowest served host: its sender never
+		// progresses and sits at a high consecutive-retransmission count,
+		// so an installed TCP monitor reports it on every periodic run —
+		// the deterministic driver for the e2e alarm-dedup scenario.
+		low := types.HostID(0)
+		first := true
+		for id := range served {
+			if first || id < low {
+				low, first = id, false
+			}
+		}
+		f := types.FlowID{
+			SrcIP: c.HostIP(low), DstIP: c.HostIP(low) + 1,
+			SrcPort: 55555, DstPort: 80, Proto: types.ProtoTCP,
+		}
+		c.Stacks[low].InjectPoorFlow(f, 100)
+		log.Printf("pathdumpd: host %v injected poor flow %v", low, f)
+	}
+
+	// The trigger pump maps wall time onto the simulator's virtual clock
+	// while the daemon serves, so installed (periodic) queries — the
+	// continuous-monitoring plane — actually fire on a live daemon
+	// instead of being frozen at startup time. The pump and the
+	// install/uninstall handlers share simMu: both mutate the simulator's
+	// timer heap. Query execution needs no lock — the TIB store and
+	// trajectory memory are safe for concurrent readers while the pump's
+	// events append.
+	var simMu sync.Mutex
+	if *trigger > 0 {
+		go func() {
+			tick := time.NewTicker(*trigger)
+			defer tick.Stop()
+			last := time.Now()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case now := <-tick.C:
+					d := pathdump.Time(now.Sub(last).Nanoseconds())
+					last = now
+					simMu.Lock()
+					c.Run(c.Now() + d)
+					simMu.Unlock()
+				}
+			}
+		}()
+	}
+
+	// The slow-host wrapper goes outside the lock wrapper: an injected
+	// stall must hold the straggling request's goroutine, never simMu —
+	// otherwise one wedged query would freeze the trigger pump and every
+	// install for the stall's duration.
 	target := func(id types.HostID, a *agent.Agent) rpc.Target {
+		var t fullTarget = lockedTarget{t: a, mu: &simMu}
 		if *slowHost >= 0 && types.HostID(*slowHost) == id {
 			log.Printf("pathdumpd: host %v injected slow (%v, first-only=%v)", id, *slowDly, *slowOnce)
-			return &slowTarget{Agent: a, delay: *slowDly, once: *slowOnce}
+			t = &slowTarget{fullTarget: t, delay: *slowDly, once: *slowOnce}
 		}
-		return a
+		return t
 	}
 
 	var handler http.Handler
@@ -200,12 +260,62 @@ func main() {
 	}
 }
 
+// fullTarget is the agent-backed surface the daemon serves: the base
+// Target plus every optional extension *agent.Agent provides.
+type fullTarget interface {
+	rpc.Target
+	rpc.ContextTarget
+	rpc.SegmentStatser
+	rpc.Snapshotter
+}
+
+// lockedTarget serialises against the trigger pump's sim.Run everything
+// that touches unsynchronised shared state: the control-plane mutations
+// (install/uninstall register and cancel timers on the shared
+// simulator) and poor_tcp queries (the TCP stack has no lock of its
+// own, and PoorFlows advances per-sender scan state that the pump's
+// installed monitor also advances). TIB/trajectory-memory queries pass
+// straight through — those structures are safe for concurrent readers
+// while the pump's events append.
+type lockedTarget struct {
+	t  fullTarget
+	mu *sync.Mutex
+}
+
+func (l lockedTarget) Execute(q query.Query) query.Result {
+	if q.Op == query.OpPoorTCP {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+	}
+	return l.t.Execute(q)
+}
+func (l lockedTarget) ExecuteContext(ctx context.Context, q query.Query) (query.Result, error) {
+	if q.Op == query.OpPoorTCP {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+	}
+	return l.t.ExecuteContext(ctx, q)
+}
+func (l lockedTarget) Install(q query.Query, period types.Time) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.t.Install(q, period)
+}
+func (l lockedTarget) Uninstall(id int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.t.Uninstall(id)
+}
+func (l lockedTarget) TIBSize() int                    { return l.t.TIBSize() }
+func (l lockedTarget) SegmentStats() (uint64, uint64)  { return l.t.SegmentStats() }
+func (l lockedTarget) WriteSnapshot(w io.Writer) error { return l.t.WriteSnapshot(w) }
+
 // slowTarget injects a stall into one served host's query path so e2e
 // runs can exercise hedging and partial results against real binaries.
 // The stall honours the request context: a hung-up or deadline-expired
 // caller releases the handler immediately.
 type slowTarget struct {
-	*agent.Agent
+	fullTarget
 	delay time.Duration
 	once  bool
 	hit   atomic.Bool
@@ -231,7 +341,7 @@ func (s *slowTarget) ExecuteContext(ctx context.Context, q query.Query) (query.R
 	if err := s.stall(ctx); err != nil {
 		return query.Result{}, err
 	}
-	return s.Agent.ExecuteContext(ctx, q)
+	return s.fullTarget.ExecuteContext(ctx, q)
 }
 
 // serve runs the daemon with per-request deadlines and a graceful

@@ -58,6 +58,12 @@ type Config struct {
 	// evicted — the paper's fixed per-host storage budget (§5.3). 0 keeps
 	// everything.
 	Retention types.Time
+	// RetentionBytes bounds the TIB by estimated resident size: once the
+	// store exceeds the budget, the oldest sealed segments are evicted
+	// until it fits — §5.3's fixed MB-per-host budget taken literally,
+	// independent of traffic rate. 0 means no byte budget; both bounds
+	// may be active at once.
+	RetentionBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -80,6 +86,7 @@ func (c Config) storeConfig() tib.Config {
 		SegmentSpan:    c.SegmentSpan,
 		SegmentRecords: c.SegmentRecords,
 		Retention:      c.Retention,
+		RetentionBytes: c.RetentionBytes,
 	}
 }
 
@@ -90,6 +97,31 @@ type Installed struct {
 	Query  query.Query
 	Period types.Time
 	gen    uint64 // bumped on uninstall to cancel pending timers
+
+	// watermark is the newest global TIB arrival sequence this query has
+	// already evaluated: each periodic run scans only records past it
+	// (guarded by instMu). The first run covers everything already in the
+	// store, so violations that predate the install are still reported —
+	// once.
+	watermark uint64
+	// runs/recordsScanned count periodic evaluations and the TIB records
+	// they actually touched — the telemetry proving incremental runs stay
+	// proportional to the delta, not the store (guarded by instMu).
+	runs           uint64
+	recordsScanned uint64
+}
+
+// TriggerStats is one installed query's incremental-evaluation telemetry.
+type TriggerStats struct {
+	// Runs counts periodic evaluations that found a non-empty delta
+	// (quiet periods return after one sequence comparison and are not
+	// counted).
+	Runs uint64
+	// RecordsScanned totals the TIB records those runs visited: with
+	// watermarks it grows with the arrival rate, not run count × TIB size.
+	RecordsScanned uint64
+	// Watermark is the newest arrival sequence already evaluated.
+	Watermark uint64
 }
 
 // Agent is one host's PathDump instance.
@@ -240,6 +272,12 @@ func (a *Agent) export(e *tib.MemEntry) {
 		_, n := a.Store.EvictBefore(a.sim.Now() - a.cfg.Retention)
 		a.RecordsEvicted += uint64(n)
 	}
+	if a.cfg.RetentionBytes > 0 {
+		// Byte-budget retention: under budget this is one atomic load, so
+		// it too is safe per export.
+		_, n := a.Store.EvictOverBytes()
+		a.RecordsEvicted += uint64(n)
+	}
 	// Event-triggered installed queries run as new records appear. The
 	// matching set is captured under the lock; execution (which may
 	// raise alarms) happens outside it.
@@ -341,12 +379,16 @@ func (a *Agent) periodic(inst *Installed, gen uint64) {
 // alarms. rec, when non-nil, is the just-exported record for
 // event-triggered execution (the query is evaluated against it alone,
 // which is how the paper's per-packet-arrival conformance check behaves).
+// Periodic TIB-driven queries evaluate incrementally: each run scans only
+// the records that arrived since the previous one (see runIncremental).
 func (a *Agent) runInstalled(inst *Installed, rec *types.Record) {
 	q := inst.Query
 	switch q.Op {
 	case query.OpPoorTCP:
 		// The active monitoring module (§3.2): raise POOR_PERF per
-		// suffering flow.
+		// suffering flow. The TCP monitor is inherently incremental —
+		// PoorFlows advances its per-sender scan window on every call —
+		// so no TIB watermark is involved.
 		for _, f := range a.PoorTCPFlows(q.Threshold) {
 			a.raise(types.Alarm{Flow: f, Reason: types.ReasonPoorPerf})
 		}
@@ -355,7 +397,7 @@ func (a *Agent) runInstalled(inst *Installed, rec *types.Record) {
 		if rec != nil {
 			res = query.Execute(q, recordView{rec})
 		} else {
-			res = a.Execute(q)
+			res = a.runIncremental(inst)
 		}
 		for _, v := range res.Violations {
 			a.raise(types.Alarm{Flow: v.Flow, Reason: types.ReasonPathConformance, Paths: []types.Path{v.Path}})
@@ -364,6 +406,60 @@ func (a *Agent) runInstalled(inst *Installed, rec *types.Record) {
 		// Measurement queries installed for periodic execution surface
 		// their results through the TIB on demand; nothing to push.
 	}
+}
+
+// runIncremental evaluates one periodic installed query over only the
+// TIB records that arrived since its previous run: the query's predicate
+// is pushed down with a (watermark, LastSeq] sequence window, so whole
+// sealed segments below the watermark are skipped by one bound
+// comparison and a quiet period costs almost nothing — instead of the
+// previous full TIB rescan every period, which also re-alarmed every old
+// violation forever. The upper bound is captured before evaluation, so a
+// record arriving mid-scan is deferred (exactly once) to the next run.
+// Records still in the trajectory memory are not consulted — they enter
+// the window when exported, so nothing is reported twice and nothing is
+// missed, only deferred until export.
+func (a *Agent) runIncremental(inst *Installed) query.Result {
+	a.instMu.Lock()
+	since := inst.watermark
+	a.instMu.Unlock()
+	until := a.Store.LastSeq()
+	if until <= since {
+		return query.Result{Op: inst.Query.Op} // nothing new since the last run
+	}
+	var scanned uint64
+	view := query.ScanView{
+		Scan: func(p query.Predicate, fn func(*types.Record)) {
+			a.Store.ScanSince(p.MinSeq, p.MaxSeq, p.Flow, p.Link, p.Range, func(r *types.Record) bool {
+				scanned++
+				fn(r)
+				return true
+			})
+		},
+		Window: query.Predicate{MinSeq: since, MaxSeq: until},
+		Poor:   a.PoorTCPFlows,
+	}
+	res := query.Execute(inst.Query, view)
+	a.instMu.Lock()
+	if cur, ok := a.installed[inst.ID]; ok && cur == inst {
+		inst.watermark = until
+		inst.runs++
+		inst.recordsScanned += scanned
+	}
+	a.instMu.Unlock()
+	return res
+}
+
+// TriggerStats reports one installed query's incremental-evaluation
+// telemetry; ok is false when no such installation exists.
+func (a *Agent) TriggerStats(id int) (TriggerStats, bool) {
+	a.instMu.Lock()
+	defer a.instMu.Unlock()
+	inst, ok := a.installed[id]
+	if !ok {
+		return TriggerStats{}, false
+	}
+	return TriggerStats{Runs: inst.runs, RecordsScanned: inst.recordsScanned, Watermark: inst.watermark}, true
 }
 
 // TIBSize reports the number of queryable records (TIB plus trajectory

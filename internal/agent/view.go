@@ -50,19 +50,24 @@ func (a *Agent) view() query.View {
 }
 
 // ScanRecords implements query.View over store + live records: the
-// predicate is pushed down into the segmented store (whole-segment time
-// pruning, index postings), and the handful of not-yet-exported live
-// records are filtered by Predicate.Match. With a context attached, the
-// TIB scan aborts between merged shard records once the context is
-// cancelled.
+// predicate — including its arrival-sequence window, the incremental
+// trigger path — is pushed down into the segmented store (whole-segment
+// time and watermark pruning, index postings), and the handful of
+// not-yet-exported live records are filtered by Predicate.Match (they
+// carry no sequence and count as in-window — by construction new). With
+// a context attached, the TIB scan aborts between merged shard records
+// once the context is cancelled.
 func (v agentView) ScanRecords(p query.Predicate, fn func(*types.Record)) {
-	if v.ctx == nil {
-		v.a.Store.Scan(p.Flow, p.Link, p.Range, fn)
-	} else {
-		v.a.Store.ScanWhile(p.Flow, p.Link, p.Range, query.PollCancel(v.ctx, fn))
-		if v.cancelled() {
-			return
-		}
+	visit := func(rec *types.Record) bool {
+		fn(rec)
+		return true
+	}
+	if v.ctx != nil {
+		visit = query.PollCancel(v.ctx, fn)
+	}
+	v.a.Store.ScanSince(p.MinSeq, p.MaxSeq, p.Flow, p.Link, p.Range, visit)
+	if v.cancelled() {
+		return
 	}
 	for i := range v.live {
 		rec := &v.live[i]
@@ -72,97 +77,54 @@ func (v agentView) ScanRecords(p query.Predicate, fn func(*types.Record)) {
 	}
 }
 
+// scanView adapts this view into the generic scanner-derived View: the
+// Table-1 derivations (flow/path dedup, totals, time spans) live in
+// query.ScanView, shared with the incremental trigger evaluation.
+func (v agentView) scanView() query.ScanView {
+	return query.ScanView{Scan: v.ScanRecords, Poor: v.a.PoorTCPFlows}
+}
+
 // Flows implements query.View (getFlows). A scan cut off by cancellation
 // returns nil, not a partial list — the caller's result is discarded by
 // ExecuteContext, so truncated output must not feed downstream per-flow
 // loops.
 func (v agentView) Flows(link types.LinkID, tr types.TimeRange) []types.Flow {
-	type key struct {
-		f types.FlowID
-		p string
-	}
-	seen := make(map[key]bool)
-	var out []types.Flow
-	v.ScanRecords(query.Predicate{Link: link, Range: tr}, func(rec *types.Record) {
-		k := key{rec.Flow, rec.Path.Key()}
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, types.Flow{ID: rec.Flow, Path: rec.Path})
-		}
-	})
+	out := v.scanView().Flows(link, tr)
 	if v.cancelled() {
 		return nil
 	}
 	return out
 }
 
-// Paths implements query.View (getPaths).
+// Paths implements query.View (getPaths). The cancellation pre-check
+// bounds a cancelled caller's cost at one map allocation; per-flow scans
+// touch a single shard's posting list anyway.
 func (v agentView) Paths(f types.FlowID, link types.LinkID, tr types.TimeRange) []types.Path {
-	seen := make(map[string]bool)
-	var out []types.Path
-	v.eachFlowRecord(f, tr, func(rec *types.Record) {
-		if link != types.AnyLink && !rec.Path.ContainsLink(link) {
-			return
-		}
-		k := rec.Path.Key()
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, rec.Path)
-		}
-	})
-	return out
+	if v.cancelled() {
+		return nil
+	}
+	return v.scanView().Paths(f, link, tr)
 }
 
 // Count implements query.View (getCount).
 func (v agentView) Count(f types.Flow, tr types.TimeRange) (bytes, pkts uint64) {
-	v.eachFlowRecord(f.ID, tr, func(rec *types.Record) {
-		if f.Path != nil && !rec.Path.Equal(f.Path) {
-			return
-		}
-		bytes += rec.Bytes
-		pkts += rec.Pkts
-	})
-	return bytes, pkts
+	if v.cancelled() {
+		return 0, 0
+	}
+	return v.scanView().Count(f, tr)
 }
 
 // Duration implements query.View (getDuration).
 func (v agentView) Duration(f types.Flow, tr types.TimeRange) types.Time {
-	var lo, hi types.Time = -1, -1
-	v.eachFlowRecord(f.ID, tr, func(rec *types.Record) {
-		if f.Path != nil && !rec.Path.Equal(f.Path) {
-			return
-		}
-		if lo < 0 || rec.STime < lo {
-			lo = rec.STime
-		}
-		if rec.ETime > hi {
-			hi = rec.ETime
-		}
-	})
-	if lo < 0 {
+	if v.cancelled() {
 		return 0
 	}
-	return hi - lo
+	return v.scanView().Duration(f, tr)
 }
 
 // PoorTCPFlows implements query.View.
 func (v agentView) PoorTCPFlows(threshold int) []types.FlowID {
 	return v.a.PoorTCPFlows(threshold)
-}
-
-func (v agentView) eachFlowRecord(f types.FlowID, tr types.TimeRange, fn func(*types.Record)) {
-	// Per-flow lookups touch a single shard's posting list; an entry
-	// check bounds cancellation latency at one flow's records.
-	if v.cancelled() {
-		return
-	}
-	v.a.Store.ForFlow(f, types.AnyLink, tr, fn)
-	for i := range v.live {
-		rec := &v.live[i]
-		if rec.Flow == f && rec.Overlaps(tr) {
-			fn(rec)
-		}
-	}
 }
 
 // recordView exposes a single just-exported record to event-triggered

@@ -1,0 +1,103 @@
+package apps
+
+import (
+	"testing"
+	"time"
+
+	"pathdump/internal/alarms"
+	"pathdump/internal/netsim"
+	"pathdump/internal/types"
+)
+
+// TestMonitorAlarmsThroughPipeline drives the paper's two installed
+// monitors — the 200 ms TCP performance monitor and the path-conformance
+// check — through the controller's alarm pipeline: repeated firings of
+// one suffering flow dedup into a single history entry (with the fold
+// count preserved), and the two alarm reasons stay separately queryable
+// in the bounded history.
+func TestMonitorAlarmsThroughPipeline(t *testing.T) {
+	r := newRig(t, netsim.Config{Seed: 11})
+	// Wall-clock suppression window far wider than the test's runtime:
+	// every repeat folds.
+	r.ctrl.SetAlarmPolicy(alarms.Config{Suppress: time.Hour})
+
+	// The active TCP monitor at every host (§3.2).
+	if _, err := InstallTCPMonitor(r.ctrl, r.hosts, 3, 200*types.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// A periodic conformance sweep: inter-pod fat-tree paths have 5
+	// switches, so MaxPathLen 5 flags them.
+	if _, err := InstallPathConformance(r.ctrl, r.hosts, 5, nil, nil, 250*types.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	topo := r.sim.Topo
+	src := topo.Hosts()[0]
+	dst := topo.HostsAt(topo.ToRID(2, 0))[0] // different pod: 5-switch path
+
+	// One wedged flow at src: the monitor reports it every 200 ms.
+	poor := r.flowID(src, dst, 4000)
+	r.stacks[src.ID].InjectPoorFlow(poor, 10)
+
+	// One real inter-pod flow: its exported records violate the
+	// conformance policy at both endpoints (data at dst, ACKs at src).
+	f := r.flowID(src, dst, 4001)
+	r.stacks[src.ID].StartFlow(f, 40_000, 0, nil)
+	r.sim.Run(3 * types.Second)
+
+	// POOR_PERF: one deduped entry folding ~15 firings.
+	perf := r.ctrl.AlarmHistory(alarms.Filter{Reason: types.ReasonPoorPerf})
+	if len(perf) != 1 {
+		t.Fatalf("POOR_PERF entries = %d (%v), want 1 deduped entry", len(perf), perf)
+	}
+	if perf[0].Count < 10 {
+		t.Fatalf("POOR_PERF entry folded %d firings, want >= 10 (the monitor fires every 200ms)", perf[0].Count)
+	}
+	if perf[0].Alarm.Flow != poor || perf[0].Alarm.Host != src.ID {
+		t.Fatalf("POOR_PERF entry = %+v, want flow %v at %v", perf[0].Alarm, poor, src.ID)
+	}
+
+	// PC_FAIL: distinct entries per (host, flow), no cross-reason mixing.
+	pc := r.ctrl.AlarmHistory(alarms.Filter{Reason: types.ReasonPathConformance})
+	if len(pc) == 0 {
+		t.Fatal("no PC_FAIL entries in history")
+	}
+	for _, e := range pc {
+		if e.Alarm.Reason != types.ReasonPathConformance {
+			t.Fatalf("reason filter leaked %v", e.Alarm)
+		}
+		if len(e.Alarm.Paths) == 0 || len(e.Alarm.Paths[0]) < 5 {
+			t.Fatalf("conformance alarm carries no violating path: %+v", e.Alarm)
+		}
+	}
+	// The incremental trigger alarms each violating record once: repeated
+	// periodic sweeps must not have re-raised (and re-folded) old
+	// violations, so each PC_FAIL entry holds exactly one firing.
+	for _, e := range pc {
+		if e.Count != 1 {
+			t.Fatalf("PC_FAIL entry re-fired %d times — periodic sweep rescanned old records: %+v", e.Count, e)
+		}
+	}
+
+	// Host filtering separates the two endpoints' conformance alarms.
+	h := src.ID
+	atSrc := r.ctrl.AlarmHistory(alarms.Filter{Reason: types.ReasonPathConformance, Host: &h})
+	for _, e := range atSrc {
+		if e.Alarm.Host != src.ID {
+			t.Fatalf("host filter leaked %v", e.Alarm)
+		}
+	}
+
+	// The pipeline counters reconcile: everything received was either
+	// admitted or folded.
+	st := r.ctrl.AlarmStats()
+	if st.Suppressed == 0 {
+		t.Fatal("no suppression despite a monitor firing every 200ms")
+	}
+	if st.Admitted+st.Suppressed+st.RateLimited != st.Received {
+		t.Fatalf("pipeline counters do not reconcile: %+v", st)
+	}
+	if int(st.Admitted) != len(r.ctrl.Alarms()) {
+		t.Fatalf("history holds %d alarms, stats admit %d", len(r.ctrl.Alarms()), st.Admitted)
+	}
+}

@@ -1,0 +1,127 @@
+package controller
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"pathdump/internal/alarms"
+	"pathdump/internal/topology"
+	"pathdump/internal/types"
+)
+
+func pipeAlarm(host int, port uint16, reason types.Reason) types.Alarm {
+	return types.Alarm{
+		Host:   types.HostID(host),
+		Flow:   types.FlowID{SrcIP: 1, DstIP: 2, SrcPort: port, DstPort: 80, Proto: 6},
+		Reason: reason,
+	}
+}
+
+// TestAlarmStormBounded is the unbounded-growth regression: the old
+// Controller.alarms slice grew one element per RaiseAlarm forever; the
+// pipeline caps history at the configured depth no matter how hard the
+// fleet storms.
+func TestAlarmStormBounded(t *testing.T) {
+	topo, _ := topology.FatTree(4)
+	ctrl := New(topo, Local{}, nil)
+	ctrl.SetAlarmPolicy(alarms.Config{History: 128})
+
+	const storm = 100_000
+	for i := 0; i < storm; i++ {
+		ctrl.RaiseAlarm(pipeAlarm(i%50, uint16(i), types.ReasonPoorPerf))
+	}
+	if got := len(ctrl.Alarms()); got != 128 {
+		t.Fatalf("alarm log holds %d entries after a %d-alarm storm, want 128", got, storm)
+	}
+	st := ctrl.AlarmStats()
+	if st.Received != storm || st.Admitted != storm {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The survivors are the newest alarms.
+	newest := ctrl.Alarms()
+	last := storm - 1
+	if newest[127].Flow.SrcPort != uint16(last) {
+		t.Fatalf("newest surviving alarm is %v", newest[127])
+	}
+}
+
+// TestRaiseAlarmDedupSkipsHandlers: a suppressed repeat neither grows
+// history nor re-triggers OnAlarm handlers or subscribers.
+func TestRaiseAlarmDedupSkipsHandlers(t *testing.T) {
+	topo, _ := topology.FatTree(4)
+	ctrl := New(topo, Local{}, nil)
+	ctrl.SetAlarmPolicy(alarms.Config{Suppress: time.Minute})
+
+	var mu sync.Mutex
+	handled := 0
+	ctrl.OnAlarm(func(types.Alarm) { mu.Lock(); handled++; mu.Unlock() })
+	sub := ctrl.SubscribeAlarms(16)
+	defer sub.Close()
+
+	for i := 0; i < 10; i++ {
+		ctrl.RaiseAlarm(pipeAlarm(3, 42, types.ReasonPoorPerf))
+	}
+	ctrl.RaiseAlarm(pipeAlarm(3, 43, types.ReasonPathConformance))
+
+	mu.Lock()
+	h := handled
+	mu.Unlock()
+	if h != 2 {
+		t.Fatalf("handlers ran %d times, want 2 (one per admitted alarm)", h)
+	}
+	hist := ctrl.AlarmHistory(alarms.Filter{})
+	if len(hist) != 2 {
+		t.Fatalf("history = %d entries, want 2", len(hist))
+	}
+	if hist[0].Count != 10 {
+		t.Fatalf("deduped entry folded %d firings, want 10", hist[0].Count)
+	}
+	// The subscriber saw exactly the two admitted entries.
+	e1 := <-sub.C()
+	e2 := <-sub.C()
+	if e1.Alarm.Reason != types.ReasonPoorPerf || e2.Alarm.Reason != types.ReasonPathConformance {
+		t.Fatalf("stream delivered %v then %v", e1.Alarm, e2.Alarm)
+	}
+	select {
+	case e := <-sub.C():
+		t.Fatalf("unexpected third delivery %v", e)
+	default:
+	}
+	if st := ctrl.AlarmStats(); st.Suppressed != 9 {
+		t.Fatalf("suppressed = %d, want 9", st.Suppressed)
+	}
+}
+
+// TestAlarmsForFiltersHistory: reason filtering rides the pipeline.
+func TestAlarmsForFiltersHistory(t *testing.T) {
+	topo, _ := topology.FatTree(4)
+	ctrl := New(topo, Local{}, nil)
+	for i := 0; i < 6; i++ {
+		r := types.ReasonPoorPerf
+		if i%3 == 0 {
+			r = types.ReasonInvalidTraj
+		}
+		ctrl.RaiseAlarm(pipeAlarm(1, uint16(i), r))
+	}
+	if got := len(ctrl.AlarmsFor(types.ReasonInvalidTraj)); got != 2 {
+		t.Fatalf("AlarmsFor(INVALID_TRAJECTORY) = %d, want 2", got)
+	}
+	if got := len(ctrl.AlarmsFor(types.ReasonPoorPerf)); got != 4 {
+		t.Fatalf("AlarmsFor(POOR_PERF) = %d, want 4", got)
+	}
+}
+
+// TestRaiseAlarmCancelledContext: a cancelled alarm context publishes
+// nothing.
+func TestRaiseAlarmCancelledContext(t *testing.T) {
+	topo, _ := topology.FatTree(4)
+	ctrl := New(topo, Local{}, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ctrl.RaiseAlarmContext(ctx, pipeAlarm(1, 1, types.ReasonPoorPerf))
+	if got := len(ctrl.Alarms()); got != 0 {
+		t.Fatalf("cancelled context still published %d alarms", got)
+	}
+}

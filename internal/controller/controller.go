@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"pathdump/internal/agent"
+	"pathdump/internal/alarms"
 	"pathdump/internal/netsim"
 	"pathdump/internal/query"
 	"pathdump/internal/topology"
@@ -296,7 +297,7 @@ type Controller struct {
 	RetryBackoff time.Duration
 
 	mu       sync.Mutex
-	alarms   []types.Alarm
+	pipe     *alarms.Pipeline
 	handlers []func(types.Alarm)
 	alarmCtx context.Context // base context for alarm dispatch (nil = Background)
 
@@ -313,6 +314,7 @@ func New(topo *topology.Topology, t Transport, sim *netsim.Sim) *Controller {
 		Topo:      topo,
 		T:         t,
 		Cost:      DefaultCostModel(),
+		pipe:      alarms.New(alarms.Config{}),
 		sim:       sim,
 		loopState: make(map[loopKey][]types.LinkID),
 	}
@@ -322,9 +324,11 @@ func New(topo *topology.Topology, t Transport, sim *netsim.Sim) *Controller {
 	return c
 }
 
-// RaiseAlarm implements agent.AlarmSink: it logs the alarm and dispatches
-// registered handlers (the event-driven debugging path of Figure 3). It
-// runs under the controller's alarm context (SetAlarmContext).
+// RaiseAlarm implements agent.AlarmSink: it routes the alarm through the
+// pipeline (bounded history, dedup/suppression, rate limiting, live
+// subscribers) and dispatches registered handlers for alarms admitted as
+// new entries (the event-driven debugging path of Figure 3). It runs
+// under the controller's alarm context (SetAlarmContext).
 func (c *Controller) RaiseAlarm(a types.Alarm) {
 	c.RaiseAlarmContext(c.alarmContext(), a)
 }
@@ -333,13 +337,23 @@ func (c *Controller) RaiseAlarm(a types.Alarm) {
 // /alarm handler passes its request context, so an agent that hung up
 // does not have its alarm dispatched to nobody, and a shutting-down
 // controller (alarm context cancelled) stops dispatching between
-// handlers instead of running the full chain.
+// handlers instead of running the full chain. A repeat folded into an
+// existing history entry by the suppression window (or an alarm refused
+// by the rate limit) updates the pipeline's counters but does not
+// re-trigger handlers or subscribers.
 func (c *Controller) RaiseAlarmContext(ctx context.Context, a types.Alarm) {
 	if ctx.Err() != nil {
 		return
 	}
 	c.mu.Lock()
-	c.alarms = append(c.alarms, a)
+	pipe := c.pipe
+	c.mu.Unlock()
+	if _, admitted := pipe.Publish(a); !admitted {
+		return
+	}
+	// Snapshot the handler chain only for admitted alarms: the suppressed
+	// storm path must stay allocation-free.
+	c.mu.Lock()
 	handlers := append(make([]func(types.Alarm), 0, len(c.handlers)), c.handlers...)
 	c.mu.Unlock()
 	for _, fn := range handlers {
@@ -348,6 +362,44 @@ func (c *Controller) RaiseAlarmContext(ctx context.Context, a types.Alarm) {
 		}
 		fn(a)
 	}
+}
+
+// SetAlarmPolicy replaces the alarm pipeline's configuration — history
+// depth, suppression window, rate limit. Call it at wiring time, before
+// alarms flow: the previous pipeline's history and subscriptions are
+// discarded with it.
+func (c *Controller) SetAlarmPolicy(cfg alarms.Config) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pipe = alarms.New(cfg)
+}
+
+// AlarmPipeline returns the live pipeline (history queries, stats,
+// subscriptions) — the surface the controller HTTP server exposes as
+// GET /alarms and /alarms/stream.
+func (c *Controller) AlarmPipeline() *alarms.Pipeline {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pipe
+}
+
+// SubscribeAlarms opens a live alarm feed: every alarm admitted from now
+// on (after dedup and rate limiting) is delivered in admission order.
+// buf bounds the feed's buffer (<= 0 selects the default); a subscriber
+// that falls behind loses the newest entries (counted, never blocking
+// the alarm path). Close the subscription when done.
+func (c *Controller) SubscribeAlarms(buf int) *alarms.Subscription {
+	return c.AlarmPipeline().Subscribe(buf)
+}
+
+// AlarmHistory queries the bounded alarm history.
+func (c *Controller) AlarmHistory(f alarms.Filter) []alarms.Entry {
+	return c.AlarmPipeline().History(f)
+}
+
+// AlarmStats reports the pipeline's traffic counters.
+func (c *Controller) AlarmStats() alarms.Stats {
+	return c.AlarmPipeline().Stats()
 }
 
 // SetAlarmContext installs the base context under which the alarm path —
@@ -376,20 +428,25 @@ func (c *Controller) OnAlarm(fn func(types.Alarm)) {
 	c.handlers = append(c.handlers, fn)
 }
 
-// Alarms returns a copy of the alarm log.
+// Alarms returns the alarms currently in the bounded history, oldest
+// first. Unlike the pre-pipeline log this cannot grow without bound: an
+// alarm storm keeps only the newest History entries, and suppressed
+// repeats fold into one entry (use AlarmHistory for fold counts).
 func (c *Controller) Alarms() []types.Alarm {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return append([]types.Alarm(nil), c.alarms...)
+	hist := c.AlarmPipeline().History(alarms.Filter{})
+	out := make([]types.Alarm, len(hist))
+	for i := range hist {
+		out[i] = hist[i].Alarm
+	}
+	return out
 }
 
-// AlarmsFor filters the log by reason.
+// AlarmsFor filters the history by reason.
 func (c *Controller) AlarmsFor(r types.Reason) []types.Alarm {
-	var out []types.Alarm
-	for _, a := range c.Alarms() {
-		if a.Reason == r {
-			out = append(out, a)
-		}
+	hist := c.AlarmPipeline().History(alarms.Filter{Reason: r})
+	out := make([]types.Alarm, 0, len(hist))
+	for i := range hist {
+		out = append(out, hist[i].Alarm)
 	}
 	return out
 }

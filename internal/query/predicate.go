@@ -14,10 +14,22 @@ import "pathdump/internal/types"
 // types.AnyLink = any link), and its active interval intersects Range.
 // Range is taken literally — callers normalise the zero "all time" range
 // (Query.normalRange) before building a Predicate.
+//
+// MinSeq/MaxSeq additionally bound the records by global arrival
+// sequence: only records whose sequence lies in (MinSeq, MaxSeq] match
+// (0 = unbounded on that side). This is the incremental-evaluation
+// window behind installed-query watermarks: views over a sequenced store
+// push it down into tib.Store.ScanSince, skipping whole sealed segments
+// below the watermark. Views whose records carry no sequence numbers (a
+// single just-exported record, the agent's live trajectory memory)
+// cannot honour it in Match and treat every record as in-window — such
+// records are by construction new.
 type Predicate struct {
-	Flow  *types.FlowID   `json:"flow,omitempty"`
-	Link  types.LinkID    `json:"link"`
-	Range types.TimeRange `json:"range"`
+	Flow   *types.FlowID   `json:"flow,omitempty"`
+	Link   types.LinkID    `json:"link"`
+	Range  types.TimeRange `json:"range"`
+	MinSeq uint64          `json:"min_seq,omitempty"`
+	MaxSeq uint64          `json:"max_seq,omitempty"`
 }
 
 // PredicateOf extracts the record-selection predicate from a query: its

@@ -198,9 +198,14 @@ func (v StoreView) Supports(op Op) error {
 }
 
 // ScanRecords implements View: the predicate goes straight down into the
-// segmented store's scan (whole-segment time pruning, index postings).
+// segmented store's scan (whole-segment time pruning, index postings,
+// and — when the predicate carries a sequence window — whole-segment
+// watermark skipping via ScanSince).
 func (v StoreView) ScanRecords(p Predicate, fn func(*types.Record)) {
-	v.S.Scan(p.Flow, p.Link, p.Range, fn)
+	v.S.ScanSince(p.MinSeq, p.MaxSeq, p.Flow, p.Link, p.Range, func(rec *types.Record) bool {
+		fn(rec)
+		return true
+	})
 }
 
 // ExecuteE runs a query against a host's view, reporting ErrUnsupported

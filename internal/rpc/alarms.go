@@ -1,0 +1,264 @@
+// The controller's alarm-plane HTTP surface: GET /alarms serves the
+// bounded, filterable history (entry ID / reason / host / limit), and
+// GET /alarms/stream serves a live Server-Sent-Events feed — the wire
+// behind `pathdumpctl -alarms` and `pathdumpctl -watch`. Both honour the
+// request context: a client that hangs up releases its subscription (and
+// its goroutine) at the next event or heartbeat.
+package rpc
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"pathdump/internal/alarms"
+	"pathdump/internal/types"
+)
+
+// AlarmsResponse is the GET /alarms reply: matching history entries
+// (oldest first) plus the pipeline's counters.
+type AlarmsResponse struct {
+	Entries []alarms.Entry `json:"entries"`
+	Stats   alarms.Stats   `json:"stats"`
+}
+
+// streamHeartbeat paces SSE keep-alive comments: they bound how long a
+// dead connection can hold a subscription and let proxies keep the
+// stream open across quiet periods. Variable for tests.
+var streamHeartbeat = 15 * time.Second
+
+// parseAlarmFilter reads the shared query parameters of /alarms and
+// /alarms/stream: since (entry ID), reason, host, limit.
+func parseAlarmFilter(r *http.Request) (alarms.Filter, error) {
+	var f alarms.Filter
+	q := r.URL.Query()
+	if v := q.Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return f, fmt.Errorf("rpc: bad since %q: %w", v, err)
+		}
+		f.SinceID = n
+	}
+	if v := q.Get("reason"); v != "" {
+		f.Reason = types.Reason(v)
+	}
+	if v := q.Get("host"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 32)
+		if err != nil {
+			return f, fmt.Errorf("rpc: bad host %q: %w", v, err)
+		}
+		h := types.HostID(n)
+		f.Host = &h
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return f, fmt.Errorf("rpc: bad limit %q", v)
+		}
+		f.Limit = n
+	}
+	return f, nil
+}
+
+// handleAlarms serves GET /alarms.
+func (s *ControllerServer) handleAlarms(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	f, err := parseAlarmFilter(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	pipe := s.C.AlarmPipeline()
+	encode(w, AlarmsResponse{Entries: pipe.History(f), Stats: pipe.Stats()})
+}
+
+// handleAlarmStream serves GET /alarms/stream as Server-Sent Events: one
+// `id:`+`data:` event per admitted alarm entry, JSON-encoded. With a
+// `since` parameter the matching history suffix is replayed first, then
+// the live feed continues seamlessly (the subscription opens before the
+// replay, and entries already replayed are skipped by ID — no gap, no
+// duplicate). reason/host parameters filter the live feed too. The
+// handler returns when the client disconnects (r.Context()), closing its
+// subscription; a slow client loses the newest entries rather than
+// back-pressuring the controller's alarm path.
+func (s *ControllerServer) handleAlarmStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "rpc: streaming unsupported by this connection", http.StatusInternalServerError)
+		return
+	}
+	f, err := parseAlarmFilter(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	replay := r.URL.Query().Get("since") != ""
+	pipe := s.C.AlarmPipeline()
+	sub := pipe.Subscribe(256)
+	defer sub.Close()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	writeEvent := func(e alarms.Entry) bool {
+		body, err := json.Marshal(e)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\ndata: %s\n\n", e.ID, body); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+
+	var lastID uint64
+	if replay {
+		for _, e := range pipe.History(f) {
+			if !writeEvent(e) {
+				return
+			}
+			lastID = e.ID
+		}
+	}
+	heartbeat := time.NewTicker(streamHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case e, ok := <-sub.C():
+			if !ok {
+				return
+			}
+			if e.ID <= lastID || !f.Matches(&e) {
+				continue
+			}
+			if !writeEvent(e) {
+				return
+			}
+			lastID = e.ID
+		case <-heartbeat.C:
+			if _, err := io.WriteString(w, ": ping\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// FetchAlarms queries a controller daemon's alarm history: GET
+// {base}/alarms with the filter mapped onto query parameters.
+func FetchAlarms(ctx context.Context, client *http.Client, base string, f alarms.Filter) (AlarmsResponse, error) {
+	var out AlarmsResponse
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/alarms?"+alarmParams(f).Encode(), nil)
+	if err != nil {
+		return out, err
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return out, &StatusError{Code: resp.StatusCode, URL: base + "/alarms", Status: resp.Status, Msg: strings.TrimSpace(string(msg))}
+	}
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+// StreamAlarms tails a controller daemon's live alarm feed: GET
+// {base}/alarms/stream, invoking fn for every entry until the context is
+// cancelled, the server closes the stream, or fn returns an error (which
+// is returned). With replay true the history after f.SinceID is
+// delivered first; without it the feed is live-only, with f.SinceID
+// still enforced client-side. A cancelled context returns ctx.Err().
+func StreamAlarms(ctx context.Context, client *http.Client, base string, f alarms.Filter, replay bool, fn func(alarms.Entry) error) error {
+	// The server keys replay off the presence of the since parameter, so
+	// it rides the wire exactly when replay is requested (0 = full
+	// history); on a live-only stream the ID bound is applied below
+	// instead.
+	sinceID := f.SinceID
+	f.SinceID = 0
+	params := alarmParams(f)
+	if replay {
+		params.Set("since", strconv.FormatUint(sinceID, 10))
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/alarms/stream?"+params.Encode(), nil)
+	if err != nil {
+		return err
+	}
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return &StatusError{Code: resp.StatusCode, URL: base + "/alarms/stream", Status: resp.Status, Msg: strings.TrimSpace(string(msg))}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue // id: lines, heartbeat comments, blank separators
+		}
+		var e alarms.Entry
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &e); err != nil {
+			return fmt.Errorf("rpc: bad stream event: %w", err)
+		}
+		if e.ID <= sinceID {
+			continue // the caller's ID bound holds on live-only streams too
+		}
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return sc.Err()
+}
+
+// alarmParams maps a filter onto the endpoints' query parameters,
+// URL-escaped (a reason containing '&' or spaces must not corrupt the
+// query string).
+func alarmParams(f alarms.Filter) url.Values {
+	v := url.Values{}
+	if f.SinceID > 0 {
+		v.Set("since", strconv.FormatUint(f.SinceID, 10))
+	}
+	if f.Reason != "" {
+		v.Set("reason", string(f.Reason))
+	}
+	if f.Host != nil {
+		v.Set("host", strconv.FormatUint(uint64(*f.Host), 10))
+	}
+	if f.Limit > 0 {
+		v.Set("limit", strconv.Itoa(f.Limit))
+	}
+	return v
+}

@@ -1,0 +1,277 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pathdump/internal/alarms"
+	"pathdump/internal/controller"
+	"pathdump/internal/topology"
+	"pathdump/internal/types"
+)
+
+func newAlarmServer(t *testing.T, cfg alarms.Config) (*controller.Controller, *httptest.Server) {
+	t.Helper()
+	topo, err := topology.FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := controller.New(topo, controller.Local{}, nil)
+	ctrl.SetAlarmPolicy(cfg)
+	srv := httptest.NewServer((&ControllerServer{C: ctrl}).Handler())
+	t.Cleanup(srv.Close)
+	return ctrl, srv
+}
+
+func testAlarm(host int, port uint16, reason types.Reason) types.Alarm {
+	return types.Alarm{
+		Host:   types.HostID(host),
+		Flow:   types.FlowID{SrcIP: 1, DstIP: 2, SrcPort: port, DstPort: 80, Proto: 6},
+		Reason: reason,
+	}
+}
+
+// TestAlarmsEndpoint: history flows end to end through GET /alarms with
+// server-side filtering.
+func TestAlarmsEndpoint(t *testing.T) {
+	ctrl, srv := newAlarmServer(t, alarms.Config{})
+	for i := 0; i < 10; i++ {
+		reason := types.ReasonPoorPerf
+		if i%2 == 0 {
+			reason = types.ReasonPathConformance
+		}
+		ctrl.RaiseAlarm(testAlarm(1+i%2, uint16(i), reason))
+	}
+	ctx := context.Background()
+
+	all, err := FetchAlarms(ctx, nil, srv.URL, alarms.Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Entries) != 10 || all.Stats.Admitted != 10 {
+		t.Fatalf("got %d entries, stats %+v", len(all.Entries), all.Stats)
+	}
+
+	poor, err := FetchAlarms(ctx, nil, srv.URL, alarms.Filter{Reason: types.ReasonPoorPerf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(poor.Entries) != 5 {
+		t.Fatalf("reason filter returned %d entries, want 5", len(poor.Entries))
+	}
+	for _, e := range poor.Entries {
+		if e.Alarm.Reason != types.ReasonPoorPerf {
+			t.Fatalf("reason filter leaked %v", e.Alarm)
+		}
+	}
+
+	h := types.HostID(2)
+	hostOnly, err := FetchAlarms(ctx, nil, srv.URL, alarms.Filter{Host: &h, Limit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hostOnly.Entries) != 2 || hostOnly.Entries[0].Alarm.Host != h {
+		t.Fatalf("host+limit filter = %+v", hostOnly.Entries)
+	}
+
+	since, err := FetchAlarms(ctx, nil, srv.URL, alarms.Filter{SinceID: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(since.Entries) != 2 || since.Entries[0].ID != 9 {
+		t.Fatalf("since filter = %+v", since.Entries)
+	}
+}
+
+// TestAlarmStream: the SSE feed delivers live entries, replays history
+// when asked, and the client helper stops cleanly on context cancel with
+// no goroutine left behind.
+func TestAlarmStream(t *testing.T) {
+	ctrl, srv := newAlarmServer(t, alarms.Config{Suppress: time.Minute})
+	before := runtime.NumGoroutine()
+
+	// Two pre-stream alarms: the replayed prefix.
+	ctrl.RaiseAlarm(testAlarm(1, 1, types.ReasonPoorPerf))
+	ctrl.RaiseAlarm(testAlarm(1, 2, types.ReasonPoorPerf))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got := make(chan alarms.Entry, 16)
+	done := make(chan error, 1)
+	go func() {
+		done <- StreamAlarms(ctx, nil, srv.URL, alarms.Filter{}, true, func(e alarms.Entry) error {
+			got <- e
+			return nil
+		})
+	}()
+
+	expect := func(id uint64, port uint16) {
+		t.Helper()
+		select {
+		case e := <-got:
+			if e.ID != id || e.Alarm.Flow.SrcPort != port {
+				t.Fatalf("got entry %d (port %d), want %d (port %d)", e.ID, e.Alarm.Flow.SrcPort, id, port)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for entry %d", id)
+		}
+	}
+	expect(1, 1)
+	expect(2, 2)
+
+	// Live phase: a new alarm, a suppressed repeat (not delivered), then
+	// another new one.
+	ctrl.RaiseAlarm(testAlarm(1, 3, types.ReasonPoorPerf))
+	expect(3, 3)
+	ctrl.RaiseAlarm(testAlarm(1, 3, types.ReasonPoorPerf)) // dedup folds it
+	ctrl.RaiseAlarm(testAlarm(1, 4, types.ReasonPoorPerf))
+	expect(4, 4)
+	select {
+	case e := <-got:
+		t.Fatalf("suppressed repeat leaked into the stream: %+v", e)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("stream ended with %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream did not stop on cancel")
+	}
+	// The server handler must drop its subscription once the client is
+	// gone (it notices at the next event or heartbeat; force an event).
+	deadline := time.Now().Add(5 * time.Second)
+	for ctrl.AlarmStats().Subscribers > 0 {
+		ctrl.RaiseAlarm(testAlarm(9, 99, types.ReasonLoop))
+		if time.Now().After(deadline) {
+			t.Fatal("server-side subscription leaked after client cancel")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for runtime.NumGoroutine() > before+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestAlarmStreamFilter: reason filtering applies to the live feed, not
+// just replay.
+func TestAlarmStreamFilter(t *testing.T) {
+	ctrl, srv := newAlarmServer(t, alarms.Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got := make(chan alarms.Entry, 16)
+	go func() {
+		StreamAlarms(ctx, nil, srv.URL, alarms.Filter{Reason: types.ReasonLoop}, false, func(e alarms.Entry) error {
+			got <- e
+			return nil
+		})
+	}()
+	// Give the stream a moment to subscribe, then publish a mix.
+	deadline := time.Now().Add(5 * time.Second)
+	for ctrl.AlarmStats().Subscribers == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stream never subscribed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ctrl.RaiseAlarm(testAlarm(1, 1, types.ReasonPoorPerf))
+	ctrl.RaiseAlarm(testAlarm(1, 2, types.ReasonLoop))
+	ctrl.RaiseAlarm(testAlarm(1, 3, types.ReasonPoorPerf))
+	select {
+	case e := <-got:
+		if e.Alarm.Reason != types.ReasonLoop {
+			t.Fatalf("filter leaked %v", e.Alarm)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("filtered stream delivered nothing")
+	}
+	select {
+	case e := <-got:
+		t.Fatalf("unexpected second delivery %v", e)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestAlarmStreamConcurrentIngest: several subscribers tail the stream
+// while agents storm /alarm concurrently — the -race prover for the
+// whole wire path (ingest POST → pipeline → SSE), with subscriber
+// cleanup checked at the end.
+func TestAlarmStreamConcurrentIngest(t *testing.T) {
+	ctrl, srv := newAlarmServer(t, alarms.Config{History: 512})
+	const (
+		writers   = 4
+		perWriter = 200
+		readers   = 3
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var counts [readers]atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			StreamAlarms(ctx, nil, srv.URL, alarms.Filter{}, false, func(alarms.Entry) error {
+				counts[i].Add(1)
+				return nil
+			})
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for ctrl.AlarmStats().Subscribers < readers {
+		if time.Now().After(deadline) {
+			t.Fatal("streams never subscribed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Remote agents: POST /alarm concurrently through the AlarmClient.
+	var ingest sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ingest.Add(1)
+		go func(w int) {
+			defer ingest.Done()
+			ac := &AlarmClient{URL: srv.URL}
+			for i := 0; i < perWriter; i++ {
+				ac.RaiseAlarm(testAlarm(w, uint16(i), types.ReasonPoorPerf))
+			}
+		}(w)
+	}
+	ingest.Wait()
+
+	st := ctrl.AlarmStats()
+	if st.Received != writers*perWriter {
+		t.Fatalf("received %d alarms, want %d", st.Received, writers*perWriter)
+	}
+	// Each reader keeps up with an 800-alarm trickle (buffer 256 server
+	// side); give in-flight events a moment to drain, then stop.
+	drainDeadline := time.Now().Add(5 * time.Second)
+	for {
+		total := int64(0)
+		for i := range counts {
+			total += counts[i].Load()
+		}
+		if total >= int64(readers*writers*perWriter) || time.Now().After(drainDeadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+	wg.Wait()
+	if st := ctrl.AlarmStats(); st.StreamDropped > 0 {
+		t.Logf("stream dropped %d entries under load (allowed)", st.StreamDropped)
+	}
+}

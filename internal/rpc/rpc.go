@@ -319,6 +319,9 @@ type ControllerServer struct {
 // Handler returns the controller's HTTP mux. Alarm dispatch runs under
 // the request context: an agent that hung up (or whose POST deadline
 // expired) stops the handler chain instead of dispatching into the void.
+// Beyond alarm ingest (/alarm), the mux serves the continuous-monitoring
+// read side: the filterable bounded history (GET /alarms) and the live
+// SSE feed (GET /alarms/stream) — see alarms.go.
 func (s *ControllerServer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/alarm", func(w http.ResponseWriter, r *http.Request) {
@@ -329,6 +332,8 @@ func (s *ControllerServer) Handler() http.Handler {
 		s.C.RaiseAlarmContext(r.Context(), req.Alarm)
 		encode(w, struct{}{})
 	})
+	mux.HandleFunc("/alarms", s.handleAlarms)
+	mux.HandleFunc("/alarms/stream", s.handleAlarmStream)
 	return mux
 }
 

@@ -152,6 +152,17 @@ func (st *Stack) PoorFlows(threshold int) []types.FlowID {
 // Forget drops a finished sender's state (after the monitor has reported it).
 func (st *Stack) Forget(f types.FlowID) { delete(st.senders, f) }
 
+// InjectPoorFlow registers an inert sender stuck at the given
+// consecutive-retransmission count — fault injection for end-to-end
+// tests of the monitoring path: the flow sends nothing, but every
+// PoorFlows scan at or below that threshold reports it, exactly like a
+// wedged real flow retransmitting the same segment forever.
+func (st *Stack) InjectPoorFlow(f types.FlowID, retrans int) {
+	snd := newSender(st, f, 0, 0, nil)
+	snd.ConsecRetrans = retrans
+	st.senders[f] = snd
+}
+
 func flowLess(a, b types.FlowID) bool {
 	if a.SrcIP != b.SrcIP {
 		return a.SrcIP < b.SrcIP

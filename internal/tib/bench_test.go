@@ -73,6 +73,41 @@ func BenchmarkTimeRangeScan(b *testing.B) {
 	}
 }
 
+// BenchmarkIncrementalTrigger: one run of an installed (periodic) query
+// over a 1M-record store of which only the last 1000 records are new.
+// "incremental" is the watermark path continuous monitors use — whole
+// sealed segments at or below the watermark are skipped by one sequence
+// comparison, so the run touches ~1000 records; "fullscan" reproduces the
+// pre-watermark trigger path: rescan the entire TIB every period. Gated
+// in CI: the ISSUE's acceptance requires ≥5x between the two medians.
+func BenchmarkIncrementalTrigger(b *testing.B) {
+	trsOnce.Do(buildTimeRangeStores)
+	const delta = 1000
+	watermark := uint64(timeRangeStoreSize - delta) // seqs are 1..1M in arrival order
+	last := trsSeg.LastSeq()
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n := 0
+			trsSeg.ScanSince(watermark, last, nil, types.AnyLink, types.AllTime, func(*types.Record) bool {
+				n++
+				return true
+			})
+			if n != delta {
+				b.Fatalf("delta scan visited %d records, want %d", n, delta)
+			}
+		}
+	})
+	b.Run("fullscan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n := 0
+			trsSeg.ForEach(types.AnyLink, types.AllTime, func(*types.Record) { n++ })
+			if n != timeRangeStoreSize {
+				b.Fatalf("full scan visited %d records, want %d", n, timeRangeStoreSize)
+			}
+		}
+	})
+}
+
 // BenchmarkSnapshotRestore: restoring a large sharded store. v2 adopts
 // sealed segments with their indexes intact; v1 decodes a bare record
 // log and rebuilds segment indexes in parallel; readd-loop reproduces

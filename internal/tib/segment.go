@@ -1,6 +1,10 @@
 package tib
 
-import "pathdump/internal/types"
+import (
+	"sort"
+
+	"pathdump/internal/types"
+)
 
 // segment is one time partition of a shard's record log: a slice of
 // sequence-stamped entries plus that partition's flow and directed-link
@@ -17,6 +21,36 @@ type segment struct {
 	// minTime/maxTime bracket [STime, ETime] over all entries; scans
 	// prune the whole segment when the query range misses the bracket.
 	minTime, maxTime types.Time
+	// bytes is the segment's estimated resident footprint (recSize per
+	// entry) — the unit of the byte-budget retention accounting.
+	bytes int64
+}
+
+// firstSeq/lastSeq bracket the segment's global arrival sequence numbers.
+// Sequence numbers are assigned under the shard write lock, so within a
+// shard's chain both are monotone across segments and entries — watermark
+// scans skip a whole segment when lastSeq() is at or below the watermark.
+// Caller holds (at least) the shard read lock for the active segment;
+// sealed segments are immutable.
+func (seg *segment) firstSeq() uint64 { return seg.entries[0].seq }
+func (seg *segment) lastSeq() uint64  { return seg.entries[len(seg.entries)-1].seq }
+
+// seqOutside reports whether the (since, until] arrival-sequence window
+// excludes the whole segment — the watermark prune check shared by every
+// scan path. Caller guarantees the segment is non-empty.
+func (seg *segment) seqOutside(since, until uint64) bool {
+	return (since > 0 && seg.lastSeq() <= since) || (until > 0 && seg.firstSeq() > until)
+}
+
+// seqStart returns the index of the first entry past the since
+// watermark: 0 when every entry qualifies, a binary-search position
+// inside the one segment that straddles the watermark. Caller has
+// already excluded segments wholly outside the window.
+func (seg *segment) seqStart(since uint64) int {
+	if since == 0 || seg.firstSeq() > since {
+		return 0
+	}
+	return sort.Search(len(seg.entries), func(k int) bool { return seg.entries[k].seq > since })
 }
 
 func newSegment(indexed bool) *segment {
@@ -43,6 +77,7 @@ func (seg *segment) add(e entry, indexed bool) {
 		}
 	}
 	seg.entries = append(seg.entries, e)
+	seg.bytes += recSize(&e.rec)
 	if indexed {
 		seg.byFlow[e.rec.Flow] = append(seg.byFlow[e.rec.Flow], idx)
 		for _, l := range e.rec.Path.Links() {

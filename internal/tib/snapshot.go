@@ -173,6 +173,7 @@ func (s *Store) emptyClone() *Store {
 		SegmentSpan:    s.segSpan,
 		SegmentRecords: s.segRecords,
 		Retention:      s.retention,
+		RetentionBytes: s.retentionBytes,
 		Unindexed:      !s.indexed,
 	})
 }
@@ -228,6 +229,7 @@ func (s *Store) loadV2(r io.Reader) error {
 		}
 		for i := range ws.Recs {
 			seg.entries[i] = entry{seq: ws.Seqs[i], rec: ws.Recs[i]}
+			seg.bytes += recSize(&ws.Recs[i])
 		}
 		sh := &staged.shards[ws.Shard]
 		// Insert before the (empty) active segment, keeping the chain
@@ -399,6 +401,14 @@ func rebuildIndexes(segs []*segment) {
 // mix — and the sequence counter is only ever reset while no Add can be
 // in flight.
 func (s *Store) swapFrom(staged *Store) {
+	// Per-segment byte accounting is maintained on every load path, so the
+	// store total is the sum over the staged chains.
+	var bytes int64
+	for i := range staged.shards {
+		for _, seg := range staged.shards[i].segs {
+			bytes += seg.bytes
+		}
+	}
 	for i := range s.shards {
 		s.shards[i].mu.Lock()
 	}
@@ -407,6 +417,7 @@ func (s *Store) swapFrom(staged *Store) {
 	}
 	s.seq.Store(staged.seq.Load())
 	s.count.Store(staged.count.Load())
+	s.bytesTotal.Store(bytes)
 	s.evictFloor.Store(0)
 	for i := range s.shards {
 		s.shards[i].mu.Unlock()

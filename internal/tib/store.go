@@ -1,6 +1,7 @@
 package tib
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -43,6 +44,13 @@ type Config struct {
 	// a SegmentSpan a fraction of it, as the paper's fixed per-host
 	// storage budget intends (§5.3).
 	Retention types.Time
+	// RetentionBytes bounds the store by resident size instead of (or in
+	// addition to) age: once the estimated footprint exceeds it,
+	// EvictOverBytes drops the oldest sealed segments until the store fits
+	// again — the paper's fixed MB-per-host budget (§5.3) taken literally.
+	// 0 means no byte budget. Like Retention, granularity is a whole
+	// segment and the active segment is never evicted.
+	RetentionBytes int64
 	// Unindexed disables the per-segment flow/link indexes (the index
 	// ablation benchmark's baseline).
 	Unindexed bool
@@ -77,9 +85,18 @@ type Store struct {
 	// indexing can be disabled for the ablation benchmark
 	indexed bool
 
-	segSpan    types.Time
-	segRecords int
-	retention  types.Time
+	segSpan        types.Time
+	segRecords     int
+	retention      types.Time
+	retentionBytes int64
+
+	// bytesTotal is the store's estimated resident footprint (recSize per
+	// record), maintained on Add/eviction/restore; EvictOverBytes keeps it
+	// under RetentionBytes.
+	bytesTotal atomic.Int64
+	// evictMu serialises byte-budget evictions so concurrent ingest does
+	// not stampede the oldest-segment search.
+	evictMu sync.Mutex
 
 	// evictFloor is the highest EvictBefore cutoff applied so far, so the
 	// agent can call EvictBefore per exported record and pay the shard
@@ -145,12 +162,13 @@ func NewStoreConfig(cfg Config) *Store {
 		segRecords = DefaultSegmentRecords
 	}
 	s := &Store{
-		shards:     make([]storeShard, pow),
-		mask:       uint32(pow - 1),
-		indexed:    !cfg.Unindexed,
-		segSpan:    cfg.SegmentSpan,
-		segRecords: segRecords,
-		retention:  cfg.Retention,
+		shards:         make([]storeShard, pow),
+		mask:           uint32(pow - 1),
+		indexed:        !cfg.Unindexed,
+		segSpan:        cfg.SegmentSpan,
+		segRecords:     segRecords,
+		retention:      cfg.Retention,
+		retentionBytes: cfg.RetentionBytes,
 	}
 	for i := range s.shards {
 		s.shards[i].segs = []*segment{newSegment(s.indexed)}
@@ -161,6 +179,27 @@ func NewStoreConfig(cfg Config) *Store {
 // Retention returns the configured retention window (0 = unbounded); the
 // agent's ingest path derives EvictBefore cutoffs from it.
 func (s *Store) Retention() types.Time { return s.retention }
+
+// RetentionBytes returns the configured byte budget (0 = unbounded).
+func (s *Store) RetentionBytes() int64 { return s.retentionBytes }
+
+// SizeBytes returns the store's estimated resident footprint — the
+// quantity EvictOverBytes holds under the byte budget. It is an estimate
+// (recSize per record), not an exact heap measurement.
+func (s *Store) SizeBytes() int64 { return s.bytesTotal.Load() }
+
+// LastSeq returns the newest global arrival sequence number handed out
+// (0 for an empty store). Continuous monitors capture it before an
+// incremental scan and use it as the next run's watermark.
+func (s *Store) LastSeq() uint64 { return s.seq.Load() }
+
+// recSize estimates one record's resident footprint: the entry struct,
+// the record's path backing array, and a share of index-posting overhead.
+// It only needs to be consistent — the byte budget trades precision for
+// an O(1) accounting update on the ingest path.
+func recSize(rec *types.Record) int64 {
+	return 96 + 2*int64(len(rec.Path))
+}
 
 // shardFor hashes a flow onto its stripe (FNV-1a over the 5-tuple).
 func (s *Store) shardFor(f types.FlowID) *storeShard {
@@ -207,6 +246,7 @@ func (s *Store) Add(rec types.Record) {
 	seg.add(entry{seq: s.seq.Add(1), rec: rec}, s.indexed)
 	sh.mu.Unlock()
 	s.count.Add(1)
+	s.bytesTotal.Add(recSize(&rec))
 }
 
 // shouldSeal decides whether the active segment must be sealed before rec
@@ -284,6 +324,7 @@ func (s *Store) EvictBefore(cutoff types.Time) (segments, records int) {
 		return 0, 0
 	}
 	s.evictFloor.Store(cutoff)
+	var freed int64
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
@@ -292,6 +333,7 @@ func (s *Store) EvictBefore(cutoff types.Time) (segments, records int) {
 			if seg.sealed && len(seg.entries) > 0 && seg.maxTime < cutoff {
 				segments++
 				records += len(seg.entries)
+				freed += seg.bytes
 				continue
 			}
 			keep = append(keep, seg)
@@ -305,6 +347,55 @@ func (s *Store) EvictBefore(cutoff types.Time) (segments, records int) {
 	}
 	if records > 0 {
 		s.count.Add(int64(-records))
+		s.bytesTotal.Add(-freed)
+	}
+	return segments, records
+}
+
+// EvictOverBytes enforces the byte budget (Config.RetentionBytes): while
+// the store's estimated footprint exceeds it, the globally oldest sealed
+// segment (smallest max record time) is dropped whole, indexes and all.
+// The active segments are never evicted, so a store whose live append
+// heads alone exceed the budget stays over it until they seal. Safe to
+// call per ingested record: under budget it is one atomic load, and a
+// single evictor runs at a time.
+func (s *Store) EvictOverBytes() (segments, records int) {
+	budget := s.retentionBytes
+	if budget <= 0 || s.bytesTotal.Load() <= budget {
+		return 0, 0
+	}
+	s.evictMu.Lock()
+	defer s.evictMu.Unlock()
+	for s.bytesTotal.Load() > budget {
+		// Find the oldest sealed, non-empty segment across all shards.
+		victimShard := -1
+		var victim *segment
+		for i := range s.shards {
+			sh := &s.shards[i]
+			sh.mu.RLock()
+			for _, seg := range sh.segs {
+				if seg.sealed && len(seg.entries) > 0 && (victim == nil || seg.maxTime < victim.maxTime) {
+					victim, victimShard = seg, i
+				}
+			}
+			sh.mu.RUnlock()
+		}
+		if victim == nil {
+			return segments, records // nothing sealed left to free
+		}
+		sh := &s.shards[victimShard]
+		sh.mu.Lock()
+		for j, seg := range sh.segs {
+			if seg == victim {
+				sh.segs = append(sh.segs[:j], sh.segs[j+1:]...)
+				segments++
+				records += len(seg.entries)
+				s.count.Add(int64(-len(seg.entries)))
+				s.bytesTotal.Add(-seg.bytes)
+				break
+			}
+		}
+		sh.mu.Unlock()
 	}
 	return segments, records
 }
@@ -321,23 +412,33 @@ type cursor struct {
 }
 
 // segCursor walks one segment's entries (or one posting list into them).
+// A non-zero until caps the walk by arrival sequence: entries past it are
+// never visited (entry and posting sequences are ascending, so the first
+// over-bound head exhausts the cursor).
 type segCursor struct {
 	entries []entry
 	post    []int // posting list into entries; nil means "every entry"
 	i       int
+	until   uint64 // inclusive sequence bound; 0 = none
 }
 
 func (c *segCursor) head() *entry {
+	var e *entry
 	if c.post != nil {
 		if c.i >= len(c.post) {
 			return nil
 		}
-		return &c.entries[c.post[c.i]]
+		e = &c.entries[c.post[c.i]]
+	} else {
+		if c.i >= len(c.entries) {
+			return nil
+		}
+		e = &c.entries[c.i]
 	}
-	if c.i >= len(c.entries) {
+	if c.until > 0 && e.seq > c.until {
 		return nil
 	}
-	return &c.entries[c.i]
+	return e
 }
 
 func (c *cursor) head() *entry {
@@ -379,14 +480,18 @@ func mergeWhile(cursors []cursor, fn func(*types.Record) bool) {
 // snapshotCursors captures a consistent read view of every shard: per
 // surviving segment, the committed prefix of its entries slice plus
 // (optionally) one posting list. Segments whose time bounds do not
-// intersect tr are pruned — skipped whole, before any record is touched.
+// intersect tr — or whose sequence bounds fall wholly outside
+// (since, until] — are pruned: skipped whole, before any record is
+// touched. Shard chains are sequence-monotonic, so the watermark check is
+// a single comparison per sealed segment; inside the one segment
+// straddling the watermark the start position is found by binary search.
 // All shard read-locks are held simultaneously while the slice headers
 // are captured — sequence numbers are assigned under the shard write
 // lock, so a moment with every lock held observes a downward-closed
 // prefix of the global arrival order, exactly like the old single-lock
 // store. Capture is just header copies, so writers are stalled only
 // momentarily.
-func (s *Store) snapshotCursors(link *types.LinkID, tr types.TimeRange) []cursor {
+func (s *Store) snapshotCursors(since, until uint64, link *types.LinkID, tr types.TimeRange) []cursor {
 	for i := range s.shards {
 		s.shards[i].mu.RLock()
 	}
@@ -399,17 +504,23 @@ func (s *Store) snapshotCursors(link *types.LinkID, tr types.TimeRange) []cursor
 			if len(seg.entries) == 0 {
 				continue
 			}
+			if seg.seqOutside(since, until) {
+				pruned++ // wholly outside the watermark window
+				continue
+			}
 			if !seg.overlaps(tr) {
 				pruned++
 				continue
 			}
-			sc := segCursor{entries: seg.entries}
+			sc := segCursor{entries: seg.entries, until: until}
 			if link != nil {
-				sc.post = seg.byLink[*link]
+				sc.post = trimPostings(seg.entries, seg.byLink[*link], since)
 				if len(sc.post) == 0 {
 					scanned++ // bound check passed; the index answered "none"
 					continue
 				}
+			} else {
+				sc.i = seg.seqStart(since)
 			}
 			scanned++
 			c.segs = append(c.segs, sc)
@@ -424,6 +535,19 @@ func (s *Store) snapshotCursors(link *types.LinkID, tr types.TimeRange) []cursor
 	s.segScanned.Add(scanned)
 	s.segPruned.Add(pruned)
 	return out
+}
+
+// trimPostings drops the prefix of a posting list at or below the
+// sequence watermark. Posting indexes ascend, and entry sequences ascend
+// with them, so the cut point is a binary search.
+func trimPostings(entries []entry, post []int, since uint64) []int {
+	if since == 0 || len(post) == 0 {
+		return post
+	}
+	cut := sort.Search(len(post), func(j int) bool {
+		return entries[post[j]].seq > since
+	})
+	return post[cut:]
 }
 
 // Scan visits every record matching the predicate triple in global
@@ -449,12 +573,26 @@ func (s *Store) Scan(flow *types.FlowID, link types.LinkID, tr types.TimeRange, 
 // skipped before a record is touched, and surviving records are filtered
 // by the remaining predicate terms.
 func (s *Store) ScanWhile(flow *types.FlowID, link types.LinkID, tr types.TimeRange, fn func(*types.Record) bool) {
+	s.ScanSince(0, 0, flow, link, tr, fn)
+}
+
+// ScanSince is ScanWhile restricted to records whose global arrival
+// sequence lies in (since, until] — the incremental-evaluation primitive
+// behind installed-query watermarks. since 0 means "from the beginning",
+// until 0 means "no upper bound". Shard chains are sequence-monotonic, so
+// whole sealed segments at or below the watermark are skipped by one
+// bound comparison (counted as pruned in SegmentStats), the straddling
+// segment is entered by binary search, and segments past until terminate
+// each shard's walk; everything visited still honours the flow/link/time
+// predicate. A monitor that captures until = LastSeq() before evaluating
+// never double-processes records that arrive mid-scan.
+func (s *Store) ScanSince(since, until uint64, flow *types.FlowID, link types.LinkID, tr types.TimeRange, fn func(*types.Record) bool) {
 	if flow != nil {
-		s.scanFlowWhile(*flow, link, tr, fn)
+		s.scanFlowWhile(since, until, *flow, link, tr, fn)
 		return
 	}
 	if s.indexed && !link.IsWildcard() {
-		mergeWhile(s.snapshotCursors(&link, tr), func(rec *types.Record) bool {
+		mergeWhile(s.snapshotCursors(since, until, &link, tr), func(rec *types.Record) bool {
 			if rec.Overlaps(tr) {
 				return fn(rec)
 			}
@@ -463,7 +601,7 @@ func (s *Store) ScanWhile(flow *types.FlowID, link types.LinkID, tr types.TimeRa
 		return
 	}
 	all := link == types.AnyLink
-	mergeWhile(s.snapshotCursors(nil, tr), func(rec *types.Record) bool {
+	mergeWhile(s.snapshotCursors(since, until, nil, tr), func(rec *types.Record) bool {
 		if !rec.Overlaps(tr) {
 			return true
 		}
@@ -476,8 +614,9 @@ func (s *Store) ScanWhile(flow *types.FlowID, link types.LinkID, tr types.TimeRa
 
 // scanFlowWhile is the single-shard flow path: all records of one flow
 // live in one shard, and inside it the flow's per-segment posting lists
-// (already in insertion order) are walked directly.
-func (s *Store) scanFlowWhile(f types.FlowID, link types.LinkID, tr types.TimeRange, fn func(*types.Record) bool) {
+// (already in insertion order) are walked directly, bounded below and
+// above by the (since, until] sequence window.
+func (s *Store) scanFlowWhile(since, until uint64, f types.FlowID, link types.LinkID, tr types.TimeRange, fn func(*types.Record) bool) {
 	sh := s.shardFor(f)
 	sh.mu.RLock()
 	var scanned, pruned uint64
@@ -486,17 +625,23 @@ func (s *Store) scanFlowWhile(f types.FlowID, link types.LinkID, tr types.TimeRa
 		if len(seg.entries) == 0 {
 			continue
 		}
+		if seg.seqOutside(since, until) {
+			pruned++
+			continue
+		}
 		if !seg.overlaps(tr) {
 			pruned++
 			continue
 		}
 		scanned++
-		sc := segCursor{entries: seg.entries}
+		sc := segCursor{entries: seg.entries, until: until}
 		if s.indexed {
-			sc.post = seg.byFlow[f]
+			sc.post = trimPostings(seg.entries, seg.byFlow[f], since)
 			if len(sc.post) == 0 {
 				continue
 			}
+		} else {
+			sc.i = seg.seqStart(since)
 		}
 		segs = append(segs, sc)
 	}
@@ -515,16 +660,16 @@ func (s *Store) scanFlowWhile(f types.FlowID, link types.LinkID, tr types.TimeRa
 	}
 	for si := range segs {
 		sc := &segs[si]
-		if sc.post != nil {
-			for _, i := range sc.post {
-				if !visit(&sc.entries[i].rec) {
-					return
-				}
+		for {
+			e := sc.head()
+			if e == nil {
+				break
 			}
-			continue
-		}
-		for i := range sc.entries {
-			if sc.entries[i].rec.Flow == f && !visit(&sc.entries[i].rec) {
+			sc.i++
+			if sc.post == nil && e.rec.Flow != f {
+				continue // unindexed store: filter the shard's other flows
+			}
+			if !visit(&e.rec) {
 				return
 			}
 		}

@@ -29,6 +29,7 @@ package pathdump
 
 import (
 	"pathdump/internal/agent"
+	"pathdump/internal/alarms"
 	"pathdump/internal/controller"
 	"pathdump/internal/netsim"
 	"pathdump/internal/query"
@@ -63,6 +64,15 @@ type (
 	Alarm = types.Alarm
 	// Reason is an alarm reason code.
 	Reason = types.Reason
+	// AlarmEntry is one admitted alarm in the controller's bounded
+	// history (ID, payload, fold count, receipt times).
+	AlarmEntry = alarms.Entry
+	// AlarmFilter selects alarm-history entries.
+	AlarmFilter = alarms.Filter
+	// AlarmPipeStats counts the alarm pipeline's traffic.
+	AlarmPipeStats = alarms.Stats
+	// AlarmSubscription is a live alarm feed (Cluster.SubscribeAlarms).
+	AlarmSubscription = alarms.Subscription
 	// Query is a controller→host query; Result its mergeable answer.
 	Query = query.Query
 	// Result is a query's (partial) answer.

@@ -13,7 +13,12 @@
 #      remaining hosts comes back with partial=true instead of an error;
 #   5. snapshot pull — -pull-snapshot captures a live daemon's TIB over
 #      GET /snapshot, a fresh pathdumpd -tib serves the restored store
-#      offline, and a query against it returns the same data.
+#      offline, and a query against it returns the same data;
+#   6. continuous monitoring — a pathdumpc controller daemon receives the
+#      alarms of a TCP monitor installed on live daemons; the injected
+#      wedged flow fires every period but the controller's suppression
+#      window dedups the repeats, so pathdumpctl -watch sees exactly one
+#      POOR_PERF alarm (with the fold count on the entry).
 #
 # Runs standalone (bash scripts/e2e_smoke.sh) and as the CI e2e job.
 set -euo pipefail
@@ -23,6 +28,8 @@ PORT_A="${E2E_PORT_A:-8471}"   # healthy daemon, hosts 0,1
 PORT_B="${E2E_PORT_B:-8472}"   # host 3 stalls forever
 PORT_C="${E2E_PORT_C:-8473}"   # host 5 stalls on its first query only
 PORT_D="${E2E_PORT_D:-8474}"   # offline daemon serving the pulled snapshot
+PORT_E="${E2E_PORT_E:-8475}"   # pathdumpc controller daemon (alarm plane)
+PORT_F="${E2E_PORT_F:-8476}"   # monitored daemon, hosts 6,7 (+ wedged flow)
 BIN="$(mktemp -d)"
 LOGS="$(mktemp -d)"
 
@@ -42,6 +49,7 @@ trap cleanup EXIT
 echo "== build real binaries =="
 go build -o "$BIN/pathdumpd" ./cmd/pathdumpd
 go build -o "$BIN/pathdumpctl" ./cmd/pathdumpctl
+go build -o "$BIN/pathdumpc" ./cmd/pathdumpc
 
 echo "== boot daemons =="
 "$BIN/pathdumpd" -hosts 0,1 -listen "127.0.0.1:$PORT_A" -demo \
@@ -156,6 +164,58 @@ live_top="$(head -n 1 <<<"$live_out")"
 snap_top="$(head -n 1 <<<"$out")"
 [ "$live_top" = "$snap_top" ] \
   || { echo "FAIL: top flow differs: live '$live_top' vs snapshot '$snap_top'"; exit 1; }
+
+echo
+echo "== 6. continuous monitoring: install TCP monitor, dedup at the controller, -watch =="
+"$BIN/pathdumpc" -listen "127.0.0.1:$PORT_E" -suppress 60s -log-alarms \
+  >"$LOGS/e.log" 2>&1 &
+"$BIN/pathdumpd" -hosts 6,7 -listen "127.0.0.1:$PORT_F" \
+  -controller "http://127.0.0.1:$PORT_E" -inject-poor-flow -trigger-every 100ms \
+  >"$LOGS/f.log" 2>&1 &
+E="http://127.0.0.1:$PORT_E"
+F="http://127.0.0.1:$PORT_F"
+for url in "$E/alarms" "$F/stats"; do
+  ready=0
+  for _ in $(seq 1 50); do
+    if curl -fs "$url" >/dev/null 2>&1; then
+      ready=1
+      break
+    fi
+    sleep 0.2
+  done
+  [ "$ready" -eq 1 ] || { echo "FAIL: $url never became ready"; exit 1; }
+done
+
+out="$("$BIN/pathdumpctl" -agents "6=$F,7=$F" -timeout 10s \
+  install -op poor_tcp -threshold 3 -period 200ms)"
+echo "$out"
+grep -q "host h6" <<<"$out" || { echo "FAIL: install reported no id for host 6"; exit 1; }
+
+# The monitor fires every 200 ms of daemon virtual time (pumped from wall
+# time); wait until the controller has folded several repeats.
+folded=0
+for _ in $(seq 1 50); do
+  out="$("$BIN/pathdumpctl" -controller "$E" -alarms -reason POOR_PERF)"
+  if grep -qE "x([3-9]|[0-9]{2,}) at" <<<"$out"; then
+    folded=1
+    break
+  fi
+  sleep 0.2
+done
+echo "$out"
+[ "$folded" -eq 1 ] || { echo "FAIL: controller never folded repeated POOR_PERF firings"; exit 1; }
+# Exactly one deduped entry: the wedged flow fires every period but the
+# suppression window folds every repeat into entry #1.
+count="$(grep -c "POOR_PERF" <<<"$out" || true)"
+[ "$count" -eq 1 ] || { echo "FAIL: $count POOR_PERF history entries, want 1 (dedup broken)"; exit 1; }
+grep -qE "\(1 shown; pipeline: [0-9]+ received, 1 admitted, [1-9][0-9]* suppressed" <<<"$out" \
+  || { echo "FAIL: pipeline stats line wrong"; exit 1; }
+
+# The live stream replays the same single deduped entry and nothing else.
+out="$("$BIN/pathdumpctl" -controller "$E" -watch -since 0 -watch-for 3s)"
+echo "$out"
+count="$(grep -c "POOR_PERF" <<<"$out" || true)"
+[ "$count" -eq 1 ] || { echo "FAIL: -watch saw $count POOR_PERF alarms, want exactly 1"; exit 1; }
 
 echo
 echo "e2e smoke: PASS"
