@@ -1,11 +1,19 @@
 // Command benchcmp is the CI benchmark-regression gate: it parses two Go
 // benchmark output files (a committed baseline and a fresh run, each
 // produced with -count N so medians are meaningful), compares per-benchmark
-// median ns/op, and exits non-zero when any benchmark slowed down beyond
-// the allowed percentage.
+// median ns/op — and, when both files carry -benchmem columns, median
+// allocs/op — and exits non-zero when any benchmark regressed beyond the
+// allowed percentage.
 //
-//	go test -run '^$' -bench BenchmarkParallelFanout -count 6 ./internal/controller > new.txt
+//	go test -run '^$' -bench BenchmarkParallelFanout -count 6 -benchmem ./internal/rpc > new.txt
 //	benchcmp -old BENCH_BASELINE.txt -new new.txt -max-regression 25
+//
+// The allocation gate exists because the wire data plane's win is largely
+// a garbage-volume win: a change can hold ns/op steady on an idle CI
+// machine while doubling per-op allocations, and only fall over under
+// production GC pressure. Gating the allocation count catches that class
+// of regression deterministically — allocs/op is exactly reproducible,
+// so its threshold could in principle be far tighter than the timing one.
 //
 // benchstat gives the human-readable statistical summary in the CI job;
 // this tool is the deterministic pass/fail decision (medians, explicit
@@ -26,20 +34,21 @@ import (
 
 func main() {
 	var (
-		oldPath = flag.String("old", "", "baseline benchmark output file")
-		newPath = flag.String("new", "", "fresh benchmark output file")
-		maxReg  = flag.Float64("max-regression", 25, "fail when a benchmark's median ns/op slows down by more than this percentage")
+		oldPath  = flag.String("old", "", "baseline benchmark output file")
+		newPath  = flag.String("new", "", "fresh benchmark output file")
+		maxReg   = flag.Float64("max-regression", 25, "fail when a benchmark's median ns/op slows down by more than this percentage")
+		maxAlloc = flag.Float64("max-alloc-regression", 25, "fail when a benchmark's median allocs/op grows by more than this percentage (only gated when both files carry -benchmem columns)")
 	)
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: benchcmp -old baseline.txt -new fresh.txt [-max-regression pct]")
+		fmt.Fprintln(os.Stderr, "usage: benchcmp -old baseline.txt -new fresh.txt [-max-regression pct] [-max-alloc-regression pct]")
 		os.Exit(2)
 	}
 	oldRuns, err := parseFile(*oldPath)
 	check(err)
 	newRuns, err := parseFile(*newPath)
 	check(err)
-	rows, failed := compare(oldRuns, newRuns, *maxReg)
+	rows, failed := compare(oldRuns, newRuns, *maxReg, *maxAlloc)
 	if len(rows) == 0 {
 		fmt.Fprintln(os.Stderr, "benchcmp: no benchmarks in common between the two files")
 		os.Exit(2)
@@ -48,10 +57,10 @@ func main() {
 		fmt.Println(r)
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchcmp: FAIL — regression beyond %.0f%%\n", *maxReg)
+		fmt.Fprintf(os.Stderr, "benchcmp: FAIL — regression beyond %.0f%% ns/op or %.0f%% allocs/op\n", *maxReg, *maxAlloc)
 		os.Exit(1)
 	}
-	fmt.Printf("benchcmp: ok (threshold %.0f%%)\n", *maxReg)
+	fmt.Printf("benchcmp: ok (thresholds %.0f%% ns/op, %.0f%% allocs/op)\n", *maxReg, *maxAlloc)
 }
 
 func check(err error) {
@@ -61,8 +70,15 @@ func check(err error) {
 	}
 }
 
-// parseFile reads a Go benchmark output file into name → ns/op samples.
-func parseFile(path string) (map[string][]float64, error) {
+// bench holds one benchmark's sample columns. ns is always populated for
+// a parsed line; allocs only when the run used -benchmem.
+type bench struct {
+	ns     []float64
+	allocs []float64
+}
+
+// parseFile reads a Go benchmark output file into name → samples.
+func parseFile(path string) (map[string]*bench, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -78,31 +94,49 @@ func parseFile(path string) (map[string][]float64, error) {
 	return runs, nil
 }
 
-// parse collects ns/op samples per benchmark name from `go test -bench`
-// output. Lines look like:
+// parse collects ns/op (and, when present, allocs/op) samples per
+// benchmark name from `go test -bench` output. Lines look like:
 //
-//	BenchmarkParallelFanout/parallelism-1-8   45   26180273 ns/op
+//	BenchmarkParallelFanout/parallelism-1-8   45   26180273 ns/op   1532489 B/op   5419 allocs/op
 //
 // Anything else (headers, PASS, ok, b.Log noise) is skipped.
-func parse(r io.Reader) (map[string][]float64, error) {
-	out := make(map[string][]float64)
+func parse(r io.Reader) (map[string]*bench, error) {
+	out := make(map[string]*bench)
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		// Find the "ns/op" column; its left neighbour is the value.
+		// Unit columns carry their value as the left neighbour.
+		var ns, allocs float64
+		var haveNs, haveAllocs bool
 		for i := 2; i < len(fields); i++ {
-			if fields[i] != "ns/op" {
-				continue
-			}
 			v, err := strconv.ParseFloat(fields[i-1], 64)
-			if err != nil {
-				return nil, fmt.Errorf("bad ns/op value in %q", sc.Text())
+			switch fields[i] {
+			case "ns/op":
+				if err != nil {
+					return nil, fmt.Errorf("bad ns/op value in %q", sc.Text())
+				}
+				ns, haveNs = v, true
+			case "allocs/op":
+				if err != nil {
+					return nil, fmt.Errorf("bad allocs/op value in %q", sc.Text())
+				}
+				allocs, haveAllocs = v, true
 			}
-			out[fields[0]] = append(out[fields[0]], v)
-			break
+		}
+		if !haveNs {
+			continue
+		}
+		b := out[fields[0]]
+		if b == nil {
+			b = &bench{}
+			out[fields[0]] = b
+		}
+		b.ns = append(b.ns, ns)
+		if haveAllocs {
+			b.allocs = append(b.allocs, allocs)
 		}
 	}
 	return out, sc.Err()
@@ -120,10 +154,13 @@ func median(xs []float64) float64 {
 }
 
 // compare builds one report row per benchmark present in both runs and
-// reports whether any exceeded the allowed regression percentage.
+// reports whether any exceeded an allowed regression percentage: ns/op
+// against maxRegressionPct always, allocs/op against maxAllocPct when
+// both sides carry -benchmem samples (a baseline without allocation
+// columns never fails the allocation gate — the refresh adds them).
 // Benchmarks present on only one side are reported but never fail the
 // gate (renames should not brick CI; the baseline refresh catches them).
-func compare(oldRuns, newRuns map[string][]float64, maxRegressionPct float64) ([]string, bool) {
+func compare(oldRuns, newRuns map[string]*bench, maxRegressionPct, maxAllocPct float64) ([]string, bool) {
 	names := make([]string, 0, len(oldRuns))
 	for name := range oldRuns {
 		names = append(names, name)
@@ -139,15 +176,34 @@ func compare(oldRuns, newRuns map[string][]float64, maxRegressionPct float64) ([
 			continue
 		}
 		matched++
-		om, nm := median(oldRuns[name]), median(nw)
+		old := oldRuns[name]
+		om, nm := median(old.ns), median(nw.ns)
 		deltaPct := (nm - om) / om * 100
-		verdict := "ok"
+		var bad []string
 		if deltaPct > maxRegressionPct {
-			verdict = "REGRESSION"
+			bad = append(bad, "ns/op")
+		}
+		row := fmt.Sprintf("%-50s %14.0f ns/op → %14.0f ns/op  %+7.2f%%",
+			name, om, nm, deltaPct)
+		if len(old.allocs) > 0 && len(nw.allocs) > 0 {
+			oa, na := median(old.allocs), median(nw.allocs)
+			allocPct := 0.0
+			if oa > 0 {
+				allocPct = (na - oa) / oa * 100
+			} else if na > 0 {
+				allocPct = 100
+			}
+			if allocPct > maxAllocPct {
+				bad = append(bad, "allocs/op")
+			}
+			row += fmt.Sprintf("  %10.0f → %10.0f allocs/op  %+7.2f%%", oa, na, allocPct)
+		}
+		verdict := "ok"
+		if len(bad) > 0 {
+			verdict = "REGRESSION(" + strings.Join(bad, ",") + ")"
 			failed = true
 		}
-		rows = append(rows, fmt.Sprintf("%-50s %14.0f ns/op → %14.0f ns/op  %+7.2f%%  %s",
-			name, om, nm, deltaPct, verdict))
+		rows = append(rows, row+"  "+verdict)
 	}
 	for name := range newRuns {
 		if _, ok := oldRuns[name]; !ok {

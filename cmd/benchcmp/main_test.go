@@ -19,7 +19,18 @@ PASS
 ok  	pathdump/internal/controller	12.3s
 `
 
-func parsed(t *testing.T, s string) map[string][]float64 {
+const benchmemSample = `goos: linux
+goarch: amd64
+pkg: pathdump/internal/rpc
+cpu: some cpu
+BenchmarkParallelFanout/parallelism-8-4         	     181	   6398726 ns/op	 1532489 B/op	    5419 allocs/op
+BenchmarkParallelFanout/parallelism-8-4         	     180	   6402100 ns/op	 1531000 B/op	    5421 allocs/op
+BenchmarkParallelFanout/parallelism-8-4         	     182	   6391055 ns/op	 1533902 B/op	    5418 allocs/op
+PASS
+ok  	pathdump/internal/rpc	6.2s
+`
+
+func parsed(t *testing.T, s string) map[string]*bench {
 	t.Helper()
 	runs, err := parse(strings.NewReader(s))
 	if err != nil {
@@ -33,11 +44,25 @@ func TestParseCollectsSamples(t *testing.T) {
 	if len(runs) != 2 {
 		t.Fatalf("parsed %d benchmarks, want 2", len(runs))
 	}
-	if got := runs["BenchmarkParallelFanout/parallelism-1-8"]; len(got) != 3 {
-		t.Fatalf("p1 samples = %v", got)
+	if got := runs["BenchmarkParallelFanout/parallelism-1-8"]; len(got.ns) != 3 {
+		t.Fatalf("p1 samples = %v", got.ns)
 	}
-	if got := runs["BenchmarkParallelFanout/parallelism-8-8"]; len(got) != 3 {
-		t.Fatalf("p8 samples = %v", got)
+	if got := runs["BenchmarkParallelFanout/parallelism-8-8"]; len(got.ns) != 3 {
+		t.Fatalf("p8 samples = %v", got.ns)
+	}
+	if got := runs["BenchmarkParallelFanout/parallelism-1-8"]; len(got.allocs) != 0 {
+		t.Fatalf("allocs parsed from a run without -benchmem: %v", got.allocs)
+	}
+}
+
+func TestParseCollectsAllocs(t *testing.T) {
+	runs := parsed(t, benchmemSample)
+	got := runs["BenchmarkParallelFanout/parallelism-8-4"]
+	if got == nil || len(got.ns) != 3 || len(got.allocs) != 3 {
+		t.Fatalf("benchmem parse = %+v", got)
+	}
+	if m := median(got.allocs); m != 5419 {
+		t.Fatalf("allocs median = %v, want 5419", m)
 	}
 }
 
@@ -56,7 +81,7 @@ func TestGatePassesOnNoise(t *testing.T) {
 	oldRuns := parsed(t, baselineSample)
 	noisy := strings.ReplaceAll(baselineSample, "26180273", "27100000")
 	noisy = strings.ReplaceAll(noisy, "3361102", "3500000")
-	rows, failed := compare(oldRuns, parsed(t, noisy), 25)
+	rows, failed := compare(oldRuns, parsed(t, noisy), 25, 25)
 	if failed {
 		t.Fatalf("gate failed on ~4%% noise:\n%s", strings.Join(rows, "\n"))
 	}
@@ -74,7 +99,7 @@ func TestGateFailsOnInjected2xSlowdown(t *testing.T) {
 	} {
 		slowed = strings.ReplaceAll(slowed, pair[0], pair[1])
 	}
-	rows, failed := compare(oldRuns, parsed(t, slowed), 25)
+	rows, failed := compare(oldRuns, parsed(t, slowed), 25, 25)
 	if !failed {
 		t.Fatalf("2x slowdown of the parallel path did not fail the gate:\n%s", strings.Join(rows, "\n"))
 	}
@@ -92,12 +117,48 @@ func TestGateFailsOnInjected2xSlowdown(t *testing.T) {
 	}
 }
 
+// TestGateFailsOnAllocRegression: ns/op steady but allocs/op doubled —
+// the class of regression the timing gate cannot see on an idle machine —
+// must trip the allocation gate, and the row must name the metric.
+func TestGateFailsOnAllocRegression(t *testing.T) {
+	oldRuns := parsed(t, benchmemSample)
+	bloated := benchmemSample
+	for _, pair := range [][2]string{
+		{"5419 allocs/op", "10838 allocs/op"},
+		{"5421 allocs/op", "10842 allocs/op"},
+		{"5418 allocs/op", "10836 allocs/op"},
+	} {
+		bloated = strings.ReplaceAll(bloated, pair[0], pair[1])
+	}
+	rows, failed := compare(oldRuns, parsed(t, bloated), 25, 25)
+	if !failed {
+		t.Fatalf("2x allocs/op did not fail the gate:\n%s", strings.Join(rows, "\n"))
+	}
+	if !strings.Contains(strings.Join(rows, "\n"), "REGRESSION(allocs/op)") {
+		t.Fatalf("regression row does not name allocs/op:\n%s", strings.Join(rows, "\n"))
+	}
+}
+
+// TestAllocGateSkippedWithoutBenchmem: a baseline recorded before
+// -benchmem never fails the allocation gate — only the timing one.
+func TestAllocGateSkippedWithoutBenchmem(t *testing.T) {
+	// Old side: timing only. New side: same timings plus alloc columns.
+	old := `BenchmarkX-4   100   1000000 ns/op
+`
+	nw := `BenchmarkX-4   100   1000000 ns/op   500000 B/op   99999 allocs/op
+`
+	rows, failed := compare(parsed(t, old), parsed(t, nw), 25, 25)
+	if failed {
+		t.Fatalf("alloc gate fired without baseline alloc samples:\n%s", strings.Join(rows, "\n"))
+	}
+}
+
 // TestGateHandlesRenames: benchmarks present on only one side are
 // reported but never fail the gate; zero overlap does.
 func TestGateHandlesRenames(t *testing.T) {
 	oldRuns := parsed(t, baselineSample)
 	renamed := strings.ReplaceAll(baselineSample, "parallelism-8", "parallelism-16")
-	rows, failed := compare(oldRuns, parsed(t, renamed), 25)
+	rows, failed := compare(oldRuns, parsed(t, renamed), 25, 25)
 	if failed {
 		t.Fatalf("rename failed the gate:\n%s", strings.Join(rows, "\n"))
 	}
@@ -110,7 +171,8 @@ func TestGateHandlesRenames(t *testing.T) {
 	if only != 2 {
 		t.Errorf("%d 'only' rows, want 2 (one baseline-only, one new-only)", only)
 	}
-	if rows, failed := compare(oldRuns, map[string][]float64{"BenchmarkOther-8": {1}}, 25); !failed || rows != nil {
+	other := map[string]*bench{"BenchmarkOther-8": {ns: []float64{1}}}
+	if rows, failed := compare(oldRuns, other, 25, 25); !failed || rows != nil {
 		t.Error("zero overlapping benchmarks must fail loudly")
 	}
 }

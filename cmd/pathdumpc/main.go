@@ -49,6 +49,7 @@ func main() {
 		rate     = flag.Float64("rate", 0, "token-bucket cap on distinct new alarms per second (0 = unlimited; suppressed repeats are never charged)")
 		burst    = flag.Int("burst", 0, "token-bucket depth for -rate (default ≈ rate)")
 		verbose  = flag.Bool("log-alarms", false, "log each admitted alarm to stderr")
+		maxBody  = flag.Int64("max-body", 0, "per-request body cap in bytes; oversized alarm posts answer 413 (0 = the 16 MiB default)")
 	)
 	flag.Parse()
 
@@ -75,7 +76,7 @@ func main() {
 		ctrl.OnAlarm(func(a types.Alarm) { log.Printf("pathdumpc: %v", a) })
 	}
 
-	srv := &http.Server{Addr: *listen, Handler: (&rpc.ControllerServer{C: ctrl}).Handler()}
+	srv := &http.Server{Addr: *listen, Handler: (&rpc.ControllerServer{C: ctrl, MaxBodyBytes: *maxBody}).Handler()}
 	log.Printf("pathdumpc: alarm plane on %s (history %d, suppress %v, rate %.0f/s)",
 		*listen, *history, *suppress, *rate)
 	fmt.Println("endpoints: POST /alarm, GET /alarms /alarms/stream")

@@ -47,6 +47,7 @@ func main() {
 	retries := flag.Int("retries", 0, "re-issue a request up to this many extra times on real transport errors (connection refused/reset), with jittered backoff; ignored when -hedge-after is set (the hedge race owns the slow/failed path then)")
 	retryBackoff := flag.Duration("retry-backoff", 0, "base backoff before the first retry (default 50ms; doubles per attempt, jittered)")
 	pullSnapshot := flag.String("pull-snapshot", "", "capture the agent's TIB snapshot (GET /snapshot) into this file and exit; requires exactly one -agents entry. Serve it offline with pathdumpd -tib")
+	wireMode := flag.String("wire", "binary", "response encoding to request from agents: binary (columnar wire protocol, JSON fallback for old daemons) or json (never offer binary)")
 	ctrlURL := flag.String("controller", "", "controller URL (pathdumpc) for the alarm-plane modes -alarms and -watch")
 	listAlarms := flag.Bool("alarms", false, "query the controller's bounded alarm history (GET /alarms) and exit; filter with -reason/-alarm-host/-since/-limit")
 	watch := flag.Bool("watch", false, "tail the controller's live alarm feed (GET /alarms/stream) until killed or -watch-for elapses; -since N replays history after entry N first")
@@ -77,6 +78,14 @@ func main() {
 		log.Fatal(err)
 	}
 	transport := &rpc.HTTPTransport{URLs: urls}
+	switch *wireMode {
+	case "binary":
+		// default: offer the columnar encoding, fall back per-response
+	case "json":
+		transport.JSONOnly = true
+	default:
+		log.Fatalf("bad -wire %q (want binary or json)", *wireMode)
+	}
 	ctrl := controller.New(topo, transport, nil)
 	ctrl.Parallelism = *parallel
 	ctrl.PartialOnDeadline = *partial

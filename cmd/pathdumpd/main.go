@@ -66,6 +66,9 @@ func main() {
 		slowDly  = flag.Duration("slow-delay", 30*time.Second, "how long the injected-slow host stalls (the stall honours the request context)")
 		slowOnce = flag.Bool("slow-first-only", false, "only the first query at -slow-host stalls; later ones (e.g. a hedged retry) answer at full speed")
 		poorFlow = flag.Bool("inject-poor-flow", false, "fault injection: register one wedged TCP flow at the lowest served host so an installed poor_tcp monitor deterministically raises POOR_PERF every period (e2e alarm-path testing)")
+		jsonOnly = flag.Bool("json-only", false, "answer every query in JSON even when the client offers the binary wire encoding — stands in for a daemon predating the wire protocol in mixed-version testing")
+		wireComp = flag.Bool("wire-compress", false, "flate-compress binary wire responses (trades CPU for bytes on slow links)")
+		maxBody  = flag.Int64("max-body", 0, "per-request body cap in bytes; oversized requests answer 413 (0 = the 16 MiB default)")
 	)
 	flag.Parse()
 
@@ -124,7 +127,9 @@ func main() {
 			go func() {
 				fctx, cancel := context.WithTimeout(ctx, rpc.DefaultAlarmTimeout)
 				defer cancel()
-				ac.RaiseAlarmContext(fctx, a)
+				if err := ac.RaiseAlarmContext(fctx, a); err != nil && ctx.Err() == nil {
+					log.Printf("pathdumpd: alarm forward failed (%d dropped so far): %v", ac.Dropped(), err)
+				}
 			}()
 		})
 		log.Printf("pathdumpd: forwarding alarms to %s", *alarmURL)
@@ -147,7 +152,7 @@ func main() {
 			log.Fatalf("pathdumpd: loading %s: %v", *tibPath, err)
 		}
 		f.Close()
-		srv := &rpc.AgentServer{T: rpc.SnapshotTarget{Store: store}}
+		srv := &rpc.AgentServer{T: rpc.SnapshotTarget{Store: store}, MaxBodyBytes: *maxBody, DisableWire: *jsonOnly, WireCompress: *wireComp}
 		log.Printf("pathdumpd: snapshot %s serving on %s, %d TIB records in %d segments",
 			*tibPath, *listen, store.Len(), store.Segments())
 		fmt.Println("endpoints: POST /query /install /uninstall, GET /stats /snapshot")
@@ -241,7 +246,7 @@ func main() {
 	var handler http.Handler
 	if len(served) == 1 && *hostIDs == "" {
 		for id, a := range served {
-			handler = (&rpc.AgentServer{T: target(id, a)}).Handler()
+			handler = (&rpc.AgentServer{T: target(id, a), MaxBodyBytes: *maxBody, DisableWire: *jsonOnly, WireCompress: *wireComp}).Handler()
 			log.Printf("pathdumpd: host %v (%v) serving on %s, %d TIB records in %d segments",
 				a.Host.ID, a.Host.IP, *listen, a.Store.Len(), a.Store.Segments())
 		}
@@ -251,7 +256,7 @@ func main() {
 		for id, a := range served {
 			targets[id] = target(id, a)
 		}
-		handler = (&rpc.MultiAgentServer{Targets: targets, Parallelism: *parallel}).Handler()
+		handler = (&rpc.MultiAgentServer{Targets: targets, Parallelism: *parallel, MaxBodyBytes: *maxBody, DisableWire: *jsonOnly, WireCompress: *wireComp}).Handler()
 		log.Printf("pathdumpd: %d hosts serving on %s", len(served), *listen)
 		fmt.Println("endpoints: POST /query /batchquery /install /uninstall, GET /stats /snapshot?host=N")
 	}

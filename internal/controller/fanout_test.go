@@ -342,11 +342,15 @@ func (f *failingInstall) Install(ctx context.Context, h types.HostID, q query.Qu
 	return 1, nil
 }
 
-// BenchmarkParallelFanout is the acceptance benchmark: Controller.Execute
-// over 128 hosts, each query costing a real 200 µs, at parallelism 1
-// versus 8. The parallel run must come in at least 4× faster (ideally
-// ~8×: 16 waves of 8 versus 128 serial calls).
-func BenchmarkParallelFanout(b *testing.B) {
+// BenchmarkParallelFanoutSim models the fan-out schedule with a
+// simulated transport: Controller.Execute over 128 hosts, each query
+// costing a flat 200 µs, at parallelism 1 versus 8. The parallel run
+// must come in at least 4× faster (ideally ~8×: 16 waves of 8 versus
+// 128 serial calls). The end-to-end acceptance benchmark — real
+// loopback HTTP, codec and connection reuse included — is
+// BenchmarkParallelFanout in internal/rpc; this one isolates the
+// scheduling overhead alone.
+func BenchmarkParallelFanoutSim(b *testing.B) {
 	topo, _ := topology.FatTree(4)
 	hosts := hostRange(128)
 	q := query.Query{Op: query.OpTopK, K: 128}

@@ -172,7 +172,7 @@ func FetchAlarms(ctx context.Context, client *http.Client, base string, f alarms
 		return out, err
 	}
 	if client == nil {
-		client = http.DefaultClient
+		client = DefaultClient
 	}
 	resp, err := client.Do(req)
 	if err != nil {
@@ -208,7 +208,7 @@ func StreamAlarms(ctx context.Context, client *http.Client, base string, f alarm
 		return err
 	}
 	if client == nil {
-		client = http.DefaultClient
+		client = DefaultClient
 	}
 	resp, err := client.Do(req)
 	if err != nil {

@@ -10,6 +10,7 @@ package rpc
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -19,6 +20,7 @@ import (
 	"pathdump/internal/controller"
 	"pathdump/internal/query"
 	"pathdump/internal/types"
+	"pathdump/internal/wire"
 )
 
 // MultiAgentServer serves the host API for several co-located agents. All
@@ -31,6 +33,15 @@ type MultiAgentServer struct {
 	Targets map[types.HostID]Target
 	// Parallelism bounds the server-side batch fan-out (<= 0 unlimited).
 	Parallelism int
+
+	// MaxBodyBytes caps request bodies (<= 0 = DefaultMaxBody); batch
+	// installs across many hosts may need it raised.
+	MaxBodyBytes int64
+	// DisableWire forces JSON responses even for clients that offer the
+	// binary wire encoding (mixed-version testing).
+	DisableWire bool
+	// WireCompress flate-compresses wire-encoded responses.
+	WireCompress bool
 
 	instMu sync.Mutex
 }
@@ -52,7 +63,7 @@ func (s *MultiAgentServer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
 		var req QueryRequest
-		if !decode(w, r, &req) {
+		if !decode(w, r, &req, s.MaxBodyBytes) {
 			return
 		}
 		t, err := s.target(req.Host)
@@ -65,11 +76,12 @@ func (s *MultiAgentServer) Handler() http.Handler {
 			writeExecuteError(w, err)
 			return
 		}
-		encode(w, QueryResponse{Result: res, RecordsScanned: t.TIBSize(), SegmentsScanned: sc, SegmentsPruned: sp})
+		writeQueryResponse(w, r, s.DisableWire, s.WireCompress,
+			QueryResponse{Result: res, RecordsScanned: t.TIBSize(), SegmentsScanned: sc, SegmentsPruned: sp})
 	})
 	mux.HandleFunc("/batchquery", func(w http.ResponseWriter, r *http.Request) {
 		var req BatchQueryRequest
-		if !decode(w, r, &req) {
+		if !decode(w, r, &req, s.MaxBodyBytes) {
 			return
 		}
 		replies, err := s.runBatch(r.Context(), req)
@@ -77,7 +89,7 @@ func (s *MultiAgentServer) Handler() http.Handler {
 			writeExecuteError(w, err)
 			return
 		}
-		encode(w, BatchQueryResponse{Replies: replies})
+		writeBatchResponse(w, r, s.DisableWire, s.WireCompress, replies)
 	})
 	mux.HandleFunc("/snapshot", snapshotHandler(func(r *http.Request) (Target, error) {
 		n, err := strconv.Atoi(r.URL.Query().Get("host"))
@@ -89,7 +101,7 @@ func (s *MultiAgentServer) Handler() http.Handler {
 	}))
 	mux.HandleFunc("/install", func(w http.ResponseWriter, r *http.Request) {
 		var req InstallRequest
-		if !decode(w, r, &req) {
+		if !decode(w, r, &req, s.MaxBodyBytes) {
 			return
 		}
 		t, err := s.target(req.Host)
@@ -108,7 +120,7 @@ func (s *MultiAgentServer) Handler() http.Handler {
 	})
 	mux.HandleFunc("/uninstall", func(w http.ResponseWriter, r *http.Request) {
 		var req UninstallRequest
-		if !decode(w, r, &req) {
+		if !decode(w, r, &req, s.MaxBodyBytes) {
 			return
 		}
 		t, err := s.target(req.Host)
@@ -280,8 +292,7 @@ func (t *HTTPTransport) queryGroup(ctx context.Context, url string, hosts []type
 	for j, i := range idx {
 		batch[j] = hosts[i]
 	}
-	var resp BatchQueryResponse
-	status, err := t.postStatus(ctx, url, "/batchquery", BatchQueryRequest{Hosts: batch, Query: q, Parallel: share}, &resp, sem)
+	resp, status, err := t.postBatch(ctx, url, BatchQueryRequest{Hosts: batch, Query: q, Parallel: share}, sem)
 	if status == http.StatusNotFound || status == http.StatusMethodNotAllowed {
 		// Only single-agent daemons lack /batchquery, and a single-agent
 		// daemon answers /query for whichever one agent it wraps — it
@@ -315,4 +326,46 @@ func (t *HTTPTransport) queryGroup(ctx context.Context, url string, hosts []type
 		}
 		replies[i] = out
 	}
+}
+
+// postBatch issues one /batchquery round trip, holding a sem slot for the
+// request and the response decode, and follows the response Content-Type:
+// binary wire frames when the daemon took the negotiation offer, JSON from
+// older daemons. The HTTP status is reported so the caller can recognise
+// single-agent daemons (404/405).
+func (t *HTTPTransport) postBatch(ctx context.Context, base string, req BatchQueryRequest, sem chan struct{}) (BatchQueryResponse, int, error) {
+	var out BatchQueryResponse
+	release, err := acquire(ctx, sem)
+	if err != nil {
+		return out, 0, err
+	}
+	defer release()
+	resp, err := t.doPost(ctx, base, "/batchquery", req, !t.JSONOnly)
+	if err != nil {
+		status := 0
+		if resp != nil {
+			status = resp.StatusCode
+		}
+		return out, status, err
+	}
+	defer closeBody(resp)
+	if wire.IsWire(resp.Header.Get("Content-Type")) {
+		wireReplies, err := wire.ReadBatch(resp.Body)
+		if err != nil {
+			return out, resp.StatusCode, err
+		}
+		out.Replies = make([]BatchQueryReply, len(wireReplies))
+		for i := range wireReplies {
+			out.Replies[i] = BatchQueryReply{
+				Host:            wireReplies[i].Host,
+				Result:          wireReplies[i].Result,
+				RecordsScanned:  wireReplies[i].Meta.RecordsScanned,
+				SegmentsScanned: wireReplies[i].Meta.SegmentsScanned,
+				SegmentsPruned:  wireReplies[i].Meta.SegmentsPruned,
+				Error:           wireReplies[i].Error,
+			}
+		}
+		return out, resp.StatusCode, nil
+	}
+	return out, resp.StatusCode, json.NewDecoder(resp.Body).Decode(&out)
 }

@@ -1,0 +1,73 @@
+package rpc
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"pathdump/internal/query"
+	"pathdump/internal/types"
+)
+
+// benchFleet boots ndaemons MultiAgentServer daemons, each serving
+// perDaemon hosts whose stores hold nrec records — the e2e shape of a
+// controller fan-out, over real loopback HTTP.
+func benchFleet(b *testing.B, ndaemons, perDaemon, nrec int) (map[types.HostID]string, []types.HostID) {
+	b.Helper()
+	urls := make(map[types.HostID]string)
+	var hosts []types.HostID
+	for d := 0; d < ndaemons; d++ {
+		targets := make(map[types.HostID]Target)
+		for i := 0; i < perDaemon; i++ {
+			h := types.HostID(d*perDaemon + i)
+			targets[h] = SnapshotTarget{Store: seedStore(int(h), nrec)}
+			hosts = append(hosts, h)
+		}
+		srv := httptest.NewServer((&MultiAgentServer{Targets: targets}).Handler())
+		b.Cleanup(srv.Close)
+		for h := range targets {
+			urls[h] = srv.URL
+		}
+	}
+	return urls, hosts
+}
+
+// BenchmarkParallelFanout is the acceptance benchmark for the data
+// plane: a 128-host fan-out (8 multi-agent daemons × 16 hosts) pulling
+// 32 records per host over real loopback HTTP, at parallelism 1 versus
+// 8. This is the successor of the simulated-transport bench of the same
+// name (now BenchmarkParallelFanoutSim in internal/controller): it
+// measures what that one modelled — request encode, content-negotiated
+// response encode/decode, and connection reuse — so codec and transport
+// regressions land here. The -json sub-bench keeps the fallback path
+// honest and quantifies what the columnar encoding buys.
+func BenchmarkParallelFanout(b *testing.B) {
+	const (
+		daemons   = 8
+		perDaemon = 16
+		records   = 32
+	)
+	urls, hosts := benchFleet(b, daemons, perDaemon, records)
+	q := query.Query{Op: query.OpRecords, Link: types.AnyLink, Range: types.AllTime}
+	ctx := context.Background()
+
+	run := func(tr *HTTPTransport, parallel int) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				replies, err := tr.QueryMany(ctx, hosts, q, parallel)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(replies) != len(hosts) {
+					b.Fatalf("%d replies for %d hosts", len(replies), len(hosts))
+				}
+			}
+		}
+	}
+	for _, p := range []int{1, 8} {
+		b.Run(fmt.Sprintf("parallelism-%d", p), run(&HTTPTransport{URLs: urls}, p))
+	}
+	b.Run("parallelism-8-json", run(&HTTPTransport{URLs: urls, JSONOnly: true}, 8))
+}

@@ -23,12 +23,14 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pathdump/internal/controller"
 	"pathdump/internal/query"
 	"pathdump/internal/tib"
 	"pathdump/internal/types"
+	"pathdump/internal/wire"
 )
 
 // Target is the agent-side surface the server exposes; *agent.Agent
@@ -258,6 +260,14 @@ type AlarmRequest struct {
 type AgentServer struct {
 	T Target
 
+	// MaxBodyBytes caps request bodies (<= 0 = DefaultMaxBody).
+	MaxBodyBytes int64
+	// DisableWire forces JSON responses even for clients that offer the
+	// binary wire encoding (mixed-version testing).
+	DisableWire bool
+	// WireCompress flate-compresses wire-encoded responses.
+	WireCompress bool
+
 	instMu sync.Mutex
 }
 
@@ -266,7 +276,7 @@ func (s *AgentServer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
 		var req QueryRequest
-		if !decode(w, r, &req) {
+		if !decode(w, r, &req, s.MaxBodyBytes) {
 			return
 		}
 		res, sc, sp, err := executeMeta(r.Context(), s.T, req.Query)
@@ -274,12 +284,13 @@ func (s *AgentServer) Handler() http.Handler {
 			writeExecuteError(w, err)
 			return
 		}
-		encode(w, QueryResponse{Result: res, RecordsScanned: s.T.TIBSize(), SegmentsScanned: sc, SegmentsPruned: sp})
+		writeQueryResponse(w, r, s.DisableWire, s.WireCompress,
+			QueryResponse{Result: res, RecordsScanned: s.T.TIBSize(), SegmentsScanned: sc, SegmentsPruned: sp})
 	})
 	mux.HandleFunc("/snapshot", snapshotHandler(func(*http.Request) (Target, error) { return s.T, nil }))
 	mux.HandleFunc("/install", func(w http.ResponseWriter, r *http.Request) {
 		var req InstallRequest
-		if !decode(w, r, &req) {
+		if !decode(w, r, &req, s.MaxBodyBytes) {
 			return
 		}
 		s.instMu.Lock()
@@ -293,7 +304,7 @@ func (s *AgentServer) Handler() http.Handler {
 	})
 	mux.HandleFunc("/uninstall", func(w http.ResponseWriter, r *http.Request) {
 		var req UninstallRequest
-		if !decode(w, r, &req) {
+		if !decode(w, r, &req, s.MaxBodyBytes) {
 			return
 		}
 		s.instMu.Lock()
@@ -314,6 +325,9 @@ func (s *AgentServer) Handler() http.Handler {
 // ControllerServer accepts alarms from remote agents.
 type ControllerServer struct {
 	C *controller.Controller
+
+	// MaxBodyBytes caps request bodies (<= 0 = DefaultMaxBody).
+	MaxBodyBytes int64
 }
 
 // Handler returns the controller's HTTP mux. Alarm dispatch runs under
@@ -326,7 +340,7 @@ func (s *ControllerServer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/alarm", func(w http.ResponseWriter, r *http.Request) {
 		var req AlarmRequest
-		if !decode(w, r, &req) {
+		if !decode(w, r, &req, s.MaxBodyBytes) {
 			return
 		}
 		s.C.RaiseAlarmContext(r.Context(), req.Alarm)
@@ -351,11 +365,21 @@ type AlarmClient struct {
 	// Timeout bounds each contextless RaiseAlarm POST
 	// (default DefaultAlarmTimeout).
 	Timeout time.Duration
+
+	// dropped counts alarms that never reached the controller (marshal
+	// failure, transport failure, or a non-2xx answer). Alarms stay
+	// fire-and-forget — the monitor fires again — but the losses used to
+	// be invisible, which made a misconfigured controller URL look like a
+	// healthy, quiet network.
+	dropped atomic.Uint64
 }
 
+// Dropped reports how many alarms this client failed to deliver.
+func (c *AlarmClient) Dropped() uint64 { return c.dropped.Load() }
+
 // RaiseAlarm posts the alarm under the client's own bounded context;
-// delivery failures are dropped (alarms are advisory, the monitor will
-// fire again).
+// delivery failures are counted in Dropped (alarms are advisory, the
+// monitor will fire again).
 func (c *AlarmClient) RaiseAlarm(a types.Alarm) {
 	timeout := c.Timeout
 	if timeout <= 0 {
@@ -369,43 +393,63 @@ func (c *AlarmClient) RaiseAlarm(a types.Alarm) {
 // RaiseAlarmContext posts the alarm under the caller's context — a
 // daemon passes its lifetime context so shutdown (or the context's
 // deadline) aborts the dial, the in-flight request and the response read
-// instead of leaking the goroutine against a wedged controller.
-func (c *AlarmClient) RaiseAlarmContext(ctx context.Context, a types.Alarm) {
+// instead of leaking the goroutine against a wedged controller. Every
+// failure — including a non-2xx answer from the controller, previously
+// ignored — is returned and counted in Dropped.
+func (c *AlarmClient) RaiseAlarmContext(ctx context.Context, a types.Alarm) error {
 	body, err := json.Marshal(AlarmRequest{Alarm: a})
 	if err != nil {
-		return
+		c.dropped.Add(1)
+		return fmt.Errorf("rpc: marshalling alarm: %w", err)
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.URL+"/alarm", bytes.NewReader(body))
 	if err != nil {
-		return
+		c.dropped.Add(1)
+		return fmt.Errorf("rpc: building alarm request: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.client().Do(req)
 	if err != nil {
-		return
+		c.dropped.Add(1)
+		return err
 	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		c.dropped.Add(1)
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return &StatusError{Code: resp.StatusCode, URL: c.URL + "/alarm", Status: resp.Status, Msg: string(bytes.TrimSpace(msg))}
+	}
+	return nil
 }
 
 func (c *AlarmClient) client() *http.Client {
 	if c.Client != nil {
 		return c.Client
 	}
-	return http.DefaultClient
+	return DefaultClient
 }
 
 // HTTPTransport implements controller.Transport over per-host agent URLs.
+// Query and batch-query responses are negotiated: unless JSONOnly is set,
+// requests offer the binary wire encoding (internal/wire) and the decoder
+// follows the response Content-Type, so daemons that predate the wire
+// format keep answering JSON and everything still works.
 type HTTPTransport struct {
 	URLs   map[types.HostID]string
 	Client *http.Client
+	// JSONOnly suppresses the wire-format Accept offer, forcing JSON
+	// responses (mixed-version testing, debugging with readable bodies).
+	JSONOnly bool
 }
 
 func (t *HTTPTransport) client() *http.Client {
 	if t.Client != nil {
 		return t.Client
 	}
-	return http.DefaultClient
+	return DefaultClient
 }
 
 func (t *HTTPTransport) post(ctx context.Context, host types.HostID, path string, in, out interface{}) error {
@@ -417,45 +461,106 @@ func (t *HTTPTransport) post(ctx context.Context, host types.HostID, path string
 	return err
 }
 
-// postStatus posts to an explicit base URL, optionally throttled by sem,
-// and reports the HTTP status so callers can detect missing endpoints.
-// The request carries ctx (http.NewRequestWithContext), so cancelling it
-// aborts the dial, the in-flight request, and the response read; waiting
-// on a semaphore slot is interruptible too.
-func (t *HTTPTransport) postStatus(ctx context.Context, base, path string, in, out interface{}, sem chan struct{}) (int, error) {
-	if sem != nil {
-		select {
-		case sem <- struct{}{}:
-			defer func() { <-sem }()
-		case <-ctx.Done():
-			return 0, ctx.Err()
-		}
+// acquire takes one slot of sem (nil = unlimited), abandoning the wait if
+// ctx ends first. The returned release must be called once.
+func acquire(ctx context.Context, sem chan struct{}) (release func(), err error) {
+	if sem == nil {
+		return func() {}, nil
 	}
+	select {
+	case sem <- struct{}{}:
+		return func() { <-sem }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// doPost issues one JSON-bodied POST and returns the raw 200 response,
+// body unread, so callers pick the decoder the response Content-Type
+// calls for. With acceptWire the request offers the binary wire encoding.
+// A non-200 answer closes the body and surfaces as *StatusError (the
+// response is still returned for its status code).
+func (t *HTTPTransport) doPost(ctx context.Context, base, path string, in interface{}, acceptWire bool) (*http.Response, error) {
 	body, err := json.Marshal(in)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(body))
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if acceptWire {
+		req.Header.Set("Accept", wire.ContentType+", application/json")
+	}
 	resp, err := t.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		return resp, &StatusError{Code: resp.StatusCode, URL: base + path, Status: resp.Status, Msg: string(bytes.TrimSpace(msg))}
+	}
+	return resp, nil
+}
+
+// closeBody drains a bounded remainder and closes, so the pooled
+// connection is reusable instead of being torn down mid-body.
+func closeBody(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}
+
+// postStatus posts to an explicit base URL, optionally throttled by sem,
+// decodes the JSON response into out, and reports the HTTP status so
+// callers can detect missing endpoints. The request carries ctx
+// (http.NewRequestWithContext), so cancelling it aborts the dial, the
+// in-flight request, and the response read; waiting on a semaphore slot
+// is interruptible too.
+func (t *HTTPTransport) postStatus(ctx context.Context, base, path string, in, out interface{}, sem chan struct{}) (int, error) {
+	release, err := acquire(ctx, sem)
 	if err != nil {
 		return 0, err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return resp.StatusCode, &StatusError{Code: resp.StatusCode, URL: base + path, Status: resp.Status, Msg: string(bytes.TrimSpace(msg))}
+	defer release()
+	resp, err := t.doPost(ctx, base, path, in, false)
+	if err != nil {
+		if resp != nil {
+			return resp.StatusCode, err
+		}
+		return 0, err
 	}
+	defer closeBody(resp)
 	return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
 }
 
-// Query implements controller.Transport.
+// Query implements controller.Transport. The response body streams
+// through whichever decoder its Content-Type selects — the binary wire
+// codec when the daemon took the offer, JSON otherwise.
 func (t *HTTPTransport) Query(ctx context.Context, host types.HostID, q query.Query) (query.Result, controller.QueryMeta, error) {
+	base, ok := t.URLs[host]
+	if !ok {
+		return query.Result{}, controller.QueryMeta{}, fmt.Errorf("rpc: no URL for host %v", host)
+	}
+	httpResp, err := t.doPost(ctx, base, "/query", QueryRequest{Host: &host, Query: q}, !t.JSONOnly)
+	if err != nil {
+		return query.Result{}, controller.QueryMeta{}, err
+	}
+	defer closeBody(httpResp)
+	if wire.IsWire(httpResp.Header.Get("Content-Type")) {
+		m, res, err := wire.ReadQuery(httpResp.Body)
+		if err != nil {
+			return query.Result{}, controller.QueryMeta{}, err
+		}
+		return *res, controller.QueryMeta{
+			RecordsScanned:  m.RecordsScanned,
+			SegmentsScanned: m.SegmentsScanned,
+			SegmentsPruned:  m.SegmentsPruned,
+		}, nil
+	}
 	var resp QueryResponse
-	if err := t.post(ctx, host, "/query", QueryRequest{Host: &host, Query: q}, &resp); err != nil {
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
 		return query.Result{}, controller.QueryMeta{}, err
 	}
 	return resp.Result, controller.QueryMeta{
@@ -558,23 +663,90 @@ func (e *StatusError) Error() string {
 // HTTPStatus reports the response code (see controller's retry policy).
 func (e *StatusError) HTTPStatus() int { return e.Code }
 
-// decode parses a JSON request body, writing a 400 on failure.
-func decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+// DefaultMaxBody caps request bodies when a server does not configure its
+// own limit. Batch installs against many hosts can legitimately exceed it;
+// such deployments raise the server's MaxBodyBytes (pathdumpd -max-body).
+const DefaultMaxBody = 16 << 20
+
+// decode parses a JSON request body capped at limit bytes (<= 0 means
+// DefaultMaxBody). An over-limit body answers 413 with an explicit
+// message; it used to surface as a baffling 400 "unexpected EOF" when the
+// cap was a bare io.LimitReader silently truncating the stream.
+func decode(w http.ResponseWriter, r *http.Request, v interface{}, limit int64) bool {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return false
 	}
-	if err := json.NewDecoder(io.LimitReader(r.Body, 16<<20)).Decode(v); err != nil {
+	if limit <= 0 {
+		limit = DefaultMaxBody
+	}
+	body := http.MaxBytesReader(w, r.Body, limit)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			http.Error(w, fmt.Sprintf("request body exceeds the %d-byte limit; raise the server's max body size (-max-body)", mbe.Limit), http.StatusRequestEntityTooLarge)
+			return false
+		}
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 		return false
 	}
 	return true
 }
 
-// encode writes a JSON response.
+// encode writes a JSON response. Marshalling happens before the first
+// byte reaches the wire: encoding straight into w meant a late failure
+// called http.Error mid-body, corrupting the payload with a trailing
+// error message under a 200 status ("superfluous response.WriteHeader").
 func encode(w http.ResponseWriter, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	buf, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, "rpc: encoding response: "+err.Error(), http.StatusInternalServerError)
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf)
+	w.Write([]byte{'\n'})
+}
+
+// writeQueryResponse answers /query in whichever encoding the request
+// negotiated: the binary wire format when the client offered it (and the
+// server hasn't disabled it), JSON otherwise. The wire path streams
+// columns straight to the socket instead of buffering the whole reply.
+// Once the first body byte is out the status line is committed, so a
+// mid-stream write failure just truncates the frame — the client-side
+// decoder rejects truncated frames explicitly.
+func writeQueryResponse(w http.ResponseWriter, r *http.Request, disableWire, compress bool, resp QueryResponse) {
+	if disableWire || !wire.Accepted(r.Header.Get("Accept")) {
+		encode(w, resp)
+		return
+	}
+	w.Header().Set("Content-Type", wire.ContentType)
+	_ = wire.WriteQuery(w, wire.Meta{
+		RecordsScanned:  resp.RecordsScanned,
+		SegmentsScanned: resp.SegmentsScanned,
+		SegmentsPruned:  resp.SegmentsPruned,
+	}, &resp.Result, compress)
+}
+
+// writeBatchResponse is writeQueryResponse for /batchquery.
+func writeBatchResponse(w http.ResponseWriter, r *http.Request, disableWire, compress bool, replies []BatchQueryReply) {
+	if disableWire || !wire.Accepted(r.Header.Get("Accept")) {
+		encode(w, BatchQueryResponse{Replies: replies})
+		return
+	}
+	out := make([]wire.BatchReply, len(replies))
+	for i := range replies {
+		out[i] = wire.BatchReply{
+			Host: replies[i].Host,
+			Meta: wire.Meta{
+				RecordsScanned:  replies[i].RecordsScanned,
+				SegmentsScanned: replies[i].SegmentsScanned,
+				SegmentsPruned:  replies[i].SegmentsPruned,
+			},
+			Result: replies[i].Result,
+			Error:  replies[i].Error,
+		}
+	}
+	w.Header().Set("Content-Type", wire.ContentType)
+	_ = wire.WriteBatch(w, out, compress)
 }

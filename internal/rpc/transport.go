@@ -1,0 +1,42 @@
+// Shared pooled HTTP client. Every rpc client path — query/batch fan-out,
+// alarm posts, alarm history/stream helpers — used to fall back to
+// http.DefaultClient, whose transport keeps only two idle connections per
+// host: a controller fanning out at Parallelism ≥ 8 against one daemon
+// re-dialled on almost every wave. DefaultClient replaces that fallback
+// with a transport tuned for the fan-out shape: enough idle connections
+// per daemon to cover the parallelism bound, bounded dial time, and a
+// response-header ceiling generous enough for deliberately slow straggler
+// hosts and SSE streams (whose headers arrive immediately).
+package rpc
+
+import (
+	"net"
+	"net/http"
+	"time"
+)
+
+// DefaultTransport is the pooled transport behind DefaultClient. Exported
+// so daemons and tests can inspect or derive from it (e.g. CloseIdleConnections
+// in goroutine-leak checks).
+var DefaultTransport = &http.Transport{
+	Proxy: http.ProxyFromEnvironment,
+	DialContext: (&net.Dialer{
+		Timeout:   10 * time.Second,
+		KeepAlive: 30 * time.Second,
+	}).DialContext,
+	MaxIdleConns:        512,
+	MaxIdleConnsPerHost: 64,
+	IdleConnTimeout:     90 * time.Second,
+	// Headers normally arrive in microseconds on these APIs; the ceiling
+	// only has to stay above the slowest legitimate first byte — a
+	// straggler host daemon can stall a full minute before answering.
+	ResponseHeaderTimeout: 2 * time.Minute,
+	TLSHandshakeTimeout:   10 * time.Second,
+	ExpectContinueTimeout: 1 * time.Second,
+}
+
+// DefaultClient is the pooled client used whenever an HTTPTransport,
+// AlarmClient or alarm helper is not given an explicit *http.Client. It
+// deliberately has no overall Timeout: per-request contexts bound the
+// data-plane calls, and alarm streams stay open indefinitely.
+var DefaultClient = &http.Client{Transport: DefaultTransport}

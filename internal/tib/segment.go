@@ -18,6 +18,10 @@ type segment struct {
 	entries []entry
 	byFlow  map[types.FlowID][]int
 	byLink  map[types.LinkID][]int
+	// filter is the sealed segment's flow bloom (nil on active segments
+	// and until seal): single-flow scans probe it before the posting map
+	// and prune the segment whole on a miss. Immutable once set.
+	filter *flowFilter
 	// minTime/maxTime bracket [STime, ETime] over all entries; scans
 	// prune the whole segment when the query range misses the bracket.
 	minTime, maxTime types.Time
@@ -84,6 +88,31 @@ func (seg *segment) add(e entry, indexed bool) {
 			seg.byLink[l] = append(seg.byLink[l], idx)
 		}
 	}
+}
+
+// seal freezes the segment — entries, postings and bounds immutable from
+// here on — and builds its flow bloom filter. Caller holds the shard
+// write lock (or owns the segment exclusively, as the load paths do).
+func (seg *segment) seal() {
+	seg.sealed = true
+	seg.buildFilter()
+}
+
+// buildFilter (re)computes the segment's flow bloom from its entries —
+// always the ground truth, even on load paths where the posting maps are
+// stale or still pending a rebuild. The map only informs sizing when it
+// is populated; otherwise the entry count stands in (an overestimate —
+// distinct flows ≤ entries — which only makes the filter sparser).
+func (seg *segment) buildFilter() {
+	distinct := len(seg.byFlow)
+	if distinct == 0 {
+		distinct = len(seg.entries)
+	}
+	f := newFlowFilter(distinct)
+	for i := range seg.entries {
+		f.add(flowHash64(seg.entries[i].rec.Flow))
+	}
+	seg.filter = f
 }
 
 // overlaps reports whether any record in the segment can intersect tr.

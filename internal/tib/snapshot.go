@@ -231,6 +231,9 @@ func (s *Store) loadV2(r io.Reader) error {
 			seg.entries[i] = entry{seq: ws.Seqs[i], rec: ws.Recs[i]}
 			seg.bytes += recSize(&ws.Recs[i])
 		}
+		// Blooms are not persisted; adopted sealed segments rebuild theirs
+		// from the freshly populated entries.
+		seg.buildFilter()
 		sh := &staged.shards[ws.Shard]
 		// Insert before the (empty) active segment, keeping the chain
 		// sequence-monotonic — the writer emitted each shard's segments in
@@ -349,7 +352,7 @@ func (s *Store) buildFrom(entries []entry) (*Store, error) {
 		sh := staged.shardFor(entries[i].rec.Flow)
 		seg := sh.active()
 		if staged.shouldSeal(seg, &entries[i].rec) {
-			seg.sealed = true
+			seg.seal() // postings are nil here, so the bloom builds from entries
 			seg = newSegment(false)
 			sh.segs = append(sh.segs, seg)
 		}

@@ -236,7 +236,7 @@ func (s *Store) Add(rec types.Record) {
 	sh.mu.Lock()
 	seg := sh.active()
 	if s.shouldSeal(seg, &rec) {
-		seg.sealed = true
+		seg.seal()
 		seg = newSegment(s.indexed)
 		sh.segs = append(sh.segs, seg)
 	}
@@ -400,6 +400,64 @@ func (s *Store) EvictOverBytes() (segments, records int) {
 	return segments, records
 }
 
+// scanBuf holds one scan's reusable cursor machinery. Every ScanWhile
+// used to allocate a []cursor plus one []segCursor per surviving shard
+// (and the flow path its own []segCursor) — per-query garbage that
+// scales with shard and segment count and shows up directly in fan-out
+// latency. Scans now borrow a scanBuf from a sync.Pool and return it
+// when the merge finishes; release clears every segCursor up to
+// capacity so a pooled buffer never pins evicted segments' entry or
+// posting arrays.
+type scanBuf struct {
+	cursors []cursor
+	flat    []segCursor // the single-shard flow path's cursor chain
+}
+
+var scanBufs = sync.Pool{New: func() any { return new(scanBuf) }}
+
+func getScanBuf() *scanBuf { return scanBufs.Get().(*scanBuf) }
+
+// next extends the cursor list by one, reusing the slot's retained segs
+// capacity from earlier scans. The returned pointer is valid until the
+// next call (which may grow the backing array).
+func (b *scanBuf) next() *cursor {
+	if len(b.cursors) < cap(b.cursors) {
+		b.cursors = b.cursors[:len(b.cursors)+1]
+	} else {
+		b.cursors = append(b.cursors, cursor{})
+	}
+	c := &b.cursors[len(b.cursors)-1]
+	c.segs, c.si = c.segs[:0], 0
+	return c
+}
+
+// drop retracts the last cursor handed out by next — used when a shard
+// turns out to have no surviving segments. Only valid while that cursor's
+// segs list is empty.
+func (b *scanBuf) drop() { b.cursors = b.cursors[:len(b.cursors)-1] }
+
+// release clears all segment references and returns the buffer to the
+// pool. Clearing runs to capacity, not length: slots beyond this scan's
+// length were cleared when their own scan released, so the invariant
+// "pooled buffers hold no segment references" survives reuse at any size.
+func (b *scanBuf) release() {
+	for i := range b.cursors {
+		c := &b.cursors[i]
+		segs := c.segs[:cap(c.segs)]
+		for j := range segs {
+			segs[j] = segCursor{}
+		}
+		c.segs, c.si = c.segs[:0], 0
+	}
+	b.cursors = b.cursors[:0]
+	flat := b.flat[:cap(b.flat)]
+	for j := range flat {
+		flat[j] = segCursor{}
+	}
+	b.flat = b.flat[:0]
+	scanBufs.Put(b)
+}
+
 // cursor walks one shard's matching entries in sequence order during a
 // cross-shard merge: a chain of per-segment sub-cursors, consumed in
 // chain order (the chain is sequence-monotonic). Entry and posting slices
@@ -490,16 +548,16 @@ func mergeWhile(cursors []cursor, fn func(*types.Record) bool) {
 // lock, so a moment with every lock held observes a downward-closed
 // prefix of the global arrival order, exactly like the old single-lock
 // store. Capture is just header copies, so writers are stalled only
-// momentarily.
-func (s *Store) snapshotCursors(since, until uint64, link *types.LinkID, tr types.TimeRange) []cursor {
+// momentarily. The cursor list and its per-shard chains live in the
+// caller's pooled scanBuf.
+func (s *Store) snapshotCursors(buf *scanBuf, since, until uint64, link *types.LinkID, tr types.TimeRange) []cursor {
 	for i := range s.shards {
 		s.shards[i].mu.RLock()
 	}
 	var scanned, pruned uint64
-	out := make([]cursor, 0, len(s.shards))
 	for i := range s.shards {
 		sh := &s.shards[i]
-		var c cursor
+		c := buf.next()
 		for _, seg := range sh.segs {
 			if len(seg.entries) == 0 {
 				continue
@@ -525,8 +583,8 @@ func (s *Store) snapshotCursors(since, until uint64, link *types.LinkID, tr type
 			scanned++
 			c.segs = append(c.segs, sc)
 		}
-		if len(c.segs) > 0 {
-			out = append(out, c)
+		if len(c.segs) == 0 {
+			buf.drop()
 		}
 	}
 	for i := range s.shards {
@@ -534,7 +592,7 @@ func (s *Store) snapshotCursors(since, until uint64, link *types.LinkID, tr type
 	}
 	s.segScanned.Add(scanned)
 	s.segPruned.Add(pruned)
-	return out
+	return buf.cursors
 }
 
 // trimPostings drops the prefix of a posting list at or below the
@@ -591,8 +649,10 @@ func (s *Store) ScanSince(since, until uint64, flow *types.FlowID, link types.Li
 		s.scanFlowWhile(since, until, *flow, link, tr, fn)
 		return
 	}
+	buf := getScanBuf()
+	defer buf.release()
 	if s.indexed && !link.IsWildcard() {
-		mergeWhile(s.snapshotCursors(since, until, &link, tr), func(rec *types.Record) bool {
+		mergeWhile(s.snapshotCursors(buf, since, until, &link, tr), func(rec *types.Record) bool {
 			if rec.Overlaps(tr) {
 				return fn(rec)
 			}
@@ -601,7 +661,7 @@ func (s *Store) ScanSince(since, until uint64, flow *types.FlowID, link types.Li
 		return
 	}
 	all := link == types.AnyLink
-	mergeWhile(s.snapshotCursors(since, until, nil, tr), func(rec *types.Record) bool {
+	mergeWhile(s.snapshotCursors(buf, since, until, nil, tr), func(rec *types.Record) bool {
 		if !rec.Overlaps(tr) {
 			return true
 		}
@@ -615,12 +675,18 @@ func (s *Store) ScanSince(since, until uint64, flow *types.FlowID, link types.Li
 // scanFlowWhile is the single-shard flow path: all records of one flow
 // live in one shard, and inside it the flow's per-segment posting lists
 // (already in insertion order) are walked directly, bounded below and
-// above by the (since, until] sequence window.
+// above by the (since, until] sequence window. Sealed segments carry a
+// flow bloom filter: a negative probe prunes the segment before its
+// posting map is even consulted, which dominates on long-lived stores
+// where a flow touches a handful of the shard's many segments.
 func (s *Store) scanFlowWhile(since, until uint64, f types.FlowID, link types.LinkID, tr types.TimeRange, fn func(*types.Record) bool) {
 	sh := s.shardFor(f)
+	fh := flowHash64(f)
+	buf := getScanBuf()
+	defer buf.release()
 	sh.mu.RLock()
 	var scanned, pruned uint64
-	var segs []segCursor
+	segs := buf.flat
 	for _, seg := range sh.segs {
 		if len(seg.entries) == 0 {
 			continue
@@ -631,6 +697,10 @@ func (s *Store) scanFlowWhile(since, until uint64, f types.FlowID, link types.Li
 		}
 		if !seg.overlaps(tr) {
 			pruned++
+			continue
+		}
+		if seg.filter != nil && !seg.filter.mayContain(fh) {
+			pruned++ // the flow provably never hit this segment
 			continue
 		}
 		scanned++
@@ -645,6 +715,7 @@ func (s *Store) scanFlowWhile(since, until uint64, f types.FlowID, link types.Li
 		}
 		segs = append(segs, sc)
 	}
+	buf.flat = segs
 	sh.mu.RUnlock()
 	s.segScanned.Add(scanned)
 	s.segPruned.Add(pruned)

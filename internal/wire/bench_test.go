@@ -1,0 +1,89 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"testing"
+
+	"pathdump/internal/query"
+)
+
+// BenchmarkWireRoundtrip measures a full encode+decode of a 5000-record
+// result — the controller-side cost of one host's reply — for the binary
+// codec (plain and compressed) against the JSON path it replaces. Run with
+// -benchmem: allocs/op is gated by the CI bench job alongside the medians.
+func BenchmarkWireRoundtrip(b *testing.B) {
+	rng := rand.New(rand.NewSource(99))
+	res := randBenchResult(rng, 5000)
+
+	b.Run("binary", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf bytes.Buffer
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := WriteQuery(&buf, Meta{RecordsScanned: 5000}, res, false); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := ReadQuery(&buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportSize(b, res, false)
+	})
+
+	b.Run("binary-flate", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf bytes.Buffer
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := WriteQuery(&buf, Meta{RecordsScanned: 5000}, res, true); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := ReadQuery(&buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportSize(b, res, true)
+	})
+
+	b.Run("json", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf bytes.Buffer
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := json.NewEncoder(&buf).Encode(res); err != nil {
+				b.Fatal(err)
+			}
+			var got query.Result
+			if err := json.NewDecoder(&buf).Decode(&got); err != nil {
+				b.Fatal(err)
+			}
+		}
+		j, _ := json.Marshal(res)
+		b.ReportMetric(float64(len(j)), "wire-bytes")
+	})
+}
+
+func reportSize(b *testing.B, res *query.Result, compress bool) {
+	b.Helper()
+	var cw countWriter
+	if err := WriteQuery(&cw, Meta{}, res, compress); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(cw), "wire-bytes")
+}
+
+type countWriter int64
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	*c += countWriter(len(p))
+	return len(p), nil
+}
+
+var _ io.Writer = (*countWriter)(nil)
+
+func randBenchResult(rng *rand.Rand, n int) *query.Result {
+	return randResult(rng, n)
+}

@@ -1,0 +1,814 @@
+// Package wire implements PathDump's binary columnar encoding for query
+// and batch-query responses — the data plane between host daemons and the
+// controller. JSON ships every record as a pointer-heavy object; at fan-out
+// scale the encode/decode cost and byte volume dominate query latency. The
+// wire format instead encodes a response column by column:
+//
+//	frame  := magic "PDW1" | kind (1B) | flags (1B) | body
+//	body   := sections, flate-compressed when flags&FlagFlate is set
+//
+// Flow IDs and paths are dictionary-encoded (each distinct value written
+// once, records carry small integer indices), timestamps are delta-encoded
+// (STime as a delta against the previous record, ETime against the record's
+// own STime) and all integers use varints, so a typical record batch is an
+// integer factor smaller than its JSON form and decodes without reflection.
+//
+// Responses are negotiated per request: a client that understands the wire
+// format sends "Accept: application/x-pathdump-wire"; a server that speaks
+// it answers with that Content-Type, any other server answers JSON and the
+// client falls back transparently (see internal/rpc). Requests themselves
+// stay JSON — they are tiny and keeping them readable costs nothing.
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"pathdump/internal/query"
+	"pathdump/internal/types"
+)
+
+// ContentType identifies a wire-encoded HTTP response body. Clients offer
+// it in Accept; servers that honour the offer set it as Content-Type.
+const ContentType = "application/x-pathdump-wire"
+
+// Accepted reports whether an Accept header offers the wire encoding.
+func Accepted(accept string) bool { return strings.Contains(accept, ContentType) }
+
+// IsWire reports whether a Content-Type header carries the wire encoding.
+func IsWire(contentType string) bool {
+	return strings.HasPrefix(contentType, ContentType)
+}
+
+// Frame kinds.
+const (
+	kindQuery = 0x01 // Meta + one query.Result
+	kindBatch = 0x02 // a list of per-host BatchReply entries
+)
+
+// FlagFlate marks a body compressed with DEFLATE. Decoders detect it from
+// the frame, so compression is a per-response server choice, not a
+// negotiated capability.
+const FlagFlate = 0x01
+
+var magic = [4]byte{'P', 'D', 'W', '1'}
+
+// Caps rejected as corrupt before any allocation is sized from them. They
+// are far above anything the system produces but small enough that a
+// hostile length prefix cannot request an absurd element count.
+const (
+	maxElems   = 1 << 26 // entries in any one section or dictionary
+	maxPathLen = 1 << 16 // switches in one path
+	maxOpLen   = 1 << 10 // bytes in an op name
+	maxReplies = 1 << 20 // per-host replies in a batch frame
+)
+
+// Meta mirrors the execution telemetry carried alongside a result. wire
+// cannot import internal/rpc (rpc imports wire), so it defines its own
+// carrier; rpc maps it to and from its response structs.
+type Meta struct {
+	RecordsScanned  int
+	SegmentsScanned int
+	SegmentsPruned  int
+}
+
+// BatchReply is one host's slot in a batch response frame.
+type BatchReply struct {
+	Host   types.HostID
+	Meta   Meta
+	Result query.Result
+	Error  string
+}
+
+// WriteQuery encodes one query response frame to w.
+func WriteQuery(w io.Writer, m Meta, res *query.Result, compress bool) error {
+	return writeFrame(w, kindQuery, compress, func(bw *writer) {
+		writeMeta(bw, m)
+		writeResult(bw, res)
+	})
+}
+
+// ReadQuery decodes one query response frame from r.
+func ReadQuery(r io.Reader) (Meta, *query.Result, error) {
+	var m Meta
+	var res query.Result
+	err := readFrame(r, kindQuery, func(br *reader) {
+		m = readMeta(br)
+		readResult(br, &res)
+	})
+	if err != nil {
+		return Meta{}, nil, err
+	}
+	return m, &res, nil
+}
+
+// WriteBatch encodes a batch response frame to w.
+func WriteBatch(w io.Writer, replies []BatchReply, compress bool) error {
+	return writeFrame(w, kindBatch, compress, func(bw *writer) {
+		bw.uvarint(uint64(len(replies)))
+		for i := range replies {
+			rep := &replies[i]
+			bw.uvarint(uint64(rep.Host))
+			bw.str(rep.Error)
+			writeMeta(bw, rep.Meta)
+			writeResult(bw, &rep.Result)
+		}
+	})
+}
+
+// ReadBatch decodes a batch response frame from r.
+func ReadBatch(r io.Reader) ([]BatchReply, error) {
+	var replies []BatchReply
+	err := readFrame(r, kindBatch, func(br *reader) {
+		n := br.count("batch replies", maxReplies)
+		replies = make([]BatchReply, 0, min(n, 4096))
+		for i := 0; i < n && br.err == nil; i++ {
+			var rep BatchReply
+			rep.Host = types.HostID(br.uvarint())
+			rep.Error = br.str(maxOpLen * 4)
+			rep.Meta = readMeta(br)
+			readResult(br, &rep.Result)
+			replies = append(replies, rep)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return replies, nil
+}
+
+// frameBufs pools the frames' 32 KiB bufio buffers: encode and decode of
+// every query/batch exchange borrow one instead of allocating, which at
+// fan-out rates kept the buffers out of the top of the allocation profile.
+var (
+	frameWriters = sync.Pool{New: func() any { return bufio.NewWriterSize(io.Discard, 32<<10) }}
+	frameReaders = sync.Pool{New: func() any { return bufio.NewReaderSize(bytes.NewReader(nil), 32<<10) }}
+)
+
+// writeFrame writes header and body, routing the body through flate when
+// compress is set. The body writer is buffered either way, so section
+// encoders stream straight toward the socket instead of building the whole
+// reply in memory first.
+func writeFrame(w io.Writer, kind byte, compress bool, body func(*writer)) error {
+	hdr := [6]byte{magic[0], magic[1], magic[2], magic[3], kind, 0}
+	if compress {
+		hdr[5] = FlagFlate
+	}
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: writing frame header: %w", err)
+	}
+	dst := w
+	var fw *flate.Writer
+	if compress {
+		fw, _ = flate.NewWriter(w, flate.DefaultCompression)
+		dst = fw
+	}
+	fbw := frameWriters.Get().(*bufio.Writer)
+	fbw.Reset(dst)
+	bw := &writer{bw: fbw}
+	body(bw)
+	err := fbw.Flush()
+	fbw.Reset(io.Discard) // drop the destination reference before pooling
+	frameWriters.Put(fbw)
+	if err != nil {
+		return fmt.Errorf("wire: writing frame body: %w", err)
+	}
+	if fw != nil {
+		if err := fw.Close(); err != nil {
+			return fmt.Errorf("wire: flushing compressed body: %w", err)
+		}
+	}
+	return nil
+}
+
+// readFrame validates the header, unwraps compression, runs the body
+// decoder and surfaces its sticky error.
+func readFrame(r io.Reader, wantKind byte, body func(*reader)) error {
+	var hdr [6]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("wire: truncated frame header: %w", err)
+	}
+	if [4]byte{hdr[0], hdr[1], hdr[2], hdr[3]} != magic {
+		return fmt.Errorf("wire: bad magic %q: not a wire frame", hdr[:4])
+	}
+	if hdr[4] != wantKind {
+		return fmt.Errorf("wire: frame kind %#x, want %#x", hdr[4], wantKind)
+	}
+	flags := hdr[5]
+	if flags&^byte(FlagFlate) != 0 {
+		return fmt.Errorf("wire: unknown frame flags %#x", flags)
+	}
+	src := r
+	var fr io.ReadCloser
+	if flags&FlagFlate != 0 {
+		fr = flate.NewReader(r)
+		defer fr.Close()
+		src = fr
+	}
+	fbr := frameReaders.Get().(*bufio.Reader)
+	fbr.Reset(src)
+	defer func() {
+		fbr.Reset(bytes.NewReader(nil)) // drop the source reference before pooling
+		frameReaders.Put(fbr)
+	}()
+	br := &reader{br: fbr}
+	body(br)
+	if fr != nil && br.err == nil {
+		// A flate stream's final block carries the end-of-stream marker;
+		// the logical fields can all decode before the marker is read, so a
+		// truncated tail is only caught by driving the stream to EOF.
+		if _, err := br.br.ReadByte(); err != io.EOF {
+			if err == nil {
+				err = fmt.Errorf("trailing data after frame body")
+			}
+			return fmt.Errorf("wire: truncated frame: %w", err)
+		}
+	}
+	return br.err
+}
+
+func writeMeta(w *writer, m Meta) {
+	w.uvarint(uint64(m.RecordsScanned))
+	w.uvarint(uint64(m.SegmentsScanned))
+	w.uvarint(uint64(m.SegmentsPruned))
+}
+
+func readMeta(r *reader) Meta {
+	return Meta{
+		RecordsScanned:  int(r.uvarint()),
+		SegmentsScanned: int(r.uvarint()),
+		SegmentsPruned:  int(r.uvarint()),
+	}
+}
+
+// Section-presence bits. Scalars (Bytes, Pkts, Duration) are always
+// written — they cost one byte each when zero.
+const (
+	secFlows = 1 << iota
+	secPaths
+	secFlowIDs
+	secHists
+	secTop
+	secViolations
+	secMatrix
+	secRecords
+)
+
+func writeResult(w *writer, res *query.Result) {
+	w.str(string(res.Op))
+	w.uvarint(res.Bytes)
+	w.uvarint(res.Pkts)
+	w.svarint(int64(res.Duration))
+
+	var present uint64
+	if len(res.Flows) > 0 {
+		present |= secFlows
+	}
+	if len(res.Paths) > 0 {
+		present |= secPaths
+	}
+	if len(res.FlowIDs) > 0 {
+		present |= secFlowIDs
+	}
+	if len(res.Hists) > 0 {
+		present |= secHists
+	}
+	if len(res.Top) > 0 {
+		present |= secTop
+	}
+	if len(res.Violations) > 0 {
+		present |= secViolations
+	}
+	if len(res.Matrix) > 0 {
+		present |= secMatrix
+	}
+	if len(res.Records) > 0 {
+		present |= secRecords
+	}
+	w.uvarint(present)
+
+	if present&secFlows != 0 {
+		writeFlows(w, res.Flows)
+	}
+	if present&secPaths != 0 {
+		w.uvarint(uint64(len(res.Paths)))
+		for _, p := range res.Paths {
+			writePath(w, p)
+		}
+	}
+	if present&secFlowIDs != 0 {
+		w.uvarint(uint64(len(res.FlowIDs)))
+		for _, f := range res.FlowIDs {
+			writeFlowID(w, f)
+		}
+	}
+	if present&secHists != 0 {
+		w.uvarint(uint64(len(res.Hists)))
+		for i := range res.Hists {
+			h := &res.Hists[i]
+			w.uvarint(uint64(h.Link.A))
+			w.uvarint(uint64(h.Link.B))
+			w.uvarint(h.BinBytes)
+			w.uvarint(uint64(len(h.Bins)))
+			for _, b := range h.Bins {
+				w.uvarint(b)
+			}
+		}
+	}
+	if present&secTop != 0 {
+		w.uvarint(uint64(len(res.Top)))
+		for i := range res.Top {
+			t := &res.Top[i]
+			writeFlowID(w, t.Flow)
+			w.uvarint(t.Bytes)
+			w.uvarint(t.Pkts)
+		}
+	}
+	if present&secViolations != 0 {
+		w.uvarint(uint64(len(res.Violations)))
+		for i := range res.Violations {
+			writeFlowID(w, res.Violations[i].Flow)
+			writePath(w, res.Violations[i].Path)
+		}
+	}
+	if present&secMatrix != 0 {
+		w.uvarint(uint64(len(res.Matrix)))
+		for i := range res.Matrix {
+			c := &res.Matrix[i]
+			w.uvarint(uint64(c.SrcToR))
+			w.uvarint(uint64(c.DstToR))
+			w.uvarint(c.Bytes)
+		}
+	}
+	if present&secRecords != 0 {
+		writeRecords(w, res.Records)
+	}
+}
+
+func readResult(r *reader, res *query.Result) {
+	res.Op = query.Op(r.str(maxOpLen))
+	res.Bytes = r.uvarint()
+	res.Pkts = r.uvarint()
+	res.Duration = types.Time(r.svarint())
+
+	present := r.uvarint()
+	if r.err != nil {
+		return
+	}
+	if present&^uint64(secFlows|secPaths|secFlowIDs|secHists|secTop|secViolations|secMatrix|secRecords) != 0 {
+		r.fail(fmt.Errorf("wire: unknown result sections %#x", present))
+		return
+	}
+
+	if present&secFlows != 0 {
+		res.Flows = readFlows(r)
+	}
+	if present&secPaths != 0 {
+		n := r.count("paths", maxElems)
+		res.Paths = make([]types.Path, 0, min(n, 4096))
+		for i := 0; i < n && r.err == nil; i++ {
+			res.Paths = append(res.Paths, readPath(r))
+		}
+	}
+	if present&secFlowIDs != 0 {
+		n := r.count("flow ids", maxElems)
+		res.FlowIDs = make([]types.FlowID, 0, min(n, 4096))
+		for i := 0; i < n && r.err == nil; i++ {
+			res.FlowIDs = append(res.FlowIDs, readFlowID(r))
+		}
+	}
+	if present&secHists != 0 {
+		n := r.count("hists", maxElems)
+		res.Hists = make([]query.LinkHist, 0, min(n, 4096))
+		for i := 0; i < n && r.err == nil; i++ {
+			var h query.LinkHist
+			h.Link.A = types.SwitchID(r.uvarint())
+			h.Link.B = types.SwitchID(r.uvarint())
+			h.BinBytes = r.uvarint()
+			if bins := r.count("hist bins", maxElems); bins > 0 {
+				h.Bins = make([]uint64, 0, min(bins, 4096))
+				for j := 0; j < bins && r.err == nil; j++ {
+					h.Bins = append(h.Bins, r.uvarint())
+				}
+			}
+			res.Hists = append(res.Hists, h)
+		}
+	}
+	if present&secTop != 0 {
+		n := r.count("top flows", maxElems)
+		res.Top = make([]query.FlowBytes, 0, min(n, 4096))
+		for i := 0; i < n && r.err == nil; i++ {
+			var t query.FlowBytes
+			t.Flow = readFlowID(r)
+			t.Bytes = r.uvarint()
+			t.Pkts = r.uvarint()
+			res.Top = append(res.Top, t)
+		}
+	}
+	if present&secViolations != 0 {
+		n := r.count("violations", maxElems)
+		res.Violations = make([]query.Violation, 0, min(n, 4096))
+		for i := 0; i < n && r.err == nil; i++ {
+			var v query.Violation
+			v.Flow = readFlowID(r)
+			v.Path = readPath(r)
+			res.Violations = append(res.Violations, v)
+		}
+	}
+	if present&secMatrix != 0 {
+		n := r.count("matrix cells", maxElems)
+		res.Matrix = make([]query.MatrixCell, 0, min(n, 4096))
+		for i := 0; i < n && r.err == nil; i++ {
+			var c query.MatrixCell
+			c.SrcToR = types.SwitchID(r.uvarint())
+			c.DstToR = types.SwitchID(r.uvarint())
+			c.Bytes = r.uvarint()
+			res.Matrix = append(res.Matrix, c)
+		}
+	}
+	if present&secRecords != 0 {
+		res.Records = readRecords(r)
+	}
+}
+
+// writeFlows dictionary-encodes a Flow list: distinct flow IDs and paths
+// written once in first-appearance order, then one (flow, path) index pair
+// per entry.
+func writeFlows(w *writer, flows []types.Flow) {
+	fd, pd := getFlowDict(), getPathDict()
+	defer fd.release()
+	defer pd.release()
+	for i := range flows {
+		fd.index(flows[i].ID)
+		pd.index(flows[i].Path)
+	}
+	fd.write(w)
+	pd.write(w)
+	w.uvarint(uint64(len(flows)))
+	for i := range flows {
+		w.uvarint(uint64(fd.index(flows[i].ID)))
+	}
+	for i := range flows {
+		w.uvarint(uint64(pd.index(flows[i].Path)))
+	}
+}
+
+func readFlows(r *reader) []types.Flow {
+	fd := readFlowDictEntries(r)
+	pd := readPathDictEntries(r)
+	n := r.count("flows", maxElems)
+	if r.err != nil {
+		return nil
+	}
+	flows := make([]types.Flow, min(n, 4096))
+	flows = flows[:0]
+	flowIdx := readIndexColumn(r, n, len(fd), "flow")
+	pathIdx := readIndexColumn(r, n, len(pd), "path")
+	if r.err != nil {
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		flows = append(flows, types.Flow{ID: fd[flowIdx[i]], Path: pd[pathIdx[i]]})
+	}
+	return flows
+}
+
+// writeRecords is the hot section: column-major record encoding over flow
+// and path dictionaries with delta-encoded timestamps.
+func writeRecords(w *writer, recs []types.Record) {
+	fd, pd := getFlowDict(), getPathDict()
+	defer fd.release()
+	defer pd.release()
+	for i := range recs {
+		fd.index(recs[i].Flow)
+		pd.index(recs[i].Path)
+	}
+	fd.write(w)
+	pd.write(w)
+	w.uvarint(uint64(len(recs)))
+	for i := range recs {
+		w.uvarint(uint64(fd.index(recs[i].Flow)))
+	}
+	for i := range recs {
+		w.uvarint(uint64(pd.index(recs[i].Path)))
+	}
+	var prev int64
+	for i := range recs {
+		st := int64(recs[i].STime)
+		w.svarint(st - prev)
+		prev = st
+	}
+	for i := range recs {
+		w.svarint(int64(recs[i].ETime) - int64(recs[i].STime))
+	}
+	for i := range recs {
+		w.uvarint(recs[i].Bytes)
+	}
+	for i := range recs {
+		w.uvarint(recs[i].Pkts)
+	}
+}
+
+func readRecords(r *reader) []types.Record {
+	fd := readFlowDictEntries(r)
+	pd := readPathDictEntries(r)
+	n := r.count("records", maxElems)
+	if r.err != nil {
+		return nil
+	}
+	recs := make([]types.Record, 0, min(n, 4096))
+	flowIdx := readIndexColumn(r, n, len(fd), "flow")
+	pathIdx := readIndexColumn(r, n, len(pd), "path")
+	if r.err != nil {
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		recs = append(recs, types.Record{Flow: fd[flowIdx[i]], Path: pd[pathIdx[i]]})
+	}
+	var prev int64
+	for i := 0; i < n && r.err == nil; i++ {
+		prev += r.svarint()
+		recs[i].STime = types.Time(prev)
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		recs[i].ETime = recs[i].STime + types.Time(r.svarint())
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		recs[i].Bytes = r.uvarint()
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		recs[i].Pkts = r.uvarint()
+	}
+	if r.err != nil {
+		return nil
+	}
+	return recs
+}
+
+// readIndexColumn reads n dictionary indices, each bounds-checked against
+// the dictionary size — an out-of-range index means a corrupt frame.
+func readIndexColumn(r *reader, n, dictLen int, what string) []uint32 {
+	if r.err != nil {
+		return nil
+	}
+	idx := make([]uint32, 0, min(n, 4096))
+	for i := 0; i < n; i++ {
+		v := r.uvarint()
+		if r.err != nil {
+			return nil
+		}
+		if v >= uint64(dictLen) {
+			r.fail(fmt.Errorf("wire: corrupt %s dictionary: index %d out of range (dict has %d entries)", what, v, dictLen))
+			return nil
+		}
+		idx = append(idx, uint32(v))
+	}
+	return idx
+}
+
+// flowDict assigns dense indices to flow IDs in first-appearance order.
+type flowDict struct {
+	idx  map[types.FlowID]int
+	list []types.FlowID
+}
+
+// Encoder dictionaries are recycled across sections: a batch reply
+// carries one dictionary pair per host section, so a daemon fan-out
+// builds hundreds of small maps per round trip. Pooling keeps the map
+// buckets and entry slices warm; release() clears entries (and drops
+// path references, so pooled dictionaries never pin caller data) but
+// keeps capacity.
+var (
+	flowDicts = sync.Pool{New: func() any { return &flowDict{idx: make(map[types.FlowID]int, 64)} }}
+	pathDicts = sync.Pool{New: func() any { return &pathDict{idx: make(map[string]int, 16)} }}
+)
+
+func getFlowDict() *flowDict { return flowDicts.Get().(*flowDict) }
+
+func (d *flowDict) release() {
+	clear(d.idx)
+	d.list = d.list[:0]
+	flowDicts.Put(d)
+}
+
+func (d *flowDict) index(f types.FlowID) int {
+	if i, ok := d.idx[f]; ok {
+		return i
+	}
+	i := len(d.list)
+	d.idx[f] = i
+	d.list = append(d.list, f)
+	return i
+}
+
+func (d *flowDict) write(w *writer) {
+	w.uvarint(uint64(len(d.list)))
+	for _, f := range d.list {
+		writeFlowID(w, f)
+	}
+}
+
+func readFlowDictEntries(r *reader) []types.FlowID {
+	n := r.count("flow dictionary", maxElems)
+	list := make([]types.FlowID, 0, min(n, 4096))
+	for i := 0; i < n && r.err == nil; i++ {
+		list = append(list, readFlowID(r))
+	}
+	return list
+}
+
+// pathDict assigns dense indices to paths in first-appearance order,
+// keyed by the path's compact byte key. The key is assembled in a scratch
+// buffer reused across records: looked up via the compiler's alloc-free
+// map[string(bytes)] form, and only materialised as a string on first
+// appearance — index() is called once per record, and a per-call
+// Path.Key() allocation was the hottest object count in the fan-out
+// bench's profile.
+type pathDict struct {
+	idx  map[string]int
+	list []types.Path
+	key  []byte // lookup scratch, reused across index calls
+}
+
+func getPathDict() *pathDict { return pathDicts.Get().(*pathDict) }
+
+func (d *pathDict) release() {
+	clear(d.idx)
+	for i := range d.list {
+		d.list[i] = nil
+	}
+	d.list = d.list[:0]
+	pathDicts.Put(d)
+}
+
+func (d *pathDict) index(p types.Path) int {
+	k := d.key[:0]
+	for _, s := range p {
+		k = append(k, byte(s>>8), byte(s))
+	}
+	d.key = k
+	if i, ok := d.idx[string(k)]; ok {
+		return i
+	}
+	i := len(d.list)
+	d.idx[string(k)] = i
+	d.list = append(d.list, p)
+	return i
+}
+
+func (d *pathDict) write(w *writer) {
+	w.uvarint(uint64(len(d.list)))
+	for _, p := range d.list {
+		writePath(w, p)
+	}
+}
+
+func readPathDictEntries(r *reader) []types.Path {
+	n := r.count("path dictionary", maxElems)
+	list := make([]types.Path, 0, min(n, 4096))
+	for i := 0; i < n && r.err == nil; i++ {
+		list = append(list, readPath(r))
+	}
+	return list
+}
+
+func writeFlowID(w *writer, f types.FlowID) {
+	w.uvarint(uint64(f.SrcIP))
+	w.uvarint(uint64(f.DstIP))
+	w.uvarint(uint64(f.SrcPort))
+	w.uvarint(uint64(f.DstPort))
+	w.byte(f.Proto)
+}
+
+func readFlowID(r *reader) types.FlowID {
+	return types.FlowID{
+		SrcIP:   types.IP(r.uvarint()),
+		DstIP:   types.IP(r.uvarint()),
+		SrcPort: uint16(r.uvarint()),
+		DstPort: uint16(r.uvarint()),
+		Proto:   r.byte(),
+	}
+}
+
+func writePath(w *writer, p types.Path) {
+	w.uvarint(uint64(len(p)))
+	for _, s := range p {
+		w.uvarint(uint64(s))
+	}
+}
+
+func readPath(r *reader) types.Path {
+	n := r.count("path", maxPathLen)
+	if n == 0 {
+		return nil
+	}
+	p := make(types.Path, 0, min(n, 1024))
+	for i := 0; i < n && r.err == nil; i++ {
+		p = append(p, types.SwitchID(r.uvarint()))
+	}
+	return p
+}
+
+// writer wraps a buffered writer with varint helpers. Write errors stick
+// inside bufio.Writer and surface at the final Flush.
+type writer struct {
+	bw  *bufio.Writer
+	buf [binary.MaxVarintLen64]byte
+}
+
+func (w *writer) uvarint(v uint64) {
+	n := binary.PutUvarint(w.buf[:], v)
+	w.bw.Write(w.buf[:n])
+}
+
+func (w *writer) svarint(v int64) {
+	n := binary.PutVarint(w.buf[:], v)
+	w.bw.Write(w.buf[:n])
+}
+
+func (w *writer) byte(b byte) { w.bw.WriteByte(b) }
+
+func (w *writer) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.bw.WriteString(s)
+}
+
+// reader wraps a buffered reader with varint helpers and a sticky error:
+// after the first failure every subsequent read is a no-op returning zero,
+// so decoders stay straight-line and check err once per loop.
+type reader struct {
+	br  *bufio.Reader
+	err error
+}
+
+func (r *reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		r.fail(fmt.Errorf("wire: truncated frame: %w", err))
+	}
+	return v
+}
+
+func (r *reader) svarint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(r.br)
+	if err != nil {
+		r.fail(fmt.Errorf("wire: truncated frame: %w", err))
+	}
+	return v
+}
+
+func (r *reader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	b, err := r.br.ReadByte()
+	if err != nil {
+		r.fail(fmt.Errorf("wire: truncated frame: %w", err))
+	}
+	return b
+}
+
+// count reads a length prefix and rejects values above max as corrupt.
+func (r *reader) count(what string, max int) int {
+	v := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if v > uint64(max) {
+		r.fail(fmt.Errorf("wire: corrupt frame: %s count %d exceeds cap %d", what, v, max))
+		return 0
+	}
+	return int(v)
+}
+
+// str reads a length-prefixed string capped at max bytes.
+func (r *reader) str(max int) string {
+	n := r.count("string", max)
+	if r.err != nil || n == 0 {
+		return ""
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r.br, b); err != nil {
+		r.fail(fmt.Errorf("wire: truncated frame: %w", err))
+		return ""
+	}
+	return string(b)
+}

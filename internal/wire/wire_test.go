@@ -1,0 +1,325 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pathdump/internal/query"
+	"pathdump/internal/types"
+)
+
+// randResult builds a pseudo-random result exercising every section with
+// duplicate flows/paths so the dictionaries actually dedupe.
+func randResult(rng *rand.Rand, nrec int) *query.Result {
+	flows := make([]types.FlowID, 1+rng.Intn(8))
+	for i := range flows {
+		flows[i] = types.FlowID{
+			SrcIP:   types.IP(rng.Uint32()),
+			DstIP:   types.IP(rng.Uint32()),
+			SrcPort: uint16(rng.Intn(65536)),
+			DstPort: uint16(rng.Intn(65536)),
+			Proto:   uint8(rng.Intn(256)),
+		}
+	}
+	paths := make([]types.Path, 1+rng.Intn(4))
+	for i := range paths {
+		p := make(types.Path, 1+rng.Intn(6))
+		for j := range p {
+			p[j] = types.SwitchID(rng.Intn(1 << 16))
+		}
+		paths[i] = p
+	}
+	res := &query.Result{Op: query.OpRecords}
+	t := int64(rng.Intn(1 << 20))
+	for i := 0; i < nrec; i++ {
+		// Timestamps wander in both directions so delta encoding sees
+		// negative deltas too.
+		t += int64(rng.Intn(2000)) - 500
+		res.Records = append(res.Records, types.Record{
+			Flow:  flows[rng.Intn(len(flows))],
+			Path:  paths[rng.Intn(len(paths))],
+			STime: types.Time(t),
+			ETime: types.Time(t + int64(rng.Intn(1<<16))),
+			Bytes: rng.Uint64() >> uint(rng.Intn(40)),
+			Pkts:  uint64(rng.Intn(1 << 20)),
+		})
+	}
+	return res
+}
+
+// fullResult populates every section of a result at once.
+func fullResult(rng *rand.Rand) *query.Result {
+	res := randResult(rng, 16)
+	res.Op = query.OpTopK
+	res.Bytes = rng.Uint64()
+	res.Pkts = rng.Uint64()
+	res.Duration = types.Time(rng.Int63())
+	p := types.Path{1, 2, 3}
+	res.Flows = []types.Flow{
+		{ID: res.Records[0].Flow, Path: p},
+		{ID: res.Records[1].Flow, Path: types.Path{4, 5}},
+		{ID: res.Records[0].Flow, Path: p}, // duplicate, exercises dict reuse
+	}
+	res.Paths = []types.Path{p, {9}, nil}
+	res.FlowIDs = []types.FlowID{res.Records[0].Flow, res.Records[1].Flow}
+	res.Hists = []query.LinkHist{
+		{Link: types.LinkID{A: 1, B: 2}, BinBytes: 1000, Bins: []uint64{3, 0, 7}},
+		{Link: types.AnyLink, BinBytes: 500},
+	}
+	res.Top = []query.FlowBytes{{Flow: res.Records[0].Flow, Bytes: 42, Pkts: 7}}
+	res.Violations = []query.Violation{{Flow: res.Records[1].Flow, Path: p}}
+	res.Matrix = []query.MatrixCell{{SrcToR: 3, DstToR: 8, Bytes: 99}}
+	return res
+}
+
+// normalize maps an encode→decode-invariant form: empty slices and nil
+// decode identically, and zero-length paths come back nil.
+func normalize(res *query.Result) {
+	for i := range res.Paths {
+		if len(res.Paths[i]) == 0 {
+			res.Paths[i] = nil
+		}
+	}
+	for i := range res.Records {
+		if len(res.Records[i].Path) == 0 {
+			res.Records[i].Path = nil
+		}
+	}
+	for i := range res.Flows {
+		if len(res.Flows[i].Path) == 0 {
+			res.Flows[i].Path = nil
+		}
+	}
+}
+
+func roundTripQuery(t *testing.T, m Meta, res *query.Result, compress bool) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteQuery(&buf, m, res, compress); err != nil {
+		t.Fatalf("WriteQuery: %v", err)
+	}
+	gotMeta, got, err := ReadQuery(&buf)
+	if err != nil {
+		t.Fatalf("ReadQuery: %v", err)
+	}
+	if gotMeta != m {
+		t.Fatalf("meta mismatch: got %+v want %+v", gotMeta, m)
+	}
+	normalize(res)
+	normalize(got)
+	if !reflect.DeepEqual(got, res) {
+		t.Fatalf("result mismatch:\ngot  %+v\nwant %+v", got, res)
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	roundTripQuery(t, Meta{}, &query.Result{}, false)
+	roundTripQuery(t, Meta{}, &query.Result{Op: query.OpCount}, true)
+}
+
+func TestRoundTripSingleRecord(t *testing.T) {
+	res := &query.Result{Op: query.OpRecords, Records: []types.Record{{
+		Flow:  types.FlowID{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 6},
+		Path:  types.Path{1, 2, 3},
+		STime: 100, ETime: 200, Bytes: 1500, Pkts: 1,
+	}}}
+	roundTripQuery(t, Meta{RecordsScanned: 1, SegmentsScanned: 2, SegmentsPruned: 3}, res, false)
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		nrec := rng.Intn(200)
+		res := randResult(rng, nrec)
+		m := Meta{RecordsScanned: rng.Intn(1 << 20), SegmentsScanned: rng.Intn(100), SegmentsPruned: rng.Intn(100)}
+		roundTripQuery(t, m, res, trial%2 == 0)
+	}
+}
+
+func TestRoundTripAllSections(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		roundTripQuery(t, Meta{}, fullResult(rng), trial%2 == 1)
+	}
+}
+
+func TestRoundTripLargeBatchOfRecords(t *testing.T) {
+	// Larger than the 4096 progressive-allocation hint, so append-growth
+	// paths run too.
+	rng := rand.New(rand.NewSource(3))
+	roundTripQuery(t, Meta{}, randResult(rng, 10_000), false)
+	roundTripQuery(t, Meta{}, randResult(rng, 10_000), true)
+}
+
+func TestRoundTripBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, compress := range []bool{false, true} {
+		replies := []BatchReply{
+			{Host: 1, Meta: Meta{RecordsScanned: 5}, Result: *randResult(rng, 20)},
+			{Host: 2, Error: "deadline exceeded"},
+			{Host: 900, Result: *fullResult(rng)},
+		}
+		var buf bytes.Buffer
+		if err := WriteBatch(&buf, replies, compress); err != nil {
+			t.Fatalf("WriteBatch: %v", err)
+		}
+		got, err := ReadBatch(&buf)
+		if err != nil {
+			t.Fatalf("ReadBatch: %v", err)
+		}
+		if len(got) != len(replies) {
+			t.Fatalf("got %d replies, want %d", len(got), len(replies))
+		}
+		for i := range got {
+			normalize(&got[i].Result)
+			normalize(&replies[i].Result)
+			if !reflect.DeepEqual(got[i], replies[i]) {
+				t.Fatalf("reply %d mismatch:\ngot  %+v\nwant %+v", i, got[i], replies[i])
+			}
+		}
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBatch(&buf, nil, false); err != nil {
+		t.Fatalf("WriteBatch: %v", err)
+	}
+	got, err := ReadBatch(&buf)
+	if err != nil {
+		t.Fatalf("ReadBatch: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d replies, want 0", len(got))
+	}
+}
+
+// TestTruncatedFrame verifies that every proper prefix of a valid frame is
+// rejected with an error — not a panic, not a silent partial decode.
+func TestTruncatedFrame(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, compress := range []bool{false, true} {
+		var buf bytes.Buffer
+		if err := WriteQuery(&buf, Meta{RecordsScanned: 9}, fullResult(rng), compress); err != nil {
+			t.Fatalf("WriteQuery: %v", err)
+		}
+		frame := buf.Bytes()
+		for cut := 0; cut < len(frame); cut++ {
+			if _, _, err := ReadQuery(bytes.NewReader(frame[:cut])); err == nil {
+				t.Fatalf("compress=%v: prefix of %d/%d bytes decoded without error", compress, cut, len(frame))
+			}
+		}
+	}
+}
+
+func TestBadMagicAndKind(t *testing.T) {
+	if _, _, err := ReadQuery(strings.NewReader("{\"op\":\"flows\"}")); err == nil || !strings.Contains(err.Error(), "bad magic") {
+		t.Fatalf("JSON body: got %v, want bad-magic error", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBatch(&buf, nil, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadQuery(&buf); err == nil || !strings.Contains(err.Error(), "frame kind") {
+		t.Fatalf("batch frame as query: got %v, want kind error", err)
+	}
+}
+
+func TestUnknownFlagsRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteQuery(&buf, Meta{}, &query.Result{}, false); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	frame[5] |= 0x80
+	if _, _, err := ReadQuery(bytes.NewReader(frame)); err == nil || !strings.Contains(err.Error(), "unknown frame flags") {
+		t.Fatalf("got %v, want unknown-flags error", err)
+	}
+}
+
+// TestCorruptDictionaryRejected hand-builds a records frame whose index
+// column points past the end of the flow dictionary.
+func TestCorruptDictionaryRejected(t *testing.T) {
+	var buf bytes.Buffer
+	err := writeFrame(&buf, kindQuery, false, func(w *writer) {
+		writeMeta(w, Meta{})
+		w.str(string(query.OpRecords))
+		w.uvarint(0) // Bytes
+		w.uvarint(0) // Pkts
+		w.svarint(0) // Duration
+		w.uvarint(secRecords)
+		w.uvarint(1) // flow dict: one entry
+		writeFlowID(w, types.FlowID{SrcIP: 1})
+		w.uvarint(1) // path dict: one entry
+		writePath(w, types.Path{1})
+		w.uvarint(1) // one record
+		w.uvarint(7) // flow index 7 — out of range
+		w.uvarint(0)
+		w.svarint(0)
+		w.svarint(0)
+		w.uvarint(0)
+		w.uvarint(0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadQuery(&buf); err == nil || !strings.Contains(err.Error(), "corrupt flow dictionary") {
+		t.Fatalf("got %v, want corrupt-dictionary error", err)
+	}
+}
+
+// TestHugeCountRejected verifies a hostile length prefix fails fast
+// instead of sizing an allocation from it.
+func TestHugeCountRejected(t *testing.T) {
+	var buf bytes.Buffer
+	err := writeFrame(&buf, kindQuery, false, func(w *writer) {
+		writeMeta(w, Meta{})
+		w.str(string(query.OpRecords))
+		w.uvarint(0)
+		w.uvarint(0)
+		w.svarint(0)
+		w.uvarint(secPaths)
+		w.uvarint(1 << 40) // absurd path count
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadQuery(&buf); err == nil || !strings.Contains(err.Error(), "exceeds cap") {
+		t.Fatalf("got %v, want count-cap error", err)
+	}
+}
+
+func TestNegotiationHelpers(t *testing.T) {
+	if !Accepted(ContentType + ", application/json") {
+		t.Fatal("Accepted should match an Accept list containing the wire type")
+	}
+	if Accepted("application/json") {
+		t.Fatal("Accepted should reject a JSON-only Accept list")
+	}
+	if !IsWire(ContentType) || IsWire("application/json; charset=utf-8") {
+		t.Fatal("IsWire misclassifies content types")
+	}
+}
+
+// TestWireSmallerThanJSON pins the point of the exercise: the columnar
+// encoding of a realistic record batch is at least 5x smaller than JSON.
+func TestWireSmallerThanJSON(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	res := randResult(rng, 2000)
+	var buf bytes.Buffer
+	if err := WriteQuery(&buf, Meta{}, res, false); err != nil {
+		t.Fatal(err)
+	}
+	j, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len()*5 > len(j) {
+		t.Fatalf("wire %dB vs json %dB: expected ≥5x smaller", buf.Len(), len(j))
+	}
+	t.Logf("wire %dB, json %dB (%.1fx)", buf.Len(), len(j), float64(len(j))/float64(buf.Len()))
+}

@@ -18,7 +18,11 @@
 #      alarms of a TCP monitor installed on live daemons; the injected
 #      wedged flow fires every period but the controller's suppression
 #      window dedups the repeats, so pathdumpctl -watch sees exactly one
-#      POOR_PERF alarm (with the fold count on the entry).
+#      POOR_PERF alarm (with the fold count on the entry);
+#   7. mixed-version wire fallback — a binary-offering client against a
+#      -json-only daemon (stand-in for one predating the wire protocol)
+#      and a -wire json client against a wire-enabled daemon both return
+#      byte-identical output to the binary/binary pairing.
 #
 # Runs standalone (bash scripts/e2e_smoke.sh) and as the CI e2e job.
 set -euo pipefail
@@ -30,6 +34,7 @@ PORT_C="${E2E_PORT_C:-8473}"   # host 5 stalls on its first query only
 PORT_D="${E2E_PORT_D:-8474}"   # offline daemon serving the pulled snapshot
 PORT_E="${E2E_PORT_E:-8475}"   # pathdumpc controller daemon (alarm plane)
 PORT_F="${E2E_PORT_F:-8476}"   # monitored daemon, hosts 6,7 (+ wedged flow)
+PORT_G="${E2E_PORT_G:-8477}"   # -json-only daemon serving the pulled snapshot
 BIN="$(mktemp -d)"
 LOGS="$(mktemp -d)"
 
@@ -216,6 +221,37 @@ out="$("$BIN/pathdumpctl" -controller "$E" -watch -since 0 -watch-for 3s)"
 echo "$out"
 count="$(grep -c "POOR_PERF" <<<"$out" || true)"
 [ "$count" -eq 1 ] || { echo "FAIL: -watch saw $count POOR_PERF alarms, want exactly 1"; exit 1; }
+
+echo
+echo "== 7. mixed-version wire fallback: binary client vs -json-only daemon =="
+# PORT_D (scenario 5) speaks the binary wire protocol; PORT_G serves the
+# same snapshot but answers JSON only, standing in for a daemon that
+# predates the wire protocol. All four client/daemon pairings must agree.
+"$BIN/pathdumpd" -host 0 -listen "127.0.0.1:$PORT_G" -tib "$SNAP" -json-only \
+  >"$LOGS/g.log" 2>&1 &
+ready=0
+for _ in $(seq 1 50); do
+  if curl -fs "http://127.0.0.1:$PORT_G/stats" >/dev/null 2>&1; then
+    ready=1
+    break
+  fi
+  sleep 0.2
+done
+[ "$ready" -eq 1 ] || { echo "FAIL: -json-only daemon never became ready"; exit 1; }
+
+D="http://127.0.0.1:$PORT_D"
+G="http://127.0.0.1:$PORT_G"
+bin_bin="$("$BIN/pathdumpctl" -agents "0=$D" -timeout 10s topk -k 5)"
+bin_json="$("$BIN/pathdumpctl" -agents "0=$G" -timeout 10s topk -k 5)"
+json_bin="$("$BIN/pathdumpctl" -agents "0=$D" -wire json -timeout 10s topk -k 5)"
+json_json="$("$BIN/pathdumpctl" -agents "0=$G" -wire json -timeout 10s topk -k 5)"
+echo "$bin_bin"
+grep -q "^#1 " <<<"$bin_bin" || { echo "FAIL: wire query returned no rows"; exit 1; }
+for pair in bin_json json_bin json_json; do
+  [ "$bin_bin" = "${!pair}" ] \
+    || { echo "FAIL: $pair output differs from binary/binary:"; echo "${!pair}"; exit 1; }
+done
+echo "all four client/daemon encoding pairings agree"
 
 echo
 echo "e2e smoke: PASS"
