@@ -1,0 +1,141 @@
+// Command linkcheck verifies the repo's markdown cross-references: every
+// relative link and image in the given files must resolve to a file or
+// directory on disk, and fragment links into a markdown file must match
+// one of its headings. External (scheme-qualified) links are not
+// fetched — CI must not depend on the network — only checked for
+// obvious malformation.
+//
+//	linkcheck README.md docs/*.md
+//
+// Exit status 1 when any finding is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline markdown links and images: [text](target).
+// Reference-style links are rare in this repo and out of scope.
+var linkRE = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// headingRE matches ATX headings for fragment resolution.
+var headingRE = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*#*\s*$`)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: linkcheck file.md [file.md...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	findings := 0
+	for _, file := range flag.Args() {
+		n, err := checkFile(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+		findings += n
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// checkFile reports broken links in one markdown file.
+func checkFile(file string) (int, error) {
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		return 0, err
+	}
+	findings := 0
+	report := func(line int, format string, args ...any) {
+		fmt.Printf("%s:%d: %s\n", filepath.ToSlash(file), line, fmt.Sprintf(format, args...))
+		findings++
+	}
+	for i, text := range strings.Split(string(raw), "\n") {
+		for _, m := range linkRE.FindAllStringSubmatch(text, -1) {
+			checkLink(file, m[1], i+1, report)
+		}
+	}
+	return findings, nil
+}
+
+// checkLink resolves one link target relative to the file holding it.
+func checkLink(file, target string, line int, report func(int, string, ...any)) {
+	u, err := url.Parse(target)
+	if err != nil {
+		report(line, "unparseable link %q: %v", target, err)
+		return
+	}
+	if u.Scheme != "" {
+		if u.Host == "" {
+			report(line, "scheme link %q has no host", target)
+		}
+		return // external: not fetched in CI
+	}
+	path, frag := u.Path, u.Fragment
+	dest := file
+	if path != "" {
+		dest = filepath.Join(filepath.Dir(file), filepath.FromSlash(path))
+		if _, err := os.Stat(dest); err != nil {
+			report(line, "broken link %q: %s does not exist", target, filepath.ToSlash(dest))
+			return
+		}
+	}
+	if frag == "" {
+		return
+	}
+	if !strings.HasSuffix(dest, ".md") {
+		return // fragments into non-markdown (e.g. source) are tool-defined
+	}
+	ok, err := hasAnchor(dest, frag)
+	if err != nil {
+		report(line, "link %q: %v", target, err)
+		return
+	}
+	if !ok {
+		report(line, "link %q: no heading matches #%s in %s", target, frag, filepath.ToSlash(dest))
+	}
+}
+
+// hasAnchor reports whether a markdown file has a heading whose GitHub
+// anchor matches frag.
+func hasAnchor(file, frag string) (bool, error) {
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		return false, err
+	}
+	for _, m := range headingRE.FindAllStringSubmatch(string(raw), -1) {
+		if anchorOf(m[1]) == strings.ToLower(frag) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// anchorOf derives the GitHub-style anchor for a heading: lowercase,
+// spaces to dashes, punctuation dropped.
+func anchorOf(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(strings.TrimSpace(heading)) {
+		switch {
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-' || r == '_' ||
+			(r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') || r > 127:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeFile creates path (with parents) holding content.
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckFileFindsBrokenTargets(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "docs", "real.md"), "# Real Heading\n\nbody\n")
+	writeFile(t, filepath.Join(dir, "index.md"), `
+[good](docs/real.md)
+[good anchor](docs/real.md#real-heading)
+[bad file](docs/missing.md)
+[bad anchor](docs/real.md#no-such-heading)
+[external](https://example.com/x)
+`)
+	n, err := checkFile(filepath.Join(dir, "index.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("checkFile found %d issues, want 2 (missing file, missing anchor)", n)
+	}
+}
+
+func TestCheckFileAcceptsSelfFragmentsAndImages(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "pic.png"), "not-really-a-png")
+	writeFile(t, filepath.Join(dir, "page.md"), `
+# Alpha & Beta
+
+[self](#alpha--beta)
+![shot](pic.png)
+`)
+	n, err := checkFile(filepath.Join(dir, "page.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("checkFile flagged a clean file: %d issues", n)
+	}
+}

@@ -1,0 +1,163 @@
+// Command lintcomments fails when an exported declaration lacks a doc
+// comment, or has one that does not start with the declared name the
+// way godoc renders it. It is the repo's own narrow take on the classic
+// golint rule — no dependencies, checked in CI so the public surface of
+// the core packages stays documented as it grows.
+//
+//	lintcomments ./internal/tib ./internal/rpc .
+//
+// Each argument is a directory containing one package; files ending in
+// _test.go are skipped. Exit status 1 when any finding is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: lintcomments dir [dir...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	findings := 0
+	for _, dir := range flag.Args() {
+		n, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lintcomments: %v\n", err)
+			os.Exit(2)
+		}
+		findings += n
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "lintcomments: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// lintDir parses one directory's package (tests excluded) and reports
+// findings to stdout, returning how many it printed.
+func lintDir(dir string) (int, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return 0, err
+	}
+	findings := 0
+	report := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		fmt.Printf("%s:%d: %s\n", filepath.ToSlash(p.Filename), p.Line, fmt.Sprintf(format, args...))
+		findings++
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				lintDecl(decl, report)
+			}
+		}
+	}
+	return findings, nil
+}
+
+// lintDecl checks one top-level declaration.
+func lintDecl(decl ast.Decl, report func(token.Pos, string, ...any)) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !exportedRecv(d.Recv) {
+			return
+		}
+		checkDoc(d.Doc, d.Name.Name, "func", d.Pos(), report)
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch sp := spec.(type) {
+			case *ast.TypeSpec:
+				if !sp.Name.IsExported() {
+					continue
+				}
+				// A doc comment may sit on the group or the spec.
+				doc := sp.Doc
+				if doc == nil && len(d.Specs) == 1 {
+					doc = d.Doc
+				}
+				checkDoc(doc, sp.Name.Name, "type", sp.Pos(), report)
+			case *ast.ValueSpec:
+				var exported []string
+				for _, name := range sp.Names {
+					if name.IsExported() {
+						exported = append(exported, name.Name)
+					}
+				}
+				if len(exported) == 0 {
+					continue
+				}
+				doc := sp.Doc
+				if doc == nil {
+					doc = d.Doc // grouped const/var blocks may share one comment
+				}
+				if doc == nil {
+					report(sp.Pos(), "exported %s %s lacks a doc comment", declKind(d.Tok), strings.Join(exported, ", "))
+				}
+			}
+		}
+	}
+}
+
+// exportedRecv reports whether a method's receiver type is exported
+// (true for plain functions); godoc only renders methods of exported
+// types, so those are the only ones held to the doc rule.
+func exportedRecv(recv *ast.FieldList) bool {
+	if recv == nil || len(recv.List) == 0 {
+		return true
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// declKind names a const/var declaration for findings.
+func declKind(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}
+
+// checkDoc reports a missing doc comment, or one that does not mention
+// the declared name in its first sentence (the godoc convention, loose
+// enough to allow "A Store ..." openers).
+func checkDoc(doc *ast.CommentGroup, name, kind string, pos token.Pos, report func(token.Pos, string, ...any)) {
+	if doc == nil || strings.TrimSpace(doc.Text()) == "" {
+		report(pos, "exported %s %s lacks a doc comment", kind, name)
+		return
+	}
+	first := strings.TrimSpace(doc.Text())
+	if i := strings.IndexAny(first, ".\n"); i > 0 {
+		first = first[:i]
+	}
+	if !strings.Contains(first, name) {
+		report(pos, "doc comment for %s %s should mention %q in its first sentence", kind, name, name)
+	}
+}

@@ -59,6 +59,9 @@ func main() {
 		segSpan  = flag.Duration("segment-span", 0, "seal a TIB segment once it covers this much virtual time (0 = seal by record count; default retention/8 when -retention is set)")
 		retain   = flag.Duration("retention", 0, "TIB retention: whole sealed segments older than this (virtual time) are evicted as records arrive — the paper's fixed per-host storage budget (0 = keep everything)")
 		retainB  = flag.Int64("retention-bytes", 0, "TIB byte budget: once the store's estimated footprint exceeds this, the oldest sealed segments are evicted until it fits — §5.3's fixed MB-per-host budget (0 = no byte budget)")
+		coldDir  = flag.String("cold-dir", "", "cold-tier directory: sealed TIB segments older than -cold-after spill to self-contained files here and are demand-loaded if a query still needs them (empty = cold tier off)")
+		coldAge  = flag.Duration("cold-after", 0, "age (virtual time) at which a sealed segment moves to the cold tier (default retention/2 when -retention is set; requires -cold-dir)")
+		compactB = flag.Int("compact-below", 0, "background compaction: adjacent sealed segments smaller than this many records are merged back toward the seal size as records arrive (0 = off)")
 		demo     = flag.Bool("demo", false, "populate the TIB with a simulated demo workload")
 		alarmURL = flag.String("controller", "", "controller URL for alarms (optional)")
 		trigger  = flag.Duration("trigger-every", 200*time.Millisecond, "how often the daemon advances its virtual clock so installed (periodic) queries actually fire while serving; 0 freezes time after startup (installed queries then never run)")
@@ -76,6 +79,9 @@ func main() {
 		SegmentSpan:    pathdump.Time(segSpan.Nanoseconds()),
 		Retention:      pathdump.Time(retain.Nanoseconds()),
 		RetentionBytes: *retainB,
+		ColdDir:        *coldDir,
+		ColdAfter:      pathdump.Time(coldAge.Nanoseconds()),
+		CompactBelow:   *compactB,
 	}})
 	if err != nil {
 		log.Fatalf("pathdumpd: %v", err)
@@ -272,6 +278,7 @@ type fullTarget interface {
 	rpc.ContextTarget
 	rpc.SegmentStatser
 	rpc.Snapshotter
+	rpc.IncrementalSnapshotter
 }
 
 // lockedTarget serialises against the trigger pump's sim.Run everything
@@ -314,6 +321,9 @@ func (l lockedTarget) Uninstall(id int) error {
 func (l lockedTarget) TIBSize() int                    { return l.t.TIBSize() }
 func (l lockedTarget) SegmentStats() (uint64, uint64)  { return l.t.SegmentStats() }
 func (l lockedTarget) WriteSnapshot(w io.Writer) error { return l.t.WriteSnapshot(w) }
+func (l lockedTarget) WriteSnapshotSince(w io.Writer, since uint64) error {
+	return l.t.WriteSnapshotSince(w, since)
+}
 
 // slowTarget injects a stall into one served host's query path so e2e
 // runs can exercise hedging and partial results against real binaries.

@@ -10,6 +10,8 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sync"
 
 	"pathdump/internal/cherrypick"
@@ -64,6 +66,20 @@ type Config struct {
 	// independent of traffic rate. 0 means no byte budget; both bounds
 	// may be active at once.
 	RetentionBytes int64
+	// ColdDir, when set, enables the TIB's cold disk tier: sealed
+	// segments older than ColdAfter are spilled to self-contained files
+	// under this directory and demand-loaded if a query still needs
+	// them. RAM then holds only the hot window while retention governs
+	// how much total history (hot + cold) survives.
+	ColdDir string
+	// ColdAfter is the age at which a sealed segment moves to the cold
+	// tier (default Retention/2 when Retention is set; with neither set
+	// the cold tier stays off even if ColdDir is given).
+	ColdAfter types.Time
+	// CompactBelow enables background compaction: adjacent sealed
+	// segments smaller than this many records are merged back toward the
+	// seal target as exports churn the store (default 0 = off).
+	CompactBelow int
 }
 
 func (c Config) withDefaults() Config {
@@ -76,6 +92,9 @@ func (c Config) withDefaults() Config {
 	if c.SegmentSpan == 0 && c.Retention > 0 {
 		c.SegmentSpan = c.Retention / 8
 	}
+	if c.ColdDir != "" && c.ColdAfter == 0 && c.Retention > 0 {
+		c.ColdAfter = c.Retention / 2
+	}
 	return c
 }
 
@@ -87,6 +106,8 @@ func (c Config) storeConfig() tib.Config {
 		SegmentRecords: c.SegmentRecords,
 		Retention:      c.Retention,
 		RetentionBytes: c.RetentionBytes,
+		ColdDir:        c.ColdDir,
+		CompactBelow:   c.CompactBelow,
 	}
 }
 
@@ -155,6 +176,7 @@ type Agent struct {
 	RecordsStored  uint64
 	RecordsEvicted uint64
 	InvalidTraj    uint64
+	SpillErrors    uint64
 }
 
 // New builds an agent for host h and registers it as the host's packet
@@ -162,6 +184,17 @@ type Agent struct {
 // nil to discard alarms.
 func New(sim *netsim.Sim, h *topology.Host, stack *tcp.Stack, sink AlarmSink, cfg Config) *Agent {
 	cfg = cfg.withDefaults()
+	if cfg.ColdDir != "" {
+		// Co-located agents may share one configured root (pathdumpd
+		// -hosts): each store gets a per-host subdirectory so their
+		// sequence-keyed cold file names cannot collide. If the tier's
+		// directory cannot be created the tier is disabled — segments
+		// then simply stay resident.
+		cfg.ColdDir = filepath.Join(cfg.ColdDir, fmt.Sprintf("host-%d", uint32(h.ID)))
+		if err := os.MkdirAll(cfg.ColdDir, 0o755); err != nil {
+			cfg.ColdDir = ""
+		}
+	}
 	a := &Agent{
 		Host:      h,
 		sim:       sim,
@@ -277,6 +310,21 @@ func (a *Agent) export(e *tib.MemEntry) {
 		// it too is safe per export.
 		_, n := a.Store.EvictOverBytes()
 		a.RecordsEvicted += uint64(n)
+	}
+	if a.cfg.ColdDir != "" && a.cfg.ColdAfter > 0 {
+		// Cold tiering rides the export path like eviction does:
+		// SpillBefore self-throttles (cutoffs that cannot move a segment
+		// yet are one atomic load), and a disk fault must not stall
+		// ingest — it is counted and the segments stay resident.
+		if _, _, err := a.Store.SpillBefore(a.sim.Now() - a.cfg.ColdAfter); err != nil {
+			a.SpillErrors++
+		}
+	}
+	if a.cfg.CompactBelow > 0 {
+		// Background compaction, same contract: MaybeCompact returns in
+		// two atomic loads until enough segments have sealed to make a
+		// pass worthwhile.
+		a.Store.MaybeCompact()
 	}
 	// Event-triggered installed queries run as new records appear. The
 	// matching set is captured under the lock; execution (which may
@@ -430,7 +478,12 @@ func (a *Agent) runIncremental(inst *Installed) query.Result {
 	var scanned uint64
 	view := query.ScanView{
 		Scan: func(p query.Predicate, fn func(*types.Record)) {
-			a.Store.ScanSince(p.MinSeq, p.MaxSeq, p.Flow, p.Link, p.Range, func(r *types.Record) bool {
+			// Incremental windows sit at the hot end of the store, so a
+			// cold read fault here is rare; if one does occur the run
+			// evaluates the resident delta and the fault is counted in
+			// ColdStats — the watermark still advances, matching the
+			// View contract's partial-on-fault semantics.
+			_ = a.Store.ScanSince(p.MinSeq, p.MaxSeq, p.Flow, p.Link, p.Range, func(r *types.Record) bool {
 				scanned++
 				fn(r)
 				return true
@@ -475,6 +528,15 @@ func (a *Agent) SegmentStats() (scanned, pruned uint64) { return a.Store.Segment
 // capture is consistent and momentary; ingest continues while the
 // snapshot streams.
 func (a *Agent) WriteSnapshot(w io.Writer) error { return a.Store.Snapshot(w) }
+
+// WriteSnapshotSince streams an incremental snapshot: only the records
+// with arrival sequence greater than since, in the Version-3 delta
+// framing — or a full snapshot when the watermark cannot be served (see
+// tib.SnapshotSince). The /snapshot?since_seq=N endpoint calls this; a
+// standby applies the stream with tib.ApplyIncremental.
+func (a *Agent) WriteSnapshotSince(w io.Writer, since uint64) error {
+	return a.Store.SnapshotSince(w, since)
+}
 
 // PoorTCPFlows implements getPoorTCPFlows over the host's TCP monitor.
 func (a *Agent) PoorTCPFlows(threshold int) []types.FlowID {

@@ -65,7 +65,11 @@ func (v agentView) ScanRecords(p query.Predicate, fn func(*types.Record)) {
 	if v.ctx != nil {
 		visit = query.PollCancel(v.ctx, fn)
 	}
-	v.a.Store.ScanSince(p.MinSeq, p.MaxSeq, p.Flow, p.Link, p.Range, visit)
+	// The query.View contract has no error channel: a cold-tier read
+	// fault yields the resident portion of the answer, with the fault
+	// counted in the store's ColdStats (see tib.Store.Flows for the
+	// contract).
+	_ = v.a.Store.ScanSince(p.MinSeq, p.MaxSeq, p.Flow, p.Link, p.Range, visit)
 	if v.cancelled() {
 		return
 	}

@@ -82,9 +82,11 @@ func PollCancel(ctx context.Context, fn func(*types.Record)) func(*types.Record)
 
 // ScanRecords implements View with periodic cancellation checks: the
 // predicate is pushed down into the store's scan, and the visitor polls
-// the context between records of the cross-shard merge.
+// the context between records of the cross-shard merge. As with every
+// error-less View scan, a cold-tier read fault leaves the answer
+// partial and counted in the store's ColdStats.
 func (v ctxStoreView) ScanRecords(p Predicate, fn func(*types.Record)) {
-	v.S.ScanWhile(p.Flow, p.Link, p.Range, PollCancel(v.ctx, fn))
+	_ = v.S.ScanWhile(p.Flow, p.Link, p.Range, PollCancel(v.ctx, fn))
 }
 
 // Flows implements View over the cancellable scan (same dedup as the

@@ -200,9 +200,11 @@ func (v StoreView) Supports(op Op) error {
 // ScanRecords implements View: the predicate goes straight down into the
 // segmented store's scan (whole-segment time pruning, index postings,
 // and — when the predicate carries a sequence window — whole-segment
-// watermark skipping via ScanSince).
+// watermark skipping via ScanSince). The View contract has no error
+// channel; a cold-tier read fault leaves the answer partial and counted
+// in the store's ColdStats (see tib.Store.Flows).
 func (v StoreView) ScanRecords(p Predicate, fn func(*types.Record)) {
-	v.S.ScanSince(p.MinSeq, p.MaxSeq, p.Flow, p.Link, p.Range, func(rec *types.Record) bool {
+	_ = v.S.ScanSince(p.MinSeq, p.MaxSeq, p.Flow, p.Link, p.Range, func(rec *types.Record) bool {
 		fn(rec)
 		return true
 	})

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -72,6 +73,17 @@ type InstallerE interface {
 // live daemon for offline analysis.
 type Snapshotter interface {
 	WriteSnapshot(w io.Writer) error
+}
+
+// IncrementalSnapshotter is an optional Target extension for backends
+// that can serve delta snapshots: only the records with arrival
+// sequence greater than since, in the Version-3 framing (or a full
+// snapshot when the watermark cannot be served — the receiver detects
+// which from the stream header). Servers expose it as GET
+// /snapshot?since_seq=N; a standby catches up by applying the stream
+// with tib.ApplyIncremental.
+type IncrementalSnapshotter interface {
+	WriteSnapshotSince(w io.Writer, since uint64) error
 }
 
 // SegmentStatser is an optional Target extension reporting the backing
@@ -186,6 +198,12 @@ func (t SnapshotTarget) SegmentStats() (scanned, pruned uint64) { return t.Store
 // WriteSnapshot implements Snapshotter: a restored store can be
 // re-snapshotted and served onward.
 func (t SnapshotTarget) WriteSnapshot(w io.Writer) error { return t.Store.Snapshot(w) }
+
+// WriteSnapshotSince implements IncrementalSnapshotter: a restored
+// store can serve deltas onward (snapshot relays, warm standbys).
+func (t SnapshotTarget) WriteSnapshotSince(w io.Writer, since uint64) error {
+	return t.Store.SnapshotSince(w, since)
+}
 
 // QueryRequest is the /query body. Host is required by multi-host
 // daemons (MultiAgentServer) to pick the agent; single-agent servers
@@ -589,8 +607,9 @@ func (t *HTTPTransport) Uninstall(ctx context.Context, host types.HostID, id int
 // resolver (single-agent servers always answer with their one target;
 // multi-agent daemons pick by the ?host query parameter). The snapshot
 // streams straight from the store's consistent capture to the socket —
-// ingest continues while it is written. Targets without snapshot support
-// answer 501.
+// ingest continues while it is written. With ?since_seq=N the target
+// serves an incremental stream instead (see IncrementalSnapshotter).
+// Targets without the needed support answer 501.
 func snapshotHandler(resolve func(*http.Request) (Target, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -602,16 +621,34 @@ func snapshotHandler(resolve func(*http.Request) (Target, error)) http.HandlerFu
 			http.Error(w, err.Error(), http.StatusNotFound)
 			return
 		}
+		var since uint64
+		if raw := r.URL.Query().Get("since_seq"); raw != "" {
+			since, err = strconv.ParseUint(raw, 10, 64)
+			if err != nil {
+				http.Error(w, "rpc: since_seq must be an unsigned integer", http.StatusBadRequest)
+				return
+			}
+		}
+		// The status line is already committed once bytes flow; a
+		// mid-stream failure surfaces to the puller as a truncated body,
+		// which the loader rejects (no terminator) without touching the
+		// store it would have replaced.
+		if since > 0 {
+			isn, ok := t.(IncrementalSnapshotter)
+			if !ok {
+				http.Error(w, "rpc: target cannot stream incremental snapshots", http.StatusNotImplemented)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			_ = isn.WriteSnapshotSince(w, since)
+			return
+		}
 		sn, ok := t.(Snapshotter)
 		if !ok {
 			http.Error(w, "rpc: target cannot stream snapshots", http.StatusNotImplemented)
 			return
 		}
 		w.Header().Set("Content-Type", "application/octet-stream")
-		// The status line is already committed once bytes flow; a
-		// mid-stream failure surfaces to the puller as a truncated body,
-		// which the loader rejects (no terminator) without touching the
-		// store it would have replaced.
 		_ = sn.WriteSnapshot(w)
 	}
 }
@@ -626,6 +663,35 @@ func (t *HTTPTransport) PullSnapshot(ctx context.Context, host types.HostID, w i
 		return 0, fmt.Errorf("rpc: no URL for host %v", host)
 	}
 	url := fmt.Sprintf("%s/snapshot?host=%d", base, uint32(host))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return 0, &StatusError{Code: resp.StatusCode, URL: base + "/snapshot", Status: resp.Status, Msg: string(bytes.TrimSpace(msg))}
+	}
+	return io.Copy(w, resp.Body)
+}
+
+// PullSnapshotSince captures an incremental snapshot for one host: GET
+// /snapshot?since_seq=N, streamed into w. The stream is a Version-3
+// delta of everything past the watermark — or a full snapshot when the
+// daemon could not serve the delta (watermark evicted); the receiver
+// tells them apart by applying the stream with tib.ApplyIncremental,
+// which handles both. Byte count written is returned; a non-200 answer
+// surfaces as a *StatusError (501 = the target cannot serve deltas).
+func (t *HTTPTransport) PullSnapshotSince(ctx context.Context, host types.HostID, since uint64, w io.Writer) (int64, error) {
+	base, ok := t.URLs[host]
+	if !ok {
+		return 0, fmt.Errorf("rpc: no URL for host %v", host)
+	}
+	url := fmt.Sprintf("%s/snapshot?host=%d&since_seq=%d", base, uint32(host), since)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return 0, err

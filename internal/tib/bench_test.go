@@ -108,6 +108,57 @@ func BenchmarkIncrementalTrigger(b *testing.B) {
 	})
 }
 
+// BenchmarkChurn: the steady state a long-lived agent lives in — records
+// arriving forever, retention evicting the old edge, and compaction
+// (when enabled) merging the fragment fleet retention leaves behind,
+// while a scanner keeps reading the full window. "compacted" runs the
+// v2 engine (CompactBelow set, MaybeCompact on the ingest path, exactly
+// as the agent drives it) and pays the merge work inline — its payoff
+// is scan-side segment counts, not ingest speed; "fragmented" is the
+// same churn with compaction off. Gated in CI so neither shape of the
+// sustained add/evict/compact path regresses quietly.
+func BenchmarkChurn(b *testing.B) {
+	const retainWindow = 2 * types.Second // ~2000 resident records
+	for _, tc := range []struct {
+		name    string
+		compact int
+	}{
+		{"compacted", 256},
+		{"fragmented", 0},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			s := NewStoreConfig(Config{
+				SegmentSpan:  50 * types.Millisecond,
+				CompactBelow: tc.compact,
+			})
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					s.ForEach(types.AnyLink, types.AllTime, func(*types.Record) {})
+				}
+			}()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Add(benchRecord(i))
+				st := types.Time(i) * types.Millisecond
+				s.EvictBefore(st - retainWindow)
+				s.MaybeCompact()
+			}
+			b.StopTimer()
+			close(stop)
+			wg.Wait()
+		})
+	}
+}
+
 // BenchmarkSnapshotRestore: restoring a large sharded store. v2 adopts
 // sealed segments with their indexes intact; v1 decodes a bare record
 // log and rebuilds segment indexes in parallel; readd-loop reproduces

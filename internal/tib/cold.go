@@ -1,0 +1,343 @@
+// Cold tier: sealed segments spilled to disk in the v2 snapshot framing
+// and demand-loaded on scan.
+//
+// The paper fixes each host's TIB to an in-memory budget; the cold tier
+// extends lookback past that budget without growing the resident set.
+// SpillBefore moves sealed segments whose newest record is older than
+// the caller's cutoff out to one file each under Config.ColdDir. The
+// in-RAM segment stub keeps everything scans need to *prune* — time
+// bounds, sequence bounds, the flow bloom — while the entries and
+// posting maps (the actual footprint) leave RAM.
+//
+// Each cold file is a complete, self-describing v2 snapshot (magic,
+// header, one wireSegment, terminator): `pathdumpd -tib` can serve one
+// directly, and thaw reuses the snapshot validator so a truncated or
+// corrupt file surfaces as a typed *ColdReadError instead of a panic or
+// a silently short scan.
+//
+// Reads are transient: a scan that survives pruning thaws the segment
+// into a private copy (entries + postings decoded from disk, bloom from
+// the stub), merges it like any resident segment, and drops it when the
+// scan's pooled buffers are released. The store itself is never mutated
+// by a read, so a thaw failure leaves it exactly as it was.
+package tib
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pathdump/internal/types"
+)
+
+// ColdReadError is the typed error a scan or snapshot returns when a
+// cold segment's backing file cannot be read back (missing without a
+// concurrent eviction to explain it, truncated mid-stream, or failing
+// the snapshot validator). The store's resident contents are unaffected:
+// the failing scan aborts, later scans that prune the segment succeed,
+// and ColdStats counts the fault.
+type ColdReadError struct {
+	// Path is the cold file that failed.
+	Path string
+	// Err is the underlying cause (an *os.PathError, a gob decode
+	// error, or a validation failure).
+	Err error
+}
+
+// Error implements error.
+func (e *ColdReadError) Error() string {
+	return fmt.Sprintf("tib: cold segment %s: %v", e.Path, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *ColdReadError) Unwrap() error { return e.Err }
+
+// ColdStats summarises the cold tier: how many segments/records are
+// currently spilled, their estimated thawed footprint, and the
+// cumulative demand-load and fault counts.
+type ColdStats struct {
+	// Segments and Records count what is currently spilled.
+	Segments, Records int
+	// Bytes estimates what the spilled records would cost resident.
+	Bytes int64
+	// Loads counts demand-loads (thaws) served since the store was
+	// built; Faults counts failed ones (ColdReadError).
+	Loads, Faults uint64
+}
+
+// ColdStats returns the current cold-tier counters.
+func (s *Store) ColdStats() ColdStats {
+	st := ColdStats{
+		Loads:  s.coldLoads.Load(),
+		Faults: s.coldFaults.Load(),
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, seg := range sh.segs {
+			if seg.cold {
+				st.Segments++
+				st.Records += seg.coldRecs
+				st.Bytes += seg.coldBytes
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return st
+}
+
+// coldFileName names a spilled segment by its frozen sequence bounds.
+// Sequence numbers are never reused, so names are unique for the life
+// of the store.
+func coldFileName(dir string, lo, hi uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("seg-%016x-%016x.cold", lo, hi))
+}
+
+// SpillBefore moves every sealed, resident segment whose newest record
+// ended strictly before cutoff out to the cold tier, returning how many
+// segments and records were spilled. No-op unless Config.ColdDir is
+// set. Like EvictBefore, repeated calls with slowly advancing cutoffs
+// are cheap: a cutoff that has not advanced a full SegmentSpan (or,
+// spanless, a quarter of the retention window) past the last effective
+// one returns without touching a lock, so the agent can call it per
+// exported record.
+//
+// File writes happen outside the shard locks — sealed entries are
+// immutable, so they are encoded from a reference captured under a
+// momentary read lock, and the in-RAM stub flips to cold under the
+// write lock only after its file is durably written. A segment evicted
+// between capture and flip keeps its file from being adopted (the
+// orphan file is removed).
+func (s *Store) SpillBefore(cutoff types.Time) (segments, records int, err error) {
+	if s.coldDir == "" || cutoff <= 0 {
+		return 0, 0, nil
+	}
+	floor := s.spillFloor.Load()
+	step := s.segSpan
+	if step == 0 {
+		step = s.retention / 4
+	}
+	if floor > 0 && cutoff < floor+step {
+		return 0, 0, nil
+	}
+	s.spillFloor.Store(cutoff)
+
+	// Phase 1: capture spill candidates under momentary read locks.
+	var victims []*segment
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, seg := range sh.segs {
+			if seg.sealed && !seg.cold && len(seg.entries) > 0 && seg.maxTime < cutoff {
+				victims = append(victims, seg)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	for _, seg := range victims {
+		if err := s.spillOne(seg); err != nil {
+			return segments, records, err
+		}
+		if seg.cold { // flip happened (segment was not evicted meanwhile)
+			segments++
+			records += seg.coldRecs
+		}
+	}
+	return segments, records, nil
+}
+
+// spillOne writes one sealed segment's cold file and flips the in-RAM
+// stub. The entries slice and posting maps of a sealed segment are
+// immutable, so encoding needs no lock; only the flip does.
+func (s *Store) spillOne(seg *segment) error {
+	lo, hi := seg.entries[0].seq, seg.entries[len(seg.entries)-1].seq
+	path := coldFileName(s.coldDir, lo, hi)
+	if err := s.writeColdFile(path, seg); err != nil {
+		return err
+	}
+	// Flip under the shard write lock of whichever shard holds the
+	// segment. All entries of a segment share one shard (assignment is
+	// by flow hash and the chain never migrates), so any entry's flow
+	// finds it.
+	sh := s.shardFor(seg.entries[0].rec.Flow)
+	sh.mu.Lock()
+	present := false
+	for _, cur := range sh.segs {
+		if cur == seg {
+			present = true
+			break
+		}
+	}
+	if !present {
+		// Evicted between capture and flip: the file is an orphan.
+		sh.mu.Unlock()
+		os.Remove(path)
+		return nil
+	}
+	seg.cold = true
+	seg.coldPath = path
+	seg.coldRecs = len(seg.entries)
+	seg.coldBytes = seg.bytes
+	seg.seqLo, seg.seqHi = lo, hi
+	seg.entries = nil
+	seg.byFlow, seg.byLink = nil, nil
+	freed := seg.bytes
+	seg.bytes = 0
+	sh.mu.Unlock()
+	s.bytesTotal.Add(-freed)
+	s.coldBytesTotal.Add(freed)
+	return nil
+}
+
+// writeColdFile encodes one sealed segment as a self-contained v2
+// snapshot (postings included — sealed maps are immutable) and renames
+// it into place so readers never observe a half-written file.
+func (s *Store) writeColdFile(path string, seg *segment) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	werr := func() error {
+		if _, err := bw.WriteString(snapshotMagic); err != nil {
+			return err
+		}
+		enc := gob.NewEncoder(bw)
+		hdr := snapshotHeader{Version: 2, Shards: len(s.shards), Seq: seg.entries[len(seg.entries)-1].seq, Indexed: s.indexed}
+		if err := enc.Encode(hdr); err != nil {
+			return err
+		}
+		ws := wireSegment{
+			Shard:   s.shardIndexFor(seg.entries[0].rec.Flow),
+			Seqs:    make([]uint64, len(seg.entries)),
+			Recs:    make([]types.Record, len(seg.entries)),
+			ByFlow:  seg.byFlow,
+			ByLink:  seg.byLink,
+			MinTime: seg.minTime,
+			MaxTime: seg.maxTime,
+		}
+		for i := range seg.entries {
+			ws.Seqs[i] = seg.entries[i].seq
+			ws.Recs[i] = seg.entries[i].rec
+		}
+		if err := enc.Encode(ws); err != nil {
+			return err
+		}
+		if err := enc.Encode(wireSegment{Shard: -1}); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}()
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return werr
+	}
+	return os.Rename(tmp, path)
+}
+
+// shardIndexFor returns the stripe index a flow hashes to (shardFor
+// returns the shard itself; the cold writer records the index so a cold
+// file doubles as a loadable snapshot).
+func (s *Store) shardIndexFor(f types.FlowID) int {
+	sh := s.shardFor(f)
+	for i := range s.shards {
+		if &s.shards[i] == sh {
+			return i
+		}
+	}
+	return 0
+}
+
+// thaw loads a cold segment's contents back from disk into a private,
+// fully indexed segment. The store is not mutated: the copy lives only
+// as long as the scan (or snapshot encode) that requested it. A nil
+// segment with a nil error means the segment was evicted concurrently
+// (its data is gone exactly as if the eviction had won the race before
+// the scan started) — callers skip it.
+func (s *Store) thaw(seg *segment) (*segment, error) {
+	th, err := readColdFile(seg.coldPath, seg, s.indexed)
+	if err != nil {
+		if seg.dropped.Load() {
+			// Evicted under the scan: the file was legitimately
+			// unlinked after this scan captured the segment.
+			return nil, nil
+		}
+		s.coldFaults.Add(1)
+		return nil, &ColdReadError{Path: seg.coldPath, Err: err}
+	}
+	s.coldLoads.Add(1)
+	return th, nil
+}
+
+// readColdFile decodes and validates one cold file against the stub's
+// frozen metadata.
+func readColdFile(path string, stub *segment, indexed bool) (*segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	magic, err := br.Peek(len(snapshotMagic))
+	if err != nil || !bytes.Equal(magic, []byte(snapshotMagic)) {
+		return nil, fmt.Errorf("bad magic (truncated or not a cold file)")
+	}
+	if _, err := br.Discard(len(snapshotMagic)); err != nil {
+		return nil, err
+	}
+	dec := gob.NewDecoder(br)
+	var hdr snapshotHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("header: %w", err)
+	}
+	if hdr.Version != 2 {
+		return nil, fmt.Errorf("unsupported cold file version %d", hdr.Version)
+	}
+	var ws wireSegment
+	if err := dec.Decode(&ws); err != nil {
+		return nil, fmt.Errorf("segment: %w", err)
+	}
+	if ws.Shard == -1 {
+		return nil, fmt.Errorf("cold file holds no segment")
+	}
+	if err := validateSegment(&ws, hdr.Shards); err != nil {
+		return nil, err
+	}
+	var term wireSegment
+	if err := dec.Decode(&term); err != nil || term.Shard != -1 {
+		return nil, fmt.Errorf("cold file cut off mid-stream")
+	}
+	if len(ws.Recs) != stub.coldRecs || ws.Seqs[0] != stub.seqLo || ws.Seqs[len(ws.Seqs)-1] != stub.seqHi {
+		return nil, fmt.Errorf("cold file does not match segment metadata (%d recs, seq %d..%d; want %d recs, seq %d..%d)",
+			len(ws.Recs), ws.Seqs[0], ws.Seqs[len(ws.Seqs)-1], stub.coldRecs, stub.seqLo, stub.seqHi)
+	}
+	th := &segment{
+		sealed:  true,
+		entries: make([]entry, len(ws.Recs)),
+		byFlow:  ws.ByFlow,
+		byLink:  ws.ByLink,
+		filter:  stub.filter,
+		minTime: ws.MinTime,
+		maxTime: ws.MaxTime,
+	}
+	for i := range ws.Recs {
+		th.entries[i] = entry{seq: ws.Seqs[i], rec: ws.Recs[i]}
+	}
+	if indexed && th.byFlow == nil {
+		// A cold file missing postings (written while the writer could
+		// not capture them immutably) rebuilds them transiently so
+		// indexed scans still walk posting lists.
+		th.rebuildIndex()
+	}
+	return th, nil
+}

@@ -1,0 +1,205 @@
+// Background compaction: merging runs of small sealed segments.
+//
+// Retention churn fragments shard chains — byte-budget evictions, v1
+// snapshot loads and low-rate shards all leave fleets of tiny sealed
+// segments, and every one of them costs a cursor, a bloom probe and a
+// posting-map lookup on every scan that cannot prune it. Compaction
+// merges adjacent runs of small sealed segments back up toward the
+// configured seal size, rebuilding postings and the bloom for the
+// merged segment.
+//
+// Correctness rests on two facts. Shard chains are sequence-monotonic
+// and compaction only ever merges *adjacent* segments of one chain, so
+// the merged entries (a concatenation in chain order) are already in
+// global arrival order — scans through a compacted store return exactly
+// the records, in exactly the order, the uncompacted store returned.
+// And sealed segments are immutable, so the expensive work (entry
+// concatenation, index rebuild, bloom build) runs outside the shard
+// lock on captured references; only the final splice takes the write
+// lock, and it re-verifies that every victim still sits where the plan
+// found it — a run disturbed by a concurrent eviction or cold-tier
+// spill is simply abandoned and retried by a later pass.
+package tib
+
+// compactMinSeals is MaybeCompact's trigger threshold: a full
+// compaction pass is considered only after this many segments have been
+// sealed since the last pass, so the per-record ingest path pays one
+// atomic load almost always.
+const compactMinSeals = 8
+
+// compactRun is one planned merge: adjacent sealed segments of a single
+// shard, in chain order.
+type compactRun struct {
+	shard int
+	segs  []*segment
+}
+
+// Compactions returns how many segment merges have completed since the
+// store was built.
+func (s *Store) Compactions() uint64 { return s.compactions.Load() }
+
+// MaybeCompact runs a compaction pass only when enough segments have
+// sealed since the last one and no other compactor is active — cheap
+// enough for the agent to call per exported record, mirroring how
+// EvictBefore is throttled. Returns how many merged segments were
+// produced and how many source segments they replaced (0, 0 when
+// compaction is disabled or the pass was skipped).
+func (s *Store) MaybeCompact() (merged, replaced int) {
+	if s.compactBelow <= 0 {
+		return 0, 0
+	}
+	if s.sealCount.Load()-s.compactMark.Load() < compactMinSeals {
+		return 0, 0
+	}
+	if !s.compactMu.TryLock() {
+		return 0, 0 // another compactor is mid-pass
+	}
+	defer s.compactMu.Unlock()
+	merged, replaced = s.compactPass()
+	s.compactMark.Store(s.sealCount.Load())
+	return merged, replaced
+}
+
+// Compact runs one full compaction pass unconditionally (compaction
+// must still be enabled via Config.CompactBelow). Safe under concurrent
+// ingest, scans and eviction; one pass runs at a time.
+func (s *Store) Compact() (merged, replaced int) {
+	if s.compactBelow <= 0 {
+		return 0, 0
+	}
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	merged, replaced = s.compactPass()
+	s.compactMark.Store(s.sealCount.Load())
+	return merged, replaced
+}
+
+// compactPass plans, builds and commits merges for every shard. Caller
+// holds compactMu.
+func (s *Store) compactPass() (merged, replaced int) {
+	target := s.segRecords
+	if target <= 0 {
+		target = DefaultSegmentRecords
+	}
+	for i := range s.shards {
+		for _, run := range s.planShard(i, target) {
+			if s.commitRun(run, s.buildMerged(run)) {
+				merged++
+				replaced += len(run.segs)
+				s.compactions.Add(1)
+			}
+		}
+	}
+	return merged, replaced
+}
+
+// planShard captures merge candidates under a momentary read lock: runs
+// of two or more adjacent sealed, resident segments each smaller than
+// CompactBelow, greedily grouped while the merged segment stays at or
+// under the seal target. The active segment never participates.
+//
+// On a time-retained store, a run's merged time span is additionally
+// capped at half the retention window. Without the cap, compaction
+// would keep gluing old fragments onto freshly sealed ones, producing
+// a merged segment whose maxTime tracks the present — a segment that
+// never ages past the eviction cutoff, quietly defeating retention and
+// cold tiering. With it, eviction staleness is bounded at 1.5x the
+// window: merged data waits at most an extra half-window to expire.
+func (s *Store) planShard(shard, target int) []compactRun {
+	spanCap := s.retention / 2
+	sh := &s.shards[shard]
+	var runs []compactRun
+	var cur []*segment
+	size := 0
+	flush := func() {
+		if len(cur) >= 2 {
+			runs = append(runs, compactRun{shard: shard, segs: cur})
+		}
+		cur, size = nil, 0
+	}
+	sh.mu.RLock()
+	for _, seg := range sh.segs[:len(sh.segs)-1] { // last is the active segment
+		n := len(seg.entries)
+		if !seg.sealed || seg.cold || n == 0 || n >= s.compactBelow {
+			flush()
+			continue
+		}
+		if size+n > target {
+			flush()
+		}
+		if len(cur) > 0 && spanCap > 0 && seg.maxTime-cur[0].minTime > spanCap {
+			flush()
+		}
+		cur = append(cur, seg)
+		size += n
+	}
+	flush()
+	sh.mu.RUnlock()
+	return runs
+}
+
+// buildMerged concatenates a run's entries in chain order (already
+// ascending in global sequence) and rebuilds the merged segment's
+// postings and bloom. Runs lock-free on the immutable victims.
+func (s *Store) buildMerged(run compactRun) *segment {
+	total := 0
+	for _, seg := range run.segs {
+		total += len(seg.entries)
+	}
+	m := &segment{entries: make([]entry, 0, total)}
+	m.minTime, m.maxTime = run.segs[0].minTime, run.segs[0].maxTime
+	for _, seg := range run.segs {
+		m.entries = append(m.entries, seg.entries...)
+		m.bytes += seg.bytes
+		if seg.minTime < m.minTime {
+			m.minTime = seg.minTime
+		}
+		if seg.maxTime > m.maxTime {
+			m.maxTime = seg.maxTime
+		}
+	}
+	if s.indexed {
+		m.rebuildIndex()
+	}
+	m.seal()
+	return m
+}
+
+// commitRun splices the merged segment over its victims under the shard
+// write lock — after re-verifying that every victim still occupies its
+// planned position and none has been spilled cold in the meantime. Any
+// disturbance (a concurrent EvictBefore, EvictOverBytes or SpillBefore
+// claimed a victim) abandons the merge: the chain is left untouched and
+// the merged segment is discarded. Byte and record accounting are
+// unchanged by a successful commit — compaction moves records, it never
+// creates or destroys them.
+func (s *Store) commitRun(run compactRun, m *segment) bool {
+	sh := &s.shards[run.shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	start := -1
+	for j, seg := range sh.segs {
+		if seg == run.segs[0] {
+			start = j
+			break
+		}
+	}
+	if start < 0 || start+len(run.segs) > len(sh.segs) {
+		return false
+	}
+	for k, want := range run.segs {
+		got := sh.segs[start+k]
+		if got != want || got.cold {
+			return false
+		}
+	}
+	sh.segs[start] = m
+	sh.segs = append(sh.segs[:start+1], sh.segs[start+len(run.segs):]...)
+	// Clear the vacated tail of the backing array so the dropped
+	// victims are collectable.
+	tail := sh.segs[len(sh.segs) : len(sh.segs)+len(run.segs)-1]
+	for j := range tail {
+		tail[j] = nil
+	}
+	return true
+}

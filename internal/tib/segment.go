@@ -2,6 +2,7 @@ package tib
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"pathdump/internal/types"
 )
@@ -20,14 +21,44 @@ type segment struct {
 	byLink  map[types.LinkID][]int
 	// filter is the sealed segment's flow bloom (nil on active segments
 	// and until seal): single-flow scans probe it before the posting map
-	// and prune the segment whole on a miss. Immutable once set.
+	// and prune the segment whole on a miss. Immutable once set, and
+	// retained in RAM when the segment spills cold so flow scans still
+	// prune spilled segments without touching disk.
 	filter *flowFilter
 	// minTime/maxTime bracket [STime, ETime] over all entries; scans
 	// prune the whole segment when the query range misses the bracket.
 	minTime, maxTime types.Time
 	// bytes is the segment's estimated resident footprint (recSize per
-	// entry) — the unit of the byte-budget retention accounting.
+	// entry) — the unit of the byte-budget retention accounting. Spilling
+	// a segment cold moves this to coldBytes (a cold segment costs its
+	// metadata stub, not its records).
 	bytes int64
+
+	// Cold-tier state (see cold.go). A cold segment keeps only its
+	// pruning metadata resident: entries and postings are nil and the
+	// record data lives at coldPath in the v2 snapshot framing, loaded
+	// transiently per scan by thaw. All transitions happen under the
+	// shard write lock.
+	cold      bool
+	coldPath  string
+	coldRecs  int   // record count while entries are spilled
+	coldBytes int64 // estimated resident footprint if thawed
+	// seqLo/seqHi are the arrival-sequence bounds, frozen at spill time
+	// so watermark pruning works without the entries.
+	seqLo, seqHi uint64
+	// dropped flips (before the cold file is unlinked) when eviction
+	// removes the segment, so a scan that captured the segment moments
+	// earlier can tell "evicted under me" from "file corrupt".
+	dropped atomic.Bool
+}
+
+// recs returns the segment's record count whether its entries are
+// resident or spilled cold.
+func (seg *segment) recs() int {
+	if seg.cold {
+		return seg.coldRecs
+	}
+	return len(seg.entries)
 }
 
 // firstSeq/lastSeq bracket the segment's global arrival sequence numbers.
@@ -35,9 +66,21 @@ type segment struct {
 // shard's chain both are monotone across segments and entries — watermark
 // scans skip a whole segment when lastSeq() is at or below the watermark.
 // Caller holds (at least) the shard read lock for the active segment;
-// sealed segments are immutable.
-func (seg *segment) firstSeq() uint64 { return seg.entries[0].seq }
-func (seg *segment) lastSeq() uint64  { return seg.entries[len(seg.entries)-1].seq }
+// sealed segments are immutable. Cold segments answer from the bounds
+// frozen at spill time.
+func (seg *segment) firstSeq() uint64 {
+	if seg.cold {
+		return seg.seqLo
+	}
+	return seg.entries[0].seq
+}
+
+func (seg *segment) lastSeq() uint64 {
+	if seg.cold {
+		return seg.seqHi
+	}
+	return seg.entries[len(seg.entries)-1].seq
+}
 
 // seqOutside reports whether the (since, until] arrival-sequence window
 // excludes the whole segment — the watermark prune check shared by every
@@ -116,9 +159,10 @@ func (seg *segment) buildFilter() {
 }
 
 // overlaps reports whether any record in the segment can intersect tr.
-// Empty segments overlap nothing.
+// Empty segments overlap nothing. Cold segments answer from their
+// retained bounds.
 func (seg *segment) overlaps(tr types.TimeRange) bool {
-	if len(seg.entries) == 0 {
+	if seg.recs() == 0 {
 		return false
 	}
 	return tr.Overlaps(seg.minTime, seg.maxTime)

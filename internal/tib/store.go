@@ -1,6 +1,7 @@
 package tib
 
 import (
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -54,6 +55,16 @@ type Config struct {
 	// Unindexed disables the per-segment flow/link indexes (the index
 	// ablation benchmark's baseline).
 	Unindexed bool
+	// ColdDir enables the cold tier: SpillBefore moves sealed segments
+	// older than its cutoff into one file each under this directory (v2
+	// snapshot framing) and scans demand-load them transiently. Empty
+	// disables spilling. See cold.go.
+	ColdDir string
+	// CompactBelow enables background compaction: sealed, resident
+	// segments holding fewer records than this are candidates for
+	// merging with their chain neighbours (see compact.go). 0 disables
+	// compaction.
+	CompactBelow int
 }
 
 // Store is one host's Trajectory Information Base: an append-mostly record
@@ -110,12 +121,43 @@ type Store struct {
 	// ExecStats and its §5.2 pruned-fraction cost term.
 	segScanned atomic.Uint64
 	segPruned  atomic.Uint64
+
+	// Cold tier (cold.go): spillFloor throttles SpillBefore the way
+	// evictFloor throttles EvictBefore; coldBytesTotal tracks the
+	// estimated thawed footprint of everything currently spilled;
+	// coldLoads/coldFaults count demand-loads and their failures.
+	coldDir        string
+	spillFloor     atomicTime
+	coldBytesTotal atomic.Int64
+	coldLoads      atomic.Uint64
+	coldFaults     atomic.Uint64
+
+	// Compaction (compact.go): compactBelow is the candidate threshold,
+	// sealCount counts segments sealed by Add (MaybeCompact's cheap
+	// trigger), compactMark the sealCount at the last completed pass,
+	// compactMu admits one compactor at a time, and compactions counts
+	// completed merges.
+	compactBelow int
+	sealCount    atomic.Uint64
+	compactMark  atomic.Uint64
+	compactMu    sync.Mutex
+	compactions  atomic.Uint64
+
+	// evictedThroughSeq is the highest arrival sequence ever freed by
+	// eviction (never by spilling or compaction, which preserve data).
+	// SnapshotSince refuses to build a delta from a watermark at or
+	// below it — records in that range are gone, so only a full
+	// snapshot is honest.
+	evictedThroughSeq atomic.Uint64
 }
 
 // atomicTime is an atomic types.Time (int64).
 type atomicTime struct{ v atomic.Int64 }
 
-func (a *atomicTime) Load() types.Time   { return types.Time(a.v.Load()) }
+// Load returns the current value.
+func (a *atomicTime) Load() types.Time { return types.Time(a.v.Load()) }
+
+// Store replaces the current value.
 func (a *atomicTime) Store(t types.Time) { a.v.Store(int64(t)) }
 
 // storeShard is one lock stripe: an ordered chain of segments. The last
@@ -169,6 +211,8 @@ func NewStoreConfig(cfg Config) *Store {
 		segRecords:     segRecords,
 		retention:      cfg.Retention,
 		retentionBytes: cfg.RetentionBytes,
+		coldDir:        cfg.ColdDir,
+		compactBelow:   cfg.CompactBelow,
 	}
 	for i := range s.shards {
 		s.shards[i].segs = []*segment{newSegment(s.indexed)}
@@ -239,6 +283,7 @@ func (s *Store) Add(rec types.Record) {
 		seg.seal()
 		seg = newSegment(s.indexed)
 		sh.segs = append(sh.segs, seg)
+		s.sealCount.Add(1)
 	}
 	// The sequence number is assigned under the shard lock so each
 	// shard's segment chain is sequence-monotonic, which the merge in
@@ -275,14 +320,33 @@ func (s *Store) shouldSeal(seg *segment, rec *types.Record) bool {
 func (s *Store) Len() int { return int(s.count.Load()) }
 
 // Segments returns how many non-empty segments currently exist across
-// all shards (a shard's active segment counts once it holds a record).
+// all shards (a shard's active segment counts once it holds a record;
+// cold segments count — they are still scannable).
 func (s *Store) Segments() int {
 	n := 0
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
 		for _, seg := range sh.segs {
-			if len(seg.entries) > 0 {
+			if seg.recs() > 0 {
+				n++
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// SealedSegments returns how many sealed, resident (non-cold) segments
+// exist across all shards — the population background compaction works
+// on and the churn benchmark asserts against.
+func (s *Store) SealedSegments() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, seg := range sh.segs {
+			if seg.sealed && !seg.cold && len(seg.entries) > 0 {
 				n++
 			}
 		}
@@ -324,16 +388,27 @@ func (s *Store) EvictBefore(cutoff types.Time) (segments, records int) {
 		return 0, 0
 	}
 	s.evictFloor.Store(cutoff)
-	var freed int64
+	var freed, coldFreed int64
+	var coldFiles []string
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		keep := sh.segs[:0]
 		for _, seg := range sh.segs {
-			if seg.sealed && len(seg.entries) > 0 && seg.maxTime < cutoff {
+			if seg.sealed && seg.recs() > 0 && seg.maxTime < cutoff {
 				segments++
-				records += len(seg.entries)
+				records += seg.recs()
 				freed += seg.bytes
+				if seg.cold {
+					coldFreed += seg.coldBytes
+					// Mark before the file is unlinked (after the
+					// locks drop) so a racing scan that captured this
+					// segment treats a vanished file as an eviction,
+					// not corruption.
+					seg.dropped.Store(true)
+					coldFiles = append(coldFiles, seg.coldPath)
+				}
+				s.noteEvictedSeq(seg.lastSeq())
 				continue
 			}
 			keep = append(keep, seg)
@@ -348,8 +423,23 @@ func (s *Store) EvictBefore(cutoff types.Time) (segments, records int) {
 	if records > 0 {
 		s.count.Add(int64(-records))
 		s.bytesTotal.Add(-freed)
+		s.coldBytesTotal.Add(-coldFreed)
+	}
+	for _, p := range coldFiles {
+		os.Remove(p)
 	}
 	return segments, records
+}
+
+// noteEvictedSeq advances the evicted-through watermark to seq (see the
+// evictedThroughSeq field). Lock-free monotonic max.
+func (s *Store) noteEvictedSeq(seq uint64) {
+	for {
+		cur := s.evictedThroughSeq.Load()
+		if seq <= cur || s.evictedThroughSeq.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
 }
 
 // EvictOverBytes enforces the byte budget (Config.RetentionBytes): while
@@ -392,6 +482,7 @@ func (s *Store) EvictOverBytes() (segments, records int) {
 				records += len(seg.entries)
 				s.count.Add(int64(-len(seg.entries)))
 				s.bytesTotal.Add(-seg.bytes)
+				s.noteEvictedSeq(seg.lastSeq())
 				break
 			}
 		}
@@ -472,12 +563,16 @@ type cursor struct {
 // segCursor walks one segment's entries (or one posting list into them).
 // A non-zero until caps the walk by arrival sequence: entries past it are
 // never visited (entry and posting sequences are ascending, so the first
-// over-bound head exhausts the cursor).
+// over-bound head exhausts the cursor). A cursor captured over a cold
+// segment carries only the segment reference; thawCursors fills entries
+// and post from disk after the shard locks are released, before the
+// merge starts.
 type segCursor struct {
 	entries []entry
 	post    []int // posting list into entries; nil means "every entry"
 	i       int
-	until   uint64 // inclusive sequence bound; 0 = none
+	until   uint64   // inclusive sequence bound; 0 = none
+	cold    *segment // unresolved cold segment; nil once thawed
 }
 
 func (c *segCursor) head() *entry {
@@ -559,7 +654,7 @@ func (s *Store) snapshotCursors(buf *scanBuf, since, until uint64, link *types.L
 		sh := &s.shards[i]
 		c := buf.next()
 		for _, seg := range sh.segs {
-			if len(seg.entries) == 0 {
+			if seg.recs() == 0 {
 				continue
 			}
 			if seg.seqOutside(since, until) {
@@ -568,6 +663,14 @@ func (s *Store) snapshotCursors(buf *scanBuf, since, until uint64, link *types.L
 			}
 			if !seg.overlaps(tr) {
 				pruned++
+				continue
+			}
+			if seg.cold {
+				// Entries (and postings, for the link path) live on
+				// disk; capture the reference now, demand-load after
+				// the locks drop.
+				scanned++
+				c.segs = append(c.segs, segCursor{cold: seg, until: until})
 				continue
 			}
 			sc := segCursor{entries: seg.entries, until: until}
@@ -595,6 +698,45 @@ func (s *Store) snapshotCursors(buf *scanBuf, since, until uint64, link *types.L
 	return buf.cursors
 }
 
+// thawCursors resolves every cold segment captured by snapshotCursors:
+// the segment's contents are demand-loaded from disk into a private
+// copy (the store is untouched) and the cursor is pointed at it, with
+// the same posting/watermark trimming a resident segment gets at
+// capture time. Runs after the shard locks are released — disk reads
+// must not stall writers. A segment evicted between capture and thaw
+// resolves to an empty cursor (its data is gone exactly as if eviction
+// had won the race outright); any other failure aborts the scan with a
+// *ColdReadError.
+func (s *Store) thawCursors(buf *scanBuf, link *types.LinkID, since uint64) error {
+	for ci := range buf.cursors {
+		c := &buf.cursors[ci]
+		for si := range c.segs {
+			sc := &c.segs[si]
+			if sc.cold == nil {
+				continue
+			}
+			th, err := s.thaw(sc.cold)
+			sc.cold = nil
+			if err != nil {
+				return err
+			}
+			if th == nil {
+				continue // evicted under the scan: nothing to visit
+			}
+			if link != nil {
+				sc.post = trimPostings(th.entries, th.byLink[*link], since)
+				if len(sc.post) == 0 {
+					continue
+				}
+			} else {
+				sc.i = th.seqStart(since)
+			}
+			sc.entries = th.entries
+		}
+	}
+	return nil
+}
+
 // trimPostings drops the prefix of a posting list at or below the
 // sequence watermark. Posting indexes ascend, and entry sequences ascend
 // with them, so the cut point is a binary search.
@@ -610,9 +752,11 @@ func trimPostings(entries []entry, post []int, since uint64) []int {
 
 // Scan visits every record matching the predicate triple in global
 // insertion order — the pushed-down evaluation path behind the query
-// layer's Predicate. See ScanWhile.
-func (s *Store) Scan(flow *types.FlowID, link types.LinkID, tr types.TimeRange, fn func(*types.Record)) {
-	s.ScanWhile(flow, link, tr, func(rec *types.Record) bool {
+// layer's Predicate. See ScanWhile. The returned error is nil unless a
+// cold segment the scan needed could not be read back (*ColdReadError);
+// the store itself is unaffected by such a failure.
+func (s *Store) Scan(flow *types.FlowID, link types.LinkID, tr types.TimeRange, fn func(*types.Record)) error {
+	return s.ScanWhile(flow, link, tr, func(rec *types.Record) bool {
 		fn(rec)
 		return true
 	})
@@ -629,9 +773,10 @@ func (s *Store) Scan(flow *types.FlowID, link types.LinkID, tr types.TimeRange, 
 //
 // In every case whole segments whose [min,max] time bounds miss tr are
 // skipped before a record is touched, and surviving records are filtered
-// by the remaining predicate terms.
-func (s *Store) ScanWhile(flow *types.FlowID, link types.LinkID, tr types.TimeRange, fn func(*types.Record) bool) {
-	s.ScanSince(0, 0, flow, link, tr, fn)
+// by the remaining predicate terms. The error is nil unless a needed
+// cold segment failed to demand-load (*ColdReadError).
+func (s *Store) ScanWhile(flow *types.FlowID, link types.LinkID, tr types.TimeRange, fn func(*types.Record) bool) error {
+	return s.ScanSince(0, 0, flow, link, tr, fn)
 }
 
 // ScanSince is ScanWhile restricted to records whose global arrival
@@ -644,24 +789,36 @@ func (s *Store) ScanWhile(flow *types.FlowID, link types.LinkID, tr types.TimeRa
 // each shard's walk; everything visited still honours the flow/link/time
 // predicate. A monitor that captures until = LastSeq() before evaluating
 // never double-processes records that arrive mid-scan.
-func (s *Store) ScanSince(since, until uint64, flow *types.FlowID, link types.LinkID, tr types.TimeRange, fn func(*types.Record) bool) {
+//
+// The error is nil unless the scan needed a cold segment that could not
+// be read back from disk (*ColdReadError); the scan aborts at that point
+// rather than return silently partial results, and the store's resident
+// contents are unaffected.
+func (s *Store) ScanSince(since, until uint64, flow *types.FlowID, link types.LinkID, tr types.TimeRange, fn func(*types.Record) bool) error {
 	if flow != nil {
-		s.scanFlowWhile(since, until, *flow, link, tr, fn)
-		return
+		return s.scanFlowWhile(since, until, *flow, link, tr, fn)
 	}
 	buf := getScanBuf()
 	defer buf.release()
 	if s.indexed && !link.IsWildcard() {
-		mergeWhile(s.snapshotCursors(buf, since, until, &link, tr), func(rec *types.Record) bool {
+		cursors := s.snapshotCursors(buf, since, until, &link, tr)
+		if err := s.thawCursors(buf, &link, since); err != nil {
+			return err
+		}
+		mergeWhile(cursors, func(rec *types.Record) bool {
 			if rec.Overlaps(tr) {
 				return fn(rec)
 			}
 			return true
 		})
-		return
+		return nil
 	}
 	all := link == types.AnyLink
-	mergeWhile(s.snapshotCursors(buf, since, until, nil, tr), func(rec *types.Record) bool {
+	cursors := s.snapshotCursors(buf, since, until, nil, tr)
+	if err := s.thawCursors(buf, nil, since); err != nil {
+		return err
+	}
+	mergeWhile(cursors, func(rec *types.Record) bool {
 		if !rec.Overlaps(tr) {
 			return true
 		}
@@ -670,6 +827,7 @@ func (s *Store) ScanSince(since, until uint64, flow *types.FlowID, link types.Li
 		}
 		return true
 	})
+	return nil
 }
 
 // scanFlowWhile is the single-shard flow path: all records of one flow
@@ -679,7 +837,7 @@ func (s *Store) ScanSince(since, until uint64, flow *types.FlowID, link types.Li
 // flow bloom filter: a negative probe prunes the segment before its
 // posting map is even consulted, which dominates on long-lived stores
 // where a flow touches a handful of the shard's many segments.
-func (s *Store) scanFlowWhile(since, until uint64, f types.FlowID, link types.LinkID, tr types.TimeRange, fn func(*types.Record) bool) {
+func (s *Store) scanFlowWhile(since, until uint64, f types.FlowID, link types.LinkID, tr types.TimeRange, fn func(*types.Record) bool) error {
 	sh := s.shardFor(f)
 	fh := flowHash64(f)
 	buf := getScanBuf()
@@ -688,7 +846,7 @@ func (s *Store) scanFlowWhile(since, until uint64, f types.FlowID, link types.Li
 	var scanned, pruned uint64
 	segs := buf.flat
 	for _, seg := range sh.segs {
-		if len(seg.entries) == 0 {
+		if seg.recs() == 0 {
 			continue
 		}
 		if seg.seqOutside(since, until) {
@@ -704,6 +862,12 @@ func (s *Store) scanFlowWhile(since, until uint64, f types.FlowID, link types.Li
 			continue
 		}
 		scanned++
+		if seg.cold {
+			// The bloom (retained resident) already said "maybe";
+			// demand-load after the lock drops.
+			segs = append(segs, segCursor{cold: seg, until: until})
+			continue
+		}
 		sc := segCursor{entries: seg.entries, until: until}
 		if s.indexed {
 			sc.post = trimPostings(seg.entries, seg.byFlow[f], since)
@@ -719,6 +883,32 @@ func (s *Store) scanFlowWhile(since, until uint64, f types.FlowID, link types.Li
 	sh.mu.RUnlock()
 	s.segScanned.Add(scanned)
 	s.segPruned.Add(pruned)
+
+	// Resolve cold captures outside the lock, trimming by the flow's
+	// posting list just as resident segments were at capture time.
+	for si := range segs {
+		sc := &segs[si]
+		if sc.cold == nil {
+			continue
+		}
+		th, err := s.thaw(sc.cold)
+		sc.cold = nil
+		if err != nil {
+			return err
+		}
+		if th == nil {
+			continue // evicted under the scan
+		}
+		if s.indexed {
+			sc.post = trimPostings(th.entries, th.byFlow[f], since)
+			if len(sc.post) == 0 {
+				continue
+			}
+		} else {
+			sc.i = th.seqStart(since)
+		}
+		sc.entries = th.entries
+	}
 
 	visit := func(rec *types.Record) bool {
 		if !rec.Overlaps(tr) {
@@ -741,36 +931,45 @@ func (s *Store) scanFlowWhile(since, until uint64, f types.FlowID, link types.Li
 				continue // unindexed store: filter the shard's other flows
 			}
 			if !visit(&e.rec) {
-				return
+				return nil
 			}
 		}
 	}
+	return nil
 }
 
 // ForEach visits records matching the link pattern and time range in
 // global insertion order. A wildcard-free link uses the link index;
-// everything else scans surviving segments.
-func (s *Store) ForEach(link types.LinkID, tr types.TimeRange, fn func(*types.Record)) {
-	s.Scan(nil, link, tr, fn)
+// everything else scans surviving segments. The error is nil unless a
+// needed cold segment failed to demand-load (*ColdReadError).
+func (s *Store) ForEach(link types.LinkID, tr types.TimeRange, fn func(*types.Record)) error {
+	return s.Scan(nil, link, tr, fn)
 }
 
 // ForEachWhile is ForEach with early termination: the scan stops as soon
 // as fn returns false. Context-aware query evaluation polls cancellation
 // every few thousand records through this, so a caller that hung up does
 // not pin a shard-merge over a large TIB.
-func (s *Store) ForEachWhile(link types.LinkID, tr types.TimeRange, fn func(*types.Record) bool) {
-	s.ScanWhile(nil, link, tr, fn)
+func (s *Store) ForEachWhile(link types.LinkID, tr types.TimeRange, fn func(*types.Record) bool) error {
+	return s.ScanWhile(nil, link, tr, fn)
 }
 
 // ForFlow visits records of one flow matching the link pattern and range,
 // in insertion order. All records of a flow live in one shard, so only
-// that stripe is touched.
-func (s *Store) ForFlow(f types.FlowID, link types.LinkID, tr types.TimeRange, fn func(*types.Record)) {
-	s.Scan(&f, link, tr, fn)
+// that stripe is touched. The error is nil unless a needed cold segment
+// failed to demand-load (*ColdReadError).
+func (s *Store) ForFlow(f types.FlowID, link types.LinkID, tr types.TimeRange, fn func(*types.Record)) error {
+	return s.Scan(&f, link, tr, fn)
 }
 
 // Flows returns the distinct ⟨flowID, path⟩ pairs that traversed the link
 // pattern during the range — the getFlows host API (§2.1).
+//
+// Flows, Paths, Count and Duration keep the error-less host-API
+// signatures the query layer's View contract requires. On a store with
+// a cold tier, a demand-load failure makes their answer partial (the
+// failing scan aborts); ColdStats counts such faults, and callers that
+// must distinguish partial answers use the Scan methods directly.
 func (s *Store) Flows(link types.LinkID, tr types.TimeRange) []types.Flow {
 	type key struct {
 		f types.FlowID
