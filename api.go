@@ -220,6 +220,39 @@ func (c *Cluster) TrafficMatrix(tr TimeRange) ([]query.MatrixCell, error) {
 	return apps.TrafficMatrix(c.Ctrl, c.HostIDs(), tr)
 }
 
+// DetectPolarization checks how flows leaving sw split over its
+// equal-cost uplinks and raises ECMP_POLARIZED when the spread is
+// degenerate (λ ≥ lambdaThresh with ≥ minFlows flows).
+func (c *Cluster) DetectPolarization(sw SwitchID, tr TimeRange, lambdaThresh float64, minFlows int) (*apps.PolarizationReport, error) {
+	return apps.DetectPolarization(c.Ctrl, c.HostIDs(), sw, tr, lambdaThresh, minFlows)
+}
+
+// RankPolarization sweeps DetectPolarization over switches, sorted by λ
+// descending.
+func (c *Cluster) RankPolarization(sws []SwitchID, tr TimeRange, lambdaThresh float64, minFlows int) ([]*apps.PolarizationReport, error) {
+	return apps.RankPolarization(c.Ctrl, c.HostIDs(), sws, tr, lambdaThresh, minFlows)
+}
+
+// DetectIncast scans a receiver's TIB for a many-to-one microburst: a
+// window of the given length in which flows from at least minSources
+// distinct sources started. Returns (nil, nil) when no burst is found.
+func (c *Cluster) DetectIncast(receiver HostID, window Time, minSources int, tr TimeRange) (*apps.IncastEvent, error) {
+	return apps.DetectIncast(c.Ctrl, receiver, window, minSources, tr)
+}
+
+// LocalizeDDoS ranks a victim's traffic sources and aggregates the top
+// sources' paths into per-switch byte totals, raising DDOS_SUSPECT when
+// the concentration crosses the thresholds.
+func (c *Cluster) LocalizeDDoS(victim HostID, tr TimeRange, topK int, shareThresh float64, minSources int) (*apps.DDoSLocalization, error) {
+	return apps.LocalizeDDoS(c.Ctrl, victim, tr, topK, shareThresh, minSources)
+}
+
+// NewTransientLoopAuditor attaches a loop/failure-timeline correlator to
+// the controller's LOOP stream.
+func (c *Cluster) NewTransientLoopAuditor(window Time) *apps.TransientLoopAuditor {
+	return apps.NewTransientLoopAuditor(c.Ctrl, window)
+}
+
 // Validate cross-checks a trajectory against the ground-truth topology
 // (§2.4's defence against switches inserting wrong IDs).
 func (c *Cluster) Validate(src, dst IP, p Path) error {

@@ -226,6 +226,20 @@ func (c *Cluster) SetSilentDrop(a, b SwitchID, p float64) { c.Sim.SetSilentDrop(
 // (§4.4).
 func (c *Cluster) SetBlackhole(a, b SwitchID, on bool) { c.Sim.SetBlackhole(a, b, on) }
 
+// SetImpairment installs a tc-style impairment (added delay, loss
+// probability, bandwidth throttle, admin down) on the directed a→b
+// link; mutable mid-run.
+func (c *Cluster) SetImpairment(a, b SwitchID, im netsim.Impairment) { c.Sim.SetImpairment(a, b, im) }
+
+// ClearImpairment restores the directed a→b link to healthy defaults.
+func (c *Cluster) ClearImpairment(a, b SwitchID) { c.Sim.ClearImpairment(a, b) }
+
+// FlapLink flaps the a–b link administratively (down downFor, up upFor,
+// repeating until the given virtual time, then left up).
+func (c *Cluster) FlapLink(a, b SwitchID, downFor, upFor, until Time) {
+	c.Sim.FlapLink(a, b, downFor, upFor, until)
+}
+
 // OnAlarm registers a controller-side alarm handler. Handlers fire once
 // per admitted alarm: repeats folded by the suppression window do not
 // re-trigger them.

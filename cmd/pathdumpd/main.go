@@ -36,6 +36,7 @@ import (
 
 	"pathdump"
 	"pathdump/internal/agent"
+	"pathdump/internal/netsim"
 	"pathdump/internal/query"
 	"pathdump/internal/rpc"
 	"pathdump/internal/tib"
@@ -68,6 +69,7 @@ func main() {
 		slowHost = flag.Int("slow-host", -1, "fault injection: queries at this served host stall for -slow-delay before answering (e2e straggler testing)")
 		slowDly  = flag.Duration("slow-delay", 30*time.Second, "how long the injected-slow host stalls (the stall honours the request context)")
 		slowOnce = flag.Bool("slow-first-only", false, "only the first query at -slow-host stalls; later ones (e.g. a hedged retry) answer at full speed")
+		impair   = flag.String("impair", "", "fault injection: semicolon-separated link impairments applied before the demo workload runs, each 'A-B:knob[,knob...]' with directed switch IDs and tc-style knobs loss=P (drop probability), rate=BPS (throttle; 0 kills the link's bandwidth), delay=DUR (added one-way latency), down (administratively down) — e.g. '0-8:loss=1;0-9:loss=1'")
 		poorFlow = flag.Bool("inject-poor-flow", false, "fault injection: register one wedged TCP flow at the lowest served host so an installed poor_tcp monitor deterministically raises POOR_PERF every period (e2e alarm-path testing)")
 		jsonOnly = flag.Bool("json-only", false, "answer every query in JSON even when the client offers the binary wire encoding — stands in for a daemon predating the wire protocol in mixed-version testing")
 		wireComp = flag.Bool("wire-compress", false, "flate-compress binary wire responses (trades CPU for bytes on slow links)")
@@ -108,6 +110,14 @@ func main() {
 				*hostID, *arity, len(c.Agents))
 		}
 		served[pathdump.HostID(*hostID)] = a
+	}
+
+	if *impair != "" {
+		n, err := applyImpairments(c, *impair)
+		if err != nil {
+			log.Fatalf("pathdumpd: %v", err)
+		}
+		log.Printf("pathdumpd: %d link impairments injected (%s)", n, *impair)
 	}
 
 	// The daemon's lifetime context: SIGINT/SIGTERM cancels it, which
@@ -269,6 +279,71 @@ func main() {
 	if err := serve(ctx, *listen, handler, *timeout); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// applyImpairments parses and installs a -impair spec: semicolon-
+// separated clauses of the form "A-B:loss=0.5,rate=1e6,delay=5ms,down"
+// naming a directed switch pair and its netsim.Impairment knobs. A
+// rate of 0 maps to the zero-bandwidth sentinel (RateBps < 0): packets
+// drop but the fabric stays live — "rate 0bit" in tc terms.
+func applyImpairments(c *pathdump.Cluster, spec string) (int, error) {
+	n := 0
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		head, opts, ok := strings.Cut(clause, ":")
+		if !ok {
+			return n, fmt.Errorf("impairment %q: want A-B:knob[,knob...]", clause)
+		}
+		as, bs, ok := strings.Cut(head, "-")
+		if !ok {
+			return n, fmt.Errorf("impairment %q: link must be A-B", clause)
+		}
+		a, errA := strconv.Atoi(strings.TrimSpace(as))
+		b, errB := strconv.Atoi(strings.TrimSpace(bs))
+		if errA != nil || errB != nil {
+			return n, fmt.Errorf("impairment %q: switch IDs must be integers", clause)
+		}
+		var im netsim.Impairment
+		for _, opt := range strings.Split(opts, ",") {
+			key, val, _ := strings.Cut(strings.TrimSpace(opt), "=")
+			var err error
+			switch key {
+			case "loss":
+				if im.Loss, err = strconv.ParseFloat(val, 64); err != nil || im.Loss < 0 || im.Loss > 1 {
+					return n, fmt.Errorf("impairment %q: loss must be a probability in [0,1]", clause)
+				}
+			case "rate":
+				bps, err := strconv.ParseFloat(val, 64)
+				if err != nil || bps < 0 {
+					return n, fmt.Errorf("impairment %q: rate must be a non-negative bps value", clause)
+				}
+				if bps == 0 {
+					im.RateBps = -1
+				} else {
+					im.RateBps = int64(bps)
+				}
+			case "delay":
+				d, err := time.ParseDuration(val)
+				if err != nil || d < 0 {
+					return n, fmt.Errorf("impairment %q: delay must be a non-negative duration", clause)
+				}
+				im.Delay = pathdump.Time(d.Nanoseconds())
+			case "down":
+				im.Down = true
+			default:
+				return n, fmt.Errorf("impairment %q: unknown knob %q", clause, key)
+			}
+		}
+		c.SetImpairment(pathdump.SwitchID(a), pathdump.SwitchID(b), im)
+		n++
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("impairment spec %q: no clauses", spec)
+	}
+	return n, nil
 }
 
 // fullTarget is the agent-backed surface the daemon serves: the base

@@ -1,0 +1,41 @@
+// Package exkit holds the boot boilerplate the example programs share:
+// building a fat-tree cluster, starting flows, and dumping the deduped
+// alarm history. Examples stay focused on the one debugging idea each
+// demonstrates.
+package exkit
+
+import (
+	"fmt"
+	"log"
+
+	"pathdump"
+)
+
+// MustCluster builds a k-ary fat-tree cluster or exits, printing the
+// one-line cluster summary every example opens with.
+func MustCluster(k int, cfg pathdump.Config) *pathdump.Cluster {
+	c, err := pathdump.NewFatTree(k, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(c)
+	return c
+}
+
+// MustFlow starts a src→dst TCP flow of the given size or exits.
+func MustFlow(c *pathdump.Cluster, src, dst pathdump.HostID, port uint16, bytes int64) pathdump.FlowID {
+	f, err := c.StartFlow(src, dst, port, bytes, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return f
+}
+
+// PrintAlarms dumps the controller's alarm history for one reason code,
+// showing how repeated detections folded under suppression.
+func PrintAlarms(c *pathdump.Cluster, reason pathdump.Reason) {
+	fmt.Printf("\n-- alarm history (%s) --\n", reason)
+	for _, e := range c.AlarmHistory(pathdump.AlarmFilter{Reason: reason}) {
+		fmt.Printf("#%d host=%v flow=%s ×%d (deduped)\n", e.ID, e.Alarm.Host, e.Alarm.Flow, e.Count)
+	}
+}

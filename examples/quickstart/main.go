@@ -8,14 +8,11 @@ import (
 	"log"
 
 	"pathdump"
+	"pathdump/examples/internal/exkit"
 )
 
 func main() {
-	c, err := pathdump.NewFatTree(4, pathdump.Config{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println(c)
+	c := exkit.MustCluster(4, pathdump.Config{})
 
 	hosts := c.HostIDs()
 	src, dst := hosts[0], hosts[12] // pod 0 → pod 3
@@ -23,11 +20,7 @@ func main() {
 	// Start three flows of different sizes and run to completion.
 	var flows []pathdump.FlowID
 	for i, size := range []int64{50_000, 400_000, 1_500_000} {
-		f, err := c.StartFlow(src, dst, uint16(8080+i), size, nil)
-		if err != nil {
-			log.Fatal(err)
-		}
-		flows = append(flows, f)
+		flows = append(flows, exkit.MustFlow(c, src, dst, uint16(8080+i), size))
 	}
 	c.RunAll()
 

@@ -1,0 +1,75 @@
+package apps
+
+import (
+	"pathdump/internal/controller"
+	"pathdump/internal/types"
+)
+
+// LoopClassification labels one detected routing loop against the
+// operator's link-failure timeline: a loop that starts within the
+// correlation window of a noted failure is a transient failover loop
+// (switches chasing each other's detours while routing reconverges), as
+// opposed to a standing misconfiguration that needs a human.
+type LoopClassification struct {
+	// Event is the controller's loop detection (§4.5).
+	Event controller.LoopEvent
+	// NearFailure reports whether the loop started within the window of
+	// a noted link failure; FailedLink is that link when it did.
+	NearFailure bool
+	FailedLink  types.LinkID
+}
+
+// TransientLoopAuditor correlates the controller's LOOP detections with
+// operator-noted link failures. It is the thin composition the paper's
+// architecture invites: the loop evidence already arrives via the punt
+// path, so classifying it needs only a timeline join — no new
+// in-network state.
+type TransientLoopAuditor struct {
+	window   types.Time
+	failures []noteEntry
+	events   []controller.LoopEvent
+}
+
+type noteEntry struct {
+	link types.LinkID
+	at   types.Time
+}
+
+// NewTransientLoopAuditor registers the auditor on the controller's loop
+// stream. Loops are correlated against failures noted within the given
+// window (before or after the detection).
+func NewTransientLoopAuditor(c *controller.Controller, window types.Time) *TransientLoopAuditor {
+	a := &TransientLoopAuditor{window: window}
+	c.OnLoop(func(ev controller.LoopEvent) { a.events = append(a.events, ev) })
+	return a
+}
+
+// NoteLinkFailure records that the operator (or the fabric's own
+// monitoring) saw the a–b link fail at virtual time `at`.
+func (a *TransientLoopAuditor) NoteLinkFailure(l types.LinkID, at types.Time) {
+	a.failures = append(a.failures, noteEntry{l, at})
+}
+
+// Loops returns how many loop detections the auditor has seen.
+func (a *TransientLoopAuditor) Loops() int { return len(a.events) }
+
+// Report classifies every observed loop against the failure timeline.
+func (a *TransientLoopAuditor) Report() []LoopClassification {
+	out := make([]LoopClassification, 0, len(a.events))
+	for _, ev := range a.events {
+		cls := LoopClassification{Event: ev}
+		for _, f := range a.failures {
+			d := ev.DetectedAt - f.at
+			if d < 0 {
+				d = -d
+			}
+			if d <= a.window {
+				cls.NearFailure = true
+				cls.FailedLink = f.link
+				break
+			}
+		}
+		out = append(out, cls)
+	}
+	return out
+}

@@ -324,6 +324,16 @@ func New(topo *topology.Topology, t Transport, sim *netsim.Sim) *Controller {
 	return c
 }
 
+// VirtualNow returns the simulator's virtual clock, or 0 when the
+// controller runs without an attached fabric (pure HTTP deployments).
+// Scenario detectors use it to timestamp the alarms they raise.
+func (c *Controller) VirtualNow() types.Time {
+	if c.sim == nil {
+		return 0
+	}
+	return c.sim.Now()
+}
+
 // RaiseAlarm implements agent.AlarmSink: it routes the alarm through the
 // pipeline (bounded history, dedup/suppression, rate limiting, live
 // subscribers) and dispatches registered handlers for alarms admitted as

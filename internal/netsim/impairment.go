@@ -1,0 +1,89 @@
+package netsim
+
+import "pathdump/internal/types"
+
+// Impairment is the per-directed-link fault/shaping vector, modeled on
+// the tc(8) vocabulary (netem delay/loss, tbf rate, ip link down): added
+// propagation delay, random loss probability, a bandwidth throttle
+// overriding the fabric rate, and an administrative down bit. The zero
+// value is a healthy link. Impairments are mutable mid-run — setting or
+// clearing one between events takes effect for every packet transmitted
+// afterwards, which is how tests and scenarios model operator actions,
+// rolling faults, and link flaps.
+type Impairment struct {
+	// Delay is added one-way propagation latency on top of the fabric's
+	// configured LinkDelay (tc netem delay).
+	Delay types.Time
+	// Loss is the probability in [0, 1] that a packet admitted to the
+	// link is dropped (tc netem loss). Loss 1 wedges every packet;
+	// unlike SetSilentDrop these losses are counted as impairment drops
+	// in the simulator's ground-truth stats.
+	Loss float64
+	// RateBps throttles the link's serialisation rate (tc tbf rate):
+	// 0 keeps the fabric-wide Config.BandwidthBps, > 0 overrides it,
+	// and < 0 models a zero-bandwidth link — nothing ever serialises,
+	// every packet is dropped and counted.
+	RateBps int64
+	// Down takes the directed link administratively down (ip link set
+	// down). Unlike Loss or a blackhole, adjacent switches observe it
+	// and fail over, exactly as with FailLink.
+	Down bool
+}
+
+// IsZero reports whether the impairment is the healthy zero value.
+func (im Impairment) IsZero() bool { return im == Impairment{} }
+
+// SetImpairment installs (or replaces) the impairment on the directed
+// a→b link. It composes with FailLink/SetSilentDrop/SetBlackhole: every
+// configured fault on the link still applies.
+func (s *Sim) SetImpairment(a, b types.SwitchID, im Impairment) {
+	s.link(SwitchNode(a), SwitchNode(b)).imp = im
+}
+
+// ClearImpairment restores the directed a→b link to its healthy
+// fabric-default behaviour.
+func (s *Sim) ClearImpairment(a, b types.SwitchID) {
+	s.link(SwitchNode(a), SwitchNode(b)).imp = Impairment{}
+}
+
+// ImpairmentOf returns the impairment currently installed on the
+// directed a→b link (the zero value when none is).
+func (s *Sim) ImpairmentOf(a, b types.SwitchID) Impairment {
+	if l, ok := s.links[linkKey{SwitchNode(a), SwitchNode(b)}]; ok {
+		return l.imp
+	}
+	return Impairment{}
+}
+
+// FlapLink schedules an administrative flap of the a–b link: down for
+// downFor, up for upFor, repeating until virtual time `until`, at which
+// point the link is left up. The flap drives the same observable
+// down/up state as FailLink/RestoreLink, so switches re-route during
+// every down phase and fall back when the link returns.
+func (s *Sim) FlapLink(a, b types.SwitchID, downFor, upFor, until types.Time) {
+	if downFor <= 0 || upFor < 0 {
+		return
+	}
+	var cycle func()
+	cycle = func() {
+		s.FailLink(a, b)
+		s.After(downFor, func() {
+			s.RestoreLink(a, b)
+			next := s.Now() + upFor
+			if next < until {
+				s.At(next, cycle)
+			}
+		})
+	}
+	cycle()
+}
+
+// rate returns the effective serialisation rate of one directed link:
+// the impairment throttle when set, else the fabric-wide default. A
+// non-positive return means the link has zero bandwidth.
+func (s *Sim) rate(l *linkState) int64 {
+	if l.imp.RateBps != 0 {
+		return l.imp.RateBps
+	}
+	return s.cfg.BandwidthBps
+}

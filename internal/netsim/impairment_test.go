@@ -1,0 +1,227 @@
+package netsim
+
+import (
+	"testing"
+
+	"pathdump/internal/types"
+)
+
+// sendAcross injects n packets of one inter-pod flow; every transmission
+// shares the flow so ECMP pins the path.
+func sendAcross(t *testing.T, s *Sim, n int) types.FlowID {
+	t.Helper()
+	srcH := s.Topo.Hosts()[0]
+	dstH := s.Topo.HostsAt(s.Topo.ToRID(2, 1))[0]
+	f := flowBetween(srcH, dstH, 2000)
+	for i := 0; i < n; i++ {
+		if err := s.Send(srcH.ID, &Packet{Flow: f, Seq: uint64(i), Size: 1000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+// pathLinks returns the switch-switch hops of one delivered packet.
+func pathLinks(pkt *Packet) [][2]types.SwitchID {
+	var out [][2]types.SwitchID
+	for i := 1; i < len(pkt.Trace); i++ {
+		out = append(out, [2]types.SwitchID{pkt.Trace[i-1], pkt.Trace[i]})
+	}
+	return out
+}
+
+func TestImpairmentFullLoss(t *testing.T) {
+	s, caps := newFatTreeSim(t, Config{})
+	// Find the path first, then wedge its first switch-switch hop with
+	// 100% loss: nothing gets through, and every loss is accounted as an
+	// impairment drop (not silent, not congestion).
+	f := sendAcross(t, s, 1)
+	s.RunAll()
+	dstH := s.Topo.HostByIP(f.DstIP)
+	pkt := caps[dstH.ID].pkts[0]
+	hop := pathLinks(pkt)[0]
+	s.SetImpairment(hop[0], hop[1], Impairment{Loss: 1})
+
+	before := caps[dstH.ID].pkts
+	srcH := s.Topo.HostByIP(f.SrcIP)
+	for i := 0; i < 20; i++ {
+		if err := s.Send(srcH.ID, &Packet{Flow: f, Seq: uint64(100 + i), Size: 1000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RunAll()
+	if got := len(caps[dstH.ID].pkts) - len(before); got != 0 {
+		t.Fatalf("100%% loss delivered %d packets, want 0", got)
+	}
+	if d := s.Stats().ImpairedDrops(); d != 20 {
+		t.Fatalf("impaired drops = %d, want 20", d)
+	}
+	if s.Stats().SilentDrops() != 0 || s.Stats().CongestionDrops() != 0 {
+		t.Fatalf("losses misattributed: %d silent, %d congestion",
+			s.Stats().SilentDrops(), s.Stats().CongestionDrops())
+	}
+}
+
+func TestImpairmentZeroBandwidth(t *testing.T) {
+	s, caps := newFatTreeSim(t, Config{})
+	f := sendAcross(t, s, 1)
+	s.RunAll()
+	dstH := s.Topo.HostByIP(f.DstIP)
+	hop := pathLinks(caps[dstH.ID].pkts[0])[0]
+	// RateBps < 0 models a zero-bandwidth link: packets can never
+	// serialise, so they are dropped and counted rather than queued
+	// forever (the simulation must stay live).
+	s.SetImpairment(hop[0], hop[1], Impairment{RateBps: -1})
+
+	srcH := s.Topo.HostByIP(f.SrcIP)
+	delivered := len(caps[dstH.ID].pkts)
+	for i := 0; i < 5; i++ {
+		if err := s.Send(srcH.ID, &Packet{Flow: f, Seq: uint64(200 + i), Size: 1000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RunAll()
+	if got := len(caps[dstH.ID].pkts) - delivered; got != 0 {
+		t.Fatalf("zero-bandwidth link delivered %d packets", got)
+	}
+	if d := s.Stats().ImpairedDrops(); d != 5 {
+		t.Fatalf("impaired drops = %d, want 5", d)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("%d events still pending after RunAll", s.Pending())
+	}
+}
+
+func TestImpairmentThrottleAndDelay(t *testing.T) {
+	s, caps := newFatTreeSim(t, Config{})
+	f := sendAcross(t, s, 1)
+	s.RunAll()
+	dstH := s.Topo.HostByIP(f.DstIP)
+	pkt := caps[dstH.ID].pkts[0]
+	baseline := s.Now() - pkt.SentAt
+	hop := pathLinks(pkt)[0]
+
+	// A 1000x throttle plus 10 ms of added delay must push the same
+	// transfer's completion time out by far more than the healthy run.
+	s.SetImpairment(hop[0], hop[1], Impairment{RateBps: 1e6, Delay: 10 * types.Millisecond})
+	srcH := s.Topo.HostByIP(f.SrcIP)
+	start := s.Now()
+	if err := s.Send(srcH.ID, &Packet{Flow: f, Seq: 300, Size: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	s.RunAll()
+	if got := len(caps[dstH.ID].pkts); got != 2 {
+		t.Fatalf("throttled packet not delivered (%d total)", got)
+	}
+	impaired := s.Now() - start
+	if impaired <= baseline+10*types.Millisecond {
+		t.Fatalf("impaired latency %v, want > baseline %v + 10ms", impaired, baseline)
+	}
+
+	// Clearing the impairment mid-run restores healthy latency.
+	s.ClearImpairment(hop[0], hop[1])
+	if !s.ImpairmentOf(hop[0], hop[1]).IsZero() {
+		t.Fatal("impairment still installed after clear")
+	}
+	start = s.Now()
+	if err := s.Send(srcH.ID, &Packet{Flow: f, Seq: 301, Size: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	s.RunAll()
+	if healed := s.Now() - start; healed > baseline*2 {
+		t.Fatalf("post-clear latency %v, want back near baseline %v", healed, baseline)
+	}
+}
+
+func TestImpairmentAddRemoveMidFlow(t *testing.T) {
+	s, caps := newFatTreeSim(t, Config{})
+	f := sendAcross(t, s, 1)
+	s.RunAll()
+	dstH := s.Topo.HostByIP(f.DstIP)
+	srcH := s.Topo.HostByIP(f.SrcIP)
+	hop := pathLinks(caps[dstH.ID].pkts[0])[0]
+
+	// Interleave sends with a loss impairment installed and removed
+	// mid-flow: packets before and after get through, the wedged window
+	// is fully dropped.
+	send := func(seq uint64) {
+		if err := s.Send(srcH.ID, &Packet{Flow: f, Seq: seq, Size: 1000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := len(caps[dstH.ID].pkts)
+	send(400)
+	s.RunAll()
+	s.SetImpairment(hop[0], hop[1], Impairment{Loss: 1})
+	send(401)
+	send(402)
+	s.RunAll()
+	s.ClearImpairment(hop[0], hop[1])
+	send(403)
+	s.RunAll()
+	if got := len(caps[dstH.ID].pkts) - base; got != 2 {
+		t.Fatalf("delivered %d of the interleaved packets, want 2 (before + after)", got)
+	}
+	if d := s.Stats().ImpairedDrops(); d != 2 {
+		t.Fatalf("impaired drops = %d, want 2", d)
+	}
+}
+
+func TestImpairmentDownTriggersFailover(t *testing.T) {
+	s, caps := newFatTreeSim(t, Config{})
+	f := sendAcross(t, s, 1)
+	s.RunAll()
+	dstH := s.Topo.HostByIP(f.DstIP)
+	srcH := s.Topo.HostByIP(f.SrcIP)
+	pkt := caps[dstH.ID].pkts[0]
+	// Down the packet's ToR→Agg hop via an impairment: unlike loss, the
+	// switch observes it and fails over, so the packet still arrives on
+	// a different path.
+	hop := pathLinks(pkt)[0]
+	s.SetImpairment(hop[0], hop[1], Impairment{Down: true})
+	base := len(caps[dstH.ID].pkts)
+	if err := s.Send(srcH.ID, &Packet{Flow: f, Seq: 500, Size: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	s.RunAll()
+	got := caps[dstH.ID].pkts
+	if len(got)-base != 1 {
+		t.Fatalf("downed-link packet not re-routed (delivered %d)", len(got)-base)
+	}
+	rerouted := got[len(got)-1]
+	for _, l := range pathLinks(rerouted) {
+		if l == hop {
+			t.Fatalf("re-routed trace %v still crosses downed hop %v", rerouted.Trace, hop)
+		}
+	}
+}
+
+func TestFlapLinkAlternates(t *testing.T) {
+	s, caps := newFatTreeSim(t, Config{})
+	f := sendAcross(t, s, 1)
+	s.RunAll()
+	dstH := s.Topo.HostByIP(f.DstIP)
+	srcH := s.Topo.HostByIP(f.SrcIP)
+	hop := pathLinks(caps[dstH.ID].pkts[0])[0]
+
+	// 10 ms down / 10 ms up until t+100ms: probes sent every 2 ms keep
+	// arriving throughout (failover covers the down phases), and the
+	// flap leaves the link up at the end.
+	start := s.Now()
+	s.FlapLink(hop[0], hop[1], 10*types.Millisecond, 10*types.Millisecond, start+100*types.Millisecond)
+	base := len(caps[dstH.ID].pkts)
+	n := 50
+	for i := 0; i < n; i++ {
+		seq := uint64(600 + i)
+		s.At(start+types.Time(i)*2*types.Millisecond, func() {
+			_ = s.Send(srcH.ID, &Packet{Flow: f, Seq: seq, Size: 200})
+		})
+	}
+	s.RunAll()
+	if got := len(caps[dstH.ID].pkts) - base; got != n {
+		t.Fatalf("flap lost probes: delivered %d of %d", got, n)
+	}
+	if !s.linkUp(SwitchNode(hop[0]), SwitchNode(hop[1])) {
+		t.Fatal("link left down after flap window ended")
+	}
+}

@@ -119,6 +119,7 @@ type linkState struct {
 	down      bool
 	blackhole bool
 	silentP   float64
+	imp       Impairment
 }
 
 type linkKey struct{ from, to NodeID }
@@ -271,10 +272,11 @@ func (s *Sim) SetBlackhole(a, b types.SwitchID, on bool) {
 }
 
 // linkUp reports whether the directed link is administratively up (the
-// only failure mode switches can observe).
+// only failure mode switches can observe) — either FailLink or an
+// Impairment with Down set takes it out of next-hop selection.
 func (s *Sim) linkUp(from, to NodeID) bool {
 	if l, ok := s.links[linkKey{from, to}]; ok {
-		return !l.down
+		return !l.down && !l.imp.Down
 	}
 	return true
 }
@@ -306,18 +308,25 @@ func (s *Sim) Reinject(at types.SwitchID, pkt *Packet) {
 }
 
 // transmit models the directed link from→to: drop-tail admission, silent
-// faults, serialisation, propagation, then onArrive.
+// faults, impairments (throttle, loss, added delay), serialisation,
+// propagation, then onArrive.
 func (s *Sim) transmit(from, to NodeID, pkt *Packet, onArrive func()) {
 	l := s.link(from, to)
-	if l.down {
+	if l.down || l.imp.Down {
 		s.stats.drop(dropNoRoute, from, to)
 		return
 	}
+	bps := s.rate(l)
+	if bps <= 0 {
+		// Zero-bandwidth throttle: the packet can never serialise.
+		s.stats.drop(dropImpaired, from, to)
+		return
+	}
 	// Drop-tail queue: backlog is the untransmitted byte count implied
-	// by busyUntil.
+	// by busyUntil at the link's effective rate.
 	backlog := int64(0)
 	if l.busyUntil > s.now {
-		backlog = int64(l.busyUntil-s.now) * s.cfg.BandwidthBps / (8 * int64(types.Second))
+		backlog = int64(l.busyUntil-s.now) * bps / (8 * int64(types.Second))
 	}
 	if backlog+int64(pkt.Size) > int64(s.cfg.QueueBytes) {
 		s.stats.drop(dropCongestion, from, to)
@@ -331,13 +340,17 @@ func (s *Sim) transmit(from, to NodeID, pkt *Packet, onArrive func()) {
 		s.stats.drop(dropSilent, from, to)
 		return
 	}
-	ser := types.Time(int64(pkt.Size) * 8 * int64(types.Second) / s.cfg.BandwidthBps)
+	if l.imp.Loss > 0 && s.rng.Float64() < l.imp.Loss {
+		s.stats.drop(dropImpaired, from, to)
+		return
+	}
+	ser := types.Time(int64(pkt.Size) * 8 * int64(types.Second) / bps)
 	start := l.busyUntil
 	if start < s.now {
 		start = s.now
 	}
 	l.busyUntil = start + ser
-	s.At(l.busyUntil+s.cfg.LinkDelay, onArrive)
+	s.At(l.busyUntil+s.cfg.LinkDelay+l.imp.Delay, onArrive)
 }
 
 // arriveAtSwitch performs one forwarding decision.

@@ -13,6 +13,7 @@ const (
 	dropBlackhole                   // faulty interface, total
 	dropNoRoute                     // no live next hop / admin-down link
 	dropTTL                         // hop budget exhausted (loops)
+	dropImpaired                    // injected impairment (loss / zero rate)
 	numDropCauses
 )
 
@@ -50,6 +51,10 @@ func (st *Stats) NoRouteDrops() uint64 { return st.dropsByCause[dropNoRoute] }
 
 // TTLDrops returns packets that exhausted their hop budget.
 func (st *Stats) TTLDrops() uint64 { return st.dropsByCause[dropTTL] }
+
+// ImpairedDrops returns losses caused by an injected Impairment — random
+// loss probability or a zero-bandwidth throttle.
+func (st *Stats) ImpairedDrops() uint64 { return st.dropsByCause[dropImpaired] }
 
 // TotalDrops sums every loss cause.
 func (st *Stats) TotalDrops() uint64 {

@@ -1,0 +1,136 @@
+// Package scale is the datacenter-scale simulation harness: it stands up
+// a fully wired PathDump cluster over a large fat-tree (k=16 is 1024
+// hosts; k=48 is 27 648), drives it with the sustained workload
+// generator, and reports the resource footprint of the run — wall clock,
+// heap, simulator events, TIB records — so CI can gate the harness under
+// explicit budgets (the BENCH_SCALE job). Every future scale-out change
+// (controller sharding, fleet rollout) is validated against this
+// harness.
+package scale
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"pathdump"
+	"pathdump/internal/types"
+	"pathdump/internal/workload"
+)
+
+// Config parameterises one scale-harness run. The zero value of every
+// optional field picks the default noted on it.
+type Config struct {
+	// K is the fat-tree arity (even, ≥ 4; 16 → 1024 hosts, 48 → 27 648).
+	K int
+	// Load is the offered load fraction per active source (default 0.3).
+	Load float64
+	// Dist is the flow size distribution (default WebSearch).
+	Dist workload.SizeDist
+	// Duration is the virtual time the workload runs for (default 1 s);
+	// the run then drains all remaining events.
+	Duration types.Time
+	// ActiveHosts bounds how many hosts source traffic, sampled evenly
+	// across the topology (0 = every host). Destinations are always the
+	// full host set, so traffic still crosses the whole fabric.
+	ActiveHosts int
+	// Seed decouples harness randomness between runs.
+	Seed int64
+	// Net overrides the simulated fabric's knobs (bandwidth, delays,
+	// per-link impairments are applied by the caller on Cluster.Sim).
+	Net pathdump.NetConfig
+	// Agent overrides the per-host agent knobs (retention, segments).
+	Agent pathdump.AgentConfig
+}
+
+// Result is the measured footprint of one harness run.
+type Result struct {
+	// Hosts and Switches describe the topology that was stood up.
+	Hosts    int
+	Switches int
+	// FlowsStarted and FlowsCompleted count generator activity.
+	FlowsStarted   int
+	FlowsCompleted int
+	// PacketsDelivered is the fabric's ground-truth delivery count.
+	PacketsDelivered uint64
+	// RecordsStored sums TIB records across every host agent.
+	RecordsStored int
+	// Events is the number of simulator events processed.
+	Events int
+	// WallClock is the real time the whole run took (build + run).
+	WallClock time.Duration
+	// HeapBytes is the live heap after the run (post-GC HeapAlloc),
+	// dominated by the cluster and its TIBs.
+	HeapBytes uint64
+
+	// Cluster is the still-wired deployment, so callers can run queries
+	// or scenario detectors against the populated TIBs.
+	Cluster *pathdump.Cluster
+}
+
+// String summarises a run on one line (used by examples and logs).
+func (r *Result) String() string {
+	return fmt.Sprintf("%d hosts / %d switches: %d flows (%d done), %d pkts, %d TIB records, %d events in %v, heap %d MB",
+		r.Hosts, r.Switches, r.FlowsStarted, r.FlowsCompleted,
+		r.PacketsDelivered, r.RecordsStored, r.Events, r.WallClock.Round(time.Millisecond),
+		r.HeapBytes>>20)
+}
+
+// Run stands up the cluster, drives the sustained workload to Duration,
+// drains the fabric, and measures the footprint.
+func Run(cfg Config) (*Result, error) {
+	start := time.Now()
+	if cfg.Load == 0 {
+		cfg.Load = 0.3
+	}
+	if cfg.Dist == nil {
+		cfg.Dist = workload.WebSearch()
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = types.Second
+	}
+	c, err := pathdump.NewFatTree(cfg.K, pathdump.Config{Net: cfg.Net, Agent: cfg.Agent})
+	if err != nil {
+		return nil, err
+	}
+	hosts := c.HostIDs()
+	sources := hosts
+	if cfg.ActiveHosts > 0 && cfg.ActiveHosts < len(hosts) {
+		stride := len(hosts) / cfg.ActiveHosts
+		sources = make([]pathdump.HostID, 0, cfg.ActiveHosts)
+		for i := 0; i < len(hosts) && len(sources) < cfg.ActiveHosts; i += stride {
+			sources = append(sources, hosts[i])
+		}
+	}
+	linkBps := c.Sim.Config().BandwidthBps
+	gen, err := workload.NewGenerator(c.Sim, c.Stacks, workload.GenConfig{
+		Sources: sources, Dests: hosts,
+		Load: cfg.Load, LinkBps: linkBps, Dist: cfg.Dist,
+		Until: cfg.Duration, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	gen.Start()
+	events := c.Sim.Run(cfg.Duration)
+	events += c.Sim.RunAll() // drain in-flight flows and sweeps
+
+	res := &Result{
+		Hosts:            len(hosts),
+		Switches:         c.Topo.NumSwitches(),
+		FlowsStarted:     gen.Started,
+		FlowsCompleted:   gen.Completed,
+		PacketsDelivered: c.Sim.Stats().Delivered,
+		Events:           events,
+		Cluster:          c,
+	}
+	for _, a := range c.Agents {
+		res.RecordsStored += a.Store.Len()
+	}
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	res.HeapBytes = ms.HeapAlloc
+	res.WallClock = time.Since(start)
+	return res, nil
+}

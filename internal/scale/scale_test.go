@@ -1,0 +1,138 @@
+package scale
+
+import (
+	"testing"
+
+	"pathdump"
+	"pathdump/internal/types"
+	"pathdump/internal/workload"
+)
+
+// The committed BENCH_SCALE budgets. The k=16 numbers were measured at
+// ~13 s wall / ~25 MB heap on a development machine at twice this
+// active-host count; the ceilings leave headroom for slower CI runners
+// while still catching order-of-magnitude regressions (an accidental
+// O(hosts²) structure, a leaked per-packet allocation). Refresh recipe:
+// docs/simulation.md.
+const (
+	k16WallBudget = 90 * types.Second  // wall-clock ceiling, k=16 run
+	k16HeapBudget = 512 << 20          // live-heap ceiling, k=16 run
+	k48WallBudget = 120 * types.Second // wall-clock ceiling, k=48 run
+	k48HeapBudget = 1 << 30            // live-heap ceiling, k=48 run
+)
+
+// k16Config is the BENCH_SCALE reference run: a full 1024-host fat-tree
+// with 32 sampled sources offering web-search load for 250 ms of virtual
+// time (~1.9M simulator events).
+func k16Config() Config {
+	return Config{K: 16, ActiveHosts: 32, Duration: 250 * types.Millisecond, Seed: 42}
+}
+
+func TestScaleHarnessK16(t *testing.T) {
+	r, err := Run(k16Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(r)
+	if r.Hosts != 1024 || r.Switches != 320 {
+		t.Fatalf("k=16 fat tree has %d hosts / %d switches, want 1024 / 320", r.Hosts, r.Switches)
+	}
+	if r.FlowsStarted == 0 || r.PacketsDelivered == 0 || r.RecordsStored == 0 {
+		t.Fatalf("degenerate run: %v", r)
+	}
+	if r.FlowsCompleted < r.FlowsStarted*8/10 {
+		t.Errorf("only %d of %d flows completed", r.FlowsCompleted, r.FlowsStarted)
+	}
+	if got := types.Time(r.WallClock.Nanoseconds()); got > k16WallBudget {
+		t.Errorf("wall clock %v blew the committed budget %v", r.WallClock, k16WallBudget)
+	}
+	if r.HeapBytes > k16HeapBudget {
+		t.Errorf("heap %d MB blew the committed budget %d MB", r.HeapBytes>>20, int64(k16HeapBudget)>>20)
+	}
+
+	// The populated cluster must still answer the query plane: a
+	// cluster-wide top-k through the aggregation tree over all 1024
+	// hosts is the harness's smoke proof that scenarios can run on top.
+	top, stats, err := r.Cluster.TopK(5, pathdump.AllTime, []int{32, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 5 || top[0].Bytes == 0 {
+		t.Fatalf("top-k over the harness returned %d degenerate rows", len(top))
+	}
+	if stats.Hosts != r.Hosts {
+		t.Errorf("query covered %d hosts, want %d", stats.Hosts, r.Hosts)
+	}
+}
+
+func TestScaleHarnessK48Budget(t *testing.T) {
+	// The full 27 648-host cluster with a short pulse of traffic from 48
+	// sampled sources: proves the harness stands up the paper's
+	// datacenter scale under budget, not just the mid-size tree.
+	r, err := Run(Config{K: 48, ActiveHosts: 48, Duration: 50 * types.Millisecond, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(r)
+	if r.Hosts != 27648 || r.Switches != 2880 {
+		t.Fatalf("k=48 fat tree has %d hosts / %d switches, want 27648 / 2880", r.Hosts, r.Switches)
+	}
+	if r.FlowsStarted == 0 || r.PacketsDelivered == 0 {
+		t.Fatalf("degenerate run: %v", r)
+	}
+	if got := types.Time(r.WallClock.Nanoseconds()); got > k48WallBudget {
+		t.Errorf("wall clock %v blew the committed budget %v", r.WallClock, k48WallBudget)
+	}
+	if r.HeapBytes > k48HeapBudget {
+		t.Errorf("heap %d MB blew the committed budget %d MB", r.HeapBytes>>20, int64(k48HeapBudget)>>20)
+	}
+}
+
+func TestScaleHarnessBurstyAndImpaired(t *testing.T) {
+	// A smaller tree under bursty arrivals with one throttled core link:
+	// the harness composes with the impairment layer and keeps
+	// ingesting (records accumulate) despite the shaped link.
+	cfg := Config{K: 8, Duration: 200 * types.Millisecond, Seed: 3}
+	c, err := pathdump.NewFatTree(cfg.K, pathdump.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := c.HostIDs()
+	gen, err := workload.NewGenerator(c.Sim, c.Stacks, workload.GenConfig{
+		Sources: hosts[:16], Dests: hosts,
+		Load: 0.3, LinkBps: c.Sim.Config().BandwidthBps, Dist: workload.WebSearch(),
+		Arrival: workload.ArrivalBursty, OnTime: 5 * types.Millisecond, OffTime: 20 * types.Millisecond,
+		Until: cfg.Duration, Seed: cfg.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, core := c.Topo.Aggs()[0], c.Topo.Cores()[0]
+	c.Sim.SetImpairment(agg, core, pathdump.Impairment{RateBps: 50e6, Loss: 0.01})
+	gen.Start()
+	c.Run(cfg.Duration)
+	c.RunAll()
+	records := 0
+	for _, a := range c.Agents {
+		records += a.Store.Len()
+	}
+	if gen.Started == 0 || records == 0 {
+		t.Fatalf("bursty impaired run degenerate: %d flows, %d records", gen.Started, records)
+	}
+}
+
+// BenchmarkScaleHarness is the BENCH_SCALE gate: one full k=16 harness
+// run per iteration, medians gated against the committed BENCH_SCALE.txt
+// by cmd/benchcmp (see .github/workflows/ci.yml and docs/simulation.md).
+func BenchmarkScaleHarness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := k16Config()
+		cfg.Seed = int64(i)
+		r, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.HeapBytes), "heap-bytes")
+		b.ReportMetric(float64(r.Events), "events")
+	}
+}

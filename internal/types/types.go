@@ -328,6 +328,9 @@ const (
 	ReasonLoop            Reason = "LOOP"               // routing loop detected
 	ReasonInvalidTraj     Reason = "INVALID_TRAJECTORY" // trajectory inconsistent with topology ground truth
 	ReasonSprayImbalance  Reason = "SPRAY_IMBALANCE"    // uneven subflow split under packet spraying
+	ReasonPolarized       Reason = "ECMP_POLARIZED"     // degenerate ECMP hashing concentrates flows on one equal-cost link
+	ReasonIncast          Reason = "INCAST"             // synchronized many-to-one microburst at a receiver
+	ReasonDDoS            Reason = "DDOS_SUSPECT"       // traffic concentration from many sources at a victim
 )
 
 // Alarm is raised by an agent toward the controller: a flow, a reason code,

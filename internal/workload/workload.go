@@ -135,6 +135,25 @@ func (f Fixed) Mean() float64 { return float64(f) }
 // Name implements SizeDist.
 func (f Fixed) Name() string { return fmt.Sprintf("fixed(%d)", int64(f)) }
 
+// Arrival selects the flow inter-arrival process of a generator.
+type Arrival int
+
+// Supported arrival processes.
+const (
+	// ArrivalPoisson draws independent exponential interarrivals per
+	// source (the default; the paper's sustained-load experiments).
+	ArrivalPoisson Arrival = iota
+	// ArrivalBursty is an on/off process: sources emit Poisson arrivals
+	// only during globally aligned on-windows (OnTime out of every
+	// OnTime+OffTime), compressed so the long-run offered load still
+	// matches Load — a fabric-wide microburst pattern.
+	ArrivalBursty
+)
+
+// mtuBytes converts a target packets-per-second figure into bytes: the
+// simulated TCP stacks segment flows into MTU-sized packets.
+const mtuBytes = 1500
+
 // GenConfig parameterises a traffic generator.
 type GenConfig struct {
 	// Sources and Dests select the communicating hosts (a destination is
@@ -156,9 +175,23 @@ type GenConfig struct {
 	Seed int64
 	// OnDone, if set, fires as each flow's last byte is acknowledged.
 	OnDone func(*tcp.Sender)
+
+	// Arrival selects the inter-arrival process (default Poisson).
+	Arrival Arrival
+	// OnTime and OffTime shape the bursty process: arrivals happen only
+	// during the first OnTime of every OnTime+OffTime cycle (defaults
+	// 10 ms on / 90 ms off when ArrivalBursty is selected).
+	OnTime  types.Time
+	OffTime types.Time
+	// TargetPps, when > 0, sets the per-source arrival rate from a
+	// target packet rate instead of Load: flows arrive so that each
+	// source offers about TargetPps MTU-sized packets per second. Load
+	// and LinkBps are then ignored.
+	TargetPps float64
 }
 
-// Generator schedules Poisson flow arrivals over a set of TCP stacks.
+// Generator schedules flow arrivals (Poisson or bursty on/off) over a
+// set of TCP stacks.
 type Generator struct {
 	sim    *netsim.Sim
 	stacks map[types.HostID]*tcp.Stack
@@ -166,7 +199,9 @@ type Generator struct {
 	rng    *rand.Rand
 	rate   float64 // flow arrivals per second per source
 
-	Started int // flows started so far
+	Started      int   // flows started so far
+	Completed    int   // flows fully acknowledged so far
+	OfferedBytes int64 // sum of started flow sizes
 }
 
 // NewGenerator builds a generator; stacks must contain every source and
@@ -175,20 +210,35 @@ func NewGenerator(sim *netsim.Sim, stacks map[types.HostID]*tcp.Stack, cfg GenCo
 	if len(cfg.Sources) == 0 || len(cfg.Dests) == 0 {
 		return nil, fmt.Errorf("workload: need sources and destinations")
 	}
-	if cfg.Load <= 0 || cfg.Dist == nil || cfg.LinkBps <= 0 {
-		return nil, fmt.Errorf("workload: load, link rate and distribution are required")
+	if cfg.Dist == nil {
+		return nil, fmt.Errorf("workload: flow size distribution is required")
+	}
+	if cfg.TargetPps <= 0 && (cfg.Load <= 0 || cfg.LinkBps <= 0) {
+		return nil, fmt.Errorf("workload: either TargetPps or Load+LinkBps is required")
 	}
 	for _, h := range cfg.Sources {
 		if stacks[h] == nil {
 			return nil, fmt.Errorf("workload: no stack for source %v", h)
 		}
 	}
+	if cfg.Arrival == ArrivalBursty {
+		if cfg.OnTime <= 0 {
+			cfg.OnTime = 10 * types.Millisecond
+		}
+		if cfg.OffTime <= 0 {
+			cfg.OffTime = 90 * types.Millisecond
+		}
+	}
+	rate := cfg.Load * float64(cfg.LinkBps) / 8 / cfg.Dist.Mean()
+	if cfg.TargetPps > 0 {
+		rate = cfg.TargetPps * mtuBytes / cfg.Dist.Mean()
+	}
 	g := &Generator{
 		sim:    sim,
 		stacks: stacks,
 		cfg:    cfg,
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		rate:   cfg.Load * float64(cfg.LinkBps) / 8 / cfg.Dist.Mean(),
+		rate:   rate,
 	}
 	return g, nil
 }
@@ -203,10 +253,10 @@ func (g *Generator) Start() {
 	}
 }
 
-// scheduleNext draws the next exponential interarrival for one source.
+// scheduleNext draws the next interarrival for one source and registers
+// the launch event.
 func (g *Generator) scheduleNext(src types.HostID) {
-	gap := types.Time(g.rng.ExpFloat64() / g.rate * float64(types.Second))
-	at := g.sim.Now() + gap
+	at := g.nextArrival(g.sim.Now())
 	if at > g.cfg.Until {
 		return
 	}
@@ -214,6 +264,36 @@ func (g *Generator) scheduleNext(src types.HostID) {
 		g.launch(src)
 		g.scheduleNext(src)
 	})
+}
+
+// nextArrival returns the absolute virtual time of the next arrival
+// after now under the configured process. Bursty mode compresses the
+// Poisson stream into globally aligned on-windows: the exponential gap
+// is drawn at the burst rate (rate ÷ duty cycle, preserving long-run
+// load) and advanced past any off-window it lands in.
+func (g *Generator) nextArrival(now types.Time) types.Time {
+	if g.cfg.Arrival != ArrivalBursty {
+		return now + types.Time(g.rng.ExpFloat64()/g.rate*float64(types.Second))
+	}
+	cycle := g.cfg.OnTime + g.cfg.OffTime
+	duty := float64(g.cfg.OnTime) / float64(cycle)
+	burstRate := g.rate / duty
+	// Walk on-window time forward by the drawn gap, skipping off-windows.
+	t := now
+	remain := types.Time(g.rng.ExpFloat64() / burstRate * float64(types.Second))
+	for {
+		phase := t % cycle
+		if phase >= g.cfg.OnTime { // inside an off-window: jump to next on
+			t += cycle - phase
+			continue
+		}
+		onLeft := g.cfg.OnTime - phase
+		if remain < onLeft {
+			return t + remain
+		}
+		remain -= onLeft
+		t += onLeft
+	}
 }
 
 // launch starts one flow from src to a random destination.
@@ -232,6 +312,7 @@ func (g *Generator) launch(src types.HostID) {
 	}
 	g.Started++
 	size := g.cfg.Dist.Sample(g.rng)
+	g.OfferedBytes += size
 	f := types.FlowID{
 		SrcIP:   topoSrc.IP,
 		DstIP:   dst.IP,
@@ -239,5 +320,68 @@ func (g *Generator) launch(src types.HostID) {
 		DstPort: 80,
 		Proto:   types.ProtoTCP,
 	}
-	g.stacks[src].StartFlow(f, size, size, g.cfg.OnDone)
+	g.stacks[src].StartFlow(f, size, size, func(s *tcp.Sender) {
+		g.Completed++
+		if g.cfg.OnDone != nil {
+			g.cfg.OnDone(s)
+		}
+	})
+}
+
+// IncastConfig parameterises one synchronized fan-in burst: every sender
+// starts a flow of Bytes toward Receiver at virtual time At — the
+// partition-aggregate response pattern behind incast collapse.
+type IncastConfig struct {
+	// Senders are the responding workers; Receiver is the aggregator.
+	Senders  []types.HostID
+	Receiver types.HostID
+	// Bytes is the per-sender response size (default 64 KB).
+	Bytes int64
+	// At is the synchronized start time (clamped to now).
+	At types.Time
+	// PortBase seeds source-port allocation (default 30000).
+	PortBase uint16
+	// OnDone, if set, fires as each response's last byte is acknowledged.
+	OnDone func(*tcp.Sender)
+}
+
+// Incast schedules a synchronized fan-in burst and returns the flows it
+// will start. The flows all target the receiver's port 80 from distinct
+// source ports, so TIB records at the receiver show many sources with
+// near-identical start times — the signature incast detectors look for.
+func Incast(sim *netsim.Sim, stacks map[types.HostID]*tcp.Stack, cfg IncastConfig) ([]types.FlowID, error) {
+	recv := sim.Topo.Host(cfg.Receiver)
+	if recv == nil {
+		return nil, fmt.Errorf("workload: unknown incast receiver %v", cfg.Receiver)
+	}
+	if len(cfg.Senders) == 0 {
+		return nil, fmt.Errorf("workload: incast needs senders")
+	}
+	if cfg.Bytes <= 0 {
+		cfg.Bytes = 64 << 10
+	}
+	if cfg.PortBase == 0 {
+		cfg.PortBase = 30000
+	}
+	var flows []types.FlowID
+	for i, src := range cfg.Senders {
+		if src == cfg.Receiver {
+			continue
+		}
+		st := stacks[src]
+		srcH := sim.Topo.Host(src)
+		if st == nil || srcH == nil {
+			return nil, fmt.Errorf("workload: no stack for incast sender %v", src)
+		}
+		f := types.FlowID{
+			SrcIP:   srcH.IP,
+			DstIP:   recv.IP,
+			SrcPort: cfg.PortBase + uint16(i),
+			DstPort: 80,
+			Proto:   types.ProtoTCP,
+		}
+		flows = append(flows, f)
+		sim.At(cfg.At, func() { st.StartFlow(f, cfg.Bytes, cfg.Bytes, cfg.OnDone) })
+	}
+	return flows, nil
 }

@@ -137,3 +137,118 @@ func TestGeneratorDrivesTraffic(t *testing.T) {
 		t.Errorf("completed %d of %d flows", completed, g.Started)
 	}
 }
+
+// testFabric builds a 4-ary fat-tree sim with a TCP stack per host.
+func testFabric(t *testing.T, seed int64) (*netsim.Sim, map[types.HostID]*tcp.Stack) {
+	t.Helper()
+	topo, err := topology.FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, err := cherrypick.New(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := netsim.New(topo, scheme, netsim.Config{BandwidthBps: 100e6, Seed: seed})
+	stacks := map[types.HostID]*tcp.Stack{}
+	for _, h := range topo.Hosts() {
+		st := tcp.NewStack(sim, h.ID, tcp.Config{})
+		stacks[h.ID] = st
+		sim.SetReceiver(h.ID, st)
+	}
+	return sim, stacks
+}
+
+func TestTargetPpsRate(t *testing.T) {
+	sim, stacks := testFabric(t, 1)
+	g, err := NewGenerator(sim, stacks, GenConfig{
+		Sources: []types.HostID{0}, Dests: []types.HostID{1},
+		TargetPps: 1000, Dist: Fixed(15_000),
+		Until: types.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1000 pps × 1500 B/pkt ÷ 15000 B/flow = 100 flows/s.
+	if math.Abs(g.Rate()-100) > 1e-6 {
+		t.Errorf("Rate = %v, want 100", g.Rate())
+	}
+}
+
+func TestBurstyArrivalsStayInOnWindows(t *testing.T) {
+	sim, stacks := testFabric(t, 2)
+	on, off := 10*types.Millisecond, 90*types.Millisecond
+	g, err := NewGenerator(sim, stacks, GenConfig{
+		Sources: []types.HostID{0, 1, 2, 3}, Dests: []types.HostID{8, 9, 10, 11},
+		Load: 0.3, LinkBps: 100e6, Dist: Fixed(20_000),
+		Arrival: ArrivalBursty, OnTime: on, OffTime: off,
+		Until: 2 * types.Second, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every drawn arrival must land inside an on-window, and the long-run
+	// arrival count must match the plain Poisson configuration (the burst
+	// rate compensates for the duty cycle).
+	cycle := on + off
+	for i := 0; i < 5000; i++ {
+		at := g.nextArrival(types.Time(i) * 400 * types.Microsecond)
+		if phase := at % cycle; phase >= on {
+			t.Fatalf("arrival %d at %v falls in the off-window (phase %v)", i, at, phase)
+		}
+	}
+	g.Start()
+	sim.RunAll()
+	// 4 sources × 187.5 flows/s × 2 s ≈ 1500 arrivals, as in the Poisson
+	// test; the on/off shaping must not change the long-run offered load.
+	if g.Started < 1000 || g.Started > 2000 {
+		t.Errorf("bursty Started = %d, want ≈1500", g.Started)
+	}
+	if g.Completed < g.Started*8/10 {
+		t.Errorf("completed %d of %d bursty flows", g.Completed, g.Started)
+	}
+	if g.OfferedBytes != int64(g.Started)*20_000 {
+		t.Errorf("OfferedBytes = %d, want %d", g.OfferedBytes, int64(g.Started)*20_000)
+	}
+}
+
+func TestIncastSynchronizedFanIn(t *testing.T) {
+	sim, stacks := testFabric(t, 3)
+	receiver := types.HostID(0)
+	var senders []types.HostID
+	for _, h := range sim.Topo.Hosts() {
+		if h.ID != receiver && len(senders) < 8 {
+			senders = append(senders, h.ID)
+		}
+	}
+	at := 5 * types.Millisecond
+	flows, err := Incast(sim, stacks, IncastConfig{
+		Senders: senders, Receiver: receiver, Bytes: 32 << 10, At: at,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != len(senders) {
+		t.Fatalf("scheduled %d incast flows, want %d", len(flows), len(senders))
+	}
+	recvIP := sim.Topo.Host(receiver).IP
+	for _, f := range flows {
+		if f.DstIP != recvIP {
+			t.Fatalf("incast flow %v does not target the receiver", f)
+		}
+	}
+	sim.RunAll()
+	if d := sim.Stats().Delivered; d == 0 {
+		t.Fatal("incast burst delivered nothing")
+	}
+}
+
+func TestIncastValidation(t *testing.T) {
+	sim, stacks := testFabric(t, 4)
+	if _, err := Incast(sim, stacks, IncastConfig{Receiver: 0}); err == nil {
+		t.Error("incast with no senders accepted")
+	}
+	if _, err := Incast(sim, stacks, IncastConfig{Senders: []types.HostID{1}, Receiver: 99999}); err == nil {
+		t.Error("incast with unknown receiver accepted")
+	}
+}

@@ -89,6 +89,9 @@ type (
 	TCPConfig = tcp.Config
 	// Packet is one simulated packet (raw-injection API).
 	Packet = netsim.Packet
+	// Impairment is the per-link tc-style fault/shaping vector
+	// (Cluster.SetImpairment).
+	Impairment = netsim.Impairment
 )
 
 // Wildcards and time constants.
@@ -117,6 +120,9 @@ const (
 	ReasonLongPath        = types.ReasonLongPath
 	ReasonLoop            = types.ReasonLoop
 	ReasonInvalidTraj     = types.ReasonInvalidTraj
+	ReasonPolarized       = types.ReasonPolarized
+	ReasonIncast          = types.ReasonIncast
+	ReasonDDoS            = types.ReasonDDoS
 )
 
 // Query operations (compositions over the Table-1 host API).

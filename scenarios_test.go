@@ -1,0 +1,337 @@
+// End-to-end assertions for the four datacenter debugging scenarios
+// added with the simulation harness: ECMP hash polarization, transient
+// routing loop during failover, incast microburst, and DDoS source
+// localisation. Each scenario injects its fault through the netsim
+// impairment/override knobs, detects it through the public query plane,
+// and asserts that exactly one alarm (deduplicated by the controller's
+// suppression window) lands in the alarm history.
+package pathdump_test
+
+import (
+	"testing"
+	"time"
+
+	"pathdump"
+	"pathdump/internal/netsim"
+	"pathdump/internal/types"
+)
+
+// scenarioCluster builds a k=4 fat tree with alarm suppression on, so
+// repeated detections of one fault fold into a single history entry.
+func scenarioCluster(t *testing.T) *pathdump.Cluster {
+	t.Helper()
+	c, err := pathdump.NewFatTree(4, pathdump.Config{
+		Alarms: pathdump.AlarmConfig{Suppress: time.Minute},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// assertOneAlarm checks the controller history holds exactly one entry
+// for the reason, folded from `firings` detections.
+func assertOneAlarm(t *testing.T, c *pathdump.Cluster, reason pathdump.Reason, firings int) {
+	t.Helper()
+	hist := c.AlarmHistory(pathdump.AlarmFilter{Reason: reason})
+	if len(hist) != 1 {
+		t.Fatalf("%s: %d alarm entries, want exactly 1 (deduped)", reason, len(hist))
+	}
+	if hist[0].Count != firings {
+		t.Errorf("%s: entry folded %d firings, want %d", reason, hist[0].Count, firings)
+	}
+}
+
+func TestDebuggingScenarios(t *testing.T) {
+	scenarios := []struct {
+		name string
+		run  func(t *testing.T)
+	}{
+		{"polarization", polarizationScenario},
+		{"failoverloop", failoverLoopScenario},
+		{"incast", incastScenario},
+		{"ddos", ddosScenario},
+		{"flapquery", flapDuringQueryScenario},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) { sc.run(t) })
+	}
+}
+
+// polarizationScenario mirrors examples/polarization: a buggy hash at a
+// ToR sends every inter-pod flow up the same aggregation uplink while
+// its sibling idles. DetectPolarization must measure λ = 100% and raise
+// ECMP_POLARIZED once.
+func polarizationScenario(t *testing.T) {
+	c := scenarioCluster(t)
+	hosts := c.HostIDs()
+	tor := c.Topo.Host(hosts[0]).ToR
+	uplinks := c.Topo.Switch(tor).Up
+	if len(uplinks) != 2 {
+		t.Fatalf("ToR %d has %d uplinks, want 2", tor, len(uplinks))
+	}
+	hot := uplinks[0]
+
+	// The polarization bug: the ToR's "hash" always lands on one uplink.
+	// The override fires only for upward decisions (hot ∈ canonical), so
+	// local delivery is untouched.
+	c.Sim.SetNextHopOverride(tor, func(_ *netsim.Packet, canonical []types.SwitchID, _ netsim.NodeID) (types.SwitchID, bool) {
+		for _, cand := range canonical {
+			if cand == hot {
+				return hot, true
+			}
+		}
+		return 0, false
+	})
+
+	for i := 0; i < 8; i++ {
+		src := hosts[i%2]     // both hosts under the ToR
+		dst := hosts[8+(i%4)] // remote pod
+		if _, err := c.StartFlow(src, dst, uint16(7000+i), 40_000, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.RunAll()
+
+	for i := 0; i < 2; i++ {
+		r, err := c.DetectPolarization(tor, pathdump.AllTime, 50.0, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Polarized {
+			t.Fatalf("run %d: not flagged, λ=%.1f flows=%v", i, r.Lambda, r.FlowsPerUplink)
+		}
+		if r.Lambda < 99.0 {
+			t.Errorf("λ = %.1f, want ~100 (all flows on one of two uplinks)", r.Lambda)
+		}
+		if r.FlowsPerUplink[1] != 0 {
+			t.Errorf("cold uplink carried %d flows, want 0", r.FlowsPerUplink[1])
+		}
+		if r.TotalFlows < 8 {
+			t.Errorf("observed %d flows, want >= 8", r.TotalFlows)
+		}
+	}
+	assertOneAlarm(t, c, pathdump.ReasonPolarized, 2)
+
+	// The fleet-wide sweep must rank the buggy ToR first.
+	ranked, err := c.RankPolarization(c.Topo.ToRs(), pathdump.AllTime, 50.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) == 0 || ranked[0].Switch != tor {
+		t.Errorf("sweep did not rank ToR %d first: %+v", tor, ranked)
+	}
+}
+
+// failoverLoopScenario mirrors examples/failoverloop: a link fails, and
+// during the reconvergence window two aggregation switches briefly chase
+// each other's detours, looping a packet until the VLAN stack overflows
+// and the controller concludes LOOP. The auditor must classify the loop
+// as failover-transient because it started within the correlation window
+// of the noted failure.
+func failoverLoopScenario(t *testing.T) {
+	c := scenarioCluster(t)
+	topo := c.Topo
+	hosts := c.HostIDs()
+	src, dst := hosts[0], hosts[8]
+
+	auditor := c.NewTransientLoopAuditor(200 * pathdump.Millisecond)
+
+	// Learn the flow's canonical path so the loop can be staged on it.
+	probe, err := c.StartFlow(src, dst, 9000, 1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunAll()
+	paths := c.GetPaths(dst, probe, pathdump.AnyLink, pathdump.AllTime)
+	if len(paths) == 0 {
+		t.Fatal("probe flow left no trajectory")
+	}
+	core, aggD := paths[0][2], paths[0][3]
+	group := topo.CoreGroup(topo.Switch(core).Index)
+	aggOther := topo.AggID(3, group)
+
+	// The failure that triggers reconvergence: aggD loses its *other*
+	// core uplink, pushing everything onto the surviving one — where the
+	// transient loop then forms. Noted on the operator's timeline as an
+	// auditable event.
+	var otherCore pathdump.SwitchID
+	for _, up := range topo.Switch(aggD).Up {
+		if up != core {
+			otherCore = up
+			break
+		}
+	}
+	failAt := c.Now()
+	failed := pathdump.LinkID{A: aggD, B: otherCore}
+	c.FailLink(aggD, otherCore)
+	auditor.NoteLinkFailure(failed, failAt)
+
+	// Transient state while routes reconverge: both aggs bounce the flow
+	// through the core.
+	loopFlow := c.FlowBetween(src, dst, 9001)
+	bounce := func(next pathdump.SwitchID) func(*netsim.Packet, []types.SwitchID, netsim.NodeID) (types.SwitchID, bool) {
+		return func(pkt *netsim.Packet, _ []types.SwitchID, _ netsim.NodeID) (types.SwitchID, bool) {
+			if pkt.Flow == loopFlow {
+				return next, true
+			}
+			return 0, false
+		}
+	}
+	c.Sim.SetNextHopOverride(aggD, bounce(core))
+	c.Sim.SetNextHopOverride(aggOther, bounce(core))
+	c.Sim.SetNextHopOverride(core, func(pkt *netsim.Packet, _ []types.SwitchID, ingress netsim.NodeID) (types.SwitchID, bool) {
+		if pkt.Flow != loopFlow {
+			return 0, false
+		}
+		if ingress == netsim.SwitchNode(aggD) {
+			return aggOther, true
+		}
+		return aggD, true
+	})
+	if err := c.SendPacket(src, &netsim.Packet{Flow: loopFlow, Size: 100}); err != nil {
+		t.Fatal(err)
+	}
+	c.RunAll()
+
+	if auditor.Loops() != 1 {
+		t.Fatalf("auditor saw %d loops, want 1", auditor.Loops())
+	}
+	report := auditor.Report()
+	if !report[0].NearFailure {
+		t.Errorf("loop at %v not correlated with failure at %v", report[0].Event.DetectedAt, failAt)
+	}
+	if report[0].FailedLink != failed {
+		t.Errorf("correlated link = %v, want %v", report[0].FailedLink, failed)
+	}
+	assertOneAlarm(t, c, pathdump.ReasonLoop, 1)
+}
+
+// incastScenario mirrors examples/incast: a partition-aggregate fan-in
+// where many workers answer one aggregator in the same instant. The
+// receiver's TIB alone must reveal the synchronized arrivals.
+func incastScenario(t *testing.T) {
+	c := scenarioCluster(t)
+	hosts := c.HostIDs()
+	receiver := hosts[0]
+
+	const senders = 8
+	for i := 0; i < senders; i++ {
+		if _, err := c.StartFlow(hosts[i+1], receiver, uint16(30_000+i), 64<<10, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.RunAll()
+
+	for i := 0; i < 2; i++ {
+		ev, err := c.DetectIncast(receiver, 50*pathdump.Millisecond, 5, pathdump.AllTime)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev == nil {
+			t.Fatal("no incast detected")
+		}
+		if ev.Sources < 5 {
+			t.Errorf("burst had %d sources, want >= 5", ev.Sources)
+		}
+		if ev.Bytes == 0 {
+			t.Error("burst accounted zero bytes")
+		}
+		if ev.Window.To-ev.Window.From > 50*pathdump.Millisecond {
+			t.Errorf("window %v..%v wider than 50ms", ev.Window.From, ev.Window.To)
+		}
+	}
+	assertOneAlarm(t, c, pathdump.ReasonIncast, 2)
+}
+
+// ddosScenario mirrors examples/ddos: a handful of sources flood one
+// victim while background traffic trickles. Source ranking plus top-k
+// path aggregates must localise the shared upstream switches and raise
+// DDOS_SUSPECT.
+func ddosScenario(t *testing.T) {
+	c := scenarioCluster(t)
+	hosts := c.HostIDs()
+	victim := hosts[0]
+	victimToR := c.Topo.Host(victim).ToR
+
+	attackers := hosts[8:13] // 5 attackers from remote pods
+	for i, a := range attackers {
+		if _, err := c.StartFlow(a, victim, uint16(40_000+i), 400_000, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Background: one small legitimate flow.
+	if _, err := c.StartFlow(hosts[2], victim, 50_000, 10_000, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.RunAll()
+
+	for i := 0; i < 2; i++ {
+		loc, err := c.LocalizeDDoS(victim, pathdump.AllTime, 5, 0.8, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !loc.Suspected {
+			t.Fatalf("not flagged: share=%.2f sources=%d", loc.TopShare, len(loc.Sources))
+		}
+		if loc.TopShare < 0.8 {
+			t.Errorf("top share = %.2f, want >= 0.8", loc.TopShare)
+		}
+		if len(loc.Aggregates) == 0 {
+			t.Fatal("no per-switch aggregates")
+		}
+		for _, sb := range loc.Aggregates {
+			if sb.Switch == victimToR {
+				t.Errorf("victim's own ToR %d in aggregate ranking", victimToR)
+			}
+		}
+		// Every attacker source must outrank the background flow.
+		attackIPs := make(map[pathdump.IP]bool)
+		for _, a := range attackers {
+			attackIPs[c.Topo.Host(a).IP] = true
+		}
+		for _, s := range loc.Sources {
+			if !attackIPs[s.Flow.SrcIP] {
+				t.Errorf("non-attacker %v ranked in top sources", s.Flow.SrcIP)
+			}
+		}
+	}
+	assertOneAlarm(t, c, pathdump.ReasonDDoS, 2)
+}
+
+// flapDuringQueryScenario covers the impairment edge case at the query
+// plane: a core link flaps while traffic is in flight, and queries
+// issued mid-flap must still answer from every host (partial-but-live
+// results, never a hang).
+func flapDuringQueryScenario(t *testing.T) {
+	c := scenarioCluster(t)
+	hosts := c.HostIDs()
+
+	cores := c.Topo.Cores()
+	agg := c.Topo.Switch(cores[0]).Down[0]
+	c.FlapLink(agg, cores[0], 5*pathdump.Millisecond, 5*pathdump.Millisecond, 200*pathdump.Millisecond)
+
+	for i := 0; i < 6; i++ {
+		if _, err := c.StartFlow(hosts[i], hosts[15-i], uint16(6000+i), 100_000, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Advance into the middle of the flap window, then query while the
+	// fabric is mid-impairment.
+	c.Run(20 * pathdump.Millisecond)
+	top, stats, err := c.TopK(3, pathdump.AllTime, nil)
+	if err != nil {
+		t.Fatalf("query during flap failed: %v", err)
+	}
+	if stats.Hosts != len(hosts) {
+		t.Errorf("query covered %d hosts during flap, want %d", stats.Hosts, len(hosts))
+	}
+	if len(top) == 0 {
+		t.Error("no flow data mid-flap: agents stopped ingesting")
+	}
+	c.RunAll()
+	// After the flap expires every flow must have completed end to end.
+	if got := c.Sim.Stats().Delivered; got == 0 {
+		t.Error("nothing delivered across the flapping fabric")
+	}
+}

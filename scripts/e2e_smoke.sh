@@ -22,7 +22,11 @@
 #   7. mixed-version wire fallback — a binary-offering client against a
 #      -json-only daemon (stand-in for one predating the wire protocol)
 #      and a -wire json client against a wire-enabled daemon both return
-#      byte-identical output to the binary/binary pairing.
+#      byte-identical output to the binary/binary pairing;
+#   8. impairment to alarm — a daemon boots with -impair wedging both
+#      uplinks of the demo workload's first rack at 100% loss, a TCP
+#      monitor is installed over HTTP, and the controller's history shows
+#      the resulting POOR_PERF alarms with repeats folded by suppression.
 #
 # Runs standalone (bash scripts/e2e_smoke.sh) and as the CI e2e job.
 set -euo pipefail
@@ -35,6 +39,8 @@ PORT_D="${E2E_PORT_D:-8474}"   # offline daemon serving the pulled snapshot
 PORT_E="${E2E_PORT_E:-8475}"   # pathdumpc controller daemon (alarm plane)
 PORT_F="${E2E_PORT_F:-8476}"   # monitored daemon, hosts 6,7 (+ wedged flow)
 PORT_G="${E2E_PORT_G:-8477}"   # -json-only daemon serving the pulled snapshot
+PORT_H="${E2E_PORT_H:-8478}"   # pathdumpc controller for the impairment scenario
+PORT_I="${E2E_PORT_I:-8479}"   # impaired daemon, hosts 0,1 behind lossy uplinks
 BIN="$(mktemp -d)"
 LOGS="$(mktemp -d)"
 
@@ -51,34 +57,43 @@ cleanup() {
 }
 trap cleanup EXIT
 
+# boot_daemon NAME BINARY ARGS... — start a daemon in the background,
+# logging to $LOGS/NAME.log.
+boot_daemon() {
+  local name="$1"; shift
+  local binary="$1"; shift
+  "$BIN/$binary" "$@" >"$LOGS/$name.log" 2>&1 &
+}
+
+# wait_ready URL [ATTEMPTS] — poll until the endpoint answers (0.2 s per
+# attempt; default 50, the demo-workload daemons use more).
+wait_ready() {
+  local url="$1" attempts="${2:-50}"
+  for _ in $(seq 1 "$attempts"); do
+    if curl -fs "$url" >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.2
+  done
+  echo "FAIL: $url never became ready"
+  exit 1
+}
+
 echo "== build real binaries =="
 go build -o "$BIN/pathdumpd" ./cmd/pathdumpd
 go build -o "$BIN/pathdumpctl" ./cmd/pathdumpctl
 go build -o "$BIN/pathdumpc" ./cmd/pathdumpc
 
 echo "== boot daemons =="
-"$BIN/pathdumpd" -hosts 0,1 -listen "127.0.0.1:$PORT_A" -demo \
-  >"$LOGS/a.log" 2>&1 &
-"$BIN/pathdumpd" -hosts 2,3 -listen "127.0.0.1:$PORT_B" -demo \
-  -slow-host 3 -slow-delay 60s \
-  >"$LOGS/b.log" 2>&1 &
-"$BIN/pathdumpd" -hosts 4,5 -listen "127.0.0.1:$PORT_C" -demo \
-  -slow-host 5 -slow-delay 60s -slow-first-only \
-  >"$LOGS/c.log" 2>&1 &
+boot_daemon a pathdumpd -hosts 0,1 -listen "127.0.0.1:$PORT_A" -demo
+boot_daemon b pathdumpd -hosts 2,3 -listen "127.0.0.1:$PORT_B" -demo \
+  -slow-host 3 -slow-delay 60s
+boot_daemon c pathdumpd -hosts 4,5 -listen "127.0.0.1:$PORT_C" -demo \
+  -slow-host 5 -slow-delay 60s -slow-first-only
 
 for port in "$PORT_A" "$PORT_B" "$PORT_C"; do
-  ready=0
-  for _ in $(seq 1 150); do # demo workload simulation needs a moment
-    if curl -fs "http://127.0.0.1:$port/stats" >/dev/null 2>&1; then
-      ready=1
-      break
-    fi
-    sleep 0.2
-  done
-  if [ "$ready" -ne 1 ]; then
-    echo "FAIL: daemon on :$port never became ready"
-    exit 1
-  fi
+  # demo workload simulation needs a moment
+  wait_ready "http://127.0.0.1:$port/stats" 150
 done
 echo "daemons ready"
 
@@ -142,17 +157,8 @@ grep -qE "pulled [1-9][0-9]* snapshot bytes" <<<"$out" \
   || { echo "FAIL: snapshot pull reported no bytes"; exit 1; }
 [ -s "$SNAP" ] || { echo "FAIL: snapshot file empty"; exit 1; }
 
-"$BIN/pathdumpd" -host 0 -listen "127.0.0.1:$PORT_D" -tib "$SNAP" \
-  >"$LOGS/d.log" 2>&1 &
-ready=0
-for _ in $(seq 1 50); do
-  if curl -fs "http://127.0.0.1:$PORT_D/stats" >/dev/null 2>&1; then
-    ready=1
-    break
-  fi
-  sleep 0.2
-done
-[ "$ready" -eq 1 ] || { echo "FAIL: snapshot daemon never became ready"; exit 1; }
+boot_daemon d pathdumpd -host 0 -listen "127.0.0.1:$PORT_D" -tib "$SNAP"
+wait_ready "http://127.0.0.1:$PORT_D/stats"
 grep -qE "snapshot .* [1-9][0-9]* TIB records in [1-9][0-9]* segments" "$LOGS/d.log" \
   || { echo "FAIL: snapshot daemon loaded no records/segments"; exit 1; }
 
@@ -172,24 +178,13 @@ snap_top="$(head -n 1 <<<"$out")"
 
 echo
 echo "== 6. continuous monitoring: install TCP monitor, dedup at the controller, -watch =="
-"$BIN/pathdumpc" -listen "127.0.0.1:$PORT_E" -suppress 60s -log-alarms \
-  >"$LOGS/e.log" 2>&1 &
-"$BIN/pathdumpd" -hosts 6,7 -listen "127.0.0.1:$PORT_F" \
-  -controller "http://127.0.0.1:$PORT_E" -inject-poor-flow -trigger-every 100ms \
-  >"$LOGS/f.log" 2>&1 &
+boot_daemon e pathdumpc -listen "127.0.0.1:$PORT_E" -suppress 60s -log-alarms
+boot_daemon f pathdumpd -hosts 6,7 -listen "127.0.0.1:$PORT_F" \
+  -controller "http://127.0.0.1:$PORT_E" -inject-poor-flow -trigger-every 100ms
 E="http://127.0.0.1:$PORT_E"
 F="http://127.0.0.1:$PORT_F"
-for url in "$E/alarms" "$F/stats"; do
-  ready=0
-  for _ in $(seq 1 50); do
-    if curl -fs "$url" >/dev/null 2>&1; then
-      ready=1
-      break
-    fi
-    sleep 0.2
-  done
-  [ "$ready" -eq 1 ] || { echo "FAIL: $url never became ready"; exit 1; }
-done
+wait_ready "$E/alarms"
+wait_ready "$F/stats"
 
 out="$("$BIN/pathdumpctl" -agents "6=$F,7=$F" -timeout 10s \
   install -op poor_tcp -threshold 3 -period 200ms)"
@@ -227,17 +222,8 @@ echo "== 7. mixed-version wire fallback: binary client vs -json-only daemon =="
 # PORT_D (scenario 5) speaks the binary wire protocol; PORT_G serves the
 # same snapshot but answers JSON only, standing in for a daemon that
 # predates the wire protocol. All four client/daemon pairings must agree.
-"$BIN/pathdumpd" -host 0 -listen "127.0.0.1:$PORT_G" -tib "$SNAP" -json-only \
-  >"$LOGS/g.log" 2>&1 &
-ready=0
-for _ in $(seq 1 50); do
-  if curl -fs "http://127.0.0.1:$PORT_G/stats" >/dev/null 2>&1; then
-    ready=1
-    break
-  fi
-  sleep 0.2
-done
-[ "$ready" -eq 1 ] || { echo "FAIL: -json-only daemon never became ready"; exit 1; }
+boot_daemon g pathdumpd -host 0 -listen "127.0.0.1:$PORT_G" -tib "$SNAP" -json-only
+wait_ready "http://127.0.0.1:$PORT_G/stats"
 
 D="http://127.0.0.1:$PORT_D"
 G="http://127.0.0.1:$PORT_G"
@@ -252,6 +238,50 @@ for pair in bin_json json_bin json_json; do
     || { echo "FAIL: $pair output differs from binary/binary:"; echo "${!pair}"; exit 1; }
 done
 echo "all four client/daemon encoding pairings agree"
+
+echo
+echo "== 8. impairment to alarm: -impair wedges a rack, monitor raises POOR_PERF =="
+# Switch IDs in the daemon's 4-ary fat tree: ToR 0 serves hosts 0,1 and
+# uplinks to aggregation switches 8 and 9. 100% loss on both uplinks
+# wedges every inter-rack flow the demo workload starts at that rack, so
+# an installed TCP monitor keeps reporting the stuck senders and the
+# controller folds the repeats.
+boot_daemon h pathdumpc -listen "127.0.0.1:$PORT_H" -suppress 60s -log-alarms
+boot_daemon i pathdumpd -hosts 0,1 -listen "127.0.0.1:$PORT_I" -demo \
+  -impair "0-8:loss=1;0-9:loss=1" \
+  -controller "http://127.0.0.1:$PORT_H" -trigger-every 100ms
+H="http://127.0.0.1:$PORT_H"
+I="http://127.0.0.1:$PORT_I"
+wait_ready "$H/alarms"
+wait_ready "$I/stats" 150 # demo workload again
+grep -q "2 link impairments injected" "$LOGS/i.log" \
+  || { echo "FAIL: daemon did not report the injected impairments"; exit 1; }
+
+out="$("$BIN/pathdumpctl" -agents "0=$I,1=$I" -timeout 10s \
+  install -op poor_tcp -threshold 3 -period 200ms)"
+echo "$out"
+grep -q "host h0" <<<"$out" || { echo "FAIL: install reported no id for host 0"; exit 1; }
+
+# Wait until the impairment-wedged flows surface as folded POOR_PERF
+# alarms at the controller.
+folded=0
+for _ in $(seq 1 50); do
+  out="$("$BIN/pathdumpctl" -controller "$H" -alarms -reason POOR_PERF)"
+  if grep -qE "x([2-9]|[0-9]{2,}) at" <<<"$out"; then
+    folded=1
+    break
+  fi
+  sleep 0.2
+done
+# The wedged rack produces many distinct poor flows; show the pipeline
+# summary rather than hundreds of entries.
+echo "POOR_PERF entries: $(grep -c POOR_PERF <<<"$out" || true)"
+tail -n 1 <<<"$out"
+[ "$folded" -eq 1 ] || { echo "FAIL: impaired rack never produced folded POOR_PERF alarms"; exit 1; }
+# Suppression must be doing real work: repeats folded, none slipping
+# through as extra admissions.
+grep -qE "pipeline: [0-9]+ received, [0-9]+ admitted, [1-9][0-9]* suppressed" <<<"$out" \
+  || { echo "FAIL: impairment alarms not suppressed/folded"; exit 1; }
 
 echo
 echo "e2e smoke: PASS"
