@@ -48,7 +48,7 @@ func main() {
 	retryBackoff := flag.Duration("retry-backoff", 0, "base backoff before the first retry (default 50ms; doubles per attempt, jittered)")
 	pullSnapshot := flag.String("pull-snapshot", "", "capture the agent's TIB snapshot (GET /snapshot) into this file and exit; requires exactly one -agents entry. Serve it offline with pathdumpd -tib")
 	snapSince := flag.Uint64("snapshot-since", 0, "with -pull-snapshot: pull only the records past this arrival sequence (GET /snapshot?since_seq=N) — an incremental delta in the Version-3 framing, or a full stream when the agent has evicted past the watermark (0 = full snapshot)")
-	wireMode := flag.String("wire", "binary", "response encoding to request from agents: binary (columnar wire protocol, JSON fallback for old daemons) or json (never offer binary)")
+	wireMode := flag.String("wire", "binary", "wire encoding policy: binary (columnar requests and responses, JSON fallback for old daemons), json-req (JSON request bodies, binary responses) or json (JSON both directions, never offer binary)")
 	ctrlURL := flag.String("controller", "", "controller URL (pathdumpc) for the alarm-plane modes -alarms and -watch")
 	listAlarms := flag.Bool("alarms", false, "query the controller's bounded alarm history (GET /alarms) and exit; filter with -reason/-alarm-host/-since/-limit")
 	watch := flag.Bool("watch", false, "tail the controller's live alarm feed (GET /alarms/stream) until killed or -watch-for elapses; -since N replays history after entry N first")
@@ -81,11 +81,13 @@ func main() {
 	transport := &rpc.HTTPTransport{URLs: urls}
 	switch *wireMode {
 	case "binary":
-		// default: offer the columnar encoding, fall back per-response
+		// default: columnar both directions, per-daemon fallback
+	case "json-req":
+		transport.JSONRequests = true
 	case "json":
 		transport.JSONOnly = true
 	default:
-		log.Fatalf("bad -wire %q (want binary or json)", *wireMode)
+		log.Fatalf("bad -wire %q (want binary, json-req or json)", *wireMode)
 	}
 	ctrl := controller.New(topo, transport, nil)
 	ctrl.Parallelism = *parallel

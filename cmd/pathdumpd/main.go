@@ -71,7 +71,7 @@ func main() {
 		slowOnce = flag.Bool("slow-first-only", false, "only the first query at -slow-host stalls; later ones (e.g. a hedged retry) answer at full speed")
 		impair   = flag.String("impair", "", "fault injection: semicolon-separated link impairments applied before the demo workload runs, each 'A-B:knob[,knob...]' with directed switch IDs and tc-style knobs loss=P (drop probability), rate=BPS (throttle; 0 kills the link's bandwidth), delay=DUR (added one-way latency), down (administratively down) — e.g. '0-8:loss=1;0-9:loss=1'")
 		poorFlow = flag.Bool("inject-poor-flow", false, "fault injection: register one wedged TCP flow at the lowest served host so an installed poor_tcp monitor deterministically raises POOR_PERF every period (e2e alarm-path testing)")
-		jsonOnly = flag.Bool("json-only", false, "answer every query in JSON even when the client offers the binary wire encoding — stands in for a daemon predating the wire protocol in mixed-version testing")
+		jsonOnly = flag.Bool("json-only", false, "speak JSON only: answer every query in JSON even when the client offers the binary wire encoding, and reject wire-encoded request bodies with 415 (clients retry those as JSON) — stands in for a daemon predating the wire protocol in mixed-version testing")
 		wireComp = flag.Bool("wire-compress", false, "flate-compress binary wire responses (trades CPU for bytes on slow links)")
 		maxBody  = flag.Int64("max-body", 0, "per-request body cap in bytes; oversized requests answer 413 (0 = the 16 MiB default)")
 	)

@@ -367,6 +367,23 @@ func (a *Agent) ExecuteContext(ctx context.Context, q query.Query) (query.Result
 	return query.ExecuteContext(ctx, q, a.view())
 }
 
+// StreamRecords hands every record matching q's predicate to fn as the
+// scan visits it, never materialising the reply — the rpc servers use it
+// (via their RecordStreamer extension) to stream records-op responses
+// chunk by chunk. The scan polls ctx like ExecuteContext does; a caller
+// that hung up gets the context's error and a truncated stream.
+func (a *Agent) StreamRecords(ctx context.Context, q query.Query, fn func(*types.Record)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	v := a.view()
+	if cv, ok := v.(query.ContextView); ok {
+		v = cv.WithContext(ctx)
+	}
+	v.ScanRecords(query.PredicateOf(q), fn)
+	return ctx.Err()
+}
+
 // Install registers a query; period 0 means event-triggered (§2.1). The
 // returned ID is used to uninstall. The registry itself is
 // concurrency-safe, but periodic installs register timers on the agent's

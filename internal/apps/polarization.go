@@ -2,6 +2,7 @@ package apps
 
 import (
 	"sort"
+	"sync"
 
 	"pathdump/internal/controller"
 	"pathdump/internal/query"
@@ -127,13 +128,41 @@ func hotUplinkHost(c *controller.Controller, f types.FlowID) types.HostID {
 // RankPolarization runs DetectPolarization over a set of switches and
 // returns the reports sorted by λ descending — the fleet-wide sweep an
 // operator runs when polarization is suspected but not yet localised.
+//
+// The per-switch detections run concurrently, bounded by the
+// controller's Parallelism knob (<= 0 = one goroutine per switch): each
+// detection is a couple of fan-outs whose wall time is dominated by
+// waiting on agents, so a serial sweep of S switches pays S round-trip
+// waves for no reason. The output is deterministic regardless of
+// completion order — reports land in indexed slots, errors are reported
+// in switch order, and the final sort breaks λ ties by switch ID.
 func RankPolarization(c *controller.Controller, hosts []types.HostID, sws []types.SwitchID, tr types.TimeRange, lambdaThresh float64, minFlows int) ([]*PolarizationReport, error) {
-	var out []*PolarizationReport
-	for _, sw := range sws {
-		rep, err := DetectPolarization(c, hosts, sw, tr, lambdaThresh, minFlows)
+	reps := make([]*PolarizationReport, len(sws))
+	errs := make([]error, len(sws))
+	var sem chan struct{}
+	if c.Parallelism > 0 {
+		sem = make(chan struct{}, c.Parallelism)
+	}
+	var wg sync.WaitGroup
+	for i, sw := range sws {
+		wg.Add(1)
+		go func(i int, sw types.SwitchID) {
+			defer wg.Done()
+			if sem != nil {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+			}
+			reps[i], errs[i] = DetectPolarization(c, hosts, sw, tr, lambdaThresh, minFlows)
+		}(i, sw)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
+	}
+	var out []*PolarizationReport
+	for _, rep := range reps {
 		if rep.TotalFlows > 0 {
 			out = append(out, rep)
 		}

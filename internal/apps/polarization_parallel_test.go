@@ -1,0 +1,178 @@
+package apps
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"pathdump/internal/controller"
+	"pathdump/internal/query"
+	"pathdump/internal/topology"
+	"pathdump/internal/types"
+)
+
+// sweepTransport is a synthetic transport for exercising RankPolarization's
+// concurrency: every query answers deterministic per-link flows after an
+// injected delay, and the transport tracks how many distinct switches have
+// queries in flight at once (the sweep-level concurrency, as opposed to the
+// per-query host fan-out, which is always concurrent).
+type sweepTransport struct {
+	delay time.Duration
+
+	mu       sync.Mutex
+	inFlight map[types.SwitchID]int
+	maxSw    int
+}
+
+func newSweepTransport(delay time.Duration) *sweepTransport {
+	return &sweepTransport{delay: delay, inFlight: map[types.SwitchID]int{}}
+}
+
+func (s *sweepTransport) enter(sw types.SwitchID) {
+	s.mu.Lock()
+	s.inFlight[sw]++
+	n := 0
+	for _, c := range s.inFlight {
+		if c > 0 {
+			n++
+		}
+	}
+	if n > s.maxSw {
+		s.maxSw = n
+	}
+	s.mu.Unlock()
+}
+
+func (s *sweepTransport) leave(sw types.SwitchID) {
+	s.mu.Lock()
+	s.inFlight[sw]--
+	s.mu.Unlock()
+}
+
+func (s *sweepTransport) maxSwitches() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxSw
+}
+
+// Query answers per-link synthetic data: every uplink of switch A sees
+// flows, skewed so that uplink index 0 carries more than the rest (a mild
+// polarization whose λ varies by switch, making the ranking non-trivial
+// but deterministic).
+func (s *sweepTransport) Query(ctx context.Context, host types.HostID, q query.Query) (query.Result, controller.QueryMeta, error) {
+	s.enter(q.Link.A)
+	defer s.leave(q.Link.A)
+	if s.delay > 0 {
+		select {
+		case <-time.After(s.delay):
+		case <-ctx.Done():
+			return query.Result{}, controller.QueryMeta{}, ctx.Err()
+		}
+	}
+	res := query.Result{Op: q.Op}
+	nflows := 1
+	if int(q.Link.B)%2 == 0 {
+		nflows = 2 + int(q.Link.A)%3
+	}
+	switch q.Op {
+	case query.OpFlows:
+		for i := 0; i < nflows; i++ {
+			res.Flows = append(res.Flows, types.Flow{
+				ID:   types.FlowID{SrcIP: types.IP(uint32(q.Link.A)<<16 | uint32(i)), DstIP: types.IP(host), SrcPort: 1, DstPort: 80, Proto: types.ProtoTCP},
+				Path: types.Path{q.Link.A, q.Link.B},
+			})
+		}
+	case query.OpRecords:
+		res.Records = []types.Record{{Bytes: uint64(nflows) * 1000, Pkts: 1}}
+	}
+	return res, controller.QueryMeta{RecordsScanned: 1}, nil
+}
+
+func (s *sweepTransport) Install(ctx context.Context, host types.HostID, q query.Query, period types.Time) (int, error) {
+	return 0, nil
+}
+
+func (s *sweepTransport) Uninstall(ctx context.Context, host types.HostID, id int) error {
+	return nil
+}
+
+// sweepRig builds a controller over the synthetic transport with a small
+// host list, so injected per-query delay dominates the sweep's wall time.
+func sweepRig(t testing.TB, delay time.Duration) (*controller.Controller, []types.HostID, []types.SwitchID, *sweepTransport) {
+	topo, err := topology.FatTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := newSweepTransport(delay)
+	c := controller.New(topo, tr, nil)
+	hosts := []types.HostID{0, 1}
+	return c, hosts, topo.ToRs(), tr
+}
+
+// TestRankPolarizationParallel: the sweep overlaps per-switch detections
+// when Parallelism allows, honours the bound when it doesn't, and ranks
+// identically either way (the determinism the indexed-slot design buys).
+func TestRankPolarizationParallel(t *testing.T) {
+	c, hosts, sws, tr := sweepRig(t, 0)
+	c.Parallelism = 1
+	serial, err := RankPolarization(c, hosts, sws, types.AllTime, 1e9, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.maxSwitches(); got != 1 {
+		t.Fatalf("Parallelism=1 sweep had %d switches in flight at once", got)
+	}
+	if len(serial) != len(sws) {
+		t.Fatalf("ranked %d of %d switches", len(serial), len(sws))
+	}
+	for i := 1; i < len(serial); i++ {
+		a, b := serial[i-1], serial[i]
+		if a.Lambda < b.Lambda || (a.Lambda == b.Lambda && a.Switch > b.Switch) {
+			t.Fatalf("rank order violated at %d: (λ=%v sw=%v) before (λ=%v sw=%v)", i, a.Lambda, a.Switch, b.Lambda, b.Switch)
+		}
+	}
+
+	c2, hosts2, sws2, tr2 := sweepRig(t, 5*time.Millisecond)
+	c2.Parallelism = 0 // unbounded: every switch sweeps at once
+	start := time.Now()
+	parallel, err := RankPolarization(c2, hosts2, sws2, types.AllTime, 1e9, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if got := tr2.maxSwitches(); got < 2 {
+		t.Fatalf("unbounded sweep never overlapped switches (max %d)", got)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel ranking diverged from serial reference:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+	// Each detection is 2 uplinks × 2 ops = 4 sequential delayed waves, so
+	// a serial sweep of 8 ToRs pays ≥ 8×4×5ms = 160ms of injected delay
+	// while the overlapped sweep pays one detection's worth (~20ms). The
+	// halfway bound leaves plenty of slack for scheduler noise yet cannot
+	// pass without overlap.
+	serialFloor := time.Duration(len(sws2)) * 4 * 5 * time.Millisecond
+	if elapsed >= serialFloor/2 {
+		t.Fatalf("unbounded sweep took %v, not under half the serial floor %v", elapsed, serialFloor)
+	}
+}
+
+// BenchmarkPolarizationSweep measures the fleet-wide sweep with a fixed
+// 200µs per-query transport delay: serial is the Parallelism=1 baseline
+// (the pre-parallel behaviour), parallel the unbounded sweep.
+func BenchmarkPolarizationSweep(b *testing.B) {
+	run := func(b *testing.B, parallelism int) {
+		c, hosts, sws, _ := sweepRig(b, 200*time.Microsecond)
+		c.Parallelism = parallelism
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := RankPolarization(c, hosts, sws, types.AllTime, 1e9, 1<<30); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+	b.Run("parallel", func(b *testing.B) { run(b, 0) })
+}

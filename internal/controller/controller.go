@@ -891,6 +891,14 @@ func (c *Controller) runNode(n *treeNode, q query.Query, qWire int64, fo *fanout
 		}
 		sm.Add(i, &o.res)
 	}
+	if q.Op == query.OpRecords {
+		// Each child's record slice was copied into the merged result;
+		// recycle the pooled buffers the transports drew them from.
+		for i := range outs {
+			query.PutRecordBuf(outs[i].res.Records)
+			outs[i].res.Records = nil
+		}
+	}
 	if err := firstError(errs); err != nil {
 		return childOut{res: out.res, err: err}
 	}

@@ -43,6 +43,9 @@ func ExecuteContext(ctx context.Context, q Query, v View) (Result, error) {
 		return res, err
 	}
 	if err := ctx.Err(); err != nil {
+		// The partial result is discarded; recycle its pooled reply
+		// buffer instead of leaking it to the collector.
+		PutRecordBuf(res.Records)
 		return Result{Op: q.Op}, err
 	}
 	return res, nil

@@ -247,9 +247,19 @@ func Execute(q Query, v View) Result {
 	case OpMatrix:
 		res.Matrix = executeMatrix(q, v, tr)
 	case OpRecords:
+		// Reply buffers come from the pool: the rpc servers hand them back
+		// after encoding, so fan-out traffic recycles capacity. A reply
+		// with no matches returns its buffer immediately and stays nil
+		// (the JSON omitempty / wire section-presence contract).
+		recs := GetRecordBuf()
 		v.ScanRecords(PredicateOf(q), func(rec *types.Record) {
-			res.Records = append(res.Records, *rec)
+			recs = append(recs, *rec)
 		})
+		if len(recs) == 0 {
+			PutRecordBuf(recs)
+		} else {
+			res.Records = recs
+		}
 	}
 	return res
 }

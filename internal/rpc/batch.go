@@ -38,7 +38,8 @@ type MultiAgentServer struct {
 	// installs across many hosts may need it raised.
 	MaxBodyBytes int64
 	// DisableWire forces JSON responses even for clients that offer the
-	// binary wire encoding (mixed-version testing).
+	// binary wire encoding, and rejects wire-encoded request bodies with
+	// 415 so clients fall back to JSON (mixed-version testing).
 	DisableWire bool
 	// WireCompress flate-compresses wire-encoded responses.
 	WireCompress bool
@@ -63,12 +64,15 @@ func (s *MultiAgentServer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
 		var req QueryRequest
-		if !decode(w, r, &req, s.MaxBodyBytes) {
+		if !decode(w, r, &req, s.MaxBodyBytes, s.DisableWire) {
 			return
 		}
 		t, err := s.target(req.Host)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		if streamQueryResponse(w, r, t, req.Query, s.DisableWire, s.WireCompress) {
 			return
 		}
 		res, sc, sp, err := executeMeta(r.Context(), t, req.Query)
@@ -78,10 +82,11 @@ func (s *MultiAgentServer) Handler() http.Handler {
 		}
 		writeQueryResponse(w, r, s.DisableWire, s.WireCompress,
 			QueryResponse{Result: res, RecordsScanned: t.TIBSize(), SegmentsScanned: sc, SegmentsPruned: sp})
+		query.PutRecordBuf(res.Records)
 	})
 	mux.HandleFunc("/batchquery", func(w http.ResponseWriter, r *http.Request) {
 		var req BatchQueryRequest
-		if !decode(w, r, &req, s.MaxBodyBytes) {
+		if !decode(w, r, &req, s.MaxBodyBytes, s.DisableWire) {
 			return
 		}
 		replies, err := s.runBatch(r.Context(), req)
@@ -90,6 +95,9 @@ func (s *MultiAgentServer) Handler() http.Handler {
 			return
 		}
 		writeBatchResponse(w, r, s.DisableWire, s.WireCompress, replies)
+		for i := range replies {
+			query.PutRecordBuf(replies[i].Result.Records)
+		}
 	})
 	mux.HandleFunc("/snapshot", snapshotHandler(func(r *http.Request) (Target, error) {
 		n, err := strconv.Atoi(r.URL.Query().Get("host"))
@@ -101,7 +109,7 @@ func (s *MultiAgentServer) Handler() http.Handler {
 	}))
 	mux.HandleFunc("/install", func(w http.ResponseWriter, r *http.Request) {
 		var req InstallRequest
-		if !decode(w, r, &req, s.MaxBodyBytes) {
+		if !decode(w, r, &req, s.MaxBodyBytes, s.DisableWire) {
 			return
 		}
 		t, err := s.target(req.Host)
@@ -120,7 +128,7 @@ func (s *MultiAgentServer) Handler() http.Handler {
 	})
 	mux.HandleFunc("/uninstall", func(w http.ResponseWriter, r *http.Request) {
 		var req UninstallRequest
-		if !decode(w, r, &req, s.MaxBodyBytes) {
+		if !decode(w, r, &req, s.MaxBodyBytes, s.DisableWire) {
 			return
 		}
 		t, err := s.target(req.Host)

@@ -281,7 +281,8 @@ type AgentServer struct {
 	// MaxBodyBytes caps request bodies (<= 0 = DefaultMaxBody).
 	MaxBodyBytes int64
 	// DisableWire forces JSON responses even for clients that offer the
-	// binary wire encoding (mixed-version testing).
+	// binary wire encoding, and rejects wire-encoded request bodies with
+	// 415 so clients fall back to JSON (mixed-version testing).
 	DisableWire bool
 	// WireCompress flate-compresses wire-encoded responses.
 	WireCompress bool
@@ -294,7 +295,10 @@ func (s *AgentServer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
 		var req QueryRequest
-		if !decode(w, r, &req, s.MaxBodyBytes) {
+		if !decode(w, r, &req, s.MaxBodyBytes, s.DisableWire) {
+			return
+		}
+		if streamQueryResponse(w, r, s.T, req.Query, s.DisableWire, s.WireCompress) {
 			return
 		}
 		res, sc, sp, err := executeMeta(r.Context(), s.T, req.Query)
@@ -304,11 +308,12 @@ func (s *AgentServer) Handler() http.Handler {
 		}
 		writeQueryResponse(w, r, s.DisableWire, s.WireCompress,
 			QueryResponse{Result: res, RecordsScanned: s.T.TIBSize(), SegmentsScanned: sc, SegmentsPruned: sp})
+		query.PutRecordBuf(res.Records)
 	})
 	mux.HandleFunc("/snapshot", snapshotHandler(func(*http.Request) (Target, error) { return s.T, nil }))
 	mux.HandleFunc("/install", func(w http.ResponseWriter, r *http.Request) {
 		var req InstallRequest
-		if !decode(w, r, &req, s.MaxBodyBytes) {
+		if !decode(w, r, &req, s.MaxBodyBytes, s.DisableWire) {
 			return
 		}
 		s.instMu.Lock()
@@ -322,7 +327,7 @@ func (s *AgentServer) Handler() http.Handler {
 	})
 	mux.HandleFunc("/uninstall", func(w http.ResponseWriter, r *http.Request) {
 		var req UninstallRequest
-		if !decode(w, r, &req, s.MaxBodyBytes) {
+		if !decode(w, r, &req, s.MaxBodyBytes, s.DisableWire) {
 			return
 		}
 		s.instMu.Lock()
@@ -358,7 +363,7 @@ func (s *ControllerServer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/alarm", func(w http.ResponseWriter, r *http.Request) {
 		var req AlarmRequest
-		if !decode(w, r, &req, s.MaxBodyBytes) {
+		if !decode(w, r, &req, s.MaxBodyBytes, false) {
 			return
 		}
 		s.C.RaiseAlarmContext(r.Context(), req.Alarm)
@@ -451,16 +456,29 @@ func (c *AlarmClient) client() *http.Client {
 }
 
 // HTTPTransport implements controller.Transport over per-host agent URLs.
-// Query and batch-query responses are negotiated: unless JSONOnly is set,
-// requests offer the binary wire encoding (internal/wire) and the decoder
+// Both directions are negotiated: unless JSONOnly is set, requests offer
+// the binary wire encoding (internal/wire) in Accept and the decoder
 // follows the response Content-Type, so daemons that predate the wire
-// format keep answering JSON and everything still works.
+// format keep answering JSON and everything still works. Query, batch and
+// install request bodies travel wire-encoded too; a daemon that rejects
+// one (415 from a daemon with wire requests disabled, 400 from one that
+// predates them and choked JSON-parsing the frame) gets that request
+// retried as JSON — safe, servers decode before any side effect — and is
+// remembered, so later requests to that base URL go straight to JSON.
 type HTTPTransport struct {
 	URLs   map[types.HostID]string
 	Client *http.Client
-	// JSONOnly suppresses the wire-format Accept offer, forcing JSON
-	// responses (mixed-version testing, debugging with readable bodies).
+	// JSONOnly suppresses the wire format in both directions: JSON
+	// request bodies and no wire Accept offer (mixed-version testing,
+	// debugging with readable bodies).
 	JSONOnly bool
+	// JSONRequests forces JSON request bodies while still accepting
+	// wire-encoded responses (request-side mixed-version testing).
+	JSONRequests bool
+
+	// jsonReq remembers base URLs whose daemons rejected a wire-encoded
+	// request body; keys are base URLs, values are unused.
+	jsonReq sync.Map
 }
 
 func (t *HTTPTransport) client() *http.Client {
@@ -493,25 +511,115 @@ func acquire(ctx context.Context, sem chan struct{}) (release func(), err error)
 	}
 }
 
-// doPost issues one JSON-bodied POST and returns the raw 200 response,
-// body unread, so callers pick the decoder the response Content-Type
-// calls for. With acceptWire the request offers the binary wire encoding.
-// A non-200 answer closes the body and surfaces as *StatusError (the
-// response is still returned for its status code).
+// reqBufs pools request-encode buffers: every POST borrows one for its
+// body (wire frame or JSON) instead of allocating, and releases it once
+// the round trip's Do returns. Buffers that grew past a megabyte are
+// dropped rather than pinned.
+var reqBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledReqBuf = 1 << 20
+
+func putReqBuf(buf *bytes.Buffer) {
+	if buf.Cap() > maxPooledReqBuf {
+		return
+	}
+	buf.Reset()
+	reqBufs.Put(buf)
+}
+
+// doPost issues one POST and returns the raw 200 response, body unread,
+// so callers pick the decoder the response Content-Type calls for. With
+// acceptWire the request offers the binary wire encoding for the
+// response. The request body itself is wire-encoded when the request
+// type has a frame and the transport (and the daemon, per the fallback
+// cache) allows it; a daemon that rejects the frame gets one transparent
+// JSON retry and is remembered. A non-200 answer closes the body and
+// surfaces as *StatusError (the response is still returned for its
+// status code).
 func (t *HTTPTransport) doPost(ctx context.Context, base, path string, in interface{}, acceptWire bool) (*http.Response, error) {
-	body, err := json.Marshal(in)
-	if err != nil {
+	if t.wireRequestEligible(base, in) {
+		resp, err := t.doPostOnce(ctx, base, path, in, acceptWire, true)
+		if !wireRequestRejected(err) {
+			return resp, err
+		}
+		// The daemon spoke, authoritatively, before any side effect: it
+		// cannot (415) or will not (400, a pre-wire daemon JSON-parsing
+		// the frame) decode wire requests. Remember and retry as JSON.
+		t.jsonReq.Store(base, struct{}{})
+	}
+	return t.doPostOnce(ctx, base, path, in, acceptWire, false)
+}
+
+// wireRequestEligible reports whether this request should be sent
+// wire-encoded: the transport allows it, the request type has a frame,
+// and the daemon has not previously rejected one.
+func (t *HTTPTransport) wireRequestEligible(base string, in interface{}) bool {
+	if t.JSONOnly || t.JSONRequests {
+		return false
+	}
+	switch in.(type) {
+	case QueryRequest, BatchQueryRequest, InstallRequest:
+	default:
+		return false
+	}
+	_, marked := t.jsonReq.Load(base)
+	return !marked
+}
+
+// wireRequestRejected recognises a server's authoritative refusal of a
+// wire-encoded request body: 415 from a daemon with wire requests
+// disabled, 400 from a pre-wire daemon whose JSON decoder choked on the
+// frame. Both fail in decode, before any handler side effect, so the
+// JSON retry cannot double-execute anything.
+func wireRequestRejected(err error) bool {
+	var se *StatusError
+	if !errors.As(err, &se) {
+		return false
+	}
+	return se.Code == http.StatusUnsupportedMediaType || se.Code == http.StatusBadRequest
+}
+
+// encodeWireRequest writes in's binary request frame into buf.
+func encodeWireRequest(buf *bytes.Buffer, in interface{}) error {
+	switch req := in.(type) {
+	case QueryRequest:
+		return wire.WriteQueryRequest(buf, req.Host, &req.Query)
+	case BatchQueryRequest:
+		return wire.WriteBatchRequest(buf, req.Hosts, &req.Query, req.Parallel)
+	case InstallRequest:
+		return wire.WriteInstallRequest(buf, req.Host, &req.Query, req.Period)
+	default:
+		return fmt.Errorf("rpc: no wire request frame for %T", in)
+	}
+}
+
+func (t *HTTPTransport) doPostOnce(ctx context.Context, base, path string, in interface{}, acceptWire, wireReq bool) (*http.Response, error) {
+	buf := reqBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	contentType := "application/json"
+	if wireReq {
+		if err := encodeWireRequest(buf, in); err != nil {
+			putReqBuf(buf)
+			return nil, err
+		}
+		contentType = wire.ContentType
+	} else if err := json.NewEncoder(buf).Encode(in); err != nil {
+		putReqBuf(buf)
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(buf.Bytes()))
 	if err != nil {
+		putReqBuf(buf)
 		return nil, err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", contentType)
 	if acceptWire {
 		req.Header.Set("Accept", wire.ContentType+", application/json")
 	}
 	resp, err := t.client().Do(req)
+	// Do has fully consumed (or abandoned) the body by the time it
+	// returns, retries included, so the buffer is recyclable here.
+	putReqBuf(buf)
 	if err != nil {
 		return nil, err
 	}
@@ -535,7 +643,11 @@ func closeBody(resp *http.Response) {
 // callers can detect missing endpoints. The request carries ctx
 // (http.NewRequestWithContext), so cancelling it aborts the dial, the
 // in-flight request, and the response read; waiting on a semaphore slot
-// is interruptible too.
+// is interruptible too. postStatus never offers the wire encoding, so a
+// wire-typed reply means the server ignored the negotiation; it is
+// reported as *UnexpectedContentTypeError instead of being fed to the
+// JSON decoder, whose "invalid character" noise would hide the real
+// mismatch.
 func (t *HTTPTransport) postStatus(ctx context.Context, base, path string, in, out interface{}, sem chan struct{}) (int, error) {
 	release, err := acquire(ctx, sem)
 	if err != nil {
@@ -550,12 +662,34 @@ func (t *HTTPTransport) postStatus(ctx context.Context, base, path string, in, o
 		return 0, err
 	}
 	defer closeBody(resp)
+	if ct := resp.Header.Get("Content-Type"); wire.IsWire(ct) {
+		return resp.StatusCode, &UnexpectedContentTypeError{URL: base + path, ContentType: ct}
+	}
 	return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+}
+
+// UnexpectedContentTypeError reports a reply whose Content-Type the
+// client never offered to accept — a daemon answering the binary wire
+// encoding to a request that only asked for JSON. It names the encoding
+// so the mismatch is diagnosable, where JSON-decoding the frame bytes
+// would fail with a garbled syntax error.
+type UnexpectedContentTypeError struct {
+	URL         string
+	ContentType string
+}
+
+// Error implements error.
+func (e *UnexpectedContentTypeError) Error() string {
+	return fmt.Sprintf("rpc: %s answered unrequested content type %q", e.URL, e.ContentType)
 }
 
 // Query implements controller.Transport. The response body streams
 // through whichever decoder its Content-Type selects — the binary wire
-// codec when the daemon took the offer, JSON otherwise.
+// codec when the daemon took the offer, JSON otherwise. Wire replies
+// decode chunk by chunk into a pooled record buffer, so decode work
+// overlaps a streaming daemon's scan and arrival on the network instead
+// of waiting for the frame's last byte; the controller recycles the
+// buffer once the merge has folded it in.
 func (t *HTTPTransport) Query(ctx context.Context, host types.HostID, q query.Query) (query.Result, controller.QueryMeta, error) {
 	base, ok := t.URLs[host]
 	if !ok {
@@ -567,9 +701,18 @@ func (t *HTTPTransport) Query(ctx context.Context, host types.HostID, q query.Qu
 	}
 	defer closeBody(httpResp)
 	if wire.IsWire(httpResp.Header.Get("Content-Type")) {
-		m, res, err := wire.ReadQuery(httpResp.Body)
+		recs := query.GetRecordBuf()
+		m, res, err := wire.ReadQueryChunks(httpResp.Body, func(chunk []types.Record) {
+			recs = append(recs, chunk...)
+		})
 		if err != nil {
+			query.PutRecordBuf(recs)
 			return query.Result{}, controller.QueryMeta{}, err
+		}
+		if len(recs) > 0 {
+			res.Records = recs
+		} else {
+			query.PutRecordBuf(recs)
 		}
 		return *res, controller.QueryMeta{
 			RecordsScanned:  m.RecordsScanned,
@@ -734,11 +877,14 @@ func (e *StatusError) HTTPStatus() int { return e.Code }
 // such deployments raise the server's MaxBodyBytes (pathdumpd -max-body).
 const DefaultMaxBody = 16 << 20
 
-// decode parses a JSON request body capped at limit bytes (<= 0 means
-// DefaultMaxBody). An over-limit body answers 413 with an explicit
+// decode parses a request body capped at limit bytes (<= 0 means
+// DefaultMaxBody): a body marked with the wire Content-Type decodes
+// through the binary request frames (unless disableWire emulates an old
+// daemon, answering 415 so the client falls back to JSON), anything else
+// decodes as JSON. An over-limit body answers 413 with an explicit
 // message; it used to surface as a baffling 400 "unexpected EOF" when the
 // cap was a bare io.LimitReader silently truncating the stream.
-func decode(w http.ResponseWriter, r *http.Request, v interface{}, limit int64) bool {
+func decode(w http.ResponseWriter, r *http.Request, v interface{}, limit int64, disableWire bool) bool {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return false
@@ -747,16 +893,71 @@ func decode(w http.ResponseWriter, r *http.Request, v interface{}, limit int64) 
 		limit = DefaultMaxBody
 	}
 	body := http.MaxBytesReader(w, r.Body, limit)
-	if err := json.NewDecoder(body).Decode(v); err != nil {
-		var mbe *http.MaxBytesError
-		if errors.As(err, &mbe) {
-			http.Error(w, fmt.Sprintf("request body exceeds the %d-byte limit; raise the server's max body size (-max-body)", mbe.Limit), http.StatusRequestEntityTooLarge)
+	if wire.IsWire(r.Header.Get("Content-Type")) {
+		if disableWire {
+			http.Error(w, "rpc: wire-encoded requests disabled here", http.StatusUnsupportedMediaType)
 			return false
 		}
-		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		if err := decodeWireRequest(body, v); err != nil {
+			writeDecodeError(w, err)
+			return false
+		}
+		return true
+	}
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		writeDecodeError(w, err)
 		return false
 	}
 	return true
+}
+
+// errWireEndpoint marks a wire-encoded body posted to an endpoint that
+// has no binary request frame (alarms, uninstalls); decode answers 415 so
+// the client retries as JSON.
+var errWireEndpoint = errors.New("rpc: endpoint does not accept wire-encoded requests")
+
+// decodeWireRequest maps the handler's request struct onto its wire frame
+// decoder. Decoding fails before any handler side effect, so a client may
+// safely retry the same request as JSON.
+func decodeWireRequest(body io.Reader, v interface{}) error {
+	switch req := v.(type) {
+	case *QueryRequest:
+		host, q, err := wire.ReadQueryRequest(body)
+		if err != nil {
+			return err
+		}
+		req.Host, req.Query = host, q
+	case *BatchQueryRequest:
+		hosts, q, parallel, err := wire.ReadBatchRequest(body)
+		if err != nil {
+			return err
+		}
+		req.Hosts, req.Query, req.Parallel = hosts, q, parallel
+	case *InstallRequest:
+		host, q, period, err := wire.ReadInstallRequest(body)
+		if err != nil {
+			return err
+		}
+		req.Host, req.Query, req.Period = host, q, period
+	default:
+		return errWireEndpoint
+	}
+	return nil
+}
+
+// writeDecodeError maps a request-decode failure onto its status: 413 for
+// an over-limit body, 415 for a wire body on a JSON-only endpoint, 400
+// otherwise.
+func writeDecodeError(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	switch {
+	case errors.As(err, &mbe):
+		http.Error(w, fmt.Sprintf("request body exceeds the %d-byte limit; raise the server's max body size (-max-body)", mbe.Limit), http.StatusRequestEntityTooLarge)
+	case errors.Is(err, errWireEndpoint):
+		http.Error(w, err.Error(), http.StatusUnsupportedMediaType)
+	default:
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+	}
 }
 
 // encode writes a JSON response. Marshalling happens before the first

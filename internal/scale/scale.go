@@ -34,6 +34,21 @@ type Config struct {
 	// across the topology (0 = every host). Destinations are always the
 	// full host set, so traffic still crosses the whole fabric.
 	ActiveHosts int
+	// RecordBudget switches the harness into the record-budgeted
+	// streaming source mode: every host sources traffic (ActiveHosts is
+	// ignored), but only SourceWave of them at a time, in sequential
+	// waves that cover the whole fleet across Duration — so an
+	// all-active k=48 run exercises every source without ever holding
+	// the whole fleet's concurrent flow state. The value is the
+	// cluster-wide TIB record target: unless the caller set its own
+	// Agent.RetentionBytes, each agent gets a byte budget of
+	// RecordBudget/hosts records (at the TIB's ~128-byte resident
+	// estimate), so stores evict instead of growing with offered load
+	// and the run's heap stays bounded.
+	RecordBudget int
+	// SourceWave is the streaming mode's cohort size: how many hosts
+	// source concurrently per wave (default max(64, hosts/32)).
+	SourceWave int
 	// Seed decouples harness randomness between runs.
 	Seed int64
 	// Net overrides the simulated fabric's knobs (bandwidth, delays,
@@ -76,6 +91,12 @@ func (r *Result) String() string {
 		r.HeapBytes>>20)
 }
 
+// budgetRecordBytes is the per-record resident estimate used to convert
+// RecordBudget into a per-agent RetentionBytes figure — the TIB accounts
+// ~96 bytes plus path backing per record; 128 leaves headroom for longer
+// paths.
+const budgetRecordBytes = 128
+
 // Run stands up the cluster, drives the sustained workload to Duration,
 // drains the fabric, and measures the footprint.
 func Run(cfg Config) (*Result, error) {
@@ -89,41 +110,94 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Duration == 0 {
 		cfg.Duration = types.Second
 	}
+	if cfg.RecordBudget > 0 && cfg.Agent.RetentionBytes == 0 {
+		// K-ary fat tree: K³/4 hosts. Derived before the cluster exists
+		// because retention is an agent-construction knob.
+		nHosts := cfg.K * cfg.K * cfg.K / 4
+		perHost := int64(cfg.RecordBudget) / int64(nHosts)
+		if perHost < 1 {
+			perHost = 1
+		}
+		cfg.Agent.RetentionBytes = perHost * budgetRecordBytes
+	}
 	c, err := pathdump.NewFatTree(cfg.K, pathdump.Config{Net: cfg.Net, Agent: cfg.Agent})
 	if err != nil {
 		return nil, err
 	}
 	hosts := c.HostIDs()
-	sources := hosts
-	if cfg.ActiveHosts > 0 && cfg.ActiveHosts < len(hosts) {
-		stride := len(hosts) / cfg.ActiveHosts
-		sources = make([]pathdump.HostID, 0, cfg.ActiveHosts)
-		for i := 0; i < len(hosts) && len(sources) < cfg.ActiveHosts; i += stride {
-			sources = append(sources, hosts[i])
-		}
-	}
 	linkBps := c.Sim.Config().BandwidthBps
-	gen, err := workload.NewGenerator(c.Sim, c.Stacks, workload.GenConfig{
-		Sources: sources, Dests: hosts,
-		Load: cfg.Load, LinkBps: linkBps, Dist: cfg.Dist,
-		Until: cfg.Duration, Seed: cfg.Seed,
-	})
-	if err != nil {
-		return nil, err
-	}
-	gen.Start()
-	events := c.Sim.Run(cfg.Duration)
-	events += c.Sim.RunAll() // drain in-flight flows and sweeps
-
 	res := &Result{
-		Hosts:            len(hosts),
-		Switches:         c.Topo.NumSwitches(),
-		FlowsStarted:     gen.Started,
-		FlowsCompleted:   gen.Completed,
-		PacketsDelivered: c.Sim.Stats().Delivered,
-		Events:           events,
-		Cluster:          c,
+		Hosts:    len(hosts),
+		Switches: c.Topo.NumSwitches(),
+		Cluster:  c,
 	}
+	events := 0
+	if cfg.RecordBudget > 0 {
+		// Streaming source mode: the fleet sources in sequential waves.
+		wave := cfg.SourceWave
+		if wave <= 0 {
+			wave = len(hosts) / 32
+			if wave < 64 {
+				wave = 64
+			}
+		}
+		nWaves := (len(hosts) + wave - 1) / wave
+		waveDur := cfg.Duration / types.Time(nWaves)
+		if waveDur < 1 {
+			waveDur = 1
+		}
+		var until types.Time
+		gens := make([]*workload.Generator, 0, nWaves)
+		for w := 0; w < nWaves; w++ {
+			end := (w + 1) * wave
+			if end > len(hosts) {
+				end = len(hosts)
+			}
+			until += waveDur
+			gen, err := workload.NewGenerator(c.Sim, c.Stacks, workload.GenConfig{
+				Sources: hosts[w*wave : end], Dests: hosts,
+				Load: cfg.Load, LinkBps: linkBps, Dist: cfg.Dist,
+				Until: until, Seed: cfg.Seed + int64(w),
+			})
+			if err != nil {
+				return nil, err
+			}
+			gens = append(gens, gen)
+			gen.Start()
+			events += c.Sim.Run(until)
+		}
+		events += c.Sim.RunAll() // drain in-flight flows and sweeps
+		// A wave's completions keep landing while later waves run, so
+		// counts are summed only after the shared drain.
+		for _, g := range gens {
+			res.FlowsStarted += g.Started
+			res.FlowsCompleted += g.Completed
+		}
+	} else {
+		sources := hosts
+		if cfg.ActiveHosts > 0 && cfg.ActiveHosts < len(hosts) {
+			stride := len(hosts) / cfg.ActiveHosts
+			sources = make([]pathdump.HostID, 0, cfg.ActiveHosts)
+			for i := 0; i < len(hosts) && len(sources) < cfg.ActiveHosts; i += stride {
+				sources = append(sources, hosts[i])
+			}
+		}
+		gen, err := workload.NewGenerator(c.Sim, c.Stacks, workload.GenConfig{
+			Sources: sources, Dests: hosts,
+			Load: cfg.Load, LinkBps: linkBps, Dist: cfg.Dist,
+			Until: cfg.Duration, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		gen.Start()
+		events = c.Sim.Run(cfg.Duration)
+		events += c.Sim.RunAll() // drain in-flight flows and sweeps
+		res.FlowsStarted = gen.Started
+		res.FlowsCompleted = gen.Completed
+	}
+	res.PacketsDelivered = c.Sim.Stats().Delivered
+	res.Events = events
 	for _, a := range c.Agents {
 		res.RecordsStored += a.Store.Len()
 	}

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"pathdump/internal/query"
+	"pathdump/internal/types"
 )
 
 // BenchmarkWireRoundtrip measures a full encode+decode of a 5000-record
@@ -63,6 +64,133 @@ func BenchmarkWireRoundtrip(b *testing.B) {
 		}
 		j, _ := json.Marshal(res)
 		b.ReportMetric(float64(len(j)), "wire-bytes")
+	})
+}
+
+// BenchmarkStreamEncode measures serving a 100k-record reply: `streamed`
+// appends each record to a QueryStreamWriter (the server's O(chunk)
+// path — B/op here is what a daemon allocates per huge reply), `buffered`
+// materialises the full slice first and one-shots WriteQuery (the old
+// path). The ≥4x B/op gap between them is the point of the chunked
+// encoding; CI gates both against BENCH_BASELINE.txt.
+func BenchmarkStreamEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	recs := randBenchResult(rng, 100_000).Records
+
+	b.Run("streamed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sw, err := NewQueryStreamWriter(io.Discard, Meta{RecordsScanned: len(recs)}, query.OpRecords, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := range recs {
+				if err := sw.Append(&recs[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := sw.Close(0, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("buffered", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			reply := make([]types.Record, 0, 1024)
+			for j := range recs {
+				reply = append(reply, recs[j])
+			}
+			res := &query.Result{Op: query.OpRecords, Records: reply}
+			if err := WriteQuery(io.Discard, Meta{RecordsScanned: len(recs)}, res, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkStreamDecode measures consuming that same 100k-record frame:
+// `sink` hands each chunk to a callback over a reused scratch slice (the
+// transport's merge-as-it-arrives path), `materialized` decodes the whole
+// records section into one slice.
+func BenchmarkStreamDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	res := randBenchResult(rng, 100_000)
+	var frame bytes.Buffer
+	if err := WriteQuery(&frame, Meta{RecordsScanned: 100_000}, res, false); err != nil {
+		b.Fatal(err)
+	}
+	raw := frame.Bytes()
+
+	b.Run("sink", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			total := 0
+			_, _, err := ReadQueryChunks(bytes.NewReader(raw), func(chunk []types.Record) {
+				total += len(chunk)
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if total != 100_000 {
+				b.Fatalf("decoded %d records", total)
+			}
+		}
+	})
+
+	b.Run("materialized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, got, err := ReadQuery(bytes.NewReader(raw))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(got.Records) != 100_000 {
+				b.Fatalf("decoded %d records", len(got.Records))
+			}
+		}
+	})
+}
+
+// BenchmarkRequestEncode measures one query-request body encode — the
+// per-fan-out client cost at every hop — binary frame against the JSON
+// body it replaces.
+func BenchmarkRequestEncode(b *testing.B) {
+	host := types.HostID(42)
+	q := &query.Query{
+		Op: query.OpConformance, Link: types.LinkID{A: 3, B: 9},
+		Range: types.TimeRange{From: 0, To: types.TimeEnd}, K: 10, MaxPathLen: 6,
+		Avoid:     []types.SwitchID{4, 5, 6, 7},
+		Waypoints: []types.SwitchID{1, 2},
+	}
+
+	b.Run("wire", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf bytes.Buffer
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := WriteQueryRequest(&buf, &host, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(buf.Len()), "wire-bytes")
+	})
+
+	b.Run("json", func(b *testing.B) {
+		b.ReportAllocs()
+		payload := struct {
+			Host  *types.HostID `json:"host,omitempty"`
+			Query query.Query   `json:"query"`
+		}{Host: &host, Query: *q}
+		var buf bytes.Buffer
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := json.NewEncoder(&buf).Encode(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(buf.Len()), "wire-bytes")
 	})
 }
 

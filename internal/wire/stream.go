@@ -1,0 +1,216 @@
+package wire
+
+// Streaming side of the chunked records encoding. A server scanning a big
+// TIB uses QueryStreamWriter to emit the reply one chunk at a time —
+// holding O(DefaultChunkRecords) records plus the cumulative dictionaries
+// instead of the whole reply — and a client uses ReadQueryChunks to hand
+// each chunk to a merger before the frame's last byte arrives.
+
+import (
+	"bufio"
+	"compress/flate"
+	"errors"
+	"fmt"
+	"io"
+
+	"pathdump/internal/query"
+	"pathdump/internal/types"
+)
+
+// ErrStreamClosed is returned by QueryStreamWriter.Append after Close or
+// Abort.
+var ErrStreamClosed = errors.New("wire: stream writer closed")
+
+// QueryStreamWriter encodes one query-response frame whose records section
+// is produced incrementally. It serves the records op only: the frame's
+// scalar fields and every non-record section are written empty, which is
+// exactly what query.Execute produces for that op. Records buffer until a
+// chunk fills, then the chunk is encoded and flushed to the destination
+// (through flate when compression is on), so server-side memory stays
+// O(chunk) however large the reply. Close completes the frame; a writer
+// abandoned without Close leaves a truncated frame, which decoders reject
+// — that truncation is the error signal once the HTTP status line is
+// already committed.
+//
+// The writer is not safe for concurrent use.
+type QueryStreamWriter struct {
+	fw    *flate.Writer
+	fbw   *bufio.Writer
+	w     *writer
+	fd    *flowDict
+	pd    *pathDict
+	chunk []types.Record
+	prev  int64
+	err   error
+	done  bool
+
+	// OnChunk, when set, runs after each chunk reaches the destination
+	// writer. Servers hook http.Flusher here so chunks actually hit the
+	// wire instead of pooling in the response buffer.
+	OnChunk func()
+}
+
+// NewQueryStreamWriter writes the frame header, telemetry and result
+// prefix for a records-op reply to dst and returns a writer ready to
+// Append records. Meta is written up front, before the scan runs; pass the
+// segment-stat deltas learned during the scan to Close instead.
+func NewQueryStreamWriter(dst io.Writer, m Meta, op query.Op, compress bool) (*QueryStreamWriter, error) {
+	hdr := [6]byte{magic[0], magic[1], magic[2], magic[3], kindQuery, 0}
+	if compress {
+		hdr[5] = FlagFlate
+	}
+	if _, err := dst.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("wire: writing frame header: %w", err)
+	}
+	s := &QueryStreamWriter{}
+	out := dst
+	if compress {
+		s.fw, _ = flate.NewWriter(dst, flate.DefaultCompression)
+		out = s.fw
+	}
+	s.fbw = frameWriters.Get().(*bufio.Writer)
+	s.fbw.Reset(out)
+	s.w = &writer{bw: s.fbw}
+	s.fd, s.pd = getFlowDict(), getPathDict()
+	s.chunk = make([]types.Record, 0, DefaultChunkRecords)
+
+	writeMeta(s.w, m)
+	s.w.str(string(op))
+	s.w.uvarint(0)          // Bytes
+	s.w.uvarint(0)          // Pkts
+	s.w.svarint(0)          // Duration
+	s.w.uvarint(secRecords) // present bitmap: records only
+	return s, nil
+}
+
+// Append adds one record to the stream, flushing a full chunk to the
+// destination. The record is copied; the caller may reuse it. Errors are
+// sticky: once a flush fails every later Append returns the same error,
+// so scan loops can keep calling without re-checking the transport.
+func (s *QueryStreamWriter) Append(rec *types.Record) error {
+	if s.done {
+		if s.err != nil {
+			return s.err
+		}
+		return ErrStreamClosed
+	}
+	if s.err != nil {
+		return s.err
+	}
+	s.chunk = append(s.chunk, *rec)
+	if len(s.chunk) >= DefaultChunkRecords {
+		s.flushChunk()
+	}
+	return s.err
+}
+
+// Close flushes the final chunk, writes the end marker carrying the
+// segment-stat deltas learned during the scan, completes the compressed
+// stream, and releases pooled resources. It returns the first error the
+// stream hit.
+func (s *QueryStreamWriter) Close(segScanned, segPruned int) error {
+	if s.done {
+		return s.err
+	}
+	if s.err == nil && len(s.chunk) > 0 {
+		s.prev = writeRecordChunk(s.w, s.chunk, s.fd, s.pd, s.prev)
+		s.chunk = s.chunk[:0]
+	}
+	if s.err == nil {
+		writeRecordsEnd(s.w, segScanned, segPruned)
+		if err := s.fbw.Flush(); err != nil {
+			s.fail(err)
+		}
+	}
+	if s.err == nil && s.fw != nil {
+		if err := s.fw.Close(); err != nil {
+			s.fail(err)
+		}
+	}
+	s.release()
+	return s.err
+}
+
+// Err reports the stream's sticky error: the first transport failure any
+// Append or flush hit, or nil while the stream is healthy.
+func (s *QueryStreamWriter) Err() error {
+	if s.err != nil && !errors.Is(s.err, ErrStreamClosed) {
+		return s.err
+	}
+	return nil
+}
+
+// Abort releases the writer's pooled resources without completing the
+// frame, leaving whatever bytes already flushed as a truncated frame the
+// decoder will reject. Use it when the scan fails after streaming began.
+func (s *QueryStreamWriter) Abort() {
+	if s.done {
+		return
+	}
+	if s.err == nil {
+		s.err = ErrStreamClosed
+	}
+	s.release()
+}
+
+func (s *QueryStreamWriter) flushChunk() {
+	if len(s.chunk) == 0 || s.err != nil {
+		return
+	}
+	s.prev = writeRecordChunk(s.w, s.chunk, s.fd, s.pd, s.prev)
+	s.chunk = s.chunk[:0]
+	if err := s.fbw.Flush(); err != nil {
+		s.fail(err)
+		return
+	}
+	if s.fw != nil {
+		if err := s.fw.Flush(); err != nil {
+			s.fail(err)
+			return
+		}
+	}
+	if s.OnChunk != nil {
+		s.OnChunk()
+	}
+}
+
+func (s *QueryStreamWriter) fail(err error) {
+	if s.err == nil {
+		s.err = fmt.Errorf("wire: writing stream frame: %w", err)
+	}
+}
+
+func (s *QueryStreamWriter) release() {
+	s.done = true
+	s.fbw.Reset(io.Discard) // drop buffered bytes + destination before pooling
+	frameWriters.Put(s.fbw)
+	s.fbw = nil
+	s.w = nil
+	s.fd.release()
+	s.pd.release()
+	s.fd, s.pd = nil, nil
+	s.chunk = nil
+	s.fw = nil
+}
+
+// ReadQueryChunks decodes one query response frame, handing each record
+// chunk to fn as soon as its bytes are available instead of materialising
+// the records section. fn runs on the caller's goroutine and must not
+// retain the slice — it is reused for the next chunk. The returned Result
+// carries every non-record section; Records stays nil. Frames written by
+// WriteQuery and QueryStreamWriter decode identically.
+func ReadQueryChunks(r io.Reader, fn func([]types.Record)) (Meta, *query.Result, error) {
+	if fn == nil {
+		return ReadQuery(r)
+	}
+	var m Meta
+	var res query.Result
+	err := readFrame(r, kindQuery, func(br *reader) {
+		m = readMeta(br)
+		readResult(br, &res, &m, fn)
+	})
+	if err != nil {
+		return Meta{}, nil, err
+	}
+	return m, &res, nil
+}

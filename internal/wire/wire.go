@@ -1,5 +1,5 @@
 // Package wire implements PathDump's binary columnar encoding for query
-// and batch-query responses — the data plane between host daemons and the
+// and batch-query traffic — the data plane between host daemons and the
 // controller. JSON ships every record as a pointer-heavy object; at fan-out
 // scale the encode/decode cost and byte volume dominate query latency. The
 // wire format instead encodes a response column by column:
@@ -13,11 +13,20 @@
 // own STime) and all integers use varints, so a typical record batch is an
 // integer factor smaller than its JSON form and decodes without reflection.
 //
+// The records section is chunked: a sequence of bounded-size chunks, each
+// carrying only the dictionary entries that first appear in it (deltas
+// against the cumulative dictionaries), followed by a zero-count end marker
+// that can patch segment-scan telemetry learned only after the scan. A
+// server can therefore emit a huge records reply O(chunk) at a time
+// (QueryStreamWriter, stream.go) and a client can hand each chunk to a
+// merger before the frame's last byte arrives (ReadQueryChunks).
+//
 // Responses are negotiated per request: a client that understands the wire
 // format sends "Accept: application/x-pathdump-wire"; a server that speaks
 // it answers with that Content-Type, any other server answers JSON and the
-// client falls back transparently (see internal/rpc). Requests themselves
-// stay JSON — they are tiny and keeping them readable costs nothing.
+// client falls back transparently (see internal/rpc). Requests travel in
+// the same format (request.go): the client marks the body with the wire
+// Content-Type, and falls back to JSON per URL when a daemon rejects it.
 package wire
 
 import (
@@ -27,6 +36,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"slices"
 	"strings"
 	"sync"
 
@@ -46,10 +56,15 @@ func IsWire(contentType string) bool {
 	return strings.HasPrefix(contentType, ContentType)
 }
 
-// Frame kinds.
+// Frame kinds. Response kinds sit in the low range, request kinds at
+// 0x11+ so a frame posted to the wrong endpoint fails the kind check
+// instead of misparsing.
 const (
-	kindQuery = 0x01 // Meta + one query.Result
-	kindBatch = 0x02 // a list of per-host BatchReply entries
+	kindQuery      = 0x01 // Meta + one query.Result
+	kindBatch      = 0x02 // a list of per-host BatchReply entries
+	kindQueryReq   = 0x11 // optional host + one query.Query
+	kindBatchReq   = 0x12 // host list + query.Query + parallelism
+	kindInstallReq = 0x13 // optional host + query.Query + period
 )
 
 // FlagFlate marks a body compressed with DEFLATE. Decoders detect it from
@@ -67,7 +82,15 @@ const (
 	maxPathLen = 1 << 16 // switches in one path
 	maxOpLen   = 1 << 10 // bytes in an op name
 	maxReplies = 1 << 20 // per-host replies in a batch frame
+	maxChunk   = 1 << 16 // records in one chunk of a records section
 )
+
+// DefaultChunkRecords is the number of records encoded per chunk of a
+// records section. It bounds both the writer's buffering (a streaming
+// server holds one chunk of records plus the cumulative dictionaries) and
+// the decoder's per-chunk allocation; decoders accept chunks up to the
+// larger maxChunk cap so the constant can be tuned without a format break.
+const DefaultChunkRecords = 4096
 
 // Meta mirrors the execution telemetry carried alongside a result. wire
 // cannot import internal/rpc (rpc imports wire), so it defines its own
@@ -100,7 +123,7 @@ func ReadQuery(r io.Reader) (Meta, *query.Result, error) {
 	var res query.Result
 	err := readFrame(r, kindQuery, func(br *reader) {
 		m = readMeta(br)
-		readResult(br, &res)
+		readResult(br, &res, &m, nil)
 	})
 	if err != nil {
 		return Meta{}, nil, err
@@ -133,7 +156,7 @@ func ReadBatch(r io.Reader) ([]BatchReply, error) {
 			rep.Host = types.HostID(br.uvarint())
 			rep.Error = br.str(maxOpLen * 4)
 			rep.Meta = readMeta(br)
-			readResult(br, &rep.Result)
+			readResult(br, &rep.Result, &rep.Meta, nil)
 			replies = append(replies, rep)
 		}
 	})
@@ -351,7 +374,11 @@ func writeResult(w *writer, res *query.Result) {
 	}
 }
 
-func readResult(r *reader, res *query.Result) {
+// readResult decodes one result. The records section's end marker can
+// patch segment-scan telemetry into m (streamed frames learn the counts
+// only after the scan finishes); a non-nil sink receives each decoded
+// record chunk instead of the chunks accumulating into res.Records.
+func readResult(r *reader, res *query.Result, m *Meta, sink func([]types.Record)) {
 	res.Op = query.Op(r.str(maxOpLen))
 	res.Bytes = r.uvarint()
 	res.Pkts = r.uvarint()
@@ -433,7 +460,7 @@ func readResult(r *reader, res *query.Result) {
 		}
 	}
 	if present&secRecords != 0 {
-		res.Records = readRecords(r)
+		res.Records = readRecords(r, m, sink)
 	}
 }
 
@@ -480,25 +507,57 @@ func readFlows(r *reader) []types.Flow {
 }
 
 // writeRecords is the hot section: column-major record encoding over flow
-// and path dictionaries with delta-encoded timestamps.
+// and path dictionaries with delta-encoded timestamps, cut into
+// DefaultChunkRecords-sized chunks:
+//
+//	records := chunk* end
+//	chunk   := n (>0) | flow-dict delta | path-dict delta
+//	           | n×flowIdx | n×pathIdx | n×ΔSTime | n×ΔETime
+//	           | n×bytes | n×pkts
+//	end     := 0 | ΔSegmentsScanned | ΔSegmentsPruned
+//
+// Dictionaries are cumulative across chunks — each chunk carries only the
+// entries that first appear in it — and the STime delta chain continues
+// across chunk boundaries. The end marker's deltas are added to the
+// frame's Meta by the decoder: a streaming server writes Meta before the
+// scan starts and patches the segment counts it learns afterward; the
+// materialised path here always writes zeros.
 func writeRecords(w *writer, recs []types.Record) {
 	fd, pd := getFlowDict(), getPathDict()
 	defer fd.release()
 	defer pd.release()
+	var prev int64
+	for start := 0; start < len(recs); start += DefaultChunkRecords {
+		end := min(start+DefaultChunkRecords, len(recs))
+		prev = writeRecordChunk(w, recs[start:end], fd, pd, prev)
+	}
+	writeRecordsEnd(w, 0, 0)
+}
+
+// writeRecordChunk encodes one bounded chunk of records against the
+// cumulative dictionaries and returns the new tail of the STime delta
+// chain.
+func writeRecordChunk(w *writer, recs []types.Record, fd *flowDict, pd *pathDict, prev int64) int64 {
+	fOld, pOld := len(fd.list), len(pd.list)
 	for i := range recs {
 		fd.index(recs[i].Flow)
 		pd.index(recs[i].Path)
 	}
-	fd.write(w)
-	pd.write(w)
 	w.uvarint(uint64(len(recs)))
+	w.uvarint(uint64(len(fd.list) - fOld))
+	for _, f := range fd.list[fOld:] {
+		writeFlowID(w, f)
+	}
+	w.uvarint(uint64(len(pd.list) - pOld))
+	for _, p := range pd.list[pOld:] {
+		writePath(w, p)
+	}
 	for i := range recs {
 		w.uvarint(uint64(fd.index(recs[i].Flow)))
 	}
 	for i := range recs {
 		w.uvarint(uint64(pd.index(recs[i].Path)))
 	}
-	var prev int64
 	for i := range recs {
 		st := int64(recs[i].STime)
 		w.svarint(st - prev)
@@ -513,42 +572,141 @@ func writeRecords(w *writer, recs []types.Record) {
 	for i := range recs {
 		w.uvarint(recs[i].Pkts)
 	}
+	return prev
 }
 
-func readRecords(r *reader) []types.Record {
-	fd := readFlowDictEntries(r)
-	pd := readPathDictEntries(r)
-	n := r.count("records", maxElems)
-	if r.err != nil {
-		return nil
-	}
-	recs := make([]types.Record, 0, min(n, 4096))
-	flowIdx := readIndexColumn(r, n, len(fd), "flow")
-	pathIdx := readIndexColumn(r, n, len(pd), "path")
-	if r.err != nil {
-		return nil
-	}
-	for i := 0; i < n; i++ {
-		recs = append(recs, types.Record{Flow: fd[flowIdx[i]], Path: pd[pathIdx[i]]})
-	}
+// writeRecordsEnd terminates a records section: a zero chunk count
+// followed by segment-stat deltas to fold into the frame's Meta.
+func writeRecordsEnd(w *writer, segScanned, segPruned int) {
+	w.uvarint(0)
+	w.uvarint(uint64(segScanned))
+	w.uvarint(uint64(segPruned))
+}
+
+// readRecords decodes a chunked records section. With a nil sink the
+// chunks accumulate into the returned slice; with a sink each chunk is
+// decoded into a scratch slice handed to the sink (which must not retain
+// it) and the return value is nil. The end marker's deltas are added to
+// m.
+func readRecords(r *reader, m *Meta, sink func([]types.Record)) []types.Record {
+	var fd []types.FlowID
+	var pd []types.Path
+	var recs, scratch []types.Record
 	var prev int64
+	total := 0
+	for r.err == nil {
+		n := r.count("record chunk", maxChunk)
+		if r.err != nil {
+			return nil
+		}
+		if n == 0 {
+			m.SegmentsScanned += int(r.uvarint())
+			m.SegmentsPruned += int(r.uvarint())
+			if r.err != nil {
+				return nil
+			}
+			return recs
+		}
+		total += n
+		if total > maxElems {
+			r.fail(fmt.Errorf("wire: corrupt frame: records total %d exceeds cap %d", total, maxElems))
+			return nil
+		}
+		fd = readFlowDictDelta(r, fd)
+		pd = readPathDictDelta(r, pd)
+		var dst []types.Record
+		if sink == nil {
+			start := len(recs)
+			recs = slices.Grow(recs, n)[:start+n]
+			dst = recs[start:]
+		} else {
+			if cap(scratch) < n {
+				scratch = make([]types.Record, n)
+			}
+			scratch = scratch[:n]
+			dst = scratch
+		}
+		// Indices are resolved inline against the dictionaries instead of
+		// materialising column slices — this loop runs once per chunk per
+		// host reply, and two index-column allocations per chunk is what
+		// the fan-out profile showed as the decode path's top cost.
+		for i := 0; i < n; i++ {
+			v := readDictIndex(r, len(fd), "flow")
+			if r.err != nil {
+				return nil
+			}
+			dst[i] = types.Record{Flow: fd[v]}
+		}
+		for i := 0; i < n; i++ {
+			v := readDictIndex(r, len(pd), "path")
+			if r.err != nil {
+				return nil
+			}
+			dst[i].Path = pd[v]
+		}
+		for i := 0; i < n && r.err == nil; i++ {
+			prev += r.svarint()
+			dst[i].STime = types.Time(prev)
+		}
+		for i := 0; i < n && r.err == nil; i++ {
+			dst[i].ETime = dst[i].STime + types.Time(r.svarint())
+		}
+		for i := 0; i < n && r.err == nil; i++ {
+			dst[i].Bytes = r.uvarint()
+		}
+		for i := 0; i < n && r.err == nil; i++ {
+			dst[i].Pkts = r.uvarint()
+		}
+		if r.err != nil {
+			return nil
+		}
+		if sink != nil {
+			sink(dst)
+		}
+	}
+	return nil
+}
+
+// readFlowDictDelta appends one chunk's new flow-dictionary entries to the
+// cumulative dictionary. Growth is bounded to the chunk's declared count
+// so a hostile delta length cannot size an absurd allocation.
+func readFlowDictDelta(r *reader, fd []types.FlowID) []types.FlowID {
+	n := r.count("flow dictionary delta", maxElems)
+	if len(fd)+n > maxElems {
+		r.fail(fmt.Errorf("wire: corrupt frame: flow dictionary grows past cap %d", maxElems))
+		return fd
+	}
+	fd = slices.Grow(fd, min(n, 4096))
 	for i := 0; i < n && r.err == nil; i++ {
-		prev += r.svarint()
-		recs[i].STime = types.Time(prev)
+		fd = append(fd, readFlowID(r))
 	}
+	return fd
+}
+
+// readPathDictDelta appends one chunk's new path-dictionary entries to the
+// cumulative dictionary. Growth is bounded like readFlowDictDelta.
+func readPathDictDelta(r *reader, pd []types.Path) []types.Path {
+	n := r.count("path dictionary delta", maxElems)
+	if len(pd)+n > maxElems {
+		r.fail(fmt.Errorf("wire: corrupt frame: path dictionary grows past cap %d", maxElems))
+		return pd
+	}
+	pd = slices.Grow(pd, min(n, 4096))
 	for i := 0; i < n && r.err == nil; i++ {
-		recs[i].ETime = recs[i].STime + types.Time(r.svarint())
+		pd = append(pd, readPath(r))
 	}
-	for i := 0; i < n && r.err == nil; i++ {
-		recs[i].Bytes = r.uvarint()
+	return pd
+}
+
+// readDictIndex reads one dictionary index, bounds-checked against the
+// dictionary size — an out-of-range index means a corrupt frame. Callers
+// must check r.err before using the returned index.
+func readDictIndex(r *reader, dictLen int, what string) uint64 {
+	v := r.uvarint()
+	if r.err == nil && v >= uint64(dictLen) {
+		r.fail(fmt.Errorf("wire: corrupt %s dictionary: index %d out of range (dict has %d entries)", what, v, dictLen))
 	}
-	for i := 0; i < n && r.err == nil; i++ {
-		recs[i].Pkts = r.uvarint()
-	}
-	if r.err != nil {
-		return nil
-	}
-	return recs
+	return v
 }
 
 // readIndexColumn reads n dictionary indices, each bounds-checked against

@@ -241,34 +241,143 @@ func TestUnknownFlagsRejected(t *testing.T) {
 	}
 }
 
+// recordsFramePrefix writes everything in a records-op frame body up to
+// the records section, which the caller then hand-builds.
+func recordsFramePrefix(w *writer) {
+	writeMeta(w, Meta{})
+	w.str(string(query.OpRecords))
+	w.uvarint(0) // Bytes
+	w.uvarint(0) // Pkts
+	w.svarint(0) // Duration
+	w.uvarint(secRecords)
+}
+
+// writeTestChunk hand-builds one single-record chunk with the given flow
+// index and ndict fresh dictionary entries.
+func writeTestChunk(w *writer, ndict int, flowIdx uint64) {
+	w.uvarint(1) // one record in this chunk
+	w.uvarint(uint64(ndict) /* flow dict delta */)
+	for i := 0; i < ndict; i++ {
+		writeFlowID(w, types.FlowID{SrcIP: types.IP(i + 1)})
+	}
+	w.uvarint(uint64(ndict) /* path dict delta */)
+	for i := 0; i < ndict; i++ {
+		writePath(w, types.Path{types.SwitchID(i + 1)})
+	}
+	w.uvarint(flowIdx)
+	w.uvarint(0) // path index
+	w.svarint(0) // ΔSTime
+	w.svarint(0) // ΔETime
+	w.uvarint(0) // bytes
+	w.uvarint(0) // pkts
+}
+
 // TestCorruptDictionaryRejected hand-builds a records frame whose index
 // column points past the end of the flow dictionary.
 func TestCorruptDictionaryRejected(t *testing.T) {
 	var buf bytes.Buffer
 	err := writeFrame(&buf, kindQuery, false, func(w *writer) {
-		writeMeta(w, Meta{})
-		w.str(string(query.OpRecords))
-		w.uvarint(0) // Bytes
-		w.uvarint(0) // Pkts
-		w.svarint(0) // Duration
-		w.uvarint(secRecords)
-		w.uvarint(1) // flow dict: one entry
-		writeFlowID(w, types.FlowID{SrcIP: 1})
-		w.uvarint(1) // path dict: one entry
-		writePath(w, types.Path{1})
-		w.uvarint(1) // one record
-		w.uvarint(7) // flow index 7 — out of range
-		w.uvarint(0)
-		w.svarint(0)
-		w.svarint(0)
-		w.uvarint(0)
-		w.uvarint(0)
+		recordsFramePrefix(w)
+		writeTestChunk(w, 1, 7) // flow index 7 — dict has one entry
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, _, err := ReadQuery(&buf); err == nil || !strings.Contains(err.Error(), "corrupt flow dictionary") {
 		t.Fatalf("got %v, want corrupt-dictionary error", err)
+	}
+}
+
+// TestCorruptDictionaryLaterChunk points a second chunk's index column
+// past the cumulative dictionary: the first chunk must decode, the second
+// must fail — the bounds check tracks the growing dictionary, not the
+// per-chunk delta.
+func TestCorruptDictionaryLaterChunk(t *testing.T) {
+	var buf bytes.Buffer
+	err := writeFrame(&buf, kindQuery, false, func(w *writer) {
+		recordsFramePrefix(w)
+		writeTestChunk(w, 2, 1) // valid: cumulative dict has 2 entries
+		writeTestChunk(w, 1, 3) // index 3 past the 3-entry cumulative dict
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadQuery(&buf); err == nil || !strings.Contains(err.Error(), "corrupt flow dictionary") {
+		t.Fatalf("got %v, want corrupt-dictionary error", err)
+	}
+	// Index 2 in the second chunk is in range only because dictionaries
+	// are cumulative; a fresh-per-chunk decoder would reject it.
+	buf.Reset()
+	err = writeFrame(&buf, kindQuery, false, func(w *writer) {
+		recordsFramePrefix(w)
+		writeTestChunk(w, 2, 1)
+		writeTestChunk(w, 1, 2) // cumulative index 2 = the third entry
+		w.uvarint(0)            // end marker
+		w.uvarint(0)
+		w.uvarint(0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, res, err := ReadQuery(&buf); err != nil {
+		t.Fatalf("cumulative index decode: %v", err)
+	} else if len(res.Records) != 2 {
+		t.Fatalf("got %d records, want 2", len(res.Records))
+	}
+}
+
+// TestCorruptChunkHeaderRejected feeds a chunk count above the per-chunk
+// cap and a records total crossing the section cap.
+func TestCorruptChunkHeaderRejected(t *testing.T) {
+	var buf bytes.Buffer
+	err := writeFrame(&buf, kindQuery, false, func(w *writer) {
+		recordsFramePrefix(w)
+		w.uvarint(maxChunk + 1) // chunk claims more records than the cap
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadQuery(&buf); err == nil || !strings.Contains(err.Error(), "exceeds cap") {
+		t.Fatalf("oversized chunk: got %v, want count-cap error", err)
+	}
+	buf.Reset()
+	err = writeFrame(&buf, kindQuery, false, func(w *writer) {
+		recordsFramePrefix(w)
+		w.uvarint(1)       // one record
+		w.uvarint(1 << 40) // absurd flow-dictionary delta
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadQuery(&buf); err == nil || !strings.Contains(err.Error(), "exceeds cap") {
+		t.Fatalf("absurd dict delta: got %v, want count-cap error", err)
+	}
+}
+
+// TestTruncatedMidChunk cuts a multi-chunk frame in the middle of its
+// second chunk and at every boundary around the end marker.
+func TestTruncatedMidChunk(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	res := randResult(rng, DefaultChunkRecords+100) // two chunks
+	for _, compress := range []bool{false, true} {
+		var buf bytes.Buffer
+		if err := WriteQuery(&buf, Meta{}, res, compress); err != nil {
+			t.Fatal(err)
+		}
+		frame := buf.Bytes()
+		// Sampled prefixes through the body (every prefix would be
+		// O(frame²)), then every byte around the chunk boundary region and
+		// the end marker, where an off-by-one would actually live.
+		for cut := len(frame) / 2; cut < len(frame); cut += 97 {
+			if _, _, err := ReadQuery(bytes.NewReader(frame[:cut])); err == nil {
+				t.Fatalf("compress=%v: prefix of %d/%d bytes decoded without error", compress, cut, len(frame))
+			}
+		}
+		for cut := max(0, len(frame)-200); cut < len(frame); cut++ {
+			if _, _, err := ReadQuery(bytes.NewReader(frame[:cut])); err == nil {
+				t.Fatalf("compress=%v: prefix of %d/%d bytes decoded without error", compress, cut, len(frame))
+			}
+		}
 	}
 }
 

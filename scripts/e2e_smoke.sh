@@ -22,7 +22,11 @@
 #   7. mixed-version wire fallback — a binary-offering client against a
 #      -json-only daemon (stand-in for one predating the wire protocol)
 #      and a -wire json client against a wire-enabled daemon both return
-#      byte-identical output to the binary/binary pairing;
+#      byte-identical output to the binary/binary pairing; the same
+#      matrix covers the request side: the default client's binary
+#      request bodies are 415-rejected by the -json-only daemon and
+#      transparently retried as JSON, and a -wire json-req client keeps
+#      JSON request bodies while still accepting binary replies;
 #   8. impairment to alarm — a daemon boots with -impair wedging both
 #      uplinks of the demo workload's first rack at 100% loss, a TCP
 #      monitor is installed over HTTP, and the controller's history shows
@@ -221,7 +225,12 @@ echo
 echo "== 7. mixed-version wire fallback: binary client vs -json-only daemon =="
 # PORT_D (scenario 5) speaks the binary wire protocol; PORT_G serves the
 # same snapshot but answers JSON only, standing in for a daemon that
-# predates the wire protocol. All four client/daemon pairings must agree.
+# predates the wire protocol. The matrix now covers both directions of
+# the negotiation: bin_json sends binary *request* bodies at the
+# -json-only daemon (415-rejected, transparently retried as JSON) and
+# accepts only JSON replies back; -wire json-req keeps request bodies
+# JSON while still negotiating binary replies; -wire json disables both
+# directions. Every pairing must produce byte-identical output.
 boot_daemon g pathdumpd -host 0 -listen "127.0.0.1:$PORT_G" -tib "$SNAP" -json-only
 wait_ready "http://127.0.0.1:$PORT_G/stats"
 
@@ -231,13 +240,15 @@ bin_bin="$("$BIN/pathdumpctl" -agents "0=$D" -timeout 10s topk -k 5)"
 bin_json="$("$BIN/pathdumpctl" -agents "0=$G" -timeout 10s topk -k 5)"
 json_bin="$("$BIN/pathdumpctl" -agents "0=$D" -wire json -timeout 10s topk -k 5)"
 json_json="$("$BIN/pathdumpctl" -agents "0=$G" -wire json -timeout 10s topk -k 5)"
+jsonreq_bin="$("$BIN/pathdumpctl" -agents "0=$D" -wire json-req -timeout 10s topk -k 5)"
+jsonreq_json="$("$BIN/pathdumpctl" -agents "0=$G" -wire json-req -timeout 10s topk -k 5)"
 echo "$bin_bin"
 grep -q "^#1 " <<<"$bin_bin" || { echo "FAIL: wire query returned no rows"; exit 1; }
-for pair in bin_json json_bin json_json; do
+for pair in bin_json json_bin json_json jsonreq_bin jsonreq_json; do
   [ "$bin_bin" = "${!pair}" ] \
     || { echo "FAIL: $pair output differs from binary/binary:"; echo "${!pair}"; exit 1; }
 done
-echo "all four client/daemon encoding pairings agree"
+echo "all six client/daemon encoding pairings agree"
 
 echo
 echo "== 8. impairment to alarm: -impair wedges a rack, monitor raises POOR_PERF =="
