@@ -248,9 +248,17 @@ func (c *Cluster) LocalizeDDoS(victim HostID, tr TimeRange, topK int, shareThres
 }
 
 // NewTransientLoopAuditor attaches a loop/failure-timeline correlator to
-// the controller's LOOP stream.
+// the controller's LOOP stream. It is also subscribed to the simulator's
+// link-state events, so administrative failures (FailLink, FlapLink,
+// down-bit impairments) feed the failure timeline automatically;
+// NoteLinkFailure remains available for out-of-band failures the fabric
+// itself cannot observe.
 func (c *Cluster) NewTransientLoopAuditor(window Time) *apps.TransientLoopAuditor {
-	return apps.NewTransientLoopAuditor(c.Ctrl, window)
+	a := apps.NewTransientLoopAuditor(c.Ctrl, window)
+	if c.Sim != nil {
+		a.AttachSim(c.Sim)
+	}
+	return a
 }
 
 // Validate cross-checks a trajectory against the ground-truth topology

@@ -32,6 +32,7 @@ import (
 
 	"pathdump/internal/alarms"
 	"pathdump/internal/controller"
+	"pathdump/internal/obs"
 	"pathdump/internal/rpc"
 	"pathdump/internal/topology"
 	"pathdump/internal/types"
@@ -50,6 +51,8 @@ func main() {
 		burst    = flag.Int("burst", 0, "token-bucket depth for -rate (default ≈ rate)")
 		verbose  = flag.Bool("log-alarms", false, "log each admitted alarm to stderr")
 		maxBody  = flag.Int64("max-body", 0, "per-request body cap in bytes; oversized alarm posts answer 413 (0 = the 16 MiB default)")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (opt-in: profiling endpoints stay off by default)")
+		slowQ    = flag.Duration("slow-query", 0, "slow-query threshold: executions slower than this land in the bounded slow-query log served at GET /slowlog (0 = log nothing)")
 	)
 	flag.Parse()
 
@@ -64,6 +67,13 @@ func main() {
 		Rate:     *rate,
 		Burst:    *burst,
 	})
+	ctrl.SlowQueryThreshold = *slowQ
+
+	// Metrics: the controller plane (query/fan-out/alarm-pipeline
+	// telemetry) plus the rpc plane the ControllerServer's middleware
+	// records, both behind GET /metrics.
+	reg := obs.NewRegistry()
+	ctrl.RegisterMetrics(reg)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -76,10 +86,14 @@ func main() {
 		ctrl.OnAlarm(func(a types.Alarm) { log.Printf("pathdumpc: %v", a) })
 	}
 
-	srv := &http.Server{Addr: *listen, Handler: (&rpc.ControllerServer{C: ctrl, MaxBodyBytes: *maxBody}).Handler()}
+	srv := &http.Server{Addr: *listen, Handler: (&rpc.ControllerServer{
+		C:            ctrl,
+		MaxBodyBytes: *maxBody,
+		Obs:          &rpc.ServerObs{Registry: reg, EnablePprof: *pprofOn, SlowLog: ctrl.SlowLog()},
+	}).Handler()}
 	log.Printf("pathdumpc: alarm plane on %s (history %d, suppress %v, rate %.0f/s)",
 		*listen, *history, *suppress, *rate)
-	fmt.Println("endpoints: POST /alarm, GET /alarms /alarms/stream")
+	fmt.Println("endpoints: POST /alarm, GET /alarms /alarms/stream /healthz /metrics /slowlog")
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()

@@ -49,6 +49,8 @@ func main() {
 	pullSnapshot := flag.String("pull-snapshot", "", "capture the agent's TIB snapshot (GET /snapshot) into this file and exit; requires exactly one -agents entry. Serve it offline with pathdumpd -tib")
 	snapSince := flag.Uint64("snapshot-since", 0, "with -pull-snapshot: pull only the records past this arrival sequence (GET /snapshot?since_seq=N) — an incremental delta in the Version-3 framing, or a full stream when the agent has evicted past the watermark (0 = full snapshot)")
 	wireMode := flag.String("wire", "binary", "wire encoding policy: binary (columnar requests and responses, JSON fallback for old daemons), json-req (JSON request bodies, binary responses) or json (JSON both directions, never offer binary)")
+	traceOut := flag.Bool("trace", false, "print the execution's span tree after the stats line: per-host rpc and TIB-scan timings, merge waves, with hedged/retried/dropped requests labelled")
+	fanouts := flag.String("fanouts", "", "comma-separated per-level widths for hierarchical (tree) aggregation, e.g. '4,2': agents are grouped under interior aggregation nodes instead of one flat fan-out (empty = flat)")
 	ctrlURL := flag.String("controller", "", "controller URL (pathdumpc) for the alarm-plane modes -alarms and -watch")
 	listAlarms := flag.Bool("alarms", false, "query the controller's bounded alarm history (GET /alarms) and exit; filter with -reason/-alarm-host/-since/-limit")
 	watch := flag.Bool("watch", false, "tail the controller's live alarm feed (GET /alarms/stream) until killed or -watch-for elapses; -since N replays history after entry N first")
@@ -96,6 +98,13 @@ func main() {
 	ctrl.PerHostTimeout = *hostTimeout
 	ctrl.RetryAttempts = *retries
 	ctrl.RetryBackoff = *retryBackoff
+	traceSpans = *traceOut
+	execute := func(ctx context.Context, hosts []types.HostID, q query.Query) (query.Result, controller.ExecStats, error) {
+		if *fanouts != "" {
+			return ctrl.ExecuteTreeContext(ctx, hosts, q, parseFanouts(*fanouts))
+		}
+		return ctrl.ExecuteContext(ctx, hosts, q)
+	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -147,28 +156,28 @@ func main() {
 
 	switch cmd {
 	case "topk":
-		res, stats, err := ctrl.ExecuteContext(ctx, hosts, query.Query{Op: query.OpTopK, K: *k})
+		res, stats, err := execute(ctx, hosts, query.Query{Op: query.OpTopK, K: *k})
 		checkExec(stats, err)
 		for i, fb := range res.Top {
 			fmt.Printf("#%-3d %-44s %12d bytes\n", i+1, fb.Flow, fb.Bytes)
 		}
 		printStats(stats)
 	case "flows":
-		res, stats, err := ctrl.ExecuteContext(ctx, hosts, query.Query{Op: query.OpFlows, Link: parseLink(*link)})
+		res, stats, err := execute(ctx, hosts, query.Query{Op: query.OpFlows, Link: parseLink(*link)})
 		checkExec(stats, err)
 		for _, fl := range res.Flows {
 			fmt.Printf("%-44s via %v\n", fl.ID, fl.Path)
 		}
 		printStats(stats)
 	case "paths":
-		res, stats, err := ctrl.ExecuteContext(ctx, hosts, query.Query{Op: query.OpPaths, Flow: parseFlow(*flowStr), Link: types.AnyLink})
+		res, stats, err := execute(ctx, hosts, query.Query{Op: query.OpPaths, Flow: parseFlow(*flowStr), Link: types.AnyLink})
 		checkExec(stats, err)
 		for _, p := range res.Paths {
 			fmt.Println(p)
 		}
 		printStats(stats)
 	case "count":
-		res, stats, err := ctrl.ExecuteContext(ctx, hosts, query.Query{Op: query.OpCount, Flow: parseFlow(*flowStr)})
+		res, stats, err := execute(ctx, hosts, query.Query{Op: query.OpCount, Flow: parseFlow(*flowStr)})
 		checkExec(stats, err)
 		fmt.Printf("%d bytes, %d packets\n", res.Bytes, res.Pkts)
 		printStats(stats)
@@ -177,7 +186,7 @@ func main() {
 		if *avoid >= 0 {
 			q.Avoid = []types.SwitchID{types.SwitchID(*avoid)}
 		}
-		res, stats, err := ctrl.ExecuteContext(ctx, hosts, q)
+		res, stats, err := execute(ctx, hosts, q)
 		checkExec(stats, err)
 		for _, v := range res.Violations {
 			fmt.Printf("VIOLATION %-44s via %v\n", v.Flow, v.Path)
@@ -185,14 +194,14 @@ func main() {
 		fmt.Printf("%d violations\n", len(res.Violations))
 		printStats(stats)
 	case "matrix":
-		res, stats, err := ctrl.ExecuteContext(ctx, hosts, query.Query{Op: query.OpMatrix})
+		res, stats, err := execute(ctx, hosts, query.Query{Op: query.OpMatrix})
 		checkExec(stats, err)
 		for _, cell := range res.Matrix {
 			fmt.Printf("%v -> %v  %12d bytes\n", cell.SrcToR, cell.DstToR, cell.Bytes)
 		}
 		printStats(stats)
 	case "poor":
-		res, stats, err := ctrl.ExecuteContext(ctx, hosts, query.Query{Op: query.OpPoorTCP, Threshold: *threshold})
+		res, stats, err := execute(ctx, hosts, query.Query{Op: query.OpPoorTCP, Threshold: *threshold})
 		checkExec(stats, err)
 		for _, f := range res.FlowIDs {
 			fmt.Println(f)
@@ -292,14 +301,36 @@ func checkExec(stats controller.ExecStats, err error) {
 	check(err)
 }
 
+// traceSpans mirrors the -trace flag: printStats appends the span tree
+// when it is set.
+var traceSpans bool
+
 // printStats summarises the execution: how many agents answered, how many
 // were dropped/skipped, how many requests were hedged, whether the merged
 // result is partial, and the modelled §5.2 response time. The e2e smoke
-// script asserts on this line.
+// script asserts on this line. Under -trace the execution's span tree
+// follows it.
 func printStats(stats controller.ExecStats) {
 	fmt.Printf("(%d hosts answered, %d skipped, %d hedged, partial=%v, %d retried, segments %d scanned/%d pruned, modelled response %v)\n",
 		stats.Hosts, stats.Skipped, stats.Hedged, stats.Partial, stats.Retried,
 		stats.SegmentsScanned, stats.SegmentsPruned, stats.ResponseTime)
+	if traceSpans && stats.Trace != nil {
+		fmt.Print(stats.Trace.Render())
+	}
+}
+
+// parseFanouts parses the -fanouts spec: comma-separated positive
+// per-level widths, outermost first.
+func parseFanouts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			log.Fatalf("bad -fanouts entry %q (want positive integers)", part)
+		}
+		out = append(out, n)
+	}
+	return out
 }
 
 func parseAgents(s string) (map[types.HostID]string, []types.HostID) {

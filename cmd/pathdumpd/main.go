@@ -37,6 +37,7 @@ import (
 	"pathdump"
 	"pathdump/internal/agent"
 	"pathdump/internal/netsim"
+	"pathdump/internal/obs"
 	"pathdump/internal/query"
 	"pathdump/internal/rpc"
 	"pathdump/internal/tib"
@@ -74,8 +75,15 @@ func main() {
 		jsonOnly = flag.Bool("json-only", false, "speak JSON only: answer every query in JSON even when the client offers the binary wire encoding, and reject wire-encoded request bodies with 415 (clients retry those as JSON) — stands in for a daemon predating the wire protocol in mixed-version testing")
 		wireComp = flag.Bool("wire-compress", false, "flate-compress binary wire responses (trades CPU for bytes on slow links)")
 		maxBody  = flag.Int64("max-body", 0, "per-request body cap in bytes; oversized requests answer 413 (0 = the 16 MiB default)")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (opt-in: profiling endpoints stay off by default)")
+		opsEvery = flag.Duration("ops-log-every", 0, "periodically log an operational summary — served TIB records plus alarm forwarding health (forwarded, failed, dropped) — at this interval (0 = off)")
 	)
 	flag.Parse()
+
+	// The metrics registry backs GET /metrics on every serving mode; the
+	// agent and rpc planes register below as they are wired.
+	reg := obs.NewRegistry()
+	srvObs := &rpc.ServerObs{Registry: reg, EnablePprof: *pprofOn}
 
 	c, err := pathdump.NewFatTree(*arity, pathdump.Config{Agent: pathdump.AgentConfig{
 		SegmentSpan:    pathdump.Time(segSpan.Nanoseconds()),
@@ -131,6 +139,14 @@ func main() {
 		stop()
 	}()
 
+	// Alarm-forwarding telemetry: outcome counters plus the client's own
+	// drop counter, surfaced on /metrics and in the periodic ops log so
+	// alarm loss is visible instead of silent.
+	var (
+		alarmsForwarded atomic.Uint64
+		alarmsFailed    atomic.Uint64
+		alarmsDropped   = func() uint64 { return 0 }
+	)
 	if *alarmURL != "" {
 		// Alarms raised at the in-process controller (the agents' sink) —
 		// including ones fired while the demo workload below runs — are
@@ -138,14 +154,26 @@ func main() {
 		// context plus a per-POST timeout: a wedged controller costs a
 		// bounded goroutine, never a leaked one.
 		ac := &rpc.AlarmClient{URL: strings.TrimSuffix(*alarmURL, "/")}
+		alarmsDropped = ac.Dropped
+		reg.GaugeFunc("pathdump_alarm_forward_dropped", "Alarms the forwarding client abandoned (cumulative).",
+			func() float64 { return float64(ac.Dropped()) })
+		fwdOK := reg.Counter("pathdump_alarm_forwards_total", "Alarm forwards to the remote controller, by outcome.", obs.L("result", "ok"))
+		fwdErr := reg.Counter("pathdump_alarm_forwards_total", "Alarm forwards to the remote controller, by outcome.", obs.L("result", "error"))
 		c.Ctrl.SetAlarmContext(ctx)
 		c.OnAlarm(func(a pathdump.Alarm) {
 			go func() {
 				fctx, cancel := context.WithTimeout(ctx, rpc.DefaultAlarmTimeout)
 				defer cancel()
-				if err := ac.RaiseAlarmContext(fctx, a); err != nil && ctx.Err() == nil {
-					log.Printf("pathdumpd: alarm forward failed (%d dropped so far): %v", ac.Dropped(), err)
+				if err := ac.RaiseAlarmContext(fctx, a); err != nil {
+					alarmsFailed.Add(1)
+					fwdErr.Inc()
+					if ctx.Err() == nil {
+						log.Printf("pathdumpd: alarm forward failed (%d dropped so far): %v", ac.Dropped(), err)
+					}
+					return
 				}
+				alarmsForwarded.Add(1)
+				fwdOK.Inc()
 			}()
 		})
 		log.Printf("pathdumpd: forwarding alarms to %s", *alarmURL)
@@ -168,10 +196,13 @@ func main() {
 			log.Fatalf("pathdumpd: loading %s: %v", *tibPath, err)
 		}
 		f.Close()
-		srv := &rpc.AgentServer{T: rpc.SnapshotTarget{Store: store}, MaxBodyBytes: *maxBody, DisableWire: *jsonOnly, WireCompress: *wireComp}
+		srvObs.Health = func() rpc.HealthStatus {
+			return rpc.HealthStatus{Status: "ok", Hosts: 1, Records: store.Len(), Snapshot: "restored"}
+		}
+		srv := &rpc.AgentServer{T: rpc.SnapshotTarget{Store: store}, MaxBodyBytes: *maxBody, DisableWire: *jsonOnly, WireCompress: *wireComp, Obs: srvObs}
 		log.Printf("pathdumpd: snapshot %s serving on %s, %d TIB records in %d segments",
 			*tibPath, *listen, store.Len(), store.Segments())
-		fmt.Println("endpoints: POST /query /install /uninstall, GET /stats /snapshot")
+		fmt.Println("endpoints: POST /query /install /uninstall, GET /stats /snapshot /healthz /metrics")
 		if err := serve(ctx, *listen, srv.Handler(), *timeout); err != nil {
 			log.Fatal(err)
 		}
@@ -226,6 +257,34 @@ func main() {
 	// trajectory memory are safe for concurrent readers while the pump's
 	// events append.
 	var simMu sync.Mutex
+
+	// Agent-plane metrics for every served host. The agent's plain
+	// counters are written on the sim goroutine, so scrape-time reads go
+	// through simMu — the same lock the trigger pump steps under.
+	for _, a := range served {
+		a.RegisterMetrics(reg, &simMu)
+	}
+
+	if *opsEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*opsEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					records := 0
+					for _, a := range served {
+						records += a.Store.Len()
+					}
+					log.Printf("pathdumpd: ops: %d hosts, %d TIB records; alarms forwarded=%d failed=%d dropped=%d",
+						len(served), records, alarmsForwarded.Load(), alarmsFailed.Load(), alarmsDropped())
+				}
+			}
+		}()
+	}
+
 	if *trigger > 0 {
 		go func() {
 			tick := time.NewTicker(*trigger)
@@ -262,19 +321,19 @@ func main() {
 	var handler http.Handler
 	if len(served) == 1 && *hostIDs == "" {
 		for id, a := range served {
-			handler = (&rpc.AgentServer{T: target(id, a), MaxBodyBytes: *maxBody, DisableWire: *jsonOnly, WireCompress: *wireComp}).Handler()
+			handler = (&rpc.AgentServer{T: target(id, a), MaxBodyBytes: *maxBody, DisableWire: *jsonOnly, WireCompress: *wireComp, Obs: srvObs}).Handler()
 			log.Printf("pathdumpd: host %v (%v) serving on %s, %d TIB records in %d segments",
 				a.Host.ID, a.Host.IP, *listen, a.Store.Len(), a.Store.Segments())
 		}
-		fmt.Println("endpoints: POST /query /install /uninstall, GET /stats /snapshot")
+		fmt.Println("endpoints: POST /query /install /uninstall, GET /stats /snapshot /healthz /metrics")
 	} else {
 		targets := make(map[types.HostID]rpc.Target, len(served))
 		for id, a := range served {
 			targets[id] = target(id, a)
 		}
-		handler = (&rpc.MultiAgentServer{Targets: targets, Parallelism: *parallel, MaxBodyBytes: *maxBody, DisableWire: *jsonOnly, WireCompress: *wireComp}).Handler()
+		handler = (&rpc.MultiAgentServer{Targets: targets, Parallelism: *parallel, MaxBodyBytes: *maxBody, DisableWire: *jsonOnly, WireCompress: *wireComp, Obs: srvObs}).Handler()
 		log.Printf("pathdumpd: %d hosts serving on %s", len(served), *listen)
-		fmt.Println("endpoints: POST /query /batchquery /install /uninstall, GET /stats /snapshot?host=N")
+		fmt.Println("endpoints: POST /query /batchquery /install /uninstall, GET /stats /snapshot?host=N /healthz /metrics")
 	}
 	if err := serve(ctx, *listen, handler, *timeout); err != nil {
 		log.Fatal(err)
@@ -352,6 +411,7 @@ type fullTarget interface {
 	rpc.Target
 	rpc.ContextTarget
 	rpc.SegmentStatser
+	rpc.ColdStatser
 	rpc.Snapshotter
 	rpc.IncrementalSnapshotter
 }
@@ -395,6 +455,7 @@ func (l lockedTarget) Uninstall(id int) error {
 }
 func (l lockedTarget) TIBSize() int                    { return l.t.TIBSize() }
 func (l lockedTarget) SegmentStats() (uint64, uint64)  { return l.t.SegmentStats() }
+func (l lockedTarget) ColdStats() tib.ColdStats        { return l.t.ColdStats() }
 func (l lockedTarget) WriteSnapshot(w io.Writer) error { return l.t.WriteSnapshot(w) }
 func (l lockedTarget) WriteSnapshotSince(w io.Writer, since uint64) error {
 	return l.t.WriteSnapshotSince(w, since)

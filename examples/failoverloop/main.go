@@ -3,7 +3,8 @@
 // other's detours. The looping packet's VLAN stack overflows, the
 // controller concludes LOOP from the punted headers (§4.5), and the
 // TransientLoopAuditor classifies it as failover-transient by joining
-// the loop timestamp against the operator's failure timeline.
+// the loop timestamp against the failure timeline — fed automatically
+// by the simulator's own link-state events, no operator noting needed.
 package main
 
 import (
@@ -35,7 +36,8 @@ func main() {
 	aggOther := topo.AggID(3, group)
 
 	// The failure: aggD loses its other core uplink, pushing all transit
-	// onto the surviving one. Note it on the auditor's timeline.
+	// onto the surviving one. FailLink lands on the auditor's timeline by
+	// itself — the auditor subscribes to the sim's link-state events.
 	var otherCore pathdump.SwitchID
 	for _, up := range topo.Switch(aggD).Up {
 		if up != core {
@@ -44,7 +46,6 @@ func main() {
 	}
 	failAt := c.Now()
 	c.FailLink(aggD, otherCore)
-	auditor.NoteLinkFailure(pathdump.LinkID{A: aggD, B: otherCore}, failAt)
 	fmt.Printf("link %v-%v failed at %v\n", aggD, otherCore, failAt)
 
 	// Transient reconvergence state: both aggs bounce one flow through

@@ -532,6 +532,26 @@ func (a *Agent) TriggerStats(id int) (TriggerStats, bool) {
 	return TriggerStats{Runs: inst.runs, RecordsScanned: inst.recordsScanned, Watermark: inst.watermark}, true
 }
 
+// TriggerTotals aggregates installed-query telemetry across every
+// installation: the install count, cumulative runs and records scanned,
+// and the lowest watermark (the furthest-behind trigger; 0 when none
+// are installed). The metrics plane scrapes it.
+func (a *Agent) TriggerTotals() (installed int, runs, recordsScanned, minWatermark uint64) {
+	a.instMu.Lock()
+	defer a.instMu.Unlock()
+	first := true
+	for _, inst := range a.installed {
+		installed++
+		runs += inst.runs
+		recordsScanned += inst.recordsScanned
+		if first || inst.watermark < minWatermark {
+			minWatermark = inst.watermark
+			first = false
+		}
+	}
+	return installed, runs, recordsScanned, minWatermark
+}
+
 // TIBSize reports the number of queryable records (TIB plus trajectory
 // memory) — the cost-model input for response-time accounting.
 func (a *Agent) TIBSize() int { return a.Store.Len() + a.Mem.Len() }
@@ -539,6 +559,10 @@ func (a *Agent) TIBSize() int { return a.Store.Len() + a.Mem.Len() }
 // SegmentStats reports the TIB's cumulative scan telemetry (segments
 // walked versus pruned); the rpc servers attribute per-query deltas.
 func (a *Agent) SegmentStats() (scanned, pruned uint64) { return a.Store.SegmentStats() }
+
+// ColdStats reports the TIB's cold-tier telemetry; traced scans
+// attribute the demand loads they trigger.
+func (a *Agent) ColdStats() tib.ColdStats { return a.Store.ColdStats() }
 
 // WriteSnapshot streams the host's TIB in the segment-wise v2 snapshot
 // format — the /snapshot endpoint and offline analysis both read it. The

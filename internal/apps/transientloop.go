@@ -2,6 +2,7 @@ package apps
 
 import (
 	"pathdump/internal/controller"
+	"pathdump/internal/netsim"
 	"pathdump/internal/types"
 )
 
@@ -48,6 +49,19 @@ func NewTransientLoopAuditor(c *controller.Controller, window types.Time) *Trans
 // monitoring) saw the a–b link fail at virtual time `at`.
 func (a *TransientLoopAuditor) NoteLinkFailure(l types.LinkID, at types.Time) {
 	a.failures = append(a.failures, noteEntry{l, at})
+}
+
+// AttachSim subscribes the auditor to the simulator's own link-state
+// events, so administrative failures (FailLink, down-bit impairments,
+// FlapLink down phases) land on the failure timeline automatically —
+// no operator NoteLinkFailure calls needed. Restorations are ignored:
+// only the moment of failure opens a correlation window.
+func (a *TransientLoopAuditor) AttachSim(s *netsim.Sim) {
+	s.OnLinkStateChange(func(ev netsim.LinkEvent) {
+		if ev.Down {
+			a.NoteLinkFailure(types.LinkID{A: ev.A, B: ev.B}, ev.At)
+		}
+	})
 }
 
 // Loops returns how many loop detections the auditor has seen.

@@ -34,6 +34,7 @@ import (
 	"pathdump/internal/agent"
 	"pathdump/internal/alarms"
 	"pathdump/internal/netsim"
+	"pathdump/internal/obs"
 	"pathdump/internal/query"
 	"pathdump/internal/topology"
 	"pathdump/internal/types"
@@ -50,6 +51,11 @@ type QueryMeta struct {
 	// model's pruned-fraction term.
 	SegmentsScanned int
 	SegmentsPruned  int
+	// Span is the agent-side scan span for this execution, when the
+	// transport carried one back (HTTP daemons return it with the
+	// response). The controller attaches it under the host's rpc span;
+	// when nil it synthesizes a scan span from the counts above.
+	Span *obs.Span
 }
 
 // Transport moves queries between the controller and host agents. The
@@ -237,6 +243,11 @@ type ExecStats struct {
 	// WireBytes is the total bytes moved over the management network
 	// (queries down plus results up, Figs. 11b/12b).
 	WireBytes int64
+	// Trace is the finished span tree for this execution: the root
+	// query span with per-host rpc spans (hedges, retries and drops
+	// labelled), agent scan spans, and interior merge spans under it.
+	// Always populated; render with Trace.Render (pathdumpctl -trace).
+	Trace *obs.Span
 }
 
 // Controller is one PathDump controller instance.
@@ -296,6 +307,14 @@ type Controller struct {
 	// mid-retry is still work in progress.
 	RetryBackoff time.Duration
 
+	// SlowQueryThreshold feeds executions whose wall-clock exceeds it
+	// into the bounded slow-query log (SlowQueries) with their full
+	// span tree. 0 disables the log. Set at wiring time.
+	SlowQueryThreshold time.Duration
+
+	om   *controllerMetrics
+	slow *obs.SlowLog
+
 	mu       sync.Mutex
 	pipe     *alarms.Pipeline
 	handlers []func(types.Alarm)
@@ -316,6 +335,7 @@ func New(topo *topology.Topology, t Transport, sim *netsim.Sim) *Controller {
 		Cost:      DefaultCostModel(),
 		pipe:      alarms.New(alarms.Config{}),
 		sim:       sim,
+		slow:      obs.NewSlowLog(0),
 		loopState: make(map[loopKey][]types.LinkID),
 	}
 	if sim != nil {
@@ -691,6 +711,7 @@ func (c *Controller) newQueryFanout(ctx context.Context) *fanout {
 	fo.partial = c.PartialOnDeadline
 	fo.retryAttempts = c.RetryAttempts
 	fo.retryBackoff = c.RetryBackoff
+	fo.inflight = c.metrics().inflight
 	return fo
 }
 
@@ -765,13 +786,46 @@ func (c *Controller) run(ctx context.Context, n *treeNode, q query.Query) (query
 	if err != nil {
 		return query.Result{}, ExecStats{}, err
 	}
-	fo := c.newQueryFanout(ctx)
-	out := c.runNode(n, q, int64(len(qBytes)), fo)
+	// Every execution is traced: the ID rides to agents in the
+	// transport headers, the span tree comes back on ExecStats. An
+	// execution arriving with a trace ID (forwarded from an upstream
+	// controller) keeps it.
+	trace := obs.TraceFromContext(ctx)
+	if trace == "" {
+		trace = obs.NewTraceID()
+		ctx = obs.ContextWithTrace(ctx, trace)
+	}
 	total := countHosts(n)
-	stats := ExecStats{Hedged: int(fo.hedged.Load()), Retried: int(fo.retried.Load())}
+	root := obs.NewSpan("query")
+	root.SetAttr("trace", trace)
+	root.SetAttr("op", string(q.Op))
+	root.SetInt("hosts", int64(total))
+	m := c.metrics()
+	m.queries.Inc()
+	m.fanoutHosts.Observe(float64(total))
+	started := time.Now()
+	defer func() {
+		root.Finish()
+		m.queryDur.ObserveDuration(root.Dur)
+		if th := c.SlowQueryThreshold; th > 0 && root.Dur >= th {
+			c.slow.Add(obs.SlowQuery{
+				Trace: trace,
+				Query: string(qBytes),
+				Dur:   root.Dur,
+				At:    started,
+				Span:  root,
+			})
+		}
+	}()
+	fo := c.newQueryFanout(ctx)
+	out := c.runNode(n, q, int64(len(qBytes)), fo, root)
+	stats := ExecStats{Hedged: int(fo.hedged.Load()), Retried: int(fo.retried.Load()), Trace: root}
+	m.hedged.Add(uint64(stats.Hedged))
+	m.retried.Add(uint64(stats.Retried))
 	if out.err != nil {
 		stats.Hosts = int(fo.queried.Load())
 		stats.Skipped = total - stats.Hosts
+		root.SetAttr("error", out.err.Error())
 		return query.Result{}, stats, out.err
 	}
 	t := out.t
@@ -788,6 +842,10 @@ func (c *Controller) run(ctx context.Context, n *treeNode, q query.Query) (query
 	stats.WireBytes = out.wire
 	stats.SegmentsScanned = out.segScanned
 	stats.SegmentsPruned = out.segPruned
+	m.hostsQueried.Add(uint64(stats.Hosts))
+	if stats.Partial {
+		m.partial.Inc()
+	}
 	return out.res, stats, nil
 }
 
@@ -805,7 +863,7 @@ type childOut struct {
 	err                   error
 }
 
-func (c *Controller) runNode(n *treeNode, q query.Query, qWire int64, fo *fanout) childOut {
+func (c *Controller) runNode(n *treeNode, q query.Query, qWire int64, fo *fanout, sp *obs.Span) childOut {
 	nc := len(n.children)
 	outs := make([]childOut, nc)
 	done := make(chan int, nc)
@@ -822,7 +880,7 @@ func (c *Controller) runNode(n *treeNode, q query.Query, qWire int64, fo *fanout
 			}
 		}
 		if len(batchIdx) >= 2 {
-			go c.runBatch(bt, n, q, batchIdx, outs, fo, done)
+			go c.runBatch(bt, n, q, batchIdx, outs, fo, done, sp)
 		} else {
 			batchIdx = nil
 		}
@@ -836,7 +894,16 @@ func (c *Controller) runNode(n *treeNode, q query.Query, qWire int64, fo *fanout
 			continue
 		}
 		go func(i int, ch *treeNode) {
-			outs[i] = c.runNode(ch, q, qWire, fo)
+			csp := sp
+			if len(ch.children) > 0 {
+				// Interior aggregation nodes get their own span so the
+				// tree shape survives into the trace; leaves hang their
+				// rpc span directly off the parent.
+				csp = sp.StartChild("node")
+				csp.SetAttr("host", fmt.Sprintf("%v", ch.host))
+				defer csp.Finish()
+			}
+			outs[i] = c.runNode(ch, q, qWire, fo, csp)
 			done <- i
 		}(i, ch)
 	}
@@ -851,7 +918,7 @@ func (c *Controller) runNode(n *treeNode, q query.Query, qWire int64, fo *fanout
 		localErr error
 	)
 	if n.isHost {
-		r, meta, err := c.queryHost(n.host, q, fo)
+		r, meta, err := c.queryHost(n.host, q, fo, sp)
 		switch {
 		case err == nil:
 			out.res = r
@@ -873,6 +940,11 @@ func (c *Controller) runNode(n *treeNode, q query.Query, qWire int64, fo *fanout
 	// Streaming interior merge: drain the completion channel and fold
 	// each child in the moment the index prefix allows, so merging
 	// overlaps waiting on the remaining children.
+	var msp *obs.Span
+	if nc > 0 {
+		msp = sp.StartChild("merge")
+		msp.SetInt("children", int64(nc))
+	}
 	sm := query.NewStreamMerger(q, &out.res, nc)
 	errs := make([]error, 1, nc+1)
 	errs[0] = localErr
@@ -899,6 +971,7 @@ func (c *Controller) runNode(n *treeNode, q query.Query, qWire int64, fo *fanout
 			outs[i].res.Records = nil
 		}
 	}
+	msp.Finish()
 	if err := firstError(errs); err != nil {
 		return childOut{res: out.res, err: err}
 	}
@@ -970,7 +1043,10 @@ func (c *Controller) runNode(n *treeNode, q query.Query, qWire int64, fo *fanout
 // together never exceed the global Parallelism bound. A PerHostTimeout
 // budgets the whole round: the round trip is the per-host unit here, and
 // a round that exhausts it drops every host it carried.
-func (c *Controller) runBatch(bt BatchTransport, n *treeNode, q query.Query, batchIdx []int, outs []childOut, fo *fanout, done chan<- int) {
+func (c *Controller) runBatch(bt BatchTransport, n *treeNode, q query.Query, batchIdx []int, outs []childOut, fo *fanout, done chan<- int, sp *obs.Span) {
+	bsp := sp.StartChild("batch")
+	bsp.SetInt("hosts", int64(len(batchIdx)))
+	defer bsp.Finish()
 	defer func() {
 		for _, i := range batchIdx {
 			done <- i
@@ -1008,12 +1084,17 @@ func (c *Controller) runBatch(bt BatchTransport, n *treeNode, q query.Query, bat
 	replies, err := bt.QueryMany(batchCtx, hosts, q, parallel)
 	// A whole-round transport failure is retried like a per-host one: the
 	// round trip is this path's request unit.
+	retries := 0
 	for attempt := 0; attempt < fo.retryAttempts && retryableTransportError(err); attempt++ {
 		if !sleepCtx(batchCtx, fo.retryDelay(attempt)) || fo.err() != nil {
 			break
 		}
 		fo.retried.Add(1)
+		retries++
 		replies, err = bt.QueryMany(batchCtx, hosts, q, parallel)
+	}
+	if retries > 0 {
+		bsp.SetInt("retried", int64(retries))
 	}
 	if err == nil && len(replies) != len(hosts) {
 		err = fmt.Errorf("controller: batch query returned %d replies for %d hosts", len(replies), len(hosts))
@@ -1031,6 +1112,10 @@ func (c *Controller) runBatch(bt BatchTransport, n *treeNode, q query.Query, bat
 			continue
 		}
 		fo.queried.Add(1)
+		hsp := bsp.StartChild("rpc")
+		hsp.SetAttr("host", fmt.Sprintf("%v", rep.Host))
+		attachScan(hsp, rep.Meta)
+		hsp.Finish()
 		outs[i] = childOut{
 			res:        rep.Result,
 			t:          c.modelHostExec(rep.Meta),
@@ -1058,11 +1143,14 @@ func (c *Controller) finishBatchSlot(o *childOut, err error, fo *fanout) {
 // hedging is on — racing a duplicate request against a slow primary.
 // Errors are classified by the caller (dropHost): failing versus dropping
 // a host is a policy decision made where the result slot lives.
-func (c *Controller) queryHost(host types.HostID, q query.Query, fo *fanout) (query.Result, QueryMeta, error) {
+func (c *Controller) queryHost(host types.HostID, q query.Query, fo *fanout, sp *obs.Span) (query.Result, QueryMeta, error) {
 	if err := fo.acquire(); err != nil {
 		return query.Result{}, QueryMeta{}, err
 	}
 	defer fo.release()
+	rpc := sp.StartChild("rpc")
+	rpc.SetAttr("host", fmt.Sprintf("%v", host))
+	defer rpc.Finish()
 
 	hostCtx := fo.ctx
 	if fo.perHostTimeout > 0 {
@@ -1075,19 +1163,33 @@ func (c *Controller) queryHost(host types.HostID, q query.Query, fo *fanout) (qu
 		// Bounded retry on real transport errors (never on context expiry,
 		// aborts, or authoritative HTTP answers). The host keeps its pool
 		// slot across the backoff: it is still outstanding work.
+		retries := 0
 		for attempt := 0; attempt < fo.retryAttempts && retryableTransportError(err); attempt++ {
 			if !sleepCtx(hostCtx, fo.retryDelay(attempt)) || fo.err() != nil {
 				break
 			}
 			fo.retried.Add(1)
+			retries++
 			r, meta, err = c.T.Query(hostCtx, host, q)
+		}
+		if retries > 0 {
+			rpc.SetInt("retried", int64(retries))
 		}
 		if err == nil {
 			fo.queried.Add(1)
+			attachScan(rpc, meta)
+		} else if c.dropHost(fo, err) {
+			rpc.SetAttr("dropped", "true")
 		}
 		return r, meta, err
 	}
-	return c.queryHedged(hostCtx, host, q, fo)
+	r, meta, err := c.queryHedged(hostCtx, host, q, fo, rpc)
+	if err == nil {
+		attachScan(rpc, meta)
+	} else if c.dropHost(fo, err) {
+		rpc.SetAttr("dropped", "true")
+	}
+	return r, meta, err
 }
 
 // hostReply is one attempt's answer inside a hedged host query.
@@ -1112,7 +1214,7 @@ type hostReply struct {
 // and the duplicate reissues on the slot this host already holds, once
 // the primary has vacated it. Either way at most one transport request
 // per held slot is in flight.
-func (c *Controller) queryHedged(hostCtx context.Context, host types.HostID, q query.Query, fo *fanout) (query.Result, QueryMeta, error) {
+func (c *Controller) queryHedged(hostCtx context.Context, host types.HostID, q query.Query, fo *fanout, rpc *obs.Span) (query.Result, QueryMeta, error) {
 	ctx, cancel := context.WithCancel(hostCtx)
 	defer cancel() // cut off the losing (or still-pending) attempt
 	primCtx, primCancel := context.WithCancel(ctx)
@@ -1137,7 +1239,15 @@ func (c *Controller) queryHedged(hostCtx context.Context, host types.HostID, q q
 				return
 			}
 			fo.hedged.Add(1)
+			hsp := rpc.StartChild("hedge")
+			hsp.SetAttr("host", fmt.Sprintf("%v", host))
+			if !ownSlot {
+				// The pool was exhausted: the duplicate replaced the
+				// cancelled primary on its slot instead of racing it.
+				hsp.SetAttr("slot", "reused")
+			}
 			r, m, err := c.T.Query(ctx, host, q)
+			hsp.Finish()
 			replies <- hostReply{res: r, meta: m, err: err}
 		}()
 	}

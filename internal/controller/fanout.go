@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"pathdump/internal/obs"
 )
 
 // errAborted is the sentinel returned by fan-out slots acquired after an
@@ -56,6 +58,10 @@ type fanout struct {
 	// retried counts re-issued requests after real transport errors
 	// (ExecStats.Retried).
 	retried atomic.Int64
+
+	// inflight mirrors the pool occupancy onto the controller's
+	// fan-out-depth gauge; nil (uninstrumented) no-ops.
+	inflight *obs.Gauge
 }
 
 func newFanout(ctx context.Context, parallelism int) *fanout {
@@ -91,10 +97,12 @@ func (fo *fanout) acquire() error {
 		return err
 	}
 	if fo.sem == nil {
+		fo.inflight.Add(1)
 		return nil
 	}
 	select {
 	case fo.sem <- struct{}{}:
+		fo.inflight.Add(1)
 		return nil
 	case <-fo.ctx.Done():
 		return fo.ctx.Err()
@@ -104,6 +112,7 @@ func (fo *fanout) acquire() error {
 }
 
 func (fo *fanout) release() {
+	fo.inflight.Add(-1)
 	if fo.sem != nil {
 		<-fo.sem
 	}
@@ -118,6 +127,7 @@ func (fo *fanout) tryAcquire() bool {
 	}
 	select {
 	case fo.sem <- struct{}{}:
+		fo.inflight.Add(1)
 		return true
 	default:
 		return false

@@ -1,0 +1,100 @@
+package controller
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pathdump/internal/netsim"
+	"pathdump/internal/obs"
+	"pathdump/internal/query"
+)
+
+// TestExecutionTrace: every execution returns a span tree rooted at
+// "query" with per-host rpc spans, synthesized scan spans (the Local
+// transport carries no agent span) and an interior merge span.
+func TestExecutionTrace(t *testing.T) {
+	r := newRig(t, 4, netsim.Config{})
+	r.seedTraffic(40)
+	hosts := r.hosts[:4]
+	_, stats, err := r.ctrl.Execute(hosts, query.Query{Op: query.OpTopK, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := stats.Trace
+	if root == nil {
+		t.Fatal("ExecStats.Trace is nil; every execution must be traced")
+	}
+	if root.Name != "query" || root.Attr("op") != "topk" {
+		t.Fatalf("root span = %s op=%s, want query/topk", root.Name, root.Attr("op"))
+	}
+	if tr := root.Attr("trace"); len(tr) != 16 {
+		t.Fatalf("root trace attr %q: want a 16-hex trace ID", tr)
+	}
+	out := root.Render()
+	for _, want := range []string{"query trace=", "op=topk hosts=4", "rpc host=", "scan records=", "merge children=4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace render missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "rpc host="); got != 4 {
+		t.Errorf("rpc spans = %d, want 4:\n%s", got, out)
+	}
+}
+
+// TestTreeExecutionTrace: interior aggregation nodes appear as "node"
+// spans so the tree shape survives into the trace.
+func TestTreeExecutionTrace(t *testing.T) {
+	r := newRig(t, 4, netsim.Config{})
+	r.seedTraffic(40)
+	_, stats, err := r.ctrl.ExecuteTree(r.hosts[:8], query.Query{Op: query.OpTopK, K: 3}, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stats.Trace.Render()
+	if got := strings.Count(out, "node host="); got != 2 {
+		t.Fatalf("interior node spans = %d, want 2:\n%s", got, out)
+	}
+	if !strings.Contains(out, "merge children=") {
+		t.Fatalf("interior merges missing:\n%s", out)
+	}
+}
+
+// TestControllerMetricsAndSlowLog: RegisterMetrics exposes the
+// controller plane on a scrape, and a threshold of one nanosecond
+// lands every execution in the slow-query log with its span tree.
+func TestControllerMetricsAndSlowLog(t *testing.T) {
+	r := newRig(t, 4, netsim.Config{})
+	r.seedTraffic(40)
+	reg := obs.NewRegistry()
+	r.ctrl.RegisterMetrics(reg)
+	r.ctrl.SlowQueryThreshold = time.Nanosecond
+	hosts := r.hosts[:4]
+	if _, _, err := r.ctrl.Execute(hosts, query.Query{Op: query.OpTopK, K: 3}); err != nil {
+		t.Fatal(err)
+	}
+	scrape := reg.Expose()
+	for _, want := range []string{
+		"pathdump_controller_queries_total 1",
+		"pathdump_controller_hosts_queried_total 4",
+		"pathdump_controller_query_seconds_count 1",
+		"pathdump_controller_inflight_requests 0",
+		"pathdump_controller_slow_queries 1",
+		"pathdump_alarms_received",
+	} {
+		if !strings.Contains(scrape, want) {
+			t.Errorf("scrape missing %q:\n%s", want, scrape)
+		}
+	}
+	slow := r.ctrl.SlowQueries()
+	if len(slow) != 1 {
+		t.Fatalf("slow log entries = %d, want 1", len(slow))
+	}
+	e := slow[0]
+	if e.Span == nil || e.Trace == "" || e.Dur <= 0 || !strings.Contains(e.Query, "topk") {
+		t.Fatalf("slow entry incomplete: %+v", e)
+	}
+	if e.Trace != e.Span.Attr("trace") {
+		t.Fatalf("slow entry trace %q does not match span attr %q", e.Trace, e.Span.Attr("trace"))
+	}
+}

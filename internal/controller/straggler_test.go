@@ -346,11 +346,15 @@ func TestPartialDeterminism(t *testing.T) {
 	if baseStats.Hosts != 32 || baseStats.Skipped != 32 || !baseStats.Partial {
 		t.Fatalf("stats = %+v, want exactly the 32 live hosts answered", baseStats)
 	}
+	baseStats.Trace = nil
 	for seed := int64(2); seed <= 4; seed++ {
 		res, stats := runOnce(seed)
 		if !reflect.DeepEqual(res, base) {
 			t.Fatalf("seed %d: merged result differs from baseline despite identical answering set", seed)
 		}
+		// Every execution carries its own span tree; only the stats
+		// themselves must be deterministic.
+		stats.Trace = nil
 		if stats != baseStats {
 			t.Fatalf("seed %d: ExecStats %+v differ from baseline %+v", seed, stats, baseStats)
 		}

@@ -1,0 +1,47 @@
+package netsim
+
+import "pathdump/internal/types"
+
+// LinkEvent reports one administrative state transition of the a–b
+// switch link: Down true when the link just left service (FailLink, an
+// Impairment with the Down bit, or a FlapLink down phase), false when
+// it returned. At is the virtual time of the transition.
+//
+// Only *observable* state changes fire events — the failure modes
+// switches can see and route around. Silent drops and blackholes are
+// invisible to the fabric by construction, so they never produce one;
+// redundant calls (failing an already-down link) don't either.
+type LinkEvent struct {
+	A, B types.SwitchID
+	Down bool
+	At   types.Time
+}
+
+// OnLinkStateChange subscribes fn to administrative link transitions.
+// Subscribers fire synchronously on the simulation goroutine, in
+// registration order, at the virtual instant of the change — so a
+// TransientLoopAuditor (or any failure-timeline consumer) sees the
+// fabric's own events without an operator re-noting them.
+func (s *Sim) OnLinkStateChange(fn func(LinkEvent)) {
+	s.linkSubs = append(s.linkSubs, fn)
+}
+
+// adminDown reports whether the a–b link is administratively out of
+// service in either direction — the union FailLink's bidirectional bit
+// and per-direction Impairment Down bits feed into linkUp.
+func (s *Sim) adminDown(a, b types.SwitchID) bool {
+	return !s.linkUp(SwitchNode(a), SwitchNode(b)) || !s.linkUp(SwitchNode(b), SwitchNode(a))
+}
+
+// notifyLink fires subscribers when the a–b link's administrative state
+// differs from `was` (its state before the mutation being reported).
+func (s *Sim) notifyLink(a, b types.SwitchID, was bool) {
+	down := s.adminDown(a, b)
+	if down == was || len(s.linkSubs) == 0 {
+		return
+	}
+	ev := LinkEvent{A: a, B: b, Down: down, At: s.now}
+	for _, fn := range s.linkSubs {
+		fn(ev)
+	}
+}

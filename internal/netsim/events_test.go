@@ -1,0 +1,103 @@
+package netsim
+
+import (
+	"testing"
+
+	"pathdump/internal/types"
+)
+
+// collectLinkEvents subscribes a recording sink on s.
+func collectLinkEvents(s *Sim) *[]LinkEvent {
+	var evs []LinkEvent
+	s.OnLinkStateChange(func(ev LinkEvent) { evs = append(evs, ev) })
+	return &evs
+}
+
+func TestLinkEventsFailRestore(t *testing.T) {
+	s, _ := newFatTreeSim(t, Config{})
+	evs := collectLinkEvents(s)
+	a, b := types.SwitchID(0), types.SwitchID(16)
+
+	s.FailLink(a, b)
+	s.FailLink(a, b) // redundant: already down, must not fire again
+	s.RestoreLink(a, b)
+	s.RestoreLink(a, b) // redundant
+	want := []LinkEvent{
+		{A: a, B: b, Down: true, At: 0},
+		{A: a, B: b, Down: false, At: 0},
+	}
+	if len(*evs) != len(want) {
+		t.Fatalf("got %d events %+v, want %d", len(*evs), *evs, len(want))
+	}
+	for i, ev := range *evs {
+		if ev != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, ev, want[i])
+		}
+	}
+}
+
+func TestLinkEventsCarryVirtualTime(t *testing.T) {
+	s, _ := newFatTreeSim(t, Config{})
+	evs := collectLinkEvents(s)
+	a, b := types.SwitchID(0), types.SwitchID(16)
+
+	at := 30 * types.Millisecond
+	s.At(at, func() { s.FailLink(a, b) })
+	s.RunAll()
+	if len(*evs) != 1 || (*evs)[0].At != at {
+		t.Fatalf("events = %+v, want one down event at %v", *evs, at)
+	}
+}
+
+func TestLinkEventsImpairmentDownBit(t *testing.T) {
+	s, _ := newFatTreeSim(t, Config{})
+	evs := collectLinkEvents(s)
+	a, b := types.SwitchID(0), types.SwitchID(16)
+
+	// Delay/loss shaping leaves the link administratively up: no event.
+	s.SetImpairment(a, b, Impairment{Loss: 0.5})
+	if len(*evs) != 0 {
+		t.Fatalf("loss-only impairment fired %+v, want none", *evs)
+	}
+	// Setting the Down bit is an observable transition; replacing it
+	// with another Down impairment is not; clearing it brings it back.
+	s.SetImpairment(a, b, Impairment{Down: true})
+	s.SetImpairment(a, b, Impairment{Down: true, Loss: 0.5})
+	s.ClearImpairment(a, b)
+	want := []LinkEvent{
+		{A: a, B: b, Down: true, At: 0},
+		{A: a, B: b, Down: false, At: 0},
+	}
+	if len(*evs) != len(want) {
+		t.Fatalf("got events %+v, want %+v", *evs, want)
+	}
+	for i, ev := range *evs {
+		if ev != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, ev, want[i])
+		}
+	}
+}
+
+func TestLinkEventsFlap(t *testing.T) {
+	s, _ := newFatTreeSim(t, Config{})
+	evs := collectLinkEvents(s)
+	a, b := types.SwitchID(0), types.SwitchID(16)
+
+	// Three full down/up cycles: down at 0, 20ms, 40ms.
+	s.FlapLink(a, b, 10*types.Millisecond, 10*types.Millisecond, 50*types.Millisecond)
+	s.RunAll()
+	var downs, ups int
+	for _, ev := range *evs {
+		if ev.Down {
+			downs++
+		} else {
+			ups++
+		}
+	}
+	if downs != 3 || ups != 3 {
+		t.Fatalf("flap produced %d downs / %d ups (%+v), want 3/3", downs, ups, *evs)
+	}
+	if last := (*evs)[len(*evs)-1]; last.Down {
+		t.Fatalf("flap left the link down: %+v", *evs)
+	}
+}

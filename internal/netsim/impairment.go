@@ -37,13 +37,17 @@ func (im Impairment) IsZero() bool { return im == Impairment{} }
 // a→b link. It composes with FailLink/SetSilentDrop/SetBlackhole: every
 // configured fault on the link still applies.
 func (s *Sim) SetImpairment(a, b types.SwitchID, im Impairment) {
+	was := s.adminDown(a, b)
 	s.link(SwitchNode(a), SwitchNode(b)).imp = im
+	s.notifyLink(a, b, was)
 }
 
 // ClearImpairment restores the directed a→b link to its healthy
 // fabric-default behaviour.
 func (s *Sim) ClearImpairment(a, b types.SwitchID) {
+	was := s.adminDown(a, b)
 	s.link(SwitchNode(a), SwitchNode(b)).imp = Impairment{}
+	s.notifyLink(a, b, was)
 }
 
 // ImpairmentOf returns the impairment currently installed on the

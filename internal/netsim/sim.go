@@ -143,6 +143,7 @@ type Sim struct {
 	overrides map[types.SwitchID]override
 	receivers map[types.HostID]Receiver
 	trap      TrapHandler
+	linkSubs  []func(LinkEvent)
 	stats     Stats
 }
 
@@ -246,16 +247,21 @@ func (s *Sim) link(from, to NodeID) *linkState {
 }
 
 // FailLink administratively takes the a–b link down in both directions;
-// adjacent switches observe it and route around.
+// adjacent switches observe it and route around, and link-state
+// subscribers (OnLinkStateChange) are notified of the transition.
 func (s *Sim) FailLink(a, b types.SwitchID) {
+	was := s.adminDown(a, b)
 	s.link(SwitchNode(a), SwitchNode(b)).down = true
 	s.link(SwitchNode(b), SwitchNode(a)).down = true
+	s.notifyLink(a, b, was)
 }
 
 // RestoreLink brings the a–b link back up.
 func (s *Sim) RestoreLink(a, b types.SwitchID) {
+	was := s.adminDown(a, b)
 	s.link(SwitchNode(a), SwitchNode(b)).down = false
 	s.link(SwitchNode(b), SwitchNode(a)).down = false
+	s.notifyLink(a, b, was)
 }
 
 // SetSilentDrop makes the directed a→b interface drop packets at random

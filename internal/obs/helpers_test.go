@@ -1,0 +1,26 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"testing"
+)
+
+type getResult struct {
+	header http.Header
+	body   string
+}
+
+func mustGet(t *testing.T, url string) getResult {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return getResult{header: resp.Header, body: string(b)}
+}

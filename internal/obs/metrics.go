@@ -1,0 +1,405 @@
+// Package obs is the self-observability plane: a dependency-free
+// metrics registry with Prometheus text exposition, per-query
+// distributed tracing spans, and a bounded slow-query log.
+//
+// The registry is designed for hot paths: Counter.Inc, Gauge.Set and
+// Histogram.Observe are single atomic operations with zero heap
+// allocations, and every metric type is nil-safe so call sites never
+// need an "is observability enabled" branch — an unregistered metric
+// is simply a nil pointer whose methods no-op.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one key=value dimension attached to a metric series at
+// registration time. Labels are fixed for the lifetime of the series;
+// dynamic label values are deliberately unsupported (they allocate on
+// the hot path and unboundedly grow the scrape).
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L builds a Label; it exists so registration sites read as
+// obs.L("op", "query") instead of a struct literal.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing uint64 metric. The zero value
+// is usable; a nil *Counter no-ops on every method.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add increases the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an int64 metric that can go up and down. The zero value is
+// usable; a nil *Gauge no-ops on every method.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge's current value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta (which may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the gauge's current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket cumulative histogram in the Prometheus
+// style: each bound b owns every observation v with v <= b, plus an
+// implicit +Inf bucket. Observe is lock-free (one atomic add per
+// bucket/count and a CAS loop on the float-bits sum) and allocates
+// nothing. A nil *Histogram no-ops.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count   atomic.Uint64
+	sum     atomic.Uint64 // math.Float64bits of the running sum
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First bound >= v is exactly the smallest le-bucket that owns v.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds, the Prometheus convention for
+// latency histograms.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Seconds())
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the running sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// LatencyBuckets is the default bound set for request-latency
+// histograms: exponential from 100µs to 10s, in seconds.
+var LatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// SizeBuckets is the default bound set for payload-size histograms:
+// powers of four from 64 bytes to 16MiB.
+var SizeBuckets = []float64{
+	64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304, 16777216,
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// series is one labelled instance within a family. Exactly one of the
+// metric fields is set, matching the family kind.
+type series struct {
+	labels string // pre-rendered `{k="v",...}` or ""
+	c      *Counter
+	g      *Gauge
+	f      func() float64
+	h      *Histogram
+}
+
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series []*series
+}
+
+// Registry holds metric families and renders them in the Prometheus
+// text exposition format. Registration takes a lock; the returned
+// metric handles are lock-free thereafter. Families and series render
+// in registration order, so scrapes are deterministic.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty Registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// lookup finds or creates the family and the labelled series slot,
+// returning the existing series when (name, labels) was already
+// registered — registration is idempotent so packages can share a
+// registry without coordinating.
+func (r *Registry) lookup(name, help string, kind metricKind, labels []Label) (*family, *series, bool) {
+	ls := renderLabels(labels)
+	fam := r.byName[name]
+	if fam == nil {
+		fam = &family{name: name, help: help, kind: kind}
+		r.byName[name] = fam
+		r.families = append(r.families, fam)
+	} else if fam.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, re-registered as %s", name, fam.kind, kind))
+	}
+	for _, s := range fam.series {
+		if s.labels == ls {
+			return fam, s, true
+		}
+	}
+	s := &series{labels: ls}
+	fam.series = append(fam.series, s)
+	return fam, s, false
+}
+
+// Counter registers (or returns the existing) counter series under
+// name with the given labels.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, s, ok := r.lookup(name, help, kindCounter, labels)
+	if !ok {
+		s.c = &Counter{}
+	}
+	return s.c
+}
+
+// Gauge registers (or returns the existing) gauge series under name
+// with the given labels.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, s, ok := r.lookup(name, help, kindGauge, labels)
+	if !ok {
+		s.g = &Gauge{}
+	}
+	return s.g
+}
+
+// GaugeFunc registers a gauge series whose value is computed by fn at
+// scrape time. Use it to expose counters that already live elsewhere
+// (store sizes, pipeline stats) without double-counting writes; fn
+// must be safe to call from the scrape goroutine.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, s, _ := r.lookup(name, help, kindGaugeFunc, labels)
+	s.f = fn
+}
+
+// Histogram registers (or returns the existing) histogram series under
+// name with the given bucket bounds (which must be sorted ascending).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, s, ok := r.lookup(name, help, kindHistogram, labels)
+	if !ok {
+		h := &Histogram{bounds: append([]float64(nil), bounds...)}
+		h.buckets = make([]atomic.Uint64, len(h.bounds)+1)
+		s.h = h
+	}
+	return s.h
+}
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format (version 0.0.4), in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+	for _, fam := range fams {
+		fmt.Fprintf(w, "# HELP %s %s\n", fam.name, fam.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", fam.name, fam.kind)
+		for _, s := range fam.series {
+			switch fam.kind {
+			case kindCounter:
+				fmt.Fprintf(w, "%s%s %d\n", fam.name, s.labels, s.c.Value())
+			case kindGauge:
+				fmt.Fprintf(w, "%s%s %d\n", fam.name, s.labels, s.g.Value())
+			case kindGaugeFunc:
+				fmt.Fprintf(w, "%s%s %s\n", fam.name, s.labels, formatFloat(s.f()))
+			case kindHistogram:
+				writeHistogram(w, fam.name, s)
+			}
+		}
+	}
+}
+
+func writeHistogram(w io.Writer, name string, s *series) {
+	h := s.h
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabels(s.labels, `le="`+formatFloat(b)+`"`), cum)
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabels(s.labels, `le="+Inf"`), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, s.labels, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, s.labels, h.Count())
+}
+
+// Expose renders the registry to a string; it is the non-HTTP form of
+// Handler for tests and log dumps.
+func (r *Registry) Expose() string {
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	return b.String()
+}
+
+// Handler returns an http.Handler serving the registry as a
+// Prometheus text scrape, suitable for mounting at GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write([]byte(r.Expose()))
+	})
+}
+
+// renderLabels pre-renders the label set as `{k="v",...}` once at
+// registration so scrapes never re-escape.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// mergeLabels splices extra (an already-rendered `k="v"` pair) into a
+// pre-rendered label block, used for histogram le labels.
+func mergeLabels(rendered, extra string) string {
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + extra + "}"
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// formatFloat renders a float the way Prometheus expects: shortest
+// representation that round-trips, integers without an exponent.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

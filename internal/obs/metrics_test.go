@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestExpositionGolden locks the exposition format byte-for-byte:
+// HELP/TYPE headers, label rendering, cumulative histogram buckets
+// with +Inf, _sum/_count, and registration-order determinism.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("pd_requests_total", "Requests served.", L("op", "query"), L("enc", "wire"))
+	c.Add(3)
+	r.Counter("pd_requests_total", "Requests served.", L("op", "query"), L("enc", "json")).Inc()
+	g := r.Gauge("pd_subscribers", "Live SSE subscribers.")
+	g.Set(2)
+	r.GaugeFunc("pd_store_records", "Records resident in the TIB.", func() float64 { return 1234 })
+	h := r.Histogram("pd_latency_seconds", "Request latency.", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.002)
+	h.Observe(5)
+
+	want := strings.Join([]string{
+		`# HELP pd_requests_total Requests served.`,
+		`# TYPE pd_requests_total counter`,
+		`pd_requests_total{op="query",enc="wire"} 3`,
+		`pd_requests_total{op="query",enc="json"} 1`,
+		`# HELP pd_subscribers Live SSE subscribers.`,
+		`# TYPE pd_subscribers gauge`,
+		`pd_subscribers 2`,
+		`# HELP pd_store_records Records resident in the TIB.`,
+		`# TYPE pd_store_records gauge`,
+		`pd_store_records 1234`,
+		`# HELP pd_latency_seconds Request latency.`,
+		`# TYPE pd_latency_seconds histogram`,
+		`pd_latency_seconds_bucket{le="0.001"} 1`,
+		`pd_latency_seconds_bucket{le="0.01"} 2`,
+		`pd_latency_seconds_bucket{le="0.1"} 2`,
+		`pd_latency_seconds_bucket{le="+Inf"} 3`,
+		`pd_latency_seconds_sum 5.0025`,
+		`pd_latency_seconds_count 3`,
+		``,
+	}, "\n")
+	if got := r.Expose(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestHandlerServesTextFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pd_x_total", "X.").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp := mustGet(t, srv.URL)
+	if ct := resp.header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q, want text/plain version=0.0.4", ct)
+	}
+	if !strings.Contains(resp.body, "pd_x_total 1") {
+		t.Errorf("scrape body missing counter:\n%s", resp.body)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pd_esc_total", "Esc.", L("path", `a\b"c`+"\n")).Inc()
+	want := `pd_esc_total{path="a\\b\"c\n"} 1`
+	if got := r.Expose(); !strings.Contains(got, want) {
+		t.Errorf("escaped series %q not found in:\n%s", want, got)
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("pd_same_total", "Same.", L("op", "q"))
+	b := r.Counter("pd_same_total", "Same.", L("op", "q"))
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	a.Inc()
+	b.Inc()
+	if a.Value() != 2 {
+		t.Fatalf("shared counter = %d, want 2", a.Value())
+	}
+	if n := strings.Count(r.Expose(), "pd_same_total{"); n != 1 {
+		t.Fatalf("expected 1 series, exposition shows %d", n)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("pd_kind_total", "K.")
+	r.Gauge("pd_kind_total", "K.")
+}
+
+func TestNilSafety(t *testing.T) {
+	var (
+		r *Registry
+		c *Counter
+		g *Gauge
+		h *Histogram
+		l *SlowLog
+		s *Span
+	)
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(-1)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	l.Add(SlowQuery{})
+	s.Finish()
+	s.SetAttr("k", "v")
+	s.SetInt("n", 1)
+	s.AddChild(NewSpan("x"))
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 ||
+		l.Total() != 0 || l.Entries() != nil || s.StartChild("x") != nil ||
+		s.Render() != "" || s.Attr("k") != "" {
+		t.Fatal("nil receivers must observe nothing and return zero values")
+	}
+	if r.Counter("x", "X.") != nil || r.Gauge("x", "X.") != nil ||
+		r.Histogram("x", "X.", LatencyBuckets) != nil {
+		t.Fatal("nil registry must hand back nil metrics")
+	}
+	r.GaugeFunc("x", "X.", nil)
+	r.WritePrometheus(&strings.Builder{})
+	if r.Expose() != "" {
+		t.Fatal("nil registry exposition must be empty")
+	}
+}
+
+// TestHammerConcurrent drives every metric type from many goroutines
+// with concurrent scrapes — the -race matrix turns this into a proof
+// that the hot paths are data-race free — then checks no goroutine
+// leaked and every increment landed.
+func TestHammerConcurrent(t *testing.T) {
+	before := runtime.NumGoroutine()
+	r := NewRegistry()
+	c := r.Counter("pd_hammer_total", "H.")
+	g := r.Gauge("pd_hammer_gauge", "H.")
+	h := r.Histogram("pd_hammer_seconds", "H.", LatencyBuckets)
+	const workers, iters = 16, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(seed*i%100) / 1000)
+				if i%500 == 0 {
+					// Concurrent registration of the same series and a
+					// scrape, mid-hammer.
+					r.Counter("pd_hammer_total", "H.")
+					_ = r.Expose()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*iters {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*iters)
+	}
+	if g.Value() != workers*iters {
+		t.Errorf("gauge = %d, want %d", g.Value(), workers*iters)
+	}
+	if h.Count() != workers*iters {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*iters)
+	}
+	// Cumulative buckets must account for every observation.
+	if got := strings.Count(r.Expose(), "pd_hammer_seconds_bucket"); got != len(LatencyBuckets)+1 {
+		t.Errorf("bucket lines = %d, want %d", got, len(LatencyBuckets)+1)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutine leak: %d before hammer, %d after", before, after)
+	}
+}
+
+// BenchmarkMetricsHotPath gates the ≤1-alloc promise on the increment
+// path: counter inc, gauge set and histogram observe must all be
+// allocation-free.
+func BenchmarkMetricsHotPath(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("pd_bench_total", "B.", L("op", "query"))
+	g := r.Gauge("pd_bench_gauge", "B.")
+	h := r.Histogram("pd_bench_seconds", "B.", LatencyBuckets)
+	b.Run("counter-inc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("gauge-set", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g.Set(int64(i))
+		}
+	})
+	b.Run("histogram-observe", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(float64(i%1000) / 10000)
+		}
+	})
+	b.Run("counter-inc-parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Inc()
+			}
+		})
+	})
+}

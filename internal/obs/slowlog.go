@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowQuery is one slow-query log entry: the query that crossed the
+// threshold, how long it took, and its finished span tree.
+type SlowQuery struct {
+	Trace string        `json:"trace"`
+	Query string        `json:"query"`
+	Dur   time.Duration `json:"dur"`
+	At    time.Time     `json:"at"`
+	Span  *Span         `json:"span,omitempty"`
+}
+
+// SlowLog is a bounded ring of the most recent slow queries. Add is
+// cheap (one mutex, no allocation once the ring is full) and the
+// threshold decision belongs to the caller, so the log itself never
+// sits on the fast path. A nil *SlowLog no-ops.
+type SlowLog struct {
+	mu      sync.Mutex
+	max     int
+	entries []SlowQuery
+	next    int
+	total   uint64
+}
+
+// NewSlowLog returns a SlowLog keeping at most max entries; max <= 0
+// defaults to 64.
+func NewSlowLog(max int) *SlowLog {
+	if max <= 0 {
+		max = 64
+	}
+	return &SlowLog{max: max}
+}
+
+// Add records one slow query, evicting the oldest entry when full.
+func (l *SlowLog) Add(e SlowQuery) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	if len(l.entries) < l.max {
+		l.entries = append(l.entries, e)
+		return
+	}
+	l.entries[l.next] = e
+	l.next = (l.next + 1) % l.max
+}
+
+// Entries returns the retained slow queries, newest first.
+func (l *SlowLog) Entries() []SlowQuery {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowQuery, 0, len(l.entries))
+	// Ring order: entries[next:] are oldest, entries[:next] newest.
+	for i := len(l.entries) - 1; i >= 0; i-- {
+		out = append(out, l.entries[(l.next+i)%len(l.entries)])
+	}
+	return out
+}
+
+// Total returns how many slow queries have ever been recorded,
+// including entries since evicted from the ring.
+func (l *SlowLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}

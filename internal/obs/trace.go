@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// NewTraceID mints a 16-hex-character random trace identifier. IDs
+// are minted by the controller once per Execute* call and propagated
+// to agents in the X-Pathdump-Trace request header.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a zero ID
+		// still traces correctly, it just isn't unique.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+type traceKey struct{}
+
+// ContextWithTrace returns a context carrying the trace ID, for
+// propagation through transports that only see a context.
+func ContextWithTrace(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceFromContext extracts the trace ID placed by ContextWithTrace,
+// or "" when the context is untraced.
+func TraceFromContext(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}
+
+// Attr is one key/value annotation on a Span.
+type Attr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// Span is one timed stage of a traced query: the fan-out wave, a
+// per-host RPC, a TIB scan, a streaming merge. Spans form a tree via
+// Children, marshal to JSON so agent-side spans can ride back on
+// QueryResponse, and are safe for concurrent mutation (hedged
+// requests and parallel fan-out touch siblings from many goroutines).
+// Every method is nil-safe: an untraced call site passes a nil parent
+// and the whole subtree melts away.
+type Span struct {
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Dur      time.Duration `json:"dur"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+	Children []*Span       `json:"children,omitempty"`
+
+	mu sync.Mutex
+}
+
+// NewSpan starts a root span named name.
+func NewSpan(name string) *Span {
+	return &Span{Name: name, Start: time.Now()}
+}
+
+// StartChild starts and attaches a child span; it returns nil when s
+// is nil so untraced paths stay branch-free.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Name: name, Start: time.Now()}
+	s.mu.Lock()
+	s.Children = append(s.Children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// AddChild attaches an already-built span (typically one decoded from
+// an agent reply) under s.
+func (s *Span) AddChild(c *Span) {
+	if s == nil || c == nil {
+		return
+	}
+	s.mu.Lock()
+	s.Children = append(s.Children, c)
+	s.mu.Unlock()
+}
+
+// Finish stamps the span's duration; calling it again is a no-op so
+// deferred and explicit finishes can coexist.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.Dur == 0 {
+		s.Dur = time.Since(s.Start)
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr annotates the span with a string value.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// SetInt annotates the span with an integer value.
+func (s *Span) SetInt(key string, value int64) {
+	s.SetAttr(key, fmt.Sprintf("%d", value))
+}
+
+// Attr returns the value of the first attribute named key, or "".
+func (s *Span) Attr(key string) string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// Render prints the span tree as an indented text outline — one line
+// per span with its duration and attributes, children ordered by
+// start time — the format pathdumpctl -trace shows operators.
+func (s *Span) Render() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	s.render(&b, 0)
+	return b.String()
+}
+
+func (s *Span) render(b *strings.Builder, depth int) {
+	s.mu.Lock()
+	name, dur := s.Name, s.Dur
+	attrs := append([]Attr(nil), s.Attrs...)
+	children := append([]*Span(nil), s.Children...)
+	s.mu.Unlock()
+
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(name)
+	for _, a := range attrs {
+		b.WriteByte(' ')
+		b.WriteString(a.Key)
+		b.WriteByte('=')
+		b.WriteString(a.Value)
+	}
+	fmt.Fprintf(b, " %v\n", dur.Round(time.Microsecond))
+	sort.SliceStable(children, func(i, j int) bool { return children[i].Start.Before(children[j].Start) })
+	for _, c := range children {
+		c.render(b, depth+1)
+	}
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewTraceID(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("trace IDs %q, %q: want 16 hex chars", a, b)
+	}
+	if a == b {
+		t.Fatalf("two minted trace IDs collided: %q", a)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if got := TraceFromContext(context.Background()); got != "" {
+		t.Fatalf("untraced context yielded %q", got)
+	}
+	ctx := ContextWithTrace(context.Background(), "abc123")
+	if got := TraceFromContext(ctx); got != "abc123" {
+		t.Fatalf("TraceFromContext = %q, want abc123", got)
+	}
+	if got := TraceFromContext(nil); got != "" {
+		t.Fatalf("nil context yielded %q", got)
+	}
+}
+
+func TestSpanTreeAndRender(t *testing.T) {
+	root := NewSpan("query")
+	root.SetAttr("op", "topk")
+	rpc := root.StartChild("rpc")
+	rpc.SetAttr("host", "h2")
+	rpc.SetInt("attempt", 1)
+	scan := rpc.StartChild("scan")
+	scan.SetInt("records", 32)
+	scan.Finish()
+	rpc.Finish()
+	merge := root.StartChild("merge")
+	merge.Finish()
+	root.Finish()
+
+	if root.Dur <= 0 || rpc.Dur <= 0 {
+		t.Fatal("Finish must stamp a positive duration")
+	}
+	prev := root.Dur
+	root.Finish()
+	if root.Dur != prev {
+		t.Fatal("second Finish must not restamp the duration")
+	}
+	if got := rpc.Attr("host"); got != "h2" {
+		t.Fatalf("Attr(host) = %q, want h2", got)
+	}
+
+	out := root.Render()
+	for _, want := range []string{"query op=topk", "  rpc host=h2 attempt=1", "    scan records=32", "  merge"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Children render in start order: rpc began before merge.
+	if strings.Index(out, "rpc") > strings.Index(out, "merge") {
+		t.Errorf("children out of start order:\n%s", out)
+	}
+}
+
+func TestSpanJSONRoundTrip(t *testing.T) {
+	root := NewSpan("scan")
+	root.SetInt("segments", 4)
+	root.StartChild("cold-load").Finish()
+	root.Finish()
+	b, err := json.Marshal(root)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Span
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Name != "scan" || back.Attr("segments") != "4" || len(back.Children) != 1 {
+		t.Fatalf("round trip lost data: %+v", &back)
+	}
+	if back.Children[0].Name != "cold-load" {
+		t.Fatalf("child lost: %+v", back.Children[0])
+	}
+}
+
+// TestSpanConcurrentChildren mirrors the fan-out: many goroutines
+// attach and annotate children of one parent while another renders.
+func TestSpanConcurrentChildren(t *testing.T) {
+	root := NewSpan("fanout")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			c := root.StartChild("rpc")
+			c.SetInt("host", int64(n))
+			if n%2 == 0 {
+				c.SetAttr("hedged", "true")
+			}
+			c.Finish()
+			_ = root.Render()
+		}(i)
+	}
+	wg.Wait()
+	root.Finish()
+	if len(root.Children) != 16 {
+		t.Fatalf("children = %d, want 16", len(root.Children))
+	}
+}
+
+func TestSlowLogRing(t *testing.T) {
+	l := NewSlowLog(3)
+	for i := 0; i < 5; i++ {
+		l.Add(SlowQuery{Trace: string(rune('a' + i)), Dur: time.Duration(i), At: time.Unix(int64(i), 0)})
+	}
+	if l.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", l.Total())
+	}
+	got := l.Entries()
+	if len(got) != 3 {
+		t.Fatalf("Entries len = %d, want 3", len(got))
+	}
+	for i, want := range []string{"e", "d", "c"} {
+		if got[i].Trace != want {
+			t.Errorf("entry %d = %q, want %q (newest first)", i, got[i].Trace, want)
+		}
+	}
+	if NewSlowLog(0).max != 64 {
+		t.Error("max <= 0 must default to 64")
+	}
+}

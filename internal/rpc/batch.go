@@ -43,6 +43,10 @@ type MultiAgentServer struct {
 	DisableWire bool
 	// WireCompress flate-compresses wire-encoded responses.
 	WireCompress bool
+	// Obs mounts the server's observability surface — /metrics,
+	// /healthz override, optional pprof — and instruments every
+	// endpoint (nil = uninstrumented; /healthz is served regardless).
+	Obs *ServerObs
 
 	instMu sync.Mutex
 }
@@ -62,7 +66,7 @@ func (s *MultiAgentServer) target(h *types.HostID) (Target, error) {
 // Handler returns the daemon's HTTP mux.
 func (s *MultiAgentServer) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/query", s.Obs.wrap("query", func(w http.ResponseWriter, r *http.Request) {
 		var req QueryRequest
 		if !decode(w, r, &req, s.MaxBodyBytes, s.DisableWire) {
 			return
@@ -75,16 +79,18 @@ func (s *MultiAgentServer) Handler() http.Handler {
 		if streamQueryResponse(w, r, t, req.Query, s.DisableWire, s.WireCompress) {
 			return
 		}
+		span, cold0 := traceScan(r, t)
 		res, sc, sp, err := executeMeta(r.Context(), t, req.Query)
 		if err != nil {
 			writeExecuteError(w, err)
 			return
 		}
+		finishScan(span, t, sc, sp, cold0)
 		writeQueryResponse(w, r, s.DisableWire, s.WireCompress,
-			QueryResponse{Result: res, RecordsScanned: t.TIBSize(), SegmentsScanned: sc, SegmentsPruned: sp})
+			QueryResponse{Result: res, RecordsScanned: t.TIBSize(), SegmentsScanned: sc, SegmentsPruned: sp, Span: span})
 		query.PutRecordBuf(res.Records)
-	})
-	mux.HandleFunc("/batchquery", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/batchquery", s.Obs.wrap("batchquery", func(w http.ResponseWriter, r *http.Request) {
 		var req BatchQueryRequest
 		if !decode(w, r, &req, s.MaxBodyBytes, s.DisableWire) {
 			return
@@ -98,16 +104,16 @@ func (s *MultiAgentServer) Handler() http.Handler {
 		for i := range replies {
 			query.PutRecordBuf(replies[i].Result.Records)
 		}
-	})
-	mux.HandleFunc("/snapshot", snapshotHandler(func(r *http.Request) (Target, error) {
+	}))
+	mux.HandleFunc("/snapshot", s.Obs.wrap("snapshot", snapshotHandler(func(r *http.Request) (Target, error) {
 		n, err := strconv.Atoi(r.URL.Query().Get("host"))
 		if err != nil {
 			return nil, fmt.Errorf("rpc: /snapshot needs a numeric ?host parameter: %w", err)
 		}
 		h := types.HostID(n)
 		return s.target(&h)
-	}))
-	mux.HandleFunc("/install", func(w http.ResponseWriter, r *http.Request) {
+	})))
+	mux.HandleFunc("/install", s.Obs.wrap("install", func(w http.ResponseWriter, r *http.Request) {
 		var req InstallRequest
 		if !decode(w, r, &req, s.MaxBodyBytes, s.DisableWire) {
 			return
@@ -125,8 +131,8 @@ func (s *MultiAgentServer) Handler() http.Handler {
 			return
 		}
 		encode(w, InstallResponse{ID: id})
-	})
-	mux.HandleFunc("/uninstall", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/uninstall", s.Obs.wrap("uninstall", func(w http.ResponseWriter, r *http.Request) {
 		var req UninstallRequest
 		if !decode(w, r, &req, s.MaxBodyBytes, s.DisableWire) {
 			return
@@ -144,13 +150,20 @@ func (s *MultiAgentServer) Handler() http.Handler {
 			return
 		}
 		encode(w, struct{}{})
-	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/stats", s.Obs.wrap("stats", func(w http.ResponseWriter, r *http.Request) {
 		total := 0
 		for _, t := range s.Targets {
 			total += t.TIBSize()
 		}
 		encode(w, map[string]int{"records": total, "hosts": len(s.Targets)})
+	}))
+	mountObs(mux, s.Obs, func() HealthStatus {
+		total := 0
+		for _, t := range s.Targets {
+			total += t.TIBSize()
+		}
+		return HealthStatus{Status: "ok", Hosts: len(s.Targets), Records: total}
 	})
 	return mux
 }

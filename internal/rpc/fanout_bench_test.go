@@ -6,14 +6,16 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"pathdump/internal/obs"
 	"pathdump/internal/query"
 	"pathdump/internal/types"
 )
 
 // benchFleet boots ndaemons MultiAgentServer daemons, each serving
 // perDaemon hosts whose stores hold nrec records — the e2e shape of a
-// controller fan-out, over real loopback HTTP.
-func benchFleet(b *testing.B, ndaemons, perDaemon, nrec int) (map[types.HostID]string, []types.HostID) {
+// controller fan-out, over real loopback HTTP. A non-nil registry
+// instruments every daemon (the shape of a production deployment).
+func benchFleet(b *testing.B, ndaemons, perDaemon, nrec int, reg *obs.Registry) (map[types.HostID]string, []types.HostID) {
 	b.Helper()
 	urls := make(map[types.HostID]string)
 	var hosts []types.HostID
@@ -24,7 +26,11 @@ func benchFleet(b *testing.B, ndaemons, perDaemon, nrec int) (map[types.HostID]s
 			targets[h] = SnapshotTarget{Store: seedStore(int(h), nrec)}
 			hosts = append(hosts, h)
 		}
-		srv := httptest.NewServer((&MultiAgentServer{Targets: targets}).Handler())
+		ms := &MultiAgentServer{Targets: targets}
+		if reg != nil {
+			ms.Obs = &ServerObs{Registry: reg}
+		}
+		srv := httptest.NewServer(ms.Handler())
 		b.Cleanup(srv.Close)
 		for h := range targets {
 			urls[h] = srv.URL
@@ -48,9 +54,44 @@ func BenchmarkParallelFanout(b *testing.B) {
 		perDaemon = 16
 		records   = 32
 	)
-	urls, hosts := benchFleet(b, daemons, perDaemon, records)
+	urls, hosts := benchFleet(b, daemons, perDaemon, records, nil)
 	q := query.Query{Op: query.OpRecords, Link: types.AnyLink, Range: types.AllTime}
 	ctx := context.Background()
+
+	run := func(tr *HTTPTransport, parallel int) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				replies, err := tr.QueryMany(ctx, hosts, q, parallel)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(replies) != len(hosts) {
+					b.Fatalf("%d replies for %d hosts", len(replies), len(hosts))
+				}
+			}
+		}
+	}
+	for _, p := range []int{1, 8} {
+		b.Run(fmt.Sprintf("parallelism-%d", p), run(&HTTPTransport{URLs: urls}, p))
+	}
+	b.Run("parallelism-8-json", run(&HTTPTransport{URLs: urls, JSONOnly: true}, 8))
+}
+
+// BenchmarkTracedFanout is BenchmarkParallelFanout with the
+// observability plane switched on: every daemon instrumented with the
+// rpc metrics middleware and every request carrying a trace ID. Its
+// sub-bench names match ParallelFanout's on purpose — CI renames and
+// diffs the two to enforce the instrumentation-overhead budget.
+func BenchmarkTracedFanout(b *testing.B) {
+	const (
+		daemons   = 8
+		perDaemon = 16
+		records   = 32
+	)
+	urls, hosts := benchFleet(b, daemons, perDaemon, records, obs.NewRegistry())
+	q := query.Query{Op: query.OpRecords, Link: types.AnyLink, Range: types.AllTime}
+	ctx := obs.ContextWithTrace(context.Background(), obs.NewTraceID())
 
 	run := func(tr *HTTPTransport, parallel int) func(*testing.B) {
 		return func(b *testing.B) {

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"pathdump/internal/controller"
+	"pathdump/internal/obs"
 	"pathdump/internal/query"
 	"pathdump/internal/tib"
 	"pathdump/internal/types"
@@ -195,6 +196,10 @@ func (t SnapshotTarget) TIBSize() int { return t.Store.Len() }
 // SegmentStats implements SegmentStatser.
 func (t SnapshotTarget) SegmentStats() (scanned, pruned uint64) { return t.Store.SegmentStats() }
 
+// ColdStats implements ColdStatser: traced scans attribute the cold-tier
+// demand loads they trigger.
+func (t SnapshotTarget) ColdStats() tib.ColdStats { return t.Store.ColdStats() }
+
 // WriteSnapshot implements Snapshotter: a restored store can be
 // re-snapshotted and served onward.
 func (t SnapshotTarget) WriteSnapshot(w io.Writer) error { return t.Store.Snapshot(w) }
@@ -221,6 +226,10 @@ type QueryResponse struct {
 	RecordsScanned  int          `json:"records_scanned"`
 	SegmentsScanned int          `json:"segments_scanned,omitempty"`
 	SegmentsPruned  int          `json:"segments_pruned,omitempty"`
+	// Span is the agent-side scan span for traced requests (the
+	// request carried a TraceHeader). Wire-encoded replies move it in
+	// the SpanHeader response header instead of the body.
+	Span *obs.Span `json:"span,omitempty"`
 }
 
 // InstallRequest is the /install body; Period is virtual nanoseconds.
@@ -286,6 +295,10 @@ type AgentServer struct {
 	DisableWire bool
 	// WireCompress flate-compresses wire-encoded responses.
 	WireCompress bool
+	// Obs mounts the server's observability surface — /metrics,
+	// /healthz override, optional pprof — and instruments every
+	// endpoint (nil = uninstrumented; /healthz is served regardless).
+	Obs *ServerObs
 
 	instMu sync.Mutex
 }
@@ -293,7 +306,7 @@ type AgentServer struct {
 // Handler returns the agent's HTTP mux.
 func (s *AgentServer) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/query", s.Obs.wrap("query", func(w http.ResponseWriter, r *http.Request) {
 		var req QueryRequest
 		if !decode(w, r, &req, s.MaxBodyBytes, s.DisableWire) {
 			return
@@ -301,17 +314,19 @@ func (s *AgentServer) Handler() http.Handler {
 		if streamQueryResponse(w, r, s.T, req.Query, s.DisableWire, s.WireCompress) {
 			return
 		}
+		span, cold0 := traceScan(r, s.T)
 		res, sc, sp, err := executeMeta(r.Context(), s.T, req.Query)
 		if err != nil {
 			writeExecuteError(w, err)
 			return
 		}
+		finishScan(span, s.T, sc, sp, cold0)
 		writeQueryResponse(w, r, s.DisableWire, s.WireCompress,
-			QueryResponse{Result: res, RecordsScanned: s.T.TIBSize(), SegmentsScanned: sc, SegmentsPruned: sp})
+			QueryResponse{Result: res, RecordsScanned: s.T.TIBSize(), SegmentsScanned: sc, SegmentsPruned: sp, Span: span})
 		query.PutRecordBuf(res.Records)
-	})
-	mux.HandleFunc("/snapshot", snapshotHandler(func(*http.Request) (Target, error) { return s.T, nil }))
-	mux.HandleFunc("/install", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/snapshot", s.Obs.wrap("snapshot", snapshotHandler(func(*http.Request) (Target, error) { return s.T, nil })))
+	mux.HandleFunc("/install", s.Obs.wrap("install", func(w http.ResponseWriter, r *http.Request) {
 		var req InstallRequest
 		if !decode(w, r, &req, s.MaxBodyBytes, s.DisableWire) {
 			return
@@ -324,8 +339,8 @@ func (s *AgentServer) Handler() http.Handler {
 			return
 		}
 		encode(w, InstallResponse{ID: id})
-	})
-	mux.HandleFunc("/uninstall", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/uninstall", s.Obs.wrap("uninstall", func(w http.ResponseWriter, r *http.Request) {
 		var req UninstallRequest
 		if !decode(w, r, &req, s.MaxBodyBytes, s.DisableWire) {
 			return
@@ -338,9 +353,12 @@ func (s *AgentServer) Handler() http.Handler {
 			return
 		}
 		encode(w, struct{}{})
-	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("/stats", s.Obs.wrap("stats", func(w http.ResponseWriter, r *http.Request) {
 		encode(w, map[string]int{"records": s.T.TIBSize()})
+	}))
+	mountObs(mux, s.Obs, func() HealthStatus {
+		return HealthStatus{Status: "ok", Hosts: 1, Records: s.T.TIBSize()}
 	})
 	return mux
 }
@@ -351,6 +369,11 @@ type ControllerServer struct {
 
 	// MaxBodyBytes caps request bodies (<= 0 = DefaultMaxBody).
 	MaxBodyBytes int64
+	// Obs mounts the server's observability surface — /metrics,
+	// /healthz override, optional pprof, /slowlog — and instruments
+	// every endpoint (nil = uninstrumented; /healthz is served
+	// regardless).
+	Obs *ServerObs
 }
 
 // Handler returns the controller's HTTP mux. Alarm dispatch runs under
@@ -361,16 +384,19 @@ type ControllerServer struct {
 // SSE feed (GET /alarms/stream) — see alarms.go.
 func (s *ControllerServer) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/alarm", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/alarm", s.Obs.wrap("alarm", func(w http.ResponseWriter, r *http.Request) {
 		var req AlarmRequest
 		if !decode(w, r, &req, s.MaxBodyBytes, false) {
 			return
 		}
 		s.C.RaiseAlarmContext(r.Context(), req.Alarm)
 		encode(w, struct{}{})
+	}))
+	mux.HandleFunc("/alarms", s.Obs.wrap("alarms", s.handleAlarms))
+	mux.HandleFunc("/alarms/stream", s.Obs.wrap("alarms_stream", s.handleAlarmStream))
+	mountObs(mux, s.Obs, func() HealthStatus {
+		return HealthStatus{Status: "ok"}
 	})
-	mux.HandleFunc("/alarms", s.handleAlarms)
-	mux.HandleFunc("/alarms/stream", s.handleAlarmStream)
 	return mux
 }
 
@@ -616,6 +642,9 @@ func (t *HTTPTransport) doPostOnce(ctx context.Context, base, path string, in in
 	if acceptWire {
 		req.Header.Set("Accept", wire.ContentType+", application/json")
 	}
+	if tid := obs.TraceFromContext(ctx); tid != "" {
+		req.Header.Set(TraceHeader, tid)
+	}
 	resp, err := t.client().Do(req)
 	// Do has fully consumed (or abandoned) the body by the time it
 	// returns, retries included, so the buffer is recyclable here.
@@ -718,6 +747,7 @@ func (t *HTTPTransport) Query(ctx context.Context, host types.HostID, q query.Qu
 			RecordsScanned:  m.RecordsScanned,
 			SegmentsScanned: m.SegmentsScanned,
 			SegmentsPruned:  m.SegmentsPruned,
+			Span:            decodeSpanHeader(httpResp.Header),
 		}, nil
 	}
 	var resp QueryResponse
@@ -728,6 +758,7 @@ func (t *HTTPTransport) Query(ctx context.Context, host types.HostID, q query.Qu
 		RecordsScanned:  resp.RecordsScanned,
 		SegmentsScanned: resp.SegmentsScanned,
 		SegmentsPruned:  resp.SegmentsPruned,
+		Span:            resp.Span,
 	}, nil
 }
 
@@ -986,6 +1017,12 @@ func writeQueryResponse(w http.ResponseWriter, r *http.Request, disableWire, com
 	if disableWire || !wire.Accepted(r.Header.Get("Accept")) {
 		encode(w, resp)
 		return
+	}
+	if resp.Span != nil {
+		// The binary frame has no span slot; ride the response header.
+		if b, err := json.Marshal(resp.Span); err == nil {
+			w.Header().Set(SpanHeader, string(b))
+		}
 	}
 	w.Header().Set("Content-Type", wire.ContentType)
 	_ = wire.WriteQuery(w, wire.Meta{

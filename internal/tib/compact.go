@@ -38,6 +38,11 @@ type compactRun struct {
 // store was built.
 func (s *Store) Compactions() uint64 { return s.compactions.Load() }
 
+// Seals reports how many active segments have been sealed since the
+// store was built. Cumulative: compaction replaces sealed segments but
+// never rewinds this counter.
+func (s *Store) Seals() uint64 { return s.sealCount.Load() }
+
 // MaybeCompact runs a compaction pass only when enough segments have
 // sealed since the last one and no other compactor is active — cheap
 // enough for the agent to call per exported record, mirroring how

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"pathdump"
+	"pathdump/internal/apps"
 	"pathdump/internal/netsim"
 	"pathdump/internal/types"
 )
@@ -49,6 +50,7 @@ func TestDebuggingScenarios(t *testing.T) {
 	}{
 		{"polarization", polarizationScenario},
 		{"failoverloop", failoverLoopScenario},
+		{"flaploop", flapLoopScenario},
 		{"incast", incastScenario},
 		{"ddos", ddosScenario},
 		{"flapquery", flapDuringQueryScenario},
@@ -123,19 +125,18 @@ func polarizationScenario(t *testing.T) {
 	}
 }
 
-// failoverLoopScenario mirrors examples/failoverloop: a link fails, and
-// during the reconvergence window two aggregation switches briefly chase
-// each other's detours, looping a packet until the VLAN stack overflows
-// and the controller concludes LOOP. The auditor must classify the loop
-// as failover-transient because it started within the correlation window
-// of the noted failure.
-func failoverLoopScenario(t *testing.T) {
-	c := scenarioCluster(t)
+// stageFailoverLoop learns a probe flow's canonical path on c, picks
+// the aggregation detour pair on it, and installs the transient
+// reconvergence state: both aggs bounce one flow through the surviving
+// core until its VLAN stack overflows and the controller concludes
+// LOOP. It returns the link whose failure pushes traffic onto the loop
+// and a function injecting the looping packet (the caller decides how
+// the link fails — FailLink, FlapLink — before injecting).
+func stageFailoverLoop(t *testing.T, c *pathdump.Cluster) (failed pathdump.LinkID, inject func()) {
+	t.Helper()
 	topo := c.Topo
 	hosts := c.HostIDs()
 	src, dst := hosts[0], hosts[8]
-
-	auditor := c.NewTransientLoopAuditor(200 * pathdump.Millisecond)
 
 	// Learn the flow's canonical path so the loop can be staged on it.
 	probe, err := c.StartFlow(src, dst, 9000, 1000, nil)
@@ -153,8 +154,7 @@ func failoverLoopScenario(t *testing.T) {
 
 	// The failure that triggers reconvergence: aggD loses its *other*
 	// core uplink, pushing everything onto the surviving one — where the
-	// transient loop then forms. Noted on the operator's timeline as an
-	// auditable event.
+	// transient loop then forms.
 	var otherCore pathdump.SwitchID
 	for _, up := range topo.Switch(aggD).Up {
 		if up != core {
@@ -162,10 +162,6 @@ func failoverLoopScenario(t *testing.T) {
 			break
 		}
 	}
-	failAt := c.Now()
-	failed := pathdump.LinkID{A: aggD, B: otherCore}
-	c.FailLink(aggD, otherCore)
-	auditor.NoteLinkFailure(failed, failAt)
 
 	// Transient state while routes reconverge: both aggs bounce the flow
 	// through the core.
@@ -189,21 +185,64 @@ func failoverLoopScenario(t *testing.T) {
 		}
 		return aggD, true
 	})
-	if err := c.SendPacket(src, &netsim.Packet{Flow: loopFlow, Size: 100}); err != nil {
-		t.Fatal(err)
+	return pathdump.LinkID{A: aggD, B: otherCore}, func() {
+		if err := c.SendPacket(src, &netsim.Packet{Flow: loopFlow, Size: 100}); err != nil {
+			t.Fatal(err)
+		}
 	}
-	c.RunAll()
+}
 
+// assertTransientLoop checks the auditor classified exactly one loop as
+// failover-transient, correlated with the given link.
+func assertTransientLoop(t *testing.T, auditor *apps.TransientLoopAuditor, failed pathdump.LinkID) {
+	t.Helper()
 	if auditor.Loops() != 1 {
 		t.Fatalf("auditor saw %d loops, want 1", auditor.Loops())
 	}
 	report := auditor.Report()
 	if !report[0].NearFailure {
-		t.Errorf("loop at %v not correlated with failure at %v", report[0].Event.DetectedAt, failAt)
+		t.Errorf("loop at %v not correlated with any link failure", report[0].Event.DetectedAt)
 	}
 	if report[0].FailedLink != failed {
 		t.Errorf("correlated link = %v, want %v", report[0].FailedLink, failed)
 	}
+}
+
+// failoverLoopScenario mirrors examples/failoverloop: a link fails, and
+// during the reconvergence window two aggregation switches briefly chase
+// each other's detours, looping a packet until the VLAN stack overflows
+// and the controller concludes LOOP. The auditor must classify the loop
+// as failover-transient — with no NoteLinkFailure call: the auditor is
+// wired to the simulator's own link-state events, so FailLink lands on
+// the failure timeline by itself.
+func failoverLoopScenario(t *testing.T) {
+	c := scenarioCluster(t)
+	auditor := c.NewTransientLoopAuditor(200 * pathdump.Millisecond)
+	failed, inject := stageFailoverLoop(t, c)
+	c.FailLink(failed.A, failed.B)
+	inject()
+	c.RunAll()
+
+	assertTransientLoop(t, auditor, failed)
+	assertOneAlarm(t, c, pathdump.ReasonLoop, 1)
+}
+
+// flapLoopScenario is failoverLoopScenario with the failure injected by
+// FlapLink instead of a single FailLink: the link bounces down/up while
+// the loop forms. Every down phase drives FailLink under the hood, so
+// the sim's link-state events must carry each transition to the auditor
+// and the loop still classifies as failover-transient, again with no
+// operator NoteLinkFailure call.
+func flapLoopScenario(t *testing.T) {
+	c := scenarioCluster(t)
+	auditor := c.NewTransientLoopAuditor(200 * pathdump.Millisecond)
+	failed, inject := stageFailoverLoop(t, c)
+	c.FlapLink(failed.A, failed.B,
+		10*pathdump.Millisecond, 10*pathdump.Millisecond, c.Now()+60*pathdump.Millisecond)
+	inject()
+	c.RunAll()
+
+	assertTransientLoop(t, auditor, failed)
 	assertOneAlarm(t, c, pathdump.ReasonLoop, 1)
 }
 

@@ -30,7 +30,15 @@
 #   8. impairment to alarm — a daemon boots with -impair wedging both
 #      uplinks of the demo workload's first rack at 100% loss, a TCP
 #      monitor is installed over HTTP, and the controller's history shows
-#      the resulting POOR_PERF alarms with repeats folded by suppression.
+#      the resulting POOR_PERF alarms with repeats folded by suppression;
+#   9. observability plane — GET /metrics on a live pathdumpd exposes all
+#      three planes (agent datapath counters, TIB store gauges, rpc
+#      request series with traffic recorded), GET /metrics on pathdumpc
+#      exposes the controller plane and the alarm pipeline, and /healthz
+#      answers structured JSON on both.
+#
+# Readiness is polled via GET /healthz throughout — the daemons answer it
+# as soon as their listener is up, before any query traffic.
 #
 # Runs standalone (bash scripts/e2e_smoke.sh) and as the CI e2e job.
 set -euo pipefail
@@ -69,10 +77,11 @@ boot_daemon() {
   "$BIN/$binary" "$@" >"$LOGS/$name.log" 2>&1 &
 }
 
-# wait_ready URL [ATTEMPTS] — poll until the endpoint answers (0.2 s per
-# attempt; default 50, the demo-workload daemons use more).
+# wait_ready BASE_URL [ATTEMPTS] — poll GET /healthz until the daemon
+# answers 200 (0.2 s per attempt; default 50, the demo-workload daemons
+# use more).
 wait_ready() {
-  local url="$1" attempts="${2:-50}"
+  local url="$1/healthz" attempts="${2:-50}"
   for _ in $(seq 1 "$attempts"); do
     if curl -fs "$url" >/dev/null 2>&1; then
       return 0
@@ -97,7 +106,7 @@ boot_daemon c pathdumpd -hosts 4,5 -listen "127.0.0.1:$PORT_C" -demo \
 
 for port in "$PORT_A" "$PORT_B" "$PORT_C"; do
   # demo workload simulation needs a moment
-  wait_ready "http://127.0.0.1:$port/stats" 150
+  wait_ready "http://127.0.0.1:$port" 150
 done
 echo "daemons ready"
 
@@ -117,12 +126,20 @@ echo
 echo "== 2. hedged query beats the slow-first-only host (hosts 4,5) =="
 start=$(date +%s)
 out="$("$BIN/pathdumpctl" -agents "4=$C,5=$C" \
-  -hedge-after 1s -timeout 30s topk -k 5)"
+  -hedge-after 1s -timeout 30s -trace topk -k 5)"
 took=$(( $(date +%s) - start ))
 echo "$out"
 echo "(took ${took}s wall-clock)"
 grep -q "(2 hosts answered, 0 skipped, 1 hedged, partial=false" <<<"$out" \
   || { echo "FAIL: hedged query did not report full data + one hedge"; exit 1; }
+# -trace prints the query's span tree; the hedge must show up as its own
+# labelled span under the stalled host's rpc span.
+grep -qE "^query trace=[0-9a-f]{16} op=topk" <<<"$out" \
+  || { echo "FAIL: -trace printed no query span"; exit 1; }
+grep -qE "^ +hedge host=h5" <<<"$out" \
+  || { echo "FAIL: -trace did not label the hedged request's span"; exit 1; }
+grep -qE "^ +scan .*records=" <<<"$out" \
+  || { echo "FAIL: -trace carried no agent-side scan spans"; exit 1; }
 # ~1 hedged round trip: the 60s stall must not show up in the wall clock.
 [ "$took" -le 15 ] || { echo "FAIL: hedged query took ${took}s"; exit 1; }
 
@@ -162,7 +179,7 @@ grep -qE "pulled [1-9][0-9]* snapshot bytes" <<<"$out" \
 [ -s "$SNAP" ] || { echo "FAIL: snapshot file empty"; exit 1; }
 
 boot_daemon d pathdumpd -host 0 -listen "127.0.0.1:$PORT_D" -tib "$SNAP"
-wait_ready "http://127.0.0.1:$PORT_D/stats"
+wait_ready "http://127.0.0.1:$PORT_D"
 grep -qE "snapshot .* [1-9][0-9]* TIB records in [1-9][0-9]* segments" "$LOGS/d.log" \
   || { echo "FAIL: snapshot daemon loaded no records/segments"; exit 1; }
 
@@ -187,8 +204,8 @@ boot_daemon f pathdumpd -hosts 6,7 -listen "127.0.0.1:$PORT_F" \
   -controller "http://127.0.0.1:$PORT_E" -inject-poor-flow -trigger-every 100ms
 E="http://127.0.0.1:$PORT_E"
 F="http://127.0.0.1:$PORT_F"
-wait_ready "$E/alarms"
-wait_ready "$F/stats"
+wait_ready "$E"
+wait_ready "$F"
 
 out="$("$BIN/pathdumpctl" -agents "6=$F,7=$F" -timeout 10s \
   install -op poor_tcp -threshold 3 -period 200ms)"
@@ -232,7 +249,7 @@ echo "== 7. mixed-version wire fallback: binary client vs -json-only daemon =="
 # JSON while still negotiating binary replies; -wire json disables both
 # directions. Every pairing must produce byte-identical output.
 boot_daemon g pathdumpd -host 0 -listen "127.0.0.1:$PORT_G" -tib "$SNAP" -json-only
-wait_ready "http://127.0.0.1:$PORT_G/stats"
+wait_ready "http://127.0.0.1:$PORT_G"
 
 D="http://127.0.0.1:$PORT_D"
 G="http://127.0.0.1:$PORT_G"
@@ -263,8 +280,8 @@ boot_daemon i pathdumpd -hosts 0,1 -listen "127.0.0.1:$PORT_I" -demo \
   -controller "http://127.0.0.1:$PORT_H" -trigger-every 100ms
 H="http://127.0.0.1:$PORT_H"
 I="http://127.0.0.1:$PORT_I"
-wait_ready "$H/alarms"
-wait_ready "$I/stats" 150 # demo workload again
+wait_ready "$H"
+wait_ready "$I" 150 # demo workload again
 grep -q "2 link impairments injected" "$LOGS/i.log" \
   || { echo "FAIL: daemon did not report the injected impairments"; exit 1; }
 
@@ -293,6 +310,48 @@ tail -n 1 <<<"$out"
 # through as extra admissions.
 grep -qE "pipeline: [0-9]+ received, [0-9]+ admitted, [1-9][0-9]* suppressed" <<<"$out" \
   || { echo "FAIL: impairment alarms not suppressed/folded"; exit 1; }
+
+echo
+echo "== 9. observability plane: /metrics covers all three planes, /healthz is structured =="
+# Daemon A has served the demo workload and several real queries by now;
+# its exposition must carry the agent datapath, the TIB store, and the
+# rpc middleware's per-op traffic.
+metrics="$(curl -fs "$A/metrics")"
+for series in \
+  'pathdump_agent_packets_seen\{host="0"\} [1-9]' \
+  'pathdump_agent_records_stored\{host="0"\} [1-9]' \
+  'pathdump_tib_records\{host="0"\} [1-9]' \
+  'pathdump_tib_segments\{host="0"\} [1-9]' \
+  'pathdump_rpc_requests_total\{op="query",enc="wire"\} [1-9]' \
+  'pathdump_rpc_request_seconds_count\{op="query"\} [1-9]' \
+  'pathdump_rpc_response_bytes_sum\{op="query"\} [1-9]'; do
+  grep -qE "^$series" <<<"$metrics" \
+    || { echo "FAIL: pathdumpd /metrics missing/zero: $series"; exit 1; }
+done
+echo "pathdumpd exposes $(grep -c '^pathdump_' <<<"$metrics") pathdump_* series (agent, tib, rpc planes OK)"
+
+# The alarm-plane controller: alarm pipeline gauges fed by scenario 6's
+# POOR_PERF storm, controller-plane series registered, rpc plane counting
+# the /alarm ingest posts.
+metrics="$(curl -fs "$E/metrics")"
+for series in \
+  'pathdump_alarms_received [1-9]' \
+  'pathdump_alarms_admitted [1-9]' \
+  'pathdump_alarms_suppressed [1-9]' \
+  'pathdump_controller_queries_total [0-9]' \
+  'pathdump_rpc_requests_total\{op="alarm",enc="json"\} [1-9]'; do
+  grep -qE "^$series" <<<"$metrics" \
+    || { echo "FAIL: pathdumpc /metrics missing/zero: $series"; exit 1; }
+done
+echo "pathdumpc exposes the controller plane + alarm pipeline (rpc ingest counted)"
+
+# Structured health on both daemon flavours.
+curl -fs "$A/healthz" | grep -q '"status":"ok"' \
+  || { echo "FAIL: pathdumpd /healthz not ok"; exit 1; }
+curl -fs "$A/healthz" | grep -qE '"records":[1-9]' \
+  || { echo "FAIL: pathdumpd /healthz reports no records"; exit 1; }
+curl -fs "$E/healthz" | grep -q '"status":"ok"' \
+  || { echo "FAIL: pathdumpc /healthz not ok"; exit 1; }
 
 echo
 echo "e2e smoke: PASS"
